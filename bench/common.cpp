@@ -1,0 +1,72 @@
+#include "common.h"
+
+namespace rave::bench {
+
+rtc::SessionConfig DefaultConfig(rtc::Scheme scheme, net::CapacityTrace trace,
+                                 video::ContentClass content,
+                                 TimeDelta duration, uint64_t seed) {
+  rtc::SessionConfig config;
+  config.scheme = scheme;
+  config.duration = duration;
+  config.seed = seed;
+  config.source.content = content;
+  config.link.trace = std::move(trace);
+  // The paper's scenario is a saturated steady-state call hit by a drop, so
+  // sessions start with the estimator warmed up near the link rate instead
+  // of spending the pre-drop phase in GCC's slow ramp.
+  config.initial_rate = DataRate::KilobitsPerSec(2100);
+  return config;
+}
+
+net::CapacityTrace DropTrace(double severity) {
+  const auto base = DataRate::KilobitsPerSec(kBaseRateKbps);
+  const auto low = DataRate::KilobitsPerSecF(kBaseRateKbps * (1.0 - severity));
+  return net::CapacityTrace::StepDrop(base, low, Timestamp::Seconds(10));
+}
+
+std::vector<std::pair<std::string, net::CapacityTrace>> TraceSuite(
+    TimeDelta duration) {
+  const auto base = DataRate::KilobitsPerSec(kBaseRateKbps);
+  std::vector<std::pair<std::string, net::CapacityTrace>> suite;
+
+  for (double severity : {0.3, 0.5, 0.7}) {
+    suite.emplace_back("drop" + std::to_string(static_cast<int>(severity * 100)),
+                       DropTrace(severity));
+    const auto low =
+        DataRate::KilobitsPerSecF(kBaseRateKbps * (1.0 - severity));
+    suite.emplace_back(
+        "recover" + std::to_string(static_cast<int>(severity * 100)),
+        net::CapacityTrace::StepDropAndRecover(base, low,
+                                               Timestamp::Seconds(10),
+                                               Timestamp::Seconds(25)));
+  }
+
+  // Staircase down: repeated partial drops.
+  suite.emplace_back(
+      "staircase",
+      net::CapacityTrace::MultiStep({{Timestamp::Zero(), base},
+                                     {Timestamp::Seconds(10),
+                                      DataRate::KilobitsPerSec(1800)},
+                                     {Timestamp::Seconds(20),
+                                      DataRate::KilobitsPerSec(1200)},
+                                     {Timestamp::Seconds(30),
+                                      DataRate::KilobitsPerSec(700)}}));
+
+  // LTE-like random walks.
+  for (uint64_t seed : {11ULL, 23ULL}) {
+    suite.emplace_back(
+        "randomwalk" + std::to_string(seed),
+        net::CapacityTrace::RandomWalk(
+            DataRate::KilobitsPerSec(1800), 0.18, TimeDelta::Millis(500),
+            duration, seed, DataRate::KilobitsPerSec(400),
+            DataRate::KilobitsPerSec(4000)));
+  }
+  return suite;
+}
+
+double ReductionPercent(double baseline, double treatment) {
+  if (baseline <= 0.0) return 0.0;
+  return (1.0 - treatment / baseline) * 100.0;
+}
+
+}  // namespace rave::bench

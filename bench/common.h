@@ -1,0 +1,39 @@
+// Shared helpers for the experiment harnesses: canonical session
+// configurations (so every bench runs the same well-documented setup), the
+// drop-trace suite, and small formatting utilities.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/capacity_trace.h"
+#include "rtc/session.h"
+#include "util/time.h"
+#include "util/units.h"
+#include "video/content_model.h"
+
+namespace rave::bench {
+
+/// Canonical link rate before any drop.
+inline constexpr int64_t kBaseRateKbps = 2500;
+
+/// Builds the default session configuration used across experiments:
+/// 720p30, 2.5 Mbps initial estimate, 50 ms RTT (25 ms each way), 50 ms
+/// feedback interval, deep (~3 s at 1 Mbps) bottleneck buffer.
+rtc::SessionConfig DefaultConfig(rtc::Scheme scheme,
+                                 net::CapacityTrace trace,
+                                 video::ContentClass content,
+                                 TimeDelta duration, uint64_t seed);
+
+/// A single-step drop to (1 - severity) * base at t = 10 s.
+net::CapacityTrace DropTrace(double severity);
+
+/// The drop-trace suite used by CDF experiments: three severities x
+/// {single-drop, drop+recover, staircase-down} = 9 traces + 3 random walks.
+std::vector<std::pair<std::string, net::CapacityTrace>> TraceSuite(
+    TimeDelta duration);
+
+/// Mean latency reduction of `treatment` vs `baseline` in percent.
+double ReductionPercent(double baseline, double treatment);
+
+}  // namespace rave::bench

@@ -1,0 +1,90 @@
+// Table 3: ablation of the adaptive controller's mechanisms. Each row turns
+// one mechanism off (or swaps the estimator for the ground-truth oracle) and
+// reruns the 70%-drop suite; the deltas attribute the end-to-end win to its
+// parts.
+#include <iostream>
+
+#include "common.h"
+#include "util/table.h"
+
+using namespace rave;
+
+namespace {
+
+struct Variant {
+  std::string name;
+  rtc::Scheme scheme = rtc::Scheme::kAdaptive;
+  bool fast_qp = true;
+  bool frame_cap = true;
+  bool drain_mode = true;
+  bool skip = true;
+};
+
+}  // namespace
+
+void RunSweep(double severity, TimeDelta duration);
+
+int main() {
+  RunSweep(0.7, TimeDelta::Seconds(40));
+  std::cout << '\n';
+  RunSweep(0.85, TimeDelta::Seconds(40));
+  std::cout << "\nThe per-frame budget inversion (not switchable; it is the"
+               "\nscheme's identity) provides most of the win over the"
+               "\nbaseline; drain-mode and skip matter most under severe"
+               "\ndrops, where they bound the backlog the moment it forms.\n";
+  return 0;
+}
+
+void RunSweep(double severity, TimeDelta duration) {
+  const std::vector<Variant> variants = {
+      {.name = "full"},
+      {.name = "w/o fast-qp", .fast_qp = false},
+      {.name = "w/o frame-cap", .frame_cap = false},
+      {.name = "w/o drain-mode", .drain_mode = false},
+      {.name = "w/o skip", .skip = false},
+      {.name = "all-off (budget only)",
+       .fast_qp = false,
+       .frame_cap = false,
+       .drain_mode = false,
+       .skip = false},
+      {.name = "oracle-bwe", .scheme = rtc::Scheme::kAdaptiveOracle},
+      {.name = "baseline-abr", .scheme = rtc::Scheme::kX264Abr},
+  };
+
+  std::cout << "Tab 3: ablation (" << static_cast<int>(severity * 100)
+            << "% drop at t=10s, all content classes, 3 seeds)\n\n";
+  Table table({"variant", "lat-mean(ms)", "lat-p95(ms)", "enc-ssim",
+               "disp-ssim", "skipped", "lost"});
+
+  for (const Variant& v : variants) {
+    double mean = 0, p95 = 0, enc = 0, disp = 0, skipped = 0, lost = 0;
+    int runs = 0;
+    for (video::ContentClass content : video::kAllContentClasses) {
+      for (uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+        auto config = bench::DefaultConfig(v.scheme, bench::DropTrace(severity),
+                                           content, duration, seed);
+        config.adaptive.enable_fast_qp = v.fast_qp;
+        config.adaptive.enable_frame_cap = v.frame_cap;
+        config.adaptive.enable_drain_mode = v.drain_mode;
+        config.adaptive.enable_skip = v.skip;
+        const rtc::SessionResult result = rtc::RunSession(config);
+        mean += result.summary.latency_mean_ms;
+        p95 += result.summary.latency_p95_ms;
+        enc += result.summary.encoded_ssim_mean;
+        disp += result.summary.displayed_ssim_mean;
+        skipped += static_cast<double>(result.summary.frames_skipped);
+        lost += static_cast<double>(result.summary.frames_lost_network);
+        ++runs;
+      }
+    }
+    table.AddRow()
+        .Cell(v.name)
+        .Cell(mean / runs, 1)
+        .Cell(p95 / runs, 1)
+        .Cell(enc / runs, 4)
+        .Cell(disp / runs, 4)
+        .Cell(skipped / runs, 1)
+        .Cell(lost / runs, 1);
+  }
+  table.Print(std::cout);
+}

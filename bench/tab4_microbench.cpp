@@ -1,0 +1,134 @@
+// Table 4: controller overhead microbenchmarks (google-benchmark). The
+// paper's premise is that per-frame adaptation is cheap enough to run in the
+// encode path; these benchmarks measure the per-frame decision cost of each
+// rate control, the R-D model, and the estimator's per-feedback cost.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cc/gcc.h"
+#include "codec/abr_rate_control.h"
+#include "codec/cbr_rate_control.h"
+#include "codec/encoder.h"
+#include "core/adaptive_rate_control.h"
+#include "video/video_source.h"
+
+namespace rave {
+namespace {
+
+video::RawFrame MakeFrame() {
+  video::RawFrame f;
+  f.spatial_complexity = 1.0;
+  f.temporal_complexity = 0.5;
+  return f;
+}
+
+void BM_RdModelActualBits(benchmark::State& state) {
+  codec::RdModel model({}, Rng(1));
+  const video::RawFrame frame = MakeFrame();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.ActualBits(codec::FrameType::kDelta, frame, 5.0));
+  }
+}
+BENCHMARK(BM_RdModelActualBits);
+
+template <typename Rc>
+std::unique_ptr<codec::RateControl> MakeRc();
+
+template <>
+std::unique_ptr<codec::RateControl> MakeRc<codec::AbrRateControl>() {
+  return std::make_unique<codec::AbrRateControl>(codec::AbrConfig{});
+}
+template <>
+std::unique_ptr<codec::RateControl> MakeRc<codec::CbrRateControl>() {
+  return std::make_unique<codec::CbrRateControl>(codec::CbrConfig{});
+}
+template <>
+std::unique_ptr<codec::RateControl> MakeRc<core::AdaptiveRateControl>() {
+  return std::make_unique<core::AdaptiveRateControl>(core::AdaptiveConfig{});
+}
+
+template <typename Rc>
+void BM_PerFrameDecision(benchmark::State& state) {
+  auto rc = MakeRc<Rc>();
+  const video::RawFrame frame = MakeFrame();
+  Timestamp now = Timestamp::Zero();
+  codec::FrameOutcome outcome;
+  outcome.type = codec::FrameType::kDelta;
+  outcome.qp = 28.0;
+  outcome.qscale = codec::QpToQscale(28.0);
+  outcome.size = DataSize::Bits(50'000);
+  outcome.complexity_term = 1280.0 * 720.0 * 0.5;
+  for (auto _ : state) {
+    now += TimeDelta::Millis(33);
+    const codec::FrameGuidance g =
+        rc->PlanFrame(frame, codec::FrameType::kDelta, now);
+    benchmark::DoNotOptimize(g);
+    rc->OnFrameEncoded(outcome, now);
+  }
+}
+BENCHMARK(BM_PerFrameDecision<codec::AbrRateControl>)
+    ->Name("BM_PerFrameDecision/x264-abr");
+BENCHMARK(BM_PerFrameDecision<codec::CbrRateControl>)
+    ->Name("BM_PerFrameDecision/x264-cbr");
+BENCHMARK(BM_PerFrameDecision<core::AdaptiveRateControl>)
+    ->Name("BM_PerFrameDecision/rave-adaptive");
+
+void BM_AdaptiveNetworkUpdate(benchmark::State& state) {
+  core::AdaptiveRateControl rc(core::AdaptiveConfig{});
+  core::NetworkObservation obs;
+  obs.target = DataRate::KilobitsPerSec(1200);
+  obs.acked_rate = DataRate::KilobitsPerSec(1100);
+  obs.rtt = TimeDelta::Millis(50);
+  obs.pacer_queue = DataSize::Bits(40'000);
+  obs.in_flight = DataSize::Bits(80'000);
+  for (auto _ : state) {
+    obs.at += TimeDelta::Millis(50);
+    rc.OnNetworkUpdate(obs);
+    benchmark::DoNotOptimize(rc.network_state());
+  }
+}
+BENCHMARK(BM_AdaptiveNetworkUpdate);
+
+void BM_GccPerFeedback(benchmark::State& state) {
+  cc::GccEstimator gcc;
+  int64_t seq = 0;
+  Timestamp now = Timestamp::Zero();
+  for (auto _ : state) {
+    std::vector<transport::PacketResult> results;
+    results.reserve(8);
+    for (int i = 0; i < 8; ++i) {
+      transport::PacketResult r;
+      r.seq = seq++;
+      r.size = DataSize::Bits(9'600);
+      r.send_time = now + TimeDelta::Millis(6 * i);
+      r.arrival = r.send_time + TimeDelta::Millis(30);
+      results.push_back(r);
+    }
+    now += TimeDelta::Millis(50);
+    gcc.OnPacketResults(results, now);
+    benchmark::DoNotOptimize(gcc.target());
+  }
+}
+BENCHMARK(BM_GccPerFeedback);
+
+void BM_FullEncodeLoop(benchmark::State& state) {
+  codec::EncoderConfig config;
+  codec::Encoder encoder(
+      config, std::make_unique<core::AdaptiveRateControl>(
+                  core::AdaptiveConfig{}));
+  video::VideoSource source({});
+  Timestamp now = Timestamp::Zero();
+  for (auto _ : state) {
+    now += TimeDelta::Millis(33);
+    benchmark::DoNotOptimize(
+        encoder.EncodeFrame(source.CaptureFrame(now), now));
+  }
+}
+BENCHMARK(BM_FullEncodeLoop);
+
+}  // namespace
+}  // namespace rave
+
+BENCHMARK_MAIN();

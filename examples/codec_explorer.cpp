@@ -1,0 +1,100 @@
+// Explores the codec substrate directly — no network involved. Useful to
+// understand the R-D model the whole system is built on:
+//   1. a QP sweep (size and quality per frame type),
+//   2. rate-control convergence after a target reconfig (the baseline's
+//      sluggishness, measured in isolation),
+//   3. VBV buffer dynamics at a keyframe.
+//
+//   ./examples/codec_explorer
+#include <iostream>
+#include <memory>
+
+#include "codec/abr_rate_control.h"
+#include "codec/encoder.h"
+#include "util/table.h"
+#include "video/video_source.h"
+
+using namespace rave;
+
+int main() {
+  // --- 1. QP sweep on the raw R-D surface ---
+  codec::RdModel rd({}, Rng(1));
+  video::RawFrame frame;
+  frame.spatial_complexity = 1.0;
+  frame.temporal_complexity = 0.5;
+
+  std::cout << "R-D surface at 720p (spatial complexity 1.0, temporal 0.5)\n\n";
+  Table sweep({"qp", "qscale", "I-bits", "P-bits", "ssim", "psnr(dB)"});
+  for (double qp = 16; qp <= 48; qp += 4) {
+    const double qscale = codec::QpToQscale(qp);
+    sweep.AddRow()
+        .Cell(qp, 0)
+        .Cell(qscale, 2)
+        .Cell(rd.ExpectedBits(codec::FrameType::kKey, frame, qscale).bits())
+        .Cell(rd.ExpectedBits(codec::FrameType::kDelta, frame, qscale).bits())
+        .Cell(rd.Ssim(frame, qscale), 4)
+        .Cell(rd.Psnr(frame, qp), 1);
+  }
+  sweep.Print(std::cout);
+
+  // --- 2. ABR convergence after a target drop, isolated from the network ---
+  std::cout << "\nx264-abr output bitrate after a 2000 -> 800 kbps reconfig "
+               "at t=5s\n(the sluggishness the paper attacks)\n\n";
+  codec::AbrConfig abr_config;
+  abr_config.fps = 30.0;
+  abr_config.initial_target = DataRate::KilobitsPerSec(2000);
+  codec::EncoderConfig enc_config;
+  enc_config.fps = 30.0;
+  codec::Encoder encoder(
+      enc_config, std::make_unique<codec::AbrRateControl>(abr_config));
+  video::VideoSource source({.content = video::ContentClass::kTalkingHead});
+
+  Table convergence({"t(s)", "target(kbps)", "output(kbps)", "mean-qp"});
+  int64_t window_bits = 0;
+  double window_qp = 0;
+  int window_n = 0;
+  for (int i = 0; i < 300; ++i) {
+    const Timestamp now = Timestamp::Millis(i * 33);
+    if (i == 150) encoder.SetTargetRate(DataRate::KilobitsPerSec(800));
+    const codec::EncodedFrame f =
+        encoder.EncodeFrame(source.CaptureFrame(now), now);
+    window_bits += f.size.bits();
+    window_qp += f.qp;
+    ++window_n;
+    if (window_n == 15) {  // 0.5 s windows
+      convergence.AddRow()
+          .Cell(now.seconds(), 1)
+          .Cell(encoder.rate_control().current_target().kbps(), 0)
+          .Cell(static_cast<double>(window_bits) / 0.5 / 1e3, 0)
+          .Cell(window_qp / window_n, 1);
+      window_bits = 0;
+      window_qp = 0;
+      window_n = 0;
+    }
+  }
+  convergence.Print(std::cout);
+
+  // --- 3. VBV dynamics around a keyframe ---
+  std::cout << "\nVBV buffer (1 Mbps, 1 s window) absorbing a keyframe\n\n";
+  codec::VbvBuffer vbv(DataRate::KilobitsPerSec(1000), TimeDelta::Seconds(1));
+  Table vbv_table({"event", "fill(kb)", "fullness(%)", "max-frame(kb)"});
+  auto report = [&](const std::string& event) {
+    vbv_table.AddRow()
+        .Cell(event)
+        .Cell(static_cast<double>(vbv.fill().bits()) / 1e3, 1)
+        .Cell(vbv.fullness() * 100.0, 1)
+        .Cell(static_cast<double>(vbv.MaxFrameSize(0.1).bits()) / 1e3, 1);
+  };
+  report("start");
+  vbv.AddFrame(DataSize::Bits(250'000));
+  report("keyframe (250 kb)");
+  for (int i = 1; i <= 5; ++i) {
+    vbv.Drain(TimeDelta::Millis(33));
+    vbv.AddFrame(DataSize::Bits(20'000));
+  }
+  report("5 P-frames later");
+  vbv.Drain(TimeDelta::Millis(500));
+  report("after 500 ms drain");
+  vbv_table.Print(std::cout);
+  return 0;
+}

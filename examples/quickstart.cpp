@@ -1,0 +1,53 @@
+// Quickstart: run the baseline (x264 ABR) and the adaptive encoder over the
+// same bandwidth drop and compare latency and quality.
+//
+//   ./examples/quickstart
+//
+// This is the 30-second tour of the library: configure a session, run it,
+// read the summary.
+#include <iostream>
+
+#include "net/capacity_trace.h"
+#include "rtc/session.h"
+#include "util/table.h"
+
+using namespace rave;
+
+int main() {
+  // A 2.5 Mbps link that drops to 1.0 Mbps at t=10s — the paper's core
+  // scenario: the encoder must follow the drop or latency explodes.
+  const auto trace = net::CapacityTrace::StepDrop(
+      DataRate::KilobitsPerSec(2500), DataRate::KilobitsPerSec(1000),
+      Timestamp::Seconds(10));
+
+  Table table({"scheme", "lat-mean(ms)", "lat-p95(ms)", "lat-p99(ms)",
+               "ssim", "bitrate(kbps)", "delivered", "skipped"});
+
+  for (rtc::Scheme scheme : rtc::kHeadlineSchemes) {
+    rtc::SessionConfig config;
+    config.scheme = scheme;
+    config.duration = TimeDelta::Seconds(40);
+    config.link.trace = trace;
+    config.source.content = video::ContentClass::kTalkingHead;
+
+    const rtc::SessionResult result = rtc::RunSession(config);
+    const metrics::SessionSummary& s = result.summary;
+    table.AddRow()
+        .Cell(result.scheme_name)
+        .Cell(s.latency_mean_ms, 1)
+        .Cell(s.latency_p95_ms, 1)
+        .Cell(s.latency_p99_ms, 1)
+        .Cell(s.ssim_mean, 4)
+        .Cell(s.encoded_bitrate_kbps, 0)
+        .Cell(s.frames_delivered)
+        .Cell(s.frames_skipped);
+  }
+
+  std::cout << "Bandwidth drop 2.5 -> 1.0 Mbps at t=10s, 40s session, "
+               "talking-head 720p30\n\n";
+  table.Print(std::cout);
+  std::cout << "\nThe adaptive encoder follows the drop within frames "
+               "instead of seconds,\nkeeping capture-to-display latency low "
+               "without sacrificing quality.\n";
+  return 0;
+}

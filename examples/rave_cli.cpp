@@ -1,0 +1,206 @@
+// Unified command-line front end for the library: run any scheme over any
+// scenario without writing code.
+//
+//   rave_cli run      --scheme=rave-adaptive --severity=0.6 --seconds=40
+//   rave_cli run      --trace=traces/lte_walk.txt --content=gaming --fec
+//   rave_cli compare  --severity=0.5 --content=sports [--seeds=5]
+//   rave_cli sweep    --scheme=rave-adaptive               (severity sweep)
+//
+// Common flags: --content, --seconds, --seed, --rtt-ms, --queue-kb,
+// --loss, --cross-kbps, --initial-kbps, --fec, --no-rtx, --degradation,
+// --csv=<prefix>.
+#include <cstdio>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+
+#include "net/capacity_trace.h"
+#include "rtc/session.h"
+#include "util/csv.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+using namespace rave;
+
+namespace {
+
+const std::vector<std::string> kKnownFlags = {
+    "scheme",  "severity", "trace",        "content", "seconds",
+    "seed",    "rtt-ms",   "queue-kb",     "loss",    "cross-kbps",
+    "fec",     "no-rtx",   "degradation",  "csv",     "initial-kbps",
+    "seeds"};
+
+rtc::Scheme ParseScheme(const std::string& name) {
+  for (rtc::Scheme scheme : rtc::kAllSchemes) {
+    if (ToString(scheme) == name) return scheme;
+  }
+  throw std::invalid_argument("unknown --scheme=" + name);
+}
+
+video::ContentClass ParseContent(const std::string& name) {
+  for (video::ContentClass c : video::kAllContentClasses) {
+    if (ToString(c) == name) return c;
+  }
+  throw std::invalid_argument("unknown --content=" + name);
+}
+
+rtc::SessionConfig ConfigFrom(const Flags& flags) {
+  rtc::SessionConfig config;
+  config.scheme = ParseScheme(flags.GetString("scheme", "rave-adaptive"));
+  config.source.content =
+      ParseContent(flags.GetString("content", "talking-head"));
+  config.duration = TimeDelta::Seconds(flags.GetInt("seconds", 40));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  config.initial_rate =
+      DataRate::KilobitsPerSec(flags.GetInt("initial-kbps", 2100));
+
+  if (flags.Has("trace")) {
+    config.link.trace =
+        net::CapacityTrace::FromFile(flags.GetString("trace", ""));
+  } else {
+    const double severity = flags.GetDouble("severity", 0.5);
+    config.link.trace = net::CapacityTrace::StepDrop(
+        DataRate::KilobitsPerSec(2500),
+        DataRate::KilobitsPerSecF(2500.0 * (1.0 - severity)),
+        Timestamp::Seconds(10));
+  }
+
+  const int64_t rtt_ms = flags.GetInt("rtt-ms", 50);
+  config.link.propagation = TimeDelta::Millis(rtt_ms / 2);
+  config.feedback_delay = TimeDelta::Millis(rtt_ms / 2);
+  config.link.queue_capacity =
+      DataSize::Bytes(flags.GetInt("queue-kb", 80) * 1000);
+  config.link.loss.random_loss = flags.GetDouble("loss", 0.0);
+  config.enable_fec = flags.GetBool("fec", false);
+  config.enable_rtx = !flags.GetBool("no-rtx", false);
+  config.enable_degradation = flags.GetBool("degradation", false);
+
+  if (flags.Has("cross-kbps")) {
+    net::CrossTraffic::Config cross;
+    cross.rate = DataRate::KilobitsPerSec(flags.GetInt("cross-kbps", 800));
+    config.cross_traffic = cross;
+  }
+  return config;
+}
+
+void PrintSummary(const rtc::SessionResult& result) {
+  const metrics::SessionSummary& s = result.summary;
+  std::printf("scheme          %s\n", result.scheme_name.c_str());
+  std::printf("frames          %lld captured / %lld delivered / %lld skipped "
+              "/ %lld lost\n",
+              static_cast<long long>(s.frames_captured),
+              static_cast<long long>(s.frames_delivered),
+              static_cast<long long>(s.frames_skipped),
+              static_cast<long long>(s.frames_lost_network));
+  std::printf("net latency     mean %.1f ms | p50 %.1f | p95 %.1f | p99 %.1f\n",
+              s.latency_mean_ms, s.latency_p50_ms, s.latency_p95_ms,
+              s.latency_p99_ms);
+  std::printf("render latency  mean %.1f ms | p95 %.1f | late %.2f%%\n",
+              s.render_latency_mean_ms, s.render_latency_p95_ms,
+              s.late_render_ratio * 100.0);
+  std::printf("quality         encoded ssim %.4f | displayed %.4f | "
+              "psnr %.2f dB | mean qp %.1f\n",
+              s.encoded_ssim_mean, s.displayed_ssim_mean, s.psnr_mean_db,
+              s.qp_mean);
+  std::printf("bitrate         %.0f kbps (reencodes: %lld)\n",
+              s.encoded_bitrate_kbps,
+              static_cast<long long>(s.total_reencodes));
+}
+
+void MaybeWriteCsv(const Flags& flags, const rtc::SessionResult& result) {
+  if (!flags.Has("csv")) return;
+  const std::string prefix = flags.GetString("csv", "rave");
+  CsvWriter ts(prefix + "_timeseries.csv",
+               {"t_s", "capacity_kbps", "bwe_kbps", "pacer_queue_ms",
+                "link_queue_ms", "qp", "latency_ms"});
+  for (const auto& p : result.timeseries) {
+    ts.WriteRow(std::vector<double>{p.at.seconds(), p.capacity_kbps,
+                                    p.bwe_target_kbps, p.pacer_queue_ms,
+                                    p.link_queue_ms, p.last_qp,
+                                    p.last_latency_ms});
+  }
+  std::printf("wrote %s_timeseries.csv\n", prefix.c_str());
+}
+
+int Run(const Flags& flags) {
+  const rtc::SessionResult result = rtc::RunSession(ConfigFrom(flags));
+  PrintSummary(result);
+  MaybeWriteCsv(flags, result);
+  return 0;
+}
+
+int Compare(const Flags& flags) {
+  Table table({"scheme", "lat-mean(ms)", "lat-p95(ms)", "render-mean(ms)",
+               "enc-ssim", "disp-ssim", "lost"});
+  const int seeds = static_cast<int>(flags.GetInt("seeds", 3));
+  for (rtc::Scheme scheme : rtc::kAllSchemes) {
+    double mean = 0, p95 = 0, render = 0, enc = 0, disp = 0, lost = 0;
+    for (int seed = 1; seed <= seeds; ++seed) {
+      rtc::SessionConfig config = ConfigFrom(flags);
+      config.scheme = scheme;
+      config.seed = static_cast<uint64_t>(seed);
+      const rtc::SessionResult result = rtc::RunSession(config);
+      mean += result.summary.latency_mean_ms / seeds;
+      p95 += result.summary.latency_p95_ms / seeds;
+      render += result.summary.render_latency_mean_ms / seeds;
+      enc += result.summary.encoded_ssim_mean / seeds;
+      disp += result.summary.displayed_ssim_mean / seeds;
+      lost += static_cast<double>(result.summary.frames_lost_network) / seeds;
+    }
+    table.AddRow()
+        .Cell(ToString(scheme))
+        .Cell(mean, 1)
+        .Cell(p95, 1)
+        .Cell(render, 1)
+        .Cell(enc, 4)
+        .Cell(disp, 4)
+        .Cell(lost, 1);
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+int Sweep(const Flags& flags) {
+  Table table({"severity", "lat-mean(ms)", "lat-p95(ms)", "enc-ssim",
+               "skipped", "lost"});
+  for (double severity : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
+    rtc::SessionConfig config = ConfigFrom(flags);
+    config.link.trace = net::CapacityTrace::StepDrop(
+        DataRate::KilobitsPerSec(2500),
+        DataRate::KilobitsPerSecF(2500.0 * (1.0 - severity)),
+        Timestamp::Seconds(10));
+    const rtc::SessionResult result = rtc::RunSession(config);
+    table.AddRow()
+        .Cell(severity, 1)
+        .Cell(result.summary.latency_mean_ms, 1)
+        .Cell(result.summary.latency_p95_ms, 1)
+        .Cell(result.summary.encoded_ssim_mean, 4)
+        .Cell(result.summary.frames_skipped)
+        .Cell(result.summary.frames_lost_network);
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Flags flags(argc - 1, argv + 1);
+    for (const std::string& key : flags.UnknownKeys(kKnownFlags)) {
+      std::cerr << "error: unknown flag --" << key << '\n';
+      return 2;
+    }
+    const std::string command =
+        flags.positional().empty() ? "run" : flags.positional()[0];
+    if (command == "run") return Run(flags);
+    if (command == "compare") return Compare(flags);
+    if (command == "sweep") return Sweep(flags);
+    std::cerr << "usage: rave_cli [run|compare|sweep] [--flags]\n"
+                 "see the header of examples/rave_cli.cpp for the flag list\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

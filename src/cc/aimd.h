@@ -1,0 +1,76 @@
+// AIMD rate controller, following WebRTC's AimdRateControl: multiplicative
+// increase while probing for capacity, additive increase near the estimated
+// link capacity, multiplicative decrease (beta = 0.85 of the measured
+// throughput) on over-use.
+#pragma once
+
+#include <optional>
+
+#include "cc/trendline.h"
+#include "util/stats.h"
+#include "util/time.h"
+#include "util/units.h"
+
+namespace rave::cc {
+
+/// EWMA estimate of the link capacity with variance, used to decide
+/// additive-vs-multiplicative increase (webrtc LinkCapacityEstimator).
+class LinkCapacityEstimator {
+ public:
+  void OnOveruseDetected(DataRate acked);
+  void Reset();
+
+  bool has_estimate() const { return estimate_.has_value(); }
+  DataRate estimate() const;
+  /// Bounds: estimate +- 3 sigma.
+  DataRate UpperBound() const;
+  DataRate LowerBound() const;
+
+ private:
+  void Update(double sample_kbps, double alpha);
+
+  std::optional<double> estimate_;  // kbps
+  double deviation_kbps_ = 0.4;
+};
+
+class AimdRateControl {
+ public:
+  struct Config {
+    DataRate initial_rate = DataRate::KilobitsPerSec(1500);
+    DataRate min_rate = DataRate::KilobitsPerSec(50);
+    DataRate max_rate = DataRate::MegabitsPerSecF(20.0);
+    double beta = 0.85;
+    /// Multiplicative growth per second while probing.
+    double increase_factor_per_second = 1.08;
+  };
+
+  AimdRateControl();
+  explicit AimdRateControl(const Config& config);
+
+  /// Feeds the current congestion signal + measured acked throughput.
+  /// Returns the updated target.
+  DataRate Update(BandwidthUsage usage, DataRate acked, TimeDelta rtt,
+                  Timestamp now);
+
+  DataRate target() const { return current_; }
+
+  /// True right after an over-use decrease (the signal the paper's adaptive
+  /// controller keys drain-mode on).
+  bool last_update_decreased() const { return last_update_decreased_; }
+
+ private:
+  enum class State { kHold, kIncrease, kDecrease };
+
+  void ChangeState(BandwidthUsage usage);
+  DataRate AdditiveIncrease(TimeDelta rtt, TimeDelta since_last) const;
+
+  Config config_;
+  DataRate current_;
+  State state_ = State::kIncrease;
+  LinkCapacityEstimator link_capacity_;
+  Timestamp last_change_ = Timestamp::MinusInfinity();
+  Timestamp last_decrease_ = Timestamp::MinusInfinity();
+  bool last_update_decreased_ = false;
+};
+
+}  // namespace rave::cc

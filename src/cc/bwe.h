@@ -1,0 +1,41 @@
+// Bandwidth estimator interface. The sender feeds every resolved feedback
+// report (packet results with send/arrival times and losses) to one of these;
+// the resulting target rate drives both the pacer and the encoder.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "transport/feedback.h"
+#include "util/time.h"
+#include "util/units.h"
+
+namespace rave::cc {
+
+/// Common interface for `GccEstimator` (the real thing) and `OracleBwe`
+/// (ablation upper bound fed by ground truth).
+class BandwidthEstimator {
+ public:
+  virtual ~BandwidthEstimator() = default;
+
+  /// Consumes one feedback report's resolved packet results.
+  virtual void OnPacketResults(
+      const std::vector<transport::PacketResult>& results, Timestamp now) = 0;
+
+  /// Current bitrate target for the encoder/pacer.
+  virtual DataRate target() const = 0;
+
+  /// Loss fraction observed over the recent window, in [0,1].
+  virtual double loss_rate() const = 0;
+
+  /// Smoothed round-trip time estimate (propagation + queueing).
+  virtual TimeDelta rtt() const = 0;
+
+  /// Throughput actually acknowledged over the recent window. Zero until
+  /// enough data arrives.
+  virtual DataRate acked_rate() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace rave::cc

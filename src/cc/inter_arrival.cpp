@@ -1,0 +1,40 @@
+#include "cc/inter_arrival.h"
+
+namespace rave::cc {
+
+InterArrival::InterArrival(TimeDelta burst_window)
+    : burst_window_(burst_window) {}
+
+void InterArrival::Reset() {
+  current_.reset();
+  previous_.reset();
+}
+
+std::optional<InterArrivalDelta> InterArrival::OnPacket(
+    Timestamp send_time, Timestamp arrival_time) {
+  if (!current_) {
+    current_ = Group{send_time, send_time, arrival_time};
+    return std::nullopt;
+  }
+
+  const bool new_group = send_time > current_->first_send + burst_window_;
+  if (!new_group) {
+    current_->last_send = std::max(current_->last_send, send_time);
+    current_->last_arrival = std::max(current_->last_arrival, arrival_time);
+    return std::nullopt;
+  }
+
+  std::optional<InterArrivalDelta> delta;
+  if (previous_) {
+    delta = InterArrivalDelta{
+        .send_delta = current_->last_send - previous_->last_send,
+        .arrival_delta = current_->last_arrival - previous_->last_arrival,
+        .arrival = current_->last_arrival,
+    };
+  }
+  previous_ = current_;
+  current_ = Group{send_time, send_time, arrival_time};
+  return delta;
+}
+
+}  // namespace rave::cc

@@ -1,0 +1,48 @@
+// Inter-arrival delta computation, following WebRTC's InterArrival: packets
+// are grouped into bursts by send time (5 ms windows) and the estimator
+// receives (send-time delta, arrival-time delta) pairs between consecutive
+// groups. Grouping suppresses the pacing jitter inside a burst that would
+// otherwise swamp the one-way-delay trend.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/time.h"
+#include "util/units.h"
+
+namespace rave::cc {
+
+/// One delta sample between consecutive packet groups.
+struct InterArrivalDelta {
+  TimeDelta send_delta;
+  TimeDelta arrival_delta;
+  /// Arrival time of the later group (regression x-axis).
+  Timestamp arrival;
+};
+
+/// Stateful grouper. Feed packets in send order.
+class InterArrival {
+ public:
+  explicit InterArrival(TimeDelta burst_window = TimeDelta::Millis(5));
+
+  /// Adds a packet; returns a delta when it closes a group.
+  std::optional<InterArrivalDelta> OnPacket(Timestamp send_time,
+                                            Timestamp arrival_time);
+
+  /// Drops all state (used after long gaps / stream restarts).
+  void Reset();
+
+ private:
+  struct Group {
+    Timestamp first_send = Timestamp::MinusInfinity();
+    Timestamp last_send = Timestamp::MinusInfinity();
+    Timestamp last_arrival = Timestamp::MinusInfinity();
+  };
+
+  TimeDelta burst_window_;
+  std::optional<Group> current_;
+  std::optional<Group> previous_;
+};
+
+}  // namespace rave::cc

@@ -1,0 +1,30 @@
+#include "cc/oracle.h"
+
+namespace rave::cc {
+
+OracleBwe::OracleBwe(const EventLoop& loop, net::CapacityTrace trace,
+                     double utilization)
+    : loop_(loop), trace_(std::move(trace)), utilization_(utilization) {}
+
+void OracleBwe::OnPacketResults(
+    const std::vector<transport::PacketResult>& results, Timestamp now) {
+  int64_t lost = 0;
+  for (const transport::PacketResult& r : results) {
+    if (!r.arrival) {
+      ++lost;
+      continue;
+    }
+    acked_.OnAckedPacket(*r.arrival, r.size);
+    rtt_ = now - r.send_time;
+  }
+  loss_rate_ = results.empty()
+                   ? 0.0
+                   : static_cast<double>(lost) /
+                         static_cast<double>(results.size());
+}
+
+DataRate OracleBwe::target() const {
+  return trace_.RateAt(loop_.now()) * utilization_;
+}
+
+}  // namespace rave::cc

@@ -1,0 +1,39 @@
+// Oracle bandwidth estimator: reads the ground-truth capacity trace directly
+// (scaled by a utilization factor). Used as an ablation upper bound — it
+// isolates how much of the baseline's latency comes from estimation lag
+// versus encoder rate-control lag.
+#pragma once
+
+#include "cc/bwe.h"
+#include "cc/gcc.h"
+#include "net/capacity_trace.h"
+#include "sim/event_loop.h"
+
+namespace rave::cc {
+
+class OracleBwe : public BandwidthEstimator {
+ public:
+  /// `utilization` scales the true capacity (RTC stacks target ~85-95% to
+  /// leave queue headroom).
+  OracleBwe(const EventLoop& loop, net::CapacityTrace trace,
+            double utilization = 0.95);
+
+  void OnPacketResults(const std::vector<transport::PacketResult>& results,
+                       Timestamp now) override;
+
+  DataRate target() const override;
+  double loss_rate() const override { return loss_rate_; }
+  TimeDelta rtt() const override { return rtt_; }
+  DataRate acked_rate() const override { return acked_.rate(); }
+  std::string name() const override { return "oracle"; }
+
+ private:
+  const EventLoop& loop_;
+  net::CapacityTrace trace_;
+  double utilization_;
+  AckedBitrateEstimator acked_;
+  TimeDelta rtt_ = TimeDelta::Millis(100);
+  double loss_rate_ = 0.0;
+};
+
+}  // namespace rave::cc

@@ -1,0 +1,105 @@
+#include "cc/trendline.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rave::cc {
+
+TrendlineEstimator::TrendlineEstimator() : TrendlineEstimator(Config{}) {}
+
+TrendlineEstimator::TrendlineEstimator(const Config& config)
+    : config_(config), threshold_(config.initial_threshold_ms) {}
+
+BandwidthUsage TrendlineEstimator::OnDelta(const InterArrivalDelta& delta) {
+  const double delta_ms =
+      delta.arrival_delta.ms_float() - delta.send_delta.ms_float();
+  ++num_deltas_;
+  if (first_arrival_.IsMinusInfinity()) first_arrival_ = delta.arrival;
+
+  accumulated_delay_ms_ += delta_ms;
+  smoothed_delay_ms_ = config_.smoothing * smoothed_delay_ms_ +
+                       (1.0 - config_.smoothing) * accumulated_delay_ms_;
+
+  history_.emplace_back((delta.arrival - first_arrival_).ms_float(),
+                        smoothed_delay_ms_);
+  if (history_.size() > config_.window_size) history_.pop_front();
+
+  if (history_.size() == config_.window_size) {
+    const double trend = LinearFitSlope();
+    Detect(trend, delta.arrival_delta, delta.arrival);
+  }
+  return state_;
+}
+
+double TrendlineEstimator::LinearFitSlope() const {
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  for (const auto& [x, y] : history_) {
+    sum_x += x;
+    sum_y += y;
+  }
+  const double n = static_cast<double>(history_.size());
+  const double mean_x = sum_x / n;
+  const double mean_y = sum_y / n;
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (const auto& [x, y] : history_) {
+    numerator += (x - mean_x) * (y - mean_y);
+    denominator += (x - mean_x) * (x - mean_x);
+  }
+  if (denominator <= 0.0) return 0.0;
+  return numerator / denominator;
+}
+
+void TrendlineEstimator::UpdateThreshold(double modified_trend,
+                                         Timestamp now) {
+  if (last_threshold_update_.IsMinusInfinity()) {
+    last_threshold_update_ = now;
+  }
+  // Large spikes (route changes etc.) must not inflate the threshold.
+  if (std::fabs(modified_trend) > threshold_ + 15.0) {
+    last_threshold_update_ = now;
+    return;
+  }
+  const double k =
+      std::fabs(modified_trend) < threshold_ ? config_.k_down : config_.k_up;
+  const double time_delta_ms =
+      std::min((now - last_threshold_update_).ms_float(), 100.0);
+  threshold_ += k * (std::fabs(modified_trend) - threshold_) * time_delta_ms;
+  threshold_ = std::clamp(threshold_, 6.0, 600.0);
+  last_threshold_update_ = now;
+}
+
+void TrendlineEstimator::Detect(double trend, TimeDelta ts_delta,
+                                Timestamp now) {
+  const double modified_trend =
+      std::min(num_deltas_, 60) * trend * config_.threshold_gain;
+  modified_trend_ = modified_trend;
+
+  if (modified_trend > threshold_) {
+    if (time_over_using_ < TimeDelta::Zero()) {
+      time_over_using_ = ts_delta / 2;
+    } else {
+      time_over_using_ += ts_delta;
+    }
+    ++overuse_counter_;
+    if (time_over_using_ > config_.overuse_time_threshold &&
+        overuse_counter_ > 1 && trend >= prev_trend_) {
+      time_over_using_ = TimeDelta::Zero();
+      overuse_counter_ = 0;
+      state_ = BandwidthUsage::kOverusing;
+    }
+  } else if (modified_trend < -threshold_) {
+    time_over_using_ = TimeDelta::Millis(-1);
+    overuse_counter_ = 0;
+    state_ = BandwidthUsage::kUnderusing;
+  } else {
+    time_over_using_ = TimeDelta::Millis(-1);
+    overuse_counter_ = 0;
+    state_ = BandwidthUsage::kNormal;
+  }
+  prev_trend_ = trend;
+  UpdateThreshold(modified_trend, now);
+}
+
+}  // namespace rave::cc

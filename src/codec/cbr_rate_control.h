@@ -1,0 +1,53 @@
+// x264-style strict CBR (VBV-constrained) rate control — the secondary
+// baseline. Compared to ABR it steers each frame toward a buffer-corrected
+// per-frame budget and enforces a hard VBV cap (triggering encoder
+// re-encodes), so it tracks target changes within roughly one VBV window
+// (~1 s) instead of several seconds — still far slower than the paper's
+// per-frame adaptation.
+#pragma once
+
+#include <optional>
+
+#include "codec/rate_control.h"
+#include "codec/vbv.h"
+
+namespace rave::codec {
+
+struct CbrConfig {
+  double fps = 30.0;
+  DataRate initial_target = DataRate::KilobitsPerSec(1500);
+  /// VBV buffer window (x264 vbv-bufsize / bitrate).
+  TimeDelta vbv_window = TimeDelta::Millis(1000);
+  /// Max QP change per frame.
+  double qp_step = 4.0;
+  /// I-frame quantizer advantage.
+  double ip_factor = 1.4;
+  /// Fraction of the buffer the controller tries to keep free.
+  double target_fullness = 0.5;
+};
+
+/// Buffer-feedback CBR controller with hard per-frame caps.
+class CbrRateControl : public RateControl {
+ public:
+  explicit CbrRateControl(const CbrConfig& config);
+
+  void SetTargetRate(DataRate target) override;
+  FrameGuidance PlanFrame(const video::RawFrame& frame, FrameType type,
+                          Timestamp now) override;
+  void OnFrameEncoded(const FrameOutcome& outcome, Timestamp now) override;
+  std::string name() const override { return "x264-cbr"; }
+  DataRate current_target() const override { return target_; }
+
+  const VbvBuffer& vbv() const { return vbv_; }
+
+ private:
+  CbrConfig config_;
+  DataRate target_;
+  VbvBuffer vbv_;
+  BitPredictor pred_key_;
+  BitPredictor pred_delta_;
+  double last_qscale_ = 0.0;
+  std::optional<Timestamp> last_time_;
+};
+
+}  // namespace rave::codec

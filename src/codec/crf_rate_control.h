@@ -1,0 +1,57 @@
+// x264 CRF (constant rate factor) mode with an optional VBV cap — the third
+// member of x264's rate-control family. CRF targets constant *quality*
+// rather than constant bitrate: qscale is proportional to blurred
+// complexity^(1-qcomp) scaled by the rate factor, with no bitrate feedback
+// at all. "Capped CRF" adds a VBV so the output cannot exceed a ceiling
+// rate. Included for completeness of the codec substrate (and to test the
+// quality-targeted operating mode); it ignores SetTargetRate by design,
+// which is exactly why plain CRF is unusable for RTC — the evaluation's
+// baselines use ABR/CBR instead.
+#pragma once
+
+#include <optional>
+
+#include "codec/rate_control.h"
+#include "codec/vbv.h"
+
+namespace rave::codec {
+
+struct CrfConfig {
+  double fps = 30.0;
+  /// The constant rate factor; lower = better quality (x264 default 23).
+  double crf = 23.0;
+  double qcomp = 0.6;
+  /// Optional cap: VBV max rate (capped-CRF). Unset = pure CRF.
+  std::optional<DataRate> cap_rate;
+  TimeDelta vbv_window = TimeDelta::Millis(1000);
+  double qp_step = 4.0;
+  double ip_factor = 1.4;
+};
+
+class CrfRateControl : public RateControl {
+ public:
+  explicit CrfRateControl(const CrfConfig& config);
+
+  /// CRF has no bitrate target; reconfigs only move the cap when present.
+  void SetTargetRate(DataRate target) override;
+  FrameGuidance PlanFrame(const video::RawFrame& frame, FrameType type,
+                          Timestamp now) override;
+  void OnFrameEncoded(const FrameOutcome& outcome, Timestamp now) override;
+  std::string name() const override { return "x264-crf"; }
+  DataRate current_target() const override {
+    return config_.cap_rate.value_or(DataRate::PlusInfinity());
+  }
+
+ private:
+  CrfConfig config_;
+  std::optional<VbvBuffer> vbv_;
+  BitPredictor pred_key_;
+  BitPredictor pred_delta_;
+  double short_term_cplx_sum_ = 0.0;
+  double short_term_cplx_count_ = 0.0;
+  double rate_factor_;
+  double last_qscale_ = 0.0;
+  std::optional<Timestamp> last_time_;
+};
+
+}  // namespace rave::codec

@@ -1,0 +1,110 @@
+#include "codec/rd_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rave::codec {
+
+double QpToQscale(double qp) { return 0.85 * std::exp2((qp - 12.0) / 6.0); }
+
+double QscaleToQp(double qscale) {
+  return 12.0 + 6.0 * std::log2(qscale / 0.85);
+}
+
+RdModel::RdModel(const RdModelConfig& config, Rng rng)
+    : config_(config), rng_(rng) {}
+
+double RdModel::RawExpected(FrameType type, const video::RawFrame& frame,
+                            double qscale) const {
+  const double pixels = static_cast<double>(frame.resolution.pixels());
+  double bits = 0.0;
+  if (type == FrameType::kKey) {
+    bits = config_.coef_i * pixels * frame.spatial_complexity /
+           std::pow(qscale, config_.gamma_i);
+  } else {
+    // Scene-change frames coded as delta still cost near intra; the content
+    // model already spikes temporal complexity, so no special case here.
+    bits = config_.coef_p * pixels * frame.temporal_complexity /
+           std::pow(qscale, config_.gamma_p);
+  }
+  return std::max(bits, static_cast<double>(config_.min_frame_bits));
+}
+
+DataSize RdModel::ExpectedBits(FrameType type, const video::RawFrame& frame,
+                               double qscale) const {
+  return DataSize::Bits(static_cast<int64_t>(RawExpected(type, frame, qscale)));
+}
+
+DataSize RdModel::ActualBits(FrameType type, const video::RawFrame& frame,
+                             double qscale) {
+  const double expected = RawExpected(type, frame, qscale);
+  const double noise = std::exp(rng_.Gaussian(0.0, config_.noise_sigma));
+  const double bits =
+      std::max(expected * noise, static_cast<double>(config_.min_frame_bits));
+  return DataSize::Bits(static_cast<int64_t>(bits));
+}
+
+double RdModel::QscaleForBits(FrameType type, const video::RawFrame& frame,
+                              DataSize target) const {
+  const double pixels = static_cast<double>(frame.resolution.pixels());
+  const double bits =
+      std::max<double>(static_cast<double>(target.bits()),
+                       static_cast<double>(config_.min_frame_bits));
+  double qscale = 0.0;
+  if (type == FrameType::kKey) {
+    qscale = std::pow(config_.coef_i * pixels * frame.spatial_complexity / bits,
+                      1.0 / config_.gamma_i);
+  } else {
+    qscale =
+        std::pow(config_.coef_p * pixels * frame.temporal_complexity / bits,
+                 1.0 / config_.gamma_p);
+  }
+  return std::clamp(qscale, QpToQscale(kMinQp), QpToQscale(kMaxQp));
+}
+
+double RdModel::Ssim(const video::RawFrame& frame, double qscale) const {
+  const double complexity =
+      0.5 * (frame.spatial_complexity + frame.temporal_complexity);
+  const double distortion = config_.ssim_d0 * std::pow(qscale, config_.ssim_beta) *
+                            (0.5 + 0.5 * complexity);
+  return std::clamp(1.0 - distortion, 0.0, 1.0);
+}
+
+double RdModel::Psnr(const video::RawFrame& frame, double qp) const {
+  const double complexity =
+      0.5 * (frame.spatial_complexity + frame.temporal_complexity);
+  return 52.0 - 0.6 * qp - 2.0 * std::log2(1.0 + complexity);
+}
+
+BitPredictor::BitPredictor(double gamma, double initial_coef)
+    : gamma_(gamma), coef_(initial_coef) {
+  assert(gamma_ > 0.0);
+}
+
+DataSize BitPredictor::Predict(double complexity_term, double qscale) const {
+  assert(qscale > 0.0);
+  const double bits = coef_ * complexity_term / std::pow(qscale, gamma_);
+  return DataSize::Bits(static_cast<int64_t>(std::max(bits, 1.0)));
+}
+
+double BitPredictor::QscaleForBits(double complexity_term,
+                                   DataSize target) const {
+  const double bits = std::max<double>(static_cast<double>(target.bits()), 1.0);
+  const double qscale = std::pow(coef_ * complexity_term / bits, 1.0 / gamma_);
+  return std::clamp(qscale, QpToQscale(kMinQp), QpToQscale(kMaxQp));
+}
+
+void BitPredictor::Update(double complexity_term, double qscale,
+                          DataSize bits) {
+  if (complexity_term <= 0.0 || qscale <= 0.0 || bits.bits() <= 0) return;
+  // Damped least squares on the single coefficient, as in x264's
+  // update_predictor: new observations get weight 1, history decays.
+  const double observed_coef = static_cast<double>(bits.bits()) *
+                               std::pow(qscale, gamma_) / complexity_term;
+  constexpr double kDecay = 0.5;
+  weight_ = weight_ * kDecay + 1.0;
+  coef_ += (observed_coef - coef_) / weight_;
+}
+
+}  // namespace rave::codec

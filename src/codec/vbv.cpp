@@ -1,0 +1,47 @@
+#include "codec/vbv.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rave::codec {
+
+VbvBuffer::VbvBuffer(DataRate max_rate, TimeDelta buffer_window)
+    : max_rate_(max_rate),
+      buffer_window_(buffer_window),
+      capacity_(max_rate * buffer_window) {
+  assert(max_rate.bps() > 0);
+  assert(buffer_window > TimeDelta::Zero());
+}
+
+void VbvBuffer::SetMaxRate(DataRate max_rate) {
+  assert(max_rate.bps() > 0);
+  max_rate_ = max_rate;
+  capacity_ = max_rate_ * buffer_window_;
+  fill_ = std::min(fill_, capacity_);
+}
+
+void VbvBuffer::Drain(TimeDelta dt) {
+  if (dt <= TimeDelta::Zero()) return;
+  const DataSize drained = max_rate_ * dt;
+  fill_ = drained >= fill_ ? DataSize::Zero() : fill_ - drained;
+}
+
+void VbvBuffer::AddFrame(DataSize size) {
+  fill_ = std::min(fill_ + size, capacity_);
+}
+
+DataSize VbvBuffer::SpaceRemaining() const { return capacity_ - fill_; }
+
+DataSize VbvBuffer::MaxFrameSize(double headroom) const {
+  const DataSize reserved = capacity_ * headroom;
+  const DataSize usable =
+      capacity_ - fill_ - std::min(reserved, capacity_ - fill_);
+  return usable;
+}
+
+double VbvBuffer::fullness() const {
+  if (capacity_.IsZero()) return 0.0;
+  return fill_ / capacity_;
+}
+
+}  // namespace rave::codec

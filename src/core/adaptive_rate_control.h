@@ -1,0 +1,97 @@
+// The paper's contribution: a rate control that adapts codec parameters to
+// the network per frame instead of per seconds.
+//
+// Mechanisms (each independently switchable for the ablation study):
+//   * fast QP — every frame's quantizer is re-derived from the instantaneous
+//     per-frame bit budget by inverting the online-calibrated size
+//     predictor; no multi-second windowed smoothing in the loop.
+//   * frame cap — a hard size cap (budget * small slack while draining) that
+//     the encoder enforces with re-encode passes, so a single frame can
+//     never flood a freshly-dropped link.
+//   * drain mode — on a detected drop, budgets shrink below capacity until
+//     the accumulated sender/network backlog is paid down.
+//   * frame skip — under extreme backlog the encoder skips frames entirely
+//     (bounded consecutive skips).
+//   * recovery hysteresis — QP decreases are rate-limited and capacity
+//     increases are followed conservatively, so steady-state compression
+//     efficiency is preserved and quality does not oscillate after drops.
+//
+// In steady state the controller intentionally behaves like a gentle ABR:
+// budgets equal capacity/fps and QP moves slowly. All the machinery above
+// only bites when the drop detector or the backlog says it must.
+#pragma once
+
+#include <optional>
+
+#include "codec/rate_control.h"
+#include "core/drop_detector.h"
+#include "core/frame_budget.h"
+#include "core/network_aware_rate_control.h"
+#include "core/network_state.h"
+#include "util/stats.h"
+
+namespace rave::core {
+
+struct AdaptiveConfig {
+  double fps = 30.0;
+  DataRate initial_target = DataRate::KilobitsPerSec(1500);
+  BudgetConfig budget;
+  DropDetector::Config drop;
+
+  /// Max QP decrease per frame (recovery is deliberately gradual).
+  double qp_down_step = 1.0;
+  /// Max QP increase per frame in steady state (fast path ignores this).
+  double qp_up_step_steady = 4.0;
+  /// EWMA weight for the steady-state capacity estimate. The controller
+  /// follows the congestion controller's sawtooth through this filter while
+  /// no drop is active — "maintaining compression efficiency" — and snaps to
+  /// the instantaneous estimate the moment a drop is detected.
+  double steady_capacity_alpha = 0.2;
+
+  // --- ablation switches ---
+  bool enable_fast_qp = true;
+  bool enable_frame_cap = true;
+  bool enable_drain_mode = true;
+  bool enable_skip = true;
+};
+
+/// Adaptive encoder rate control (see file comment).
+class AdaptiveRateControl : public NetworkAwareRateControl {
+ public:
+  explicit AdaptiveRateControl(const AdaptiveConfig& config);
+
+  /// Rich update path: full observation from the transport layer. The
+  /// sender pipeline calls this on every feedback and immediately before
+  /// each encode (with a fresh pacer-queue reading).
+  void OnNetworkUpdate(const NetworkObservation& obs) override;
+
+  // codec::RateControl:
+  void SetTargetRate(DataRate target) override;
+  codec::FrameGuidance PlanFrame(const video::RawFrame& frame,
+                                 codec::FrameType type,
+                                 Timestamp now) override;
+  void OnFrameEncoded(const codec::FrameOutcome& outcome,
+                      Timestamp now) override;
+  std::string name() const override { return "rave-adaptive"; }
+  DataRate current_target() const override { return state_.capacity; }
+
+  bool drop_active() const { return drop_active_; }
+  const NetworkState& network_state() const { return state_; }
+  int consecutive_skips() const { return consecutive_skips_; }
+
+ private:
+  AdaptiveConfig config_;
+  FrameBudgetAllocator allocator_;
+  NetworkStateTracker tracker_;
+  DropDetector drop_detector_;
+  codec::BitPredictor pred_key_;
+  codec::BitPredictor pred_delta_;
+
+  NetworkState state_;
+  Ewma smoothed_capacity_kbps_;
+  bool drop_active_ = false;
+  int consecutive_skips_ = 0;
+  double last_qp_ = 0.0;
+};
+
+}  // namespace rave::core

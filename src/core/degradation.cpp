@@ -1,0 +1,40 @@
+#include "core/degradation.h"
+
+#include <cassert>
+
+namespace rave::core {
+
+DegradationController::DegradationController()
+    : DegradationController(Config{}) {}
+
+DegradationController::DegradationController(const Config& config)
+    : config_(config) {
+  assert(!config_.ladder.empty());
+}
+
+bool DegradationController::OnFrameQp(double qp, Timestamp now) {
+  if (qp >= config_.qp_high) {
+    low_since_ = Timestamp::MinusInfinity();
+    if (high_since_.IsMinusInfinity()) high_since_ = now;
+    if (now - high_since_ >= config_.dwell &&
+        level_ + 1 < config_.ladder.size()) {
+      ++level_;
+      high_since_ = Timestamp::MinusInfinity();
+      return true;
+    }
+  } else if (qp <= config_.qp_low) {
+    high_since_ = Timestamp::MinusInfinity();
+    if (low_since_.IsMinusInfinity()) low_since_ = now;
+    if (now - low_since_ >= config_.dwell && level_ > 0) {
+      --level_;
+      low_since_ = Timestamp::MinusInfinity();
+      return true;
+    }
+  } else {
+    high_since_ = Timestamp::MinusInfinity();
+    low_since_ = Timestamp::MinusInfinity();
+  }
+  return false;
+}
+
+}  // namespace rave::core

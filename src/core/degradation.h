@@ -1,0 +1,46 @@
+// Resolution degradation controller (extension): when the adaptive
+// controller is forced to sustain very high QPs, spending the bits on fewer
+// pixels yields better perceived quality than quantizing 720p into mush —
+// the "maintaining compression efficiency" lever beyond QP. Mirrors
+// WebRTC's balanced degradation preference.
+#pragma once
+
+#include <vector>
+
+#include "util/time.h"
+#include "video/frame.h"
+
+namespace rave::core {
+
+class DegradationController {
+ public:
+  struct Config {
+    /// Sustained QP above this steps resolution down.
+    double qp_high = 45.0;
+    /// Sustained QP below this steps resolution back up.
+    double qp_low = 30.0;
+    /// How long the QP must stay beyond a threshold before acting.
+    TimeDelta dwell = TimeDelta::Millis(1500);
+    /// Resolution ladder, highest first.
+    std::vector<video::Resolution> ladder = {
+        {1280, 720}, {960, 540}, {640, 360}, {480, 270}};
+  };
+
+  DegradationController();
+  explicit DegradationController(const Config& config);
+
+  /// Feeds the QP of an encoded frame; returns true when the resolution
+  /// changed (query `resolution()` for the new value).
+  bool OnFrameQp(double qp, Timestamp now);
+
+  video::Resolution resolution() const { return config_.ladder[level_]; }
+  size_t level() const { return level_; }
+
+ private:
+  Config config_;
+  size_t level_ = 0;
+  Timestamp high_since_ = Timestamp::MinusInfinity();
+  Timestamp low_since_ = Timestamp::MinusInfinity();
+};
+
+}  // namespace rave::core

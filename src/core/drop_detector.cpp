@@ -1,0 +1,53 @@
+#include "core/drop_detector.h"
+
+#include <algorithm>
+
+namespace rave::core {
+
+DropDetector::DropDetector() : DropDetector(Config{}) {}
+
+DropDetector::DropDetector(const Config& config) : config_(config) {}
+
+double DropDetector::RecentMaxBps(Timestamp now) const {
+  double max_bps = 0.0;
+  for (const auto& [t, bps] : history_) {
+    if (now - t <= config_.window) max_bps = std::max(max_bps, bps);
+  }
+  return max_bps;
+}
+
+bool DropDetector::OnState(const NetworkState& state, bool overuse_decrease) {
+  const Timestamp now = state.at;
+  const double capacity_bps = static_cast<double>(state.capacity.bps());
+  history_.emplace_back(now, capacity_bps);
+  while (!history_.empty() && now - history_.front().first > config_.window) {
+    history_.pop_front();
+  }
+
+  const double recent_max = RecentMaxBps(now);
+  const double fall =
+      recent_max > 0.0 ? 1.0 - capacity_bps / recent_max : 0.0;
+
+  const bool rate_trigger = fall > config_.drop_ratio;
+  const bool queue_trigger = state.queue_delay > config_.queue_delay_trigger;
+  const bool overuse_trigger =
+      overuse_decrease && state.queue_delay > config_.overuse_queue_gate;
+  const bool trigger = rate_trigger || overuse_trigger || queue_trigger;
+
+  if (trigger) {
+    active_ = true;
+    last_trigger_ = now;
+    severity_ = std::clamp(std::max(fall, overuse_trigger ? 0.15 : 0.0),
+                           0.0, 1.0);
+  } else if (active_) {
+    const bool held = now - last_trigger_ < config_.hold;
+    const bool queue_clear = state.queue_delay < config_.queue_delay_clear;
+    if (!held && queue_clear) {
+      active_ = false;
+      severity_ = 0.0;
+    }
+  }
+  return active_;
+}
+
+}  // namespace rave::core

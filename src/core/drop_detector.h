@@ -1,0 +1,65 @@
+// Bandwidth-drop detector: decides when the encoder should leave its
+// efficiency-preserving steady state and enter the fast "drain" regime.
+//
+// A drop is declared when any of three signals fires:
+//   1. the capacity estimate falls more than `drop_ratio` below its recent
+//      maximum (sudden step drops),
+//   2. the congestion controller reports an over-use decrease (delay
+//      gradient detected queue growth before the rate even moved),
+//   3. the sender backlog exceeds the drain target by a wide margin.
+// The detector then holds the drop state until the backlog has actually
+// drained and the estimate has been stable for a hold period — hysteresis
+// that prevents QP oscillation when capacity hovers.
+#pragma once
+
+#include <deque>
+
+#include "core/network_state.h"
+#include "util/time.h"
+#include "util/units.h"
+
+namespace rave::core {
+
+class DropDetector {
+ public:
+  struct Config {
+    /// Relative fall from the windowed max that counts as a drop.
+    double drop_ratio = 0.20;
+    /// Window over which the reference maximum is tracked.
+    TimeDelta window = TimeDelta::Seconds(3);
+    /// Minimum time drop mode stays engaged after the last trigger.
+    TimeDelta hold = TimeDelta::Millis(800);
+    /// Queue delay above which drop mode engages regardless of the rate.
+    TimeDelta queue_delay_trigger = TimeDelta::Millis(150);
+    /// Queue delay below which drop mode may disengage.
+    TimeDelta queue_delay_clear = TimeDelta::Millis(60);
+    /// An AIMD over-use decrease only engages drop mode when the queue
+    /// delay also exceeds this gate. This separates genuine bandwidth drops
+    /// (queue grows fast) from the controller's routine steady-state
+    /// sawtooth, which must not cost encoding efficiency.
+    TimeDelta overuse_queue_gate = TimeDelta::Millis(90);
+  };
+
+  DropDetector();
+  explicit DropDetector(const Config& config);
+
+  /// Feeds a derived state + the raw over-use decrease flag; returns whether
+  /// drop mode is active.
+  bool OnState(const NetworkState& state, bool overuse_decrease);
+
+  bool active() const { return active_; }
+  /// Severity of the current drop: 1 - capacity/recent_max, in [0,1].
+  /// 0 when inactive.
+  double severity() const { return active_ ? severity_ : 0.0; }
+
+ private:
+  double RecentMaxBps(Timestamp now) const;
+
+  Config config_;
+  std::deque<std::pair<Timestamp, double>> history_;  // (time, capacity bps)
+  bool active_ = false;
+  double severity_ = 0.0;
+  Timestamp last_trigger_ = Timestamp::MinusInfinity();
+};
+
+}  // namespace rave::core

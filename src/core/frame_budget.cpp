@@ -1,0 +1,56 @@
+#include "core/frame_budget.h"
+
+#include <algorithm>
+
+namespace rave::core {
+
+FrameBudgetAllocator::FrameBudgetAllocator(const BudgetConfig& config)
+    : config_(config) {}
+
+FrameBudget FrameBudgetAllocator::Allocate(const NetworkState& state,
+                                           bool drop_active,
+                                           codec::FrameType type,
+                                           int consecutive_skips) const {
+  FrameBudget budget;
+
+  // Skip decision: when the backlog already represents more delay than we
+  // are willing to add to, encoding anything only makes latency worse.
+  // Keyframes are never skipped (they are the recovery path after loss) and
+  // skips are bounded so motion never fully freezes.
+  if (type != codec::FrameType::kKey &&
+      state.queue_delay > config_.skip_queue_delay &&
+      consecutive_skips < config_.max_consecutive_skips) {
+    budget.skip = true;
+    return budget;
+  }
+
+  const double utilization =
+      drop_active ? config_.drain_utilization : config_.steady_utilization;
+  double bits =
+      static_cast<double>(state.capacity.bps()) * utilization / config_.fps;
+
+  // Pay down backlog beyond the allowance: aggressively while a drop is
+  // active, gently in steady state.
+  const DataSize allowed = state.capacity * config_.allowed_queue_delay;
+  if (state.backlog > allowed) {
+    const double excess =
+        static_cast<double>((state.backlog - allowed).bits());
+    const int horizon = drop_active ? config_.drain_horizon_frames
+                                    : config_.steady_drain_horizon_frames;
+    bits -= excess / std::max(horizon, 1);
+  }
+
+  if (type == codec::FrameType::kKey) {
+    bits *= drop_active ? config_.key_boost_drop : config_.key_boost_steady;
+  }
+
+  bits = std::max(bits, static_cast<double>(config_.min_frame.bits()));
+  budget.target = DataSize::Bits(static_cast<int64_t>(bits));
+
+  const double slack =
+      drop_active ? config_.cap_slack_drop : config_.cap_slack_steady;
+  budget.cap = budget.target * slack;
+  return budget;
+}
+
+}  // namespace rave::core

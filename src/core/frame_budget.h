@@ -1,0 +1,65 @@
+// Per-frame bit-budget allocation — the quantitative heart of the adaptive
+// encoder. Given the current network state it answers: how many bits may the
+// *next* frame cost so that (a) steady-state frames ride at the capacity
+// estimate, and (b) after a drop, the accumulated backlog drains within a
+// bounded number of frames instead of seconds.
+#pragma once
+
+#include "codec/rd_model.h"
+#include "core/network_state.h"
+#include "util/time.h"
+#include "util/units.h"
+
+namespace rave::core {
+
+struct BudgetConfig {
+  double fps = 30.0;
+  /// Queue delay the controller tolerates without corrective action.
+  TimeDelta allowed_queue_delay = TimeDelta::Millis(50);
+  /// Frames over which excess backlog is paid down while a drop is active.
+  int drain_horizon_frames = 5;
+  /// Gentle paydown horizon used in steady state (keeps the standing queue
+  /// near the allowance without visible quality dips).
+  int steady_drain_horizon_frames = 30;
+  /// Capacity fraction budgeted while a drop is active (headroom to drain).
+  double drain_utilization = 0.85;
+  /// Capacity fraction budgeted in steady state.
+  double steady_utilization = 1.0;
+  /// Floor so a frame is always encodable at max QP.
+  DataSize min_frame = DataSize::Bits(4000);
+  /// Queue delay beyond which frames are skipped outright.
+  TimeDelta skip_queue_delay = TimeDelta::Millis(350);
+  int max_consecutive_skips = 2;
+  /// Keyframe budget multiple (steady / during drop).
+  double key_boost_steady = 3.0;
+  double key_boost_drop = 1.5;
+  /// Hard-cap slack relative to the target budget (steady / during drop).
+  double cap_slack_steady = 1.5;
+  double cap_slack_drop = 1.05;
+};
+
+/// One frame's allocation.
+struct FrameBudget {
+  bool skip = false;
+  /// Bits the frame should aim for.
+  DataSize target = DataSize::Zero();
+  /// Hard cap the encoder must enforce via re-encoding.
+  DataSize cap = DataSize::PlusInfinity();
+};
+
+/// Stateless allocator (all state arrives in the arguments), so properties
+/// are easy to test exhaustively.
+class FrameBudgetAllocator {
+ public:
+  explicit FrameBudgetAllocator(const BudgetConfig& config = {});
+
+  FrameBudget Allocate(const NetworkState& state, bool drop_active,
+                       codec::FrameType type, int consecutive_skips) const;
+
+  const BudgetConfig& config() const { return config_; }
+
+ private:
+  BudgetConfig config_;
+};
+
+}  // namespace rave::core

@@ -1,0 +1,17 @@
+// Rate controls that consume live network observations (beyond the plain
+// target-bitrate knob of codec::RateControl). The session layer feeds
+// OnNetworkUpdate on every feedback and immediately before each encode.
+#pragma once
+
+#include "codec/rate_control.h"
+#include "core/network_state.h"
+
+namespace rave::core {
+
+class NetworkAwareRateControl : public codec::RateControl {
+ public:
+  /// Rich update path: full observation from the transport layer.
+  virtual void OnNetworkUpdate(const NetworkObservation& obs) = 0;
+};
+
+}  // namespace rave::core

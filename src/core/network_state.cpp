@@ -1,0 +1,37 @@
+#include "core/network_state.h"
+
+#include <algorithm>
+
+namespace rave::core {
+
+NetworkState NetworkStateTracker::OnObservation(const NetworkObservation& obs) {
+  if (!min_rtt_ || obs.rtt < *min_rtt_) min_rtt_ = obs.rtt;
+
+  NetworkState s;
+  s.at = obs.at;
+  s.rtt = obs.rtt;
+  s.loss_rate = obs.loss_rate;
+  s.usage = obs.usage;
+
+  // Capacity: the CC target, further bounded by measured throughput while
+  // over-using (during a drop the acked rate reflects the new bottleneck
+  // before the AIMD target has finished converging).
+  s.capacity = obs.target;
+  if (obs.usage == cc::BandwidthUsage::kOverusing &&
+      obs.acked_rate.bps() > 0) {
+    s.capacity = std::min(s.capacity, obs.acked_rate);
+  }
+  if (s.capacity.bps() <= 0) s.capacity = DataRate::KilobitsPerSec(50);
+
+  // Standing queue inside the network: in-flight beyond one BDP.
+  const DataSize bdp = s.capacity * min_rtt();
+  const DataSize network_queue =
+      obs.in_flight > bdp ? obs.in_flight - bdp : DataSize::Zero();
+  s.backlog = obs.pacer_queue + network_queue;
+  s.queue_delay = s.backlog / s.capacity;
+
+  state_ = s;
+  return s;
+}
+
+}  // namespace rave::core

@@ -1,0 +1,69 @@
+// Network state fed from the transport/congestion layer into the adaptive
+// encoder controller, plus the tracker that derives the quantities the
+// controller actually budgets against (sender backlog, queue delay,
+// estimated network standing queue).
+#pragma once
+
+#include <optional>
+
+#include "cc/trendline.h"
+#include "util/time.h"
+#include "util/units.h"
+
+namespace rave::core {
+
+/// Raw observation snapshot, assembled by the sender pipeline after every
+/// feedback report (and on every pacer state change of interest).
+struct NetworkObservation {
+  Timestamp at = Timestamp::Zero();
+  /// Congestion controller's target rate.
+  DataRate target = DataRate::Zero();
+  /// Measured acknowledged throughput (Zero when unknown).
+  DataRate acked_rate = DataRate::Zero();
+  TimeDelta rtt = TimeDelta::Millis(100);
+  double loss_rate = 0.0;
+  cc::BandwidthUsage usage = cc::BandwidthUsage::kNormal;
+  /// True when the AIMD controller performed a multiplicative decrease in
+  /// the update that produced this observation.
+  bool overuse_decrease = false;
+  /// Bits sitting in the sender's pacer queue.
+  DataSize pacer_queue = DataSize::Zero();
+  /// Bits sent but not yet acknowledged.
+  DataSize in_flight = DataSize::Zero();
+};
+
+/// Derived state the controller budgets with.
+struct NetworkState {
+  Timestamp at = Timestamp::Zero();
+  /// Best available capacity estimate for budgeting.
+  DataRate capacity = DataRate::KilobitsPerSec(1500);
+  TimeDelta rtt = TimeDelta::Millis(100);
+  double loss_rate = 0.0;
+  cc::BandwidthUsage usage = cc::BandwidthUsage::kNormal;
+  /// Sender-side + estimated in-network standing queue, in bits.
+  DataSize backlog = DataSize::Zero();
+  /// backlog / capacity.
+  TimeDelta queue_delay = TimeDelta::Zero();
+};
+
+/// Maintains min-RTT and converts observations into NetworkStates.
+///
+/// The in-network standing queue is estimated as the portion of in-flight
+/// data beyond one bandwidth-delay product (capacity * min_rtt): on a FIFO
+/// bottleneck that excess is by definition waiting in the queue.
+class NetworkStateTracker {
+ public:
+  NetworkStateTracker() = default;
+
+  NetworkState OnObservation(const NetworkObservation& obs);
+
+  /// Latest derived state (default-constructed before any observation).
+  const NetworkState& state() const { return state_; }
+  TimeDelta min_rtt() const { return min_rtt_.value_or(TimeDelta::Millis(50)); }
+
+ private:
+  std::optional<TimeDelta> min_rtt_;
+  NetworkState state_;
+};
+
+}  // namespace rave::core

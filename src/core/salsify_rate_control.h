@@ -1,0 +1,59 @@
+// Salsify-style rate control (Fouladi et al., NSDI 2018), implemented as a
+// comparator for the paper's scheme.
+//
+// Salsify couples a functional codec to the transport: every frame is
+// encoded to match the instantaneous network budget exactly (the real system
+// encodes two versions and transmits the better-fitting one — here the
+// encoder's cap/re-encode loop plays that role), and the sender simply
+// *pauses* (skips frames) whenever the projected queue exceeds a threshold.
+// It is memoryless: no drop detector, no drain mode, no QP smoothing or
+// recovery hysteresis — which buys excellent latency but lets estimator
+// noise print straight into the quality trajectory. The contrast against
+// `AdaptiveRateControl` isolates the value of the paper's
+// efficiency-preserving machinery.
+#pragma once
+
+#include "core/network_aware_rate_control.h"
+
+namespace rave::core {
+
+struct SalsifyConfig {
+  double fps = 30.0;
+  DataRate initial_target = DataRate::KilobitsPerSec(1500);
+  /// Pause (skip) while the projected queue delay exceeds this.
+  TimeDelta pause_threshold = TimeDelta::Millis(100);
+  int max_consecutive_skips = 3;
+  /// Keyframe budget multiple.
+  double key_boost = 2.0;
+  /// The "two versions" pick tolerates this much overshoot.
+  double cap_slack = 1.05;
+  DataSize min_frame = DataSize::Bits(4000);
+};
+
+class SalsifyRateControl : public NetworkAwareRateControl {
+ public:
+  explicit SalsifyRateControl(const SalsifyConfig& config);
+
+  void OnNetworkUpdate(const NetworkObservation& obs) override;
+
+  void SetTargetRate(DataRate target) override;
+  codec::FrameGuidance PlanFrame(const video::RawFrame& frame,
+                                 codec::FrameType type,
+                                 Timestamp now) override;
+  void OnFrameEncoded(const codec::FrameOutcome& outcome,
+                      Timestamp now) override;
+  std::string name() const override { return "salsify"; }
+  DataRate current_target() const override { return state_.capacity; }
+
+  int consecutive_skips() const { return consecutive_skips_; }
+
+ private:
+  SalsifyConfig config_;
+  NetworkStateTracker tracker_;
+  codec::BitPredictor pred_key_;
+  codec::BitPredictor pred_delta_;
+  NetworkState state_;
+  int consecutive_skips_ = 0;
+};
+
+}  // namespace rave::core

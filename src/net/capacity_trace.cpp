@@ -1,0 +1,150 @@
+#include "net/capacity_trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rave::net {
+
+CapacityTrace::CapacityTrace(std::vector<Step> steps)
+    : steps_(std::move(steps)) {
+  if (steps_.empty()) {
+    throw std::invalid_argument("CapacityTrace: empty step list");
+  }
+  if (steps_.front().start != Timestamp::Zero()) {
+    throw std::invalid_argument("CapacityTrace: first step must start at 0");
+  }
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    if (steps_[i].rate.bps() <= 0) {
+      throw std::invalid_argument("CapacityTrace: non-positive rate");
+    }
+    if (i > 0 && steps_[i].start <= steps_[i - 1].start) {
+      throw std::invalid_argument("CapacityTrace: steps not strictly sorted");
+    }
+  }
+}
+
+DataRate CapacityTrace::RateAt(Timestamp t) const {
+  // Last step with start <= t.
+  auto it = std::upper_bound(
+      steps_.begin(), steps_.end(), t,
+      [](Timestamp value, const Step& s) { return value < s.start; });
+  if (it == steps_.begin()) return steps_.front().rate;
+  return std::prev(it)->rate;
+}
+
+Timestamp CapacityTrace::NextChangeAfter(Timestamp t) const {
+  auto it = std::upper_bound(
+      steps_.begin(), steps_.end(), t,
+      [](Timestamp value, const Step& s) { return value < s.start; });
+  if (it == steps_.end()) return Timestamp::PlusInfinity();
+  return it->start;
+}
+
+DataRate CapacityTrace::AverageRate(TimeDelta horizon) const {
+  const Timestamp end = Timestamp::Zero() + horizon;
+  double bits = 0.0;
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    const Timestamp seg_start = steps_[i].start;
+    if (seg_start >= end) break;
+    const Timestamp seg_end =
+        i + 1 < steps_.size() ? std::min(steps_[i + 1].start, end) : end;
+    bits += static_cast<double>(steps_[i].rate.bps()) *
+            (seg_end - seg_start).seconds();
+  }
+  return DataRate::BitsPerSec(
+      static_cast<int64_t>(bits / horizon.seconds() + 0.5));
+}
+
+CapacityTrace CapacityTrace::Constant(DataRate rate) {
+  return CapacityTrace({{Timestamp::Zero(), rate}});
+}
+
+CapacityTrace CapacityTrace::StepDrop(DataRate before, DataRate after,
+                                      Timestamp drop_at) {
+  return CapacityTrace({{Timestamp::Zero(), before}, {drop_at, after}});
+}
+
+CapacityTrace CapacityTrace::StepDropAndRecover(DataRate before,
+                                                DataRate after,
+                                                Timestamp drop_at,
+                                                Timestamp recover_at) {
+  return CapacityTrace(
+      {{Timestamp::Zero(), before}, {drop_at, after}, {recover_at, before}});
+}
+
+CapacityTrace CapacityTrace::MultiStep(
+    const std::vector<std::pair<Timestamp, DataRate>>& points) {
+  std::vector<Step> steps;
+  steps.reserve(points.size());
+  for (const auto& [t, r] : points) steps.push_back({t, r});
+  return CapacityTrace(std::move(steps));
+}
+
+CapacityTrace CapacityTrace::Oscillating(DataRate base, DataRate amplitude,
+                                         TimeDelta period,
+                                         TimeDelta duration) {
+  std::vector<Step> steps;
+  const TimeDelta half = period / 2;
+  Timestamp t = Timestamp::Zero();
+  bool high = true;
+  while (t < Timestamp::Zero() + duration) {
+    steps.push_back({t, high ? base + amplitude : base - amplitude});
+    t += half;
+    high = !high;
+  }
+  return CapacityTrace(std::move(steps));
+}
+
+CapacityTrace CapacityTrace::RandomWalk(DataRate mean, double volatility,
+                                        TimeDelta interval, TimeDelta duration,
+                                        uint64_t seed, DataRate lo,
+                                        DataRate hi) {
+  Rng rng(seed);
+  std::vector<Step> steps;
+  double rate = static_cast<double>(mean.bps());
+  const double mean_bps = static_cast<double>(mean.bps());
+  Timestamp t = Timestamp::Zero();
+  while (t < Timestamp::Zero() + duration) {
+    steps.push_back({t, DataRate::BitsPerSec(static_cast<int64_t>(rate))});
+    // Geometric step with mild mean reversion.
+    const double shock = std::exp(rng.Gaussian(0.0, volatility));
+    rate = 0.9 * rate * shock + 0.1 * mean_bps;
+    rate = std::clamp(rate, static_cast<double>(lo.bps()),
+                      static_cast<double>(hi.bps()));
+    t += interval;
+  }
+  return CapacityTrace(std::move(steps));
+}
+
+CapacityTrace CapacityTrace::FromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("CapacityTrace: cannot open " + path);
+  std::vector<Step> steps;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream iss(line);
+    double t_s = 0.0;
+    double kbps = 0.0;
+    if (iss >> t_s >> kbps) {
+      steps.push_back({Timestamp::Micros(static_cast<int64_t>(t_s * 1e6)),
+                       DataRate::KilobitsPerSecF(kbps)});
+    }
+  }
+  return CapacityTrace(std::move(steps));
+}
+
+void CapacityTrace::Save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("CapacityTrace: cannot write " + path);
+  out << "# time_s rate_kbps\n";
+  for (const Step& s : steps_) {
+    out << s.start.seconds() << ' ' << s.rate.kbps() << '\n';
+  }
+}
+
+}  // namespace rave::net

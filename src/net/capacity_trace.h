@@ -1,0 +1,79 @@
+// Piecewise-constant link-capacity traces plus the generators used by the
+// evaluation: single step drops (the paper's core scenario), drop+recover,
+// multi-step staircases, oscillations, and an LTE-like bounded random walk.
+// Traces can also be loaded from / saved to simple text files
+// ("<time_s> <rate_kbps>" per line) for replaying external captures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/time.h"
+#include "util/units.h"
+
+namespace rave::net {
+
+/// Immutable piecewise-constant capacity schedule. The rate at time t is the
+/// rate of the last step whose start time is <= t; there is always a step at
+/// t = 0.
+class CapacityTrace {
+ public:
+  struct Step {
+    Timestamp start;
+    DataRate rate;
+  };
+
+  /// Steps must be sorted by start time, begin at t=0 and have positive
+  /// rates. Throws std::invalid_argument otherwise.
+  explicit CapacityTrace(std::vector<Step> steps);
+
+  /// Capacity at time `t`.
+  DataRate RateAt(Timestamp t) const;
+
+  /// First change strictly after `t`; PlusInfinity when none remain.
+  Timestamp NextChangeAfter(Timestamp t) const;
+
+  const std::vector<Step>& steps() const { return steps_; }
+
+  /// Mean rate over [0, horizon].
+  DataRate AverageRate(TimeDelta horizon) const;
+
+  // --- generators ---
+
+  static CapacityTrace Constant(DataRate rate);
+
+  /// Rate `before` until `drop_at`, then `after` forever.
+  static CapacityTrace StepDrop(DataRate before, DataRate after,
+                                Timestamp drop_at);
+
+  /// Step drop followed by full recovery at `recover_at`.
+  static CapacityTrace StepDropAndRecover(DataRate before, DataRate after,
+                                          Timestamp drop_at,
+                                          Timestamp recover_at);
+
+  /// Arbitrary staircase from (time, rate) pairs.
+  static CapacityTrace MultiStep(
+      const std::vector<std::pair<Timestamp, DataRate>>& points);
+
+  /// Square-wave oscillation between base-amplitude and base+amplitude.
+  static CapacityTrace Oscillating(DataRate base, DataRate amplitude,
+                                   TimeDelta period, TimeDelta duration);
+
+  /// LTE-like bounded geometric random walk sampled every `interval`.
+  static CapacityTrace RandomWalk(DataRate mean, double volatility,
+                                  TimeDelta interval, TimeDelta duration,
+                                  uint64_t seed, DataRate lo, DataRate hi);
+
+  /// Parses "<time_s> <rate_kbps>" lines; '#' comments allowed.
+  static CapacityTrace FromFile(const std::string& path);
+  /// Writes the trace in the FromFile format.
+  void Save(const std::string& path) const;
+
+ private:
+  std::vector<Step> steps_;
+};
+
+}  // namespace rave::net

@@ -1,0 +1,46 @@
+#include "net/cross_traffic.h"
+
+#include <cassert>
+
+namespace rave::net {
+
+CrossTraffic::CrossTraffic(EventLoop& loop, Link& link, const Config& config)
+    : loop_(loop),
+      link_(link),
+      config_(config),
+      rng_(config.seed),
+      on_(config.start_on) {
+  assert(config_.rate.bps() > 0);
+  assert(config_.packet_size.bits() > 0);
+}
+
+void CrossTraffic::Start() {
+  if (started_) return;
+  started_ = true;
+  if (on_) SendNext();
+  Toggle();
+}
+
+void CrossTraffic::Toggle() {
+  const TimeDelta period = TimeDelta::SecondsF(rng_.Exponential(
+      on_ ? config_.mean_on.seconds() : config_.mean_off.seconds()));
+  toggle_handle_ = loop_.Schedule(period, [this] {
+    on_ = !on_;
+    if (on_) SendNext();
+    Toggle();
+  });
+}
+
+void CrossTraffic::SendNext() {
+  if (!on_) return;
+  Packet p;
+  p.frame_id = -1;   // not media
+  p.media_seq = -1;  // invisible to NACK machinery
+  p.size = config_.packet_size;
+  link_.Send(p);
+  ++packets_sent_;
+  const TimeDelta gap = config_.packet_size / config_.rate;
+  send_handle_ = loop_.Schedule(gap, [this] { SendNext(); });
+}
+
+}  // namespace rave::net

@@ -1,0 +1,59 @@
+// Cross-traffic generator: an on/off CBR source sharing the bottleneck with
+// the video flow. During "on" periods it injects filler packets at the
+// configured rate, shrinking the capacity effectively available to the video
+// flow — the other canonical cause of bandwidth drops besides link-rate
+// changes.
+#pragma once
+
+#include <cstdint>
+
+#include "net/link.h"
+#include "sim/event_loop.h"
+#include "util/rng.h"
+#include "util/time.h"
+#include "util/units.h"
+
+namespace rave::net {
+
+/// On/off CBR cross traffic into a shared Link. Cross packets carry
+/// frame_id = -1 so receivers can tell them from media.
+class CrossTraffic {
+ public:
+  struct Config {
+    DataRate rate = DataRate::KilobitsPerSec(800);
+    /// Mean of the exponential on/off period lengths.
+    TimeDelta mean_on = TimeDelta::Seconds(5);
+    TimeDelta mean_off = TimeDelta::Seconds(5);
+    DataSize packet_size = DataSize::Bytes(1200);
+    /// Start in the "on" state.
+    bool start_on = false;
+    uint64_t seed = 31;
+  };
+
+  CrossTraffic(EventLoop& loop, Link& link, const Config& config);
+
+  CrossTraffic(const CrossTraffic&) = delete;
+  CrossTraffic& operator=(const CrossTraffic&) = delete;
+
+  /// Begins the on/off schedule.
+  void Start();
+
+  bool on() const { return on_; }
+  int64_t packets_sent() const { return packets_sent_; }
+
+ private:
+  void Toggle();
+  void SendNext();
+
+  EventLoop& loop_;
+  Link& link_;
+  Config config_;
+  Rng rng_;
+  bool on_;
+  bool started_ = false;
+  int64_t packets_sent_ = 0;
+  EventHandle send_handle_;
+  EventHandle toggle_handle_;
+};
+
+}  // namespace rave::net

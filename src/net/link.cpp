@@ -1,0 +1,135 @@
+#include "net/link.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace rave::net {
+
+Link::Link(EventLoop& loop, Config config, DeliveryCallback on_delivery)
+    : loop_(loop),
+      config_(std::move(config)),
+      on_delivery_(std::move(on_delivery)),
+      current_rate_(config_.trace.RateAt(Timestamp::Zero())),
+      loss_rng_(config_.loss.seed),
+      gilbert_(config_.loss.gilbert, Rng(config_.loss.seed ^ 0x5A5A)) {
+  assert(on_delivery_);
+  // Register a callback at every capacity change point so the in-flight
+  // packet's completion can be re-computed exactly.
+  for (const CapacityTrace::Step& step : config_.trace.steps()) {
+    if (step.start > Timestamp::Zero()) {
+      loop_.ScheduleAt(step.start, [this] { OnRateChange(); });
+    }
+  }
+}
+
+void Link::Send(Packet packet) {
+  if (packet.send_time.IsMinusInfinity()) packet.send_time = loop_.now();
+  if (queued_ + packet.size > config_.queue_capacity) {
+    ++stats_.packets_dropped;
+    stats_.bytes_dropped += packet.size;
+    return;
+  }
+  queued_ += packet.size;
+  queue_.push_back(packet);
+  if (!in_flight_) StartNext();
+}
+
+void Link::StartNext() {
+  assert(!in_flight_);
+  if (queue_.empty()) return;
+  in_flight_ = queue_.front();
+  queue_.pop_front();
+  queued_ -= in_flight_->size;
+  remaining_bits_ = static_cast<double>(in_flight_->size.bits());
+  segment_start_ = loop_.now();
+  const TimeDelta tx_time = TimeDelta::SecondsF(
+      remaining_bits_ / static_cast<double>(current_rate_.bps()));
+  completion_ = loop_.Schedule(tx_time, [this] { OnTransmitComplete(); });
+}
+
+void Link::OnTransmitComplete() {
+  assert(in_flight_);
+  const Packet packet = *in_flight_;
+  in_flight_.reset();
+  remaining_bits_ = 0.0;
+
+  // Non-congestive loss (corruption): the packet consumed link capacity but
+  // never reaches the receiver.
+  double loss_p = config_.loss.random_loss;
+  if (config_.loss.gilbert_enabled && gilbert_.Step()) {
+    loss_p = std::max(loss_p, config_.loss.gilbert_bad_loss);
+  }
+  if (loss_p > 0.0 && loss_rng_.Bernoulli(loss_p)) {
+    ++stats_.packets_lost_random;
+    StartNext();
+    return;
+  }
+
+  ++stats_.packets_delivered;
+  stats_.bytes_delivered += packet.size;
+
+  loop_.Schedule(config_.propagation, [this, packet] {
+    on_delivery_(packet, loop_.now());
+  });
+
+  StartNext();
+}
+
+void Link::OnRateChange() {
+  const DataRate new_rate = config_.trace.RateAt(loop_.now());
+  if (in_flight_) {
+    // Account for bits sent at the old rate since the segment began.
+    const double sent = static_cast<double>(current_rate_.bps()) *
+                        (loop_.now() - segment_start_).seconds();
+    remaining_bits_ = std::max(0.0, remaining_bits_ - sent);
+    loop_.Cancel(completion_);
+    segment_start_ = loop_.now();
+    const TimeDelta tx_time = TimeDelta::SecondsF(
+        remaining_bits_ / static_cast<double>(new_rate.bps()));
+    completion_ = loop_.Schedule(tx_time, [this] { OnTransmitComplete(); });
+  }
+  current_rate_ = new_rate;
+}
+
+DataSize Link::backlog() const {
+  double in_flight_bits = 0.0;
+  if (in_flight_) {
+    const double sent = static_cast<double>(current_rate_.bps()) *
+                        (loop_.now() - segment_start_).seconds();
+    in_flight_bits = std::max(0.0, remaining_bits_ - sent);
+  }
+  return queued_ + DataSize::Bits(static_cast<int64_t>(in_flight_bits));
+}
+
+TimeDelta Link::QueueDelay() const {
+  return TimeDelta::SecondsF(static_cast<double>(backlog().bits()) /
+                             static_cast<double>(current_rate_.bps()));
+}
+
+DelayPipe::DelayPipe(EventLoop& loop, TimeDelta delay, double loss_rate,
+                     TimeDelta jitter, uint64_t seed)
+    : loop_(loop),
+      delay_(delay),
+      loss_rate_(loss_rate),
+      jitter_(jitter),
+      rng_(seed) {}
+
+void DelayPipe::Send(std::function<void()> deliver) {
+  if (rng_.Bernoulli(loss_rate_)) {
+    ++lost_;
+    return;
+  }
+  TimeDelta extra = TimeDelta::Zero();
+  if (jitter_ > TimeDelta::Zero()) {
+    extra = TimeDelta::SecondsF(rng_.Uniform(0.0, jitter_.seconds()));
+  }
+  Timestamp at = loop_.now() + delay_ + extra;
+  // Keep the channel in-order.
+  if (at <= last_delivery_) at = last_delivery_ + TimeDelta::Micros(1);
+  last_delivery_ = at;
+  ++delivered_;
+  loop_.ScheduleAt(at, std::move(deliver));
+}
+
+}  // namespace rave::net

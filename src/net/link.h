@@ -1,0 +1,132 @@
+// Bottleneck link model: FIFO droptail byte queue + exact serialization at a
+// piecewise-constant capacity + fixed propagation delay.
+//
+// This substitutes for the tc/mahimahi bottleneck a testbed would use. The
+// serializer integrates the capacity trace exactly: when the rate changes
+// mid-packet, the remaining bits are re-scheduled at the new rate, so queueing
+// delays match the fluid model to microsecond precision.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "net/capacity_trace.h"
+#include "net/packet.h"
+#include "sim/event_loop.h"
+#include "sim/random_process.h"
+#include "util/rng.h"
+#include "util/time.h"
+#include "util/units.h"
+
+namespace rave::net {
+
+/// Counters exposed for metrics and tests.
+struct LinkStats {
+  int64_t packets_delivered = 0;
+  /// Droptail (queue full) drops.
+  int64_t packets_dropped = 0;
+  /// Wireless-style corruption drops (random/Gilbert loss model).
+  int64_t packets_lost_random = 0;
+  DataSize bytes_delivered = DataSize::Zero();
+  DataSize bytes_dropped = DataSize::Zero();
+};
+
+/// Non-congestive loss model: i.i.d. loss plus an optional Gilbert burst
+/// process (stepped per packet) whose bad state loses packets at a much
+/// higher rate — the Wi-Fi interference pattern.
+struct LossModel {
+  double random_loss = 0.0;
+  bool gilbert_enabled = false;
+  GilbertProcess::Config gilbert;
+  /// Loss probability while the Gilbert process is in the bad state.
+  double gilbert_bad_loss = 0.5;
+  uint64_t seed = 17;
+};
+
+/// One-directional bottleneck. Delivery callback fires at the receiver-side
+/// arrival time (serialization complete + propagation).
+class Link {
+ public:
+  struct Config {
+    CapacityTrace trace = CapacityTrace::Constant(DataRate::KilobitsPerSec(2500));
+    TimeDelta propagation = TimeDelta::Millis(25);
+    /// Droptail queue capacity. Default ~256 ms at 2.5 Mbps (a moderate
+    /// last-mile buffer); experiments sweep this.
+    DataSize queue_capacity = DataSize::Bytes(80'000);
+    /// Non-congestive loss applied after serialization.
+    LossModel loss;
+  };
+
+  using DeliveryCallback = std::function<void(const Packet&, Timestamp)>;
+
+  Link(EventLoop& loop, Config config, DeliveryCallback on_delivery);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Enqueues a packet (stamping `send_time` if unset); drops it if the
+  /// queue is full.
+  void Send(Packet packet);
+
+  /// Bits waiting in the queue plus the untransmitted remainder of the
+  /// in-flight packet.
+  DataSize backlog() const;
+  /// Estimated time to drain the current backlog at the current rate.
+  TimeDelta QueueDelay() const;
+  /// Instantaneous capacity.
+  DataRate current_rate() const { return current_rate_; }
+
+  const LinkStats& stats() const { return stats_; }
+  const Config& config() const { return config_; }
+
+ private:
+  void StartNext();
+  void OnTransmitComplete();
+  void OnRateChange();
+
+  EventLoop& loop_;
+  Config config_;
+  DeliveryCallback on_delivery_;
+
+  std::deque<Packet> queue_;
+  DataSize queued_ = DataSize::Zero();
+
+  std::optional<Packet> in_flight_;
+  double remaining_bits_ = 0.0;
+  Timestamp segment_start_ = Timestamp::Zero();
+  EventHandle completion_;
+
+  DataRate current_rate_;
+  LinkStats stats_;
+  Rng loss_rng_;
+  GilbertProcess gilbert_;
+};
+
+/// Fixed-delay control channel for feedback messages (small packets whose
+/// serialization time is negligible). Optional i.i.d. loss and bounded
+/// jitter; deliveries never reorder.
+class DelayPipe {
+ public:
+  DelayPipe(EventLoop& loop, TimeDelta delay, double loss_rate = 0.0,
+            TimeDelta jitter = TimeDelta::Zero(), uint64_t seed = 99);
+
+  /// Schedules `deliver` after the pipe delay (unless lost).
+  void Send(std::function<void()> deliver);
+
+  int64_t delivered() const { return delivered_; }
+  int64_t lost() const { return lost_; }
+
+ private:
+  EventLoop& loop_;
+  TimeDelta delay_;
+  double loss_rate_;
+  TimeDelta jitter_;
+  Rng rng_;
+  Timestamp last_delivery_ = Timestamp::MinusInfinity();
+  int64_t delivered_ = 0;
+  int64_t lost_ = 0;
+};
+
+}  // namespace rave::net

@@ -1,0 +1,39 @@
+// Wire unit carried by the simulated network: an RTP-like media packet with
+// transport-wide sequencing and enough frame metadata for reassembly.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.h"
+#include "util/units.h"
+
+namespace rave::net {
+
+/// One media packet. Sizes include payload plus the ~68 bytes of
+/// RTP/UDP/IP/transport-cc overhead a real stack would add (the packetizer
+/// accounts for it).
+struct Packet {
+  /// Transport-wide sequence number, assigned when the packet leaves the
+  /// pacer (monotone per session; retransmissions get a fresh one).
+  int64_t seq = -1;
+  /// Media (RTP) sequence number, assigned by the packetizer and preserved
+  /// across retransmissions; NACKs reference this.
+  int64_t media_seq = -1;
+  bool is_retransmission = false;
+  /// FEC recovery packet (media_seq lives in a separate negative space).
+  bool is_fec = false;
+  DataSize size = DataSize::Zero();
+
+  /// When the pacer handed the packet to the link.
+  Timestamp send_time = Timestamp::MinusInfinity();
+
+  // --- frame metadata for reassembly ---
+  int64_t frame_id = -1;
+  int packet_index = 0;
+  int packets_in_frame = 1;
+  /// Capture time of the parent frame (for end-to-end latency accounting).
+  Timestamp capture_time = Timestamp::MinusInfinity();
+  bool keyframe = false;
+};
+
+}  // namespace rave::net

@@ -1,0 +1,21 @@
+#include "rtc/scheme.h"
+
+namespace rave::rtc {
+
+std::string ToString(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kX264Abr:
+      return "x264-abr";
+    case Scheme::kX264Cbr:
+      return "x264-cbr";
+    case Scheme::kAdaptive:
+      return "rave-adaptive";
+    case Scheme::kAdaptiveOracle:
+      return "rave-oracle";
+    case Scheme::kSalsify:
+      return "salsify";
+  }
+  return "unknown";
+}
+
+}  // namespace rave::rtc

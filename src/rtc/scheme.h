@@ -1,0 +1,31 @@
+// The encoder-adaptation schemes the evaluation compares.
+#pragma once
+
+#include <string>
+
+namespace rave::rtc {
+
+enum class Scheme {
+  /// GCC estimate -> encoder reconfig -> stock x264 ABR rate control.
+  kX264Abr,
+  /// GCC estimate -> encoder reconfig -> x264 strict CBR/VBV rate control.
+  kX264Cbr,
+  /// The paper: per-frame adaptive rate control driven by network state.
+  kAdaptive,
+  /// Adaptive controller fed ground-truth capacity (ablation upper bound).
+  kAdaptiveOracle,
+  /// Salsify-style memoryless per-frame matching (related-work comparator).
+  kSalsify,
+};
+
+std::string ToString(Scheme scheme);
+
+inline constexpr Scheme kAllSchemes[] = {
+    Scheme::kX264Abr, Scheme::kX264Cbr, Scheme::kAdaptive,
+    Scheme::kAdaptiveOracle, Scheme::kSalsify};
+
+/// The two schemes of the headline comparison (baseline vs paper).
+inline constexpr Scheme kHeadlineSchemes[] = {Scheme::kX264Abr,
+                                              Scheme::kAdaptive};
+
+}  // namespace rave::rtc

@@ -1,0 +1,383 @@
+#include "rtc/session.h"
+
+#include <cassert>
+#include <utility>
+
+#include "cc/oracle.h"
+#include "codec/abr_rate_control.h"
+#include "codec/cbr_rate_control.h"
+
+namespace rave::rtc {
+
+namespace {
+
+// Fills scheme-independent defaults derived from other config fields.
+SessionConfig Normalize(SessionConfig c) {
+  c.abr.fps = c.source.fps;
+  c.abr.initial_target = c.initial_rate;
+  c.cbr.fps = c.source.fps;
+  c.cbr.initial_target = c.initial_rate;
+  c.adaptive.fps = c.source.fps;
+  c.adaptive.initial_target = c.initial_rate;
+  c.salsify.fps = c.source.fps;
+  c.salsify.initial_target = c.initial_rate;
+  c.encoder.fps = c.source.fps;
+  c.source.seed = c.seed;
+  c.encoder.seed = c.seed ^ 0x9E3779B97F4A7C15ULL;
+  return c;
+}
+
+}  // namespace
+
+Session::Session(SessionConfig config)
+    : config_(Normalize(std::move(config))),
+      source_(config_.source),
+      packetizer_(),
+      protection_(config_.protection) {
+  // --- bandwidth estimator ---
+  if (config_.scheme == Scheme::kAdaptiveOracle) {
+    bwe_ = std::make_unique<cc::OracleBwe>(loop_, config_.link.trace);
+  } else {
+    cc::GccEstimator::Config gcc_config;
+    gcc_config.initial_rate = config_.initial_rate;
+    auto gcc = std::make_unique<cc::GccEstimator>(gcc_config);
+    gcc_ = gcc.get();
+    bwe_ = std::move(gcc);
+  }
+
+  // --- encoder + rate control ---
+  std::unique_ptr<codec::RateControl> rc;
+  switch (config_.scheme) {
+    case Scheme::kX264Abr:
+      rc = std::make_unique<codec::AbrRateControl>(config_.abr);
+      break;
+    case Scheme::kX264Cbr:
+      rc = std::make_unique<codec::CbrRateControl>(config_.cbr);
+      break;
+    case Scheme::kAdaptive:
+    case Scheme::kAdaptiveOracle: {
+      auto adaptive =
+          std::make_unique<core::AdaptiveRateControl>(config_.adaptive);
+      network_rc_ = adaptive.get();
+      rc = std::move(adaptive);
+      break;
+    }
+    case Scheme::kSalsify: {
+      auto salsify =
+          std::make_unique<core::SalsifyRateControl>(config_.salsify);
+      network_rc_ = salsify.get();
+      rc = std::move(salsify);
+      break;
+    }
+  }
+  encoder_ = std::make_unique<codec::Encoder>(config_.encoder, std::move(rc));
+
+  if (config_.enable_degradation && network_rc_ != nullptr) {
+    degradation_.emplace();
+  }
+
+  // --- transport & network ---
+  pacer_ = std::make_unique<transport::Pacer>(
+      loop_,
+      transport::Pacer::Config{
+          .initial_rate = config_.initial_rate * config_.pacing_factor},
+      [this](net::Packet p) { OnPacerSend(std::move(p)); });
+
+  forward_link_ = std::make_unique<net::Link>(
+      loop_, config_.link, [this](const net::Packet& p, Timestamp arrival) {
+        OnPacketArrival(p, arrival);
+      });
+
+  reverse_pipe_ = std::make_unique<net::DelayPipe>(
+      loop_, config_.feedback_delay, config_.feedback_loss,
+      TimeDelta::Zero(), config_.seed ^ 0xABCDEF);
+
+  feedback_gen_ = std::make_unique<transport::FeedbackGenerator>(
+      loop_, config_.feedback_interval,
+      [this](transport::FeedbackReport report) {
+        reverse_pipe_->Send([this, report = std::move(report)] {
+          OnFeedbackAtSender(report);
+        });
+      });
+
+  assembler_ = std::make_unique<transport::FrameAssembler>(
+      loop_, transport::FrameAssembler::Config{},
+      [this](const transport::CompleteFrame& f) { OnFrameComplete(f); },
+      [this](int64_t frame_id) { OnFrameLost(frame_id); });
+
+  if (config_.enable_rtx) {
+    nack_gen_ = std::make_unique<transport::NackGenerator>(
+        loop_, transport::NackGenerator::Config{},
+        [this](transport::NackBatch batch) {
+          reverse_pipe_->Send(
+              [this, batch = std::move(batch)] { OnNackAtSender(batch); });
+        },
+        [this](int64_t media_seq) { OnNackGiveUp(media_seq); });
+  }
+
+  if (config_.enable_fec) {
+    fec_encoder_ = std::make_unique<transport::FecEncoder>(
+        transport::FecEncoder::Config{.group_size =
+                                          config_.protection.group_size});
+    fec_decoder_ = std::make_unique<transport::FecDecoder>(
+        [this](const net::Packet& p, Timestamp arrival) {
+          OnFecRecovered(p, arrival);
+        });
+  }
+
+  if (config_.cross_traffic) {
+    cross_traffic_ = std::make_unique<net::CrossTraffic>(
+        loop_, *forward_link_, *config_.cross_traffic);
+  }
+
+  // --- periodic drivers ---
+  frame_task_ = std::make_unique<RepeatingTask>(loop_, source_.frame_interval(),
+                                                [this] { OnFrameTick(); });
+  timeseries_task_ = std::make_unique<RepeatingTask>(
+      loop_, config_.timeseries_interval, [this] { OnTimeseriesTick(); });
+}
+
+Session::~Session() = default;
+
+DataRate Session::RtxRate() const {
+  constexpr TimeDelta kWindow = TimeDelta::Millis(500);
+  const Timestamp now = loop_.now();
+  while (!rtx_sent_.empty() && now - rtx_sent_.front().first > kWindow) {
+    rtx_sent_.pop_front();
+  }
+  int64_t bits = 0;
+  for (const auto& [t, b] : rtx_sent_) bits += b;
+  return DataSize::Bits(bits) / kWindow;
+}
+
+DataRate Session::MediaTarget() const {
+  DataRate target = bwe_->target();
+  // FEC redundancy comes off the top (WebRTC's protection accounting)...
+  if (fec_encoder_) {
+    target = target * (1.0 - fec_overhead_);
+  }
+  // ...and so do retransmissions.
+  const DataRate rtx = RtxRate();
+  const DataRate floor = DataRate::KilobitsPerSec(50);
+  return target > rtx + floor ? target - rtx : floor;
+}
+
+core::NetworkObservation Session::MakeObservation() const {
+  core::NetworkObservation obs;
+  obs.at = loop_.now();
+  obs.target = MediaTarget();
+  obs.acked_rate = bwe_->acked_rate();
+  obs.rtt = bwe_->rtt();
+  obs.loss_rate = bwe_->loss_rate();
+  obs.usage = gcc_ ? gcc_->usage() : cc::BandwidthUsage::kNormal;
+  obs.overuse_decrease = overuse_decrease_seen_;
+  obs.pacer_queue = pacer_->queue_size();
+  obs.in_flight = history_.in_flight();
+  return obs;
+}
+
+void Session::OnFrameTick() {
+  const Timestamp now = loop_.now();
+  const video::RawFrame frame = source_.CaptureFrame(now);
+  metrics_.OnFrameCaptured(frame.frame_id, now);
+
+  // Sender safety valve (applies to every scheme).
+  if (pacer_->ExpectedQueueTime() > config_.max_pacer_queue) {
+    metrics_.OnFrameDroppedAtSender(frame.frame_id);
+    return;
+  }
+
+  if (network_rc_ != nullptr) {
+    // Fresh pacer/in-flight reading right before the decision.
+    network_rc_->OnNetworkUpdate(MakeObservation());
+    overuse_decrease_seen_ = false;
+  }
+
+  const codec::EncodedFrame encoded = encoder_->EncodeFrame(frame, now);
+
+  metrics::FrameRecord record;
+  record.frame_id = encoded.frame_id;
+  record.capture_time = encoded.capture_time;
+  record.type = encoded.type;
+  record.qp = encoded.qp;
+  record.size = encoded.size;
+  record.ssim = encoded.ssim;
+  record.psnr = encoded.psnr;
+  record.reencodes = encoded.reencodes;
+  record.temporal_complexity = encoded.temporal_complexity;
+  record.fate = encoded.skipped ? metrics::FrameFate::kSkippedEncoder
+                                : metrics::FrameFate::kInFlight;
+  metrics_.OnFrameEncoded(record);
+
+  if (encoded.skipped) return;
+  last_qp_ = encoded.qp;
+
+  if (degradation_ && degradation_->OnFrameQp(encoded.qp, now)) {
+    source_.SetResolution(degradation_->resolution());
+  }
+
+  std::vector<net::Packet> packets = packetizer_.Packetize(encoded);
+  for (const net::Packet& p : packets) {
+    media_to_frame_[p.media_seq] = p.frame_id;
+  }
+  pacer_->Enqueue(std::move(packets));
+}
+
+void Session::OnPacerSend(net::Packet packet) {
+  packet.seq = next_transport_seq_++;
+  history_.OnPacketSent(packet);
+  if (config_.enable_rtx && !packet.is_retransmission && !packet.is_fec) {
+    rtx_cache_.Insert(packet, loop_.now());
+  }
+  if (packet.is_retransmission) {
+    rtx_sent_.emplace_back(loop_.now(), packet.size.bits());
+  }
+
+  // FEC: first transmissions of media close protection groups. The
+  // resulting recovery packets are paced like any other packet (sending
+  // them back-to-back would imprint a periodic delay gradient the trendline
+  // estimator misreads as congestion); re-entering the pacer from its own
+  // send callback is deferred by one event-loop turn.
+  std::vector<net::Packet> recovery;
+  if (fec_encoder_ && !packet.is_retransmission && !packet.is_fec &&
+      packet.media_seq >= 0) {
+    recovery = fec_encoder_->OnMediaPacket(packet);
+  }
+  forward_link_->Send(std::move(packet));
+  if (!recovery.empty()) {
+    loop_.Schedule(TimeDelta::Zero(),
+                   [this, recovery = std::move(recovery)]() mutable {
+                     pacer_->Enqueue(std::move(recovery));
+                   });
+  }
+}
+
+void Session::OnFecRecovered(const net::Packet& packet, Timestamp arrival) {
+  if (nack_gen_) nack_gen_->OnPacketReceived(packet);
+  assembler_->OnPacketReceived(packet, arrival);
+}
+
+void Session::OnPacketArrival(const net::Packet& packet, Timestamp arrival) {
+  if (packet.is_fec) {
+    // Recovery packet: acked for bandwidth estimation, then handed to the
+    // FEC decoder with its group descriptors (sender-side bookkeeping; in a
+    // real stack the descriptors ride in the FlexFEC header).
+    feedback_gen_->OnPacketReceived(packet, arrival);
+    if (fec_decoder_ && fec_encoder_) {
+      if (const auto* group = fec_encoder_->GroupFor(packet.media_seq)) {
+        fec_decoder_->OnRecoveryPacket(packet.media_seq, *group,
+                                       fec_encoder_->recovery_packets(),
+                                       arrival);
+      }
+    }
+    return;
+  }
+  // Cross traffic terminates at a different receiver; it only matters for
+  // the queueing it caused upstream.
+  if (packet.media_seq < 0) return;
+  feedback_gen_->OnPacketReceived(packet, arrival);
+  if (fec_decoder_) fec_decoder_->OnMediaPacket(packet, arrival);
+  if (nack_gen_) nack_gen_->OnPacketReceived(packet);
+  assembler_->OnPacketReceived(packet, arrival);
+}
+
+void Session::OnNackAtSender(const transport::NackBatch& batch) {
+  // Retransmitting into an already-backlogged sender only deepens the
+  // overload (the RTX would sit behind seconds of media and be useless on
+  // arrival); WebRTC's pacer applies the same pressure valve.
+  if (pacer_->ExpectedQueueTime() > TimeDelta::Millis(200)) return;
+  for (int64_t media_seq : batch.media_seqs) {
+    if (auto packet = rtx_cache_.Lookup(media_seq, loop_.now())) {
+      pacer_->EnqueueFront(std::move(*packet));
+    }
+  }
+}
+
+void Session::OnNackGiveUp(int64_t media_seq) {
+  auto it = media_to_frame_.find(media_seq);
+  if (it == media_to_frame_.end()) return;
+  assembler_->AbandonFrame(it->second);
+}
+
+void Session::OnFeedbackAtSender(const transport::FeedbackReport& report) {
+  const Timestamp now = loop_.now();
+  const std::vector<transport::PacketResult> results =
+      history_.OnFeedback(report, now);
+  bwe_->OnPacketResults(results, now);
+  if (gcc_ && gcc_->decreased_on_last_update()) overuse_decrease_seen_ = true;
+
+  if (fec_encoder_) {
+    const int recovery =
+        protection_.RecoveryPacketsFor(bwe_->loss_rate());
+    fec_encoder_->SetRecoveryPackets(recovery);
+    fec_overhead_ = protection_.OverheadFor(recovery);
+  }
+
+  const DataRate target = bwe_->target();
+  pacer_->SetPacingRate(target * config_.pacing_factor);
+
+  if (network_rc_ != nullptr) {
+    network_rc_->OnNetworkUpdate(MakeObservation());
+    overuse_decrease_seen_ = false;
+  } else {
+    // Baselines: the application reconfigures the encoder's target bitrate,
+    // exactly like calling x264_encoder_reconfig with the GCC estimate
+    // (minus retransmission overhead, as WebRTC's protection accounting
+    // does).
+    encoder_->SetTargetRate(MediaTarget());
+  }
+}
+
+void Session::OnFrameComplete(const transport::CompleteFrame& frame) {
+  metrics_.OnFrameCompleted(frame.frame_id, frame.complete_time);
+  const transport::PlayoutDecision playout =
+      jitter_buffer_.OnFrameComplete(frame.capture_time, frame.complete_time);
+  metrics_.OnFrameRendered(frame.frame_id, playout.render_time, playout.late);
+  last_latency_ms_ = (frame.complete_time - frame.capture_time).ms_float();
+}
+
+void Session::OnFrameLost(int64_t frame_id) {
+  metrics_.OnFrameLost(frame_id);
+  // PLI travels back over the feedback path.
+  reverse_pipe_->Send([this] { encoder_->RequestKeyFrame(); });
+}
+
+void Session::OnTimeseriesTick() {
+  metrics::TimeseriesPoint p;
+  p.at = loop_.now();
+  p.capacity_kbps = config_.link.trace.RateAt(loop_.now()).kbps();
+  p.bwe_target_kbps = bwe_->target().kbps();
+  p.encoder_target_kbps = encoder_->rate_control().current_target().kbps();
+  p.acked_kbps = bwe_->acked_rate().kbps();
+  p.pacer_queue_ms = pacer_->ExpectedQueueTime().ms_float();
+  p.loss_rate = bwe_->loss_rate();
+  p.link_queue_ms = forward_link_->QueueDelay().ms_float();
+  p.last_qp = last_qp_;
+  p.last_latency_ms = last_latency_ms_;
+  metrics_.AddTimeseriesPoint(p);
+}
+
+SessionResult Session::Run() {
+  if (cross_traffic_) cross_traffic_->Start();
+  // First frame fires immediately; subsequent frames every interval.
+  frame_task_->StartWithDelay(TimeDelta::Zero());
+  timeseries_task_->StartWithDelay(config_.timeseries_interval);
+  loop_.RunFor(config_.duration);
+  frame_task_->Stop();
+  timeseries_task_->Stop();
+
+  SessionResult result;
+  result.scheme_name = ToString(config_.scheme);
+  result.summary = metrics_.Summarize(config_.duration);
+  result.frames = metrics_.frames();
+  result.timeseries = metrics_.timeseries();
+  result.link_stats = forward_link_->stats();
+  return result;
+}
+
+SessionResult RunSession(const SessionConfig& config) {
+  Session session(config);
+  return session.Run();
+}
+
+}  // namespace rave::rtc

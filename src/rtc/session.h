@@ -1,0 +1,181 @@
+// End-to-end RTC session: capture -> encoder -> packetizer -> pacer ->
+// bottleneck link -> reassembly, with transport-wide feedback flowing back
+// over a delay pipe into the bandwidth estimator and (for the adaptive
+// scheme) the encoder controller. One Session = one run of one scheme over
+// one capacity trace; every experiment in the evaluation is a set of
+// Sessions.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "cc/bwe.h"
+#include "cc/gcc.h"
+#include "codec/abr_rate_control.h"
+#include "codec/cbr_rate_control.h"
+#include "codec/encoder.h"
+#include "core/adaptive_rate_control.h"
+#include "core/degradation.h"
+#include "core/salsify_rate_control.h"
+#include "metrics/session_metrics.h"
+#include "net/cross_traffic.h"
+#include "net/link.h"
+#include "rtc/scheme.h"
+#include "sim/event_loop.h"
+#include "transport/fec.h"
+#include "transport/feedback.h"
+#include "transport/frame_assembler.h"
+#include "transport/packetizer.h"
+#include "transport/pacer.h"
+#include "transport/jitter_buffer.h"
+#include "transport/rtx.h"
+#include "video/video_source.h"
+
+namespace rave::rtc {
+
+struct SessionConfig {
+  Scheme scheme = Scheme::kAdaptive;
+  TimeDelta duration = TimeDelta::Seconds(60);
+  uint64_t seed = 1;
+
+  video::VideoSourceConfig source;
+  codec::EncoderConfig encoder;
+  net::Link::Config link;
+
+  /// One-way delay of the feedback path (reverse direction).
+  TimeDelta feedback_delay = TimeDelta::Millis(25);
+  /// Transport-wide feedback report interval.
+  TimeDelta feedback_interval = TimeDelta::Millis(50);
+  double feedback_loss = 0.0;
+
+  DataRate initial_rate = DataRate::KilobitsPerSec(1500);
+  /// Pacer drain rate = estimator target * pacing_factor.
+  double pacing_factor = 1.25;
+  /// Sender safety valve: frames are dropped before encoding once the pacer
+  /// queue exceeds this (libwebrtc media-optimization behaviour). Applies to
+  /// every scheme so the baseline cannot build unbounded sender queues.
+  TimeDelta max_pacer_queue = TimeDelta::Seconds(2);
+
+  /// Adaptive-scheme knobs (ablation switches live here).
+  core::AdaptiveConfig adaptive;
+  /// Salsify comparator knobs.
+  core::SalsifyConfig salsify;
+  /// Baseline knobs.
+  codec::AbrConfig abr;
+  codec::CbrConfig cbr;
+
+  /// Enables the resolution-degradation extension (adaptive scheme only).
+  bool enable_degradation = false;
+
+  /// Enables NACK/RTX loss recovery (on by default, as in WebRTC).
+  bool enable_rtx = true;
+
+  /// Enables adaptive FEC (FlexFEC-style; redundancy follows loss rate).
+  bool enable_fec = false;
+  transport::ProtectionController::Config protection;
+
+  /// Optional on/off cross traffic sharing the bottleneck.
+  std::optional<net::CrossTraffic::Config> cross_traffic;
+
+  TimeDelta timeseries_interval = TimeDelta::Millis(100);
+};
+
+/// Everything a run produces.
+struct SessionResult {
+  std::string scheme_name;
+  metrics::SessionSummary summary;
+  std::vector<metrics::FrameRecord> frames;
+  std::vector<metrics::TimeseriesPoint> timeseries;
+  net::LinkStats link_stats;
+};
+
+/// Builds and runs one session. Single use: construct, Run(), discard.
+class Session {
+ public:
+  explicit Session(SessionConfig config);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Runs the full session and returns its results.
+  SessionResult Run();
+
+  /// Access for tests that step the session manually.
+  EventLoop& loop() { return loop_; }
+  const metrics::SessionMetrics& metrics() const { return metrics_; }
+
+ private:
+  void OnFrameTick();
+  void OnPacerSend(net::Packet packet);
+  void OnPacketArrival(const net::Packet& packet, Timestamp arrival);
+  void OnFeedbackAtSender(const transport::FeedbackReport& report);
+  void OnNackAtSender(const transport::NackBatch& batch);
+  void OnFecRecovered(const net::Packet& packet, Timestamp arrival);
+  void OnNackGiveUp(int64_t media_seq);
+  void OnFrameComplete(const transport::CompleteFrame& frame);
+  void OnFrameLost(int64_t frame_id);
+  void OnTimeseriesTick();
+  core::NetworkObservation MakeObservation() const;
+  /// Recent retransmission bitrate (charged against the media budget, like
+  /// WebRTC's protection-bitrate accounting).
+  DataRate RtxRate() const;
+  /// Estimator target minus RTX overhead: what the encoder may spend.
+  DataRate MediaTarget() const;
+
+  SessionConfig config_;
+  EventLoop loop_;
+  video::VideoSource source_;
+  metrics::SessionMetrics metrics_;
+  transport::Packetizer packetizer_;
+  transport::SentPacketHistory history_;
+
+  std::unique_ptr<cc::BandwidthEstimator> bwe_;
+  /// Non-owning view of bwe_ when it is a GccEstimator (for usage signals).
+  cc::GccEstimator* gcc_ = nullptr;
+
+  std::unique_ptr<codec::Encoder> encoder_;
+  /// Non-owning view of the encoder's rate control when it consumes rich
+  /// network observations (adaptive and salsify schemes).
+  core::NetworkAwareRateControl* network_rc_ = nullptr;
+  std::optional<core::DegradationController> degradation_;
+
+  std::unique_ptr<transport::Pacer> pacer_;
+  std::unique_ptr<net::Link> forward_link_;
+  std::unique_ptr<net::DelayPipe> reverse_pipe_;
+  std::unique_ptr<transport::FeedbackGenerator> feedback_gen_;
+  std::unique_ptr<transport::FrameAssembler> assembler_;
+  transport::JitterBuffer jitter_buffer_;
+  transport::RtxCache rtx_cache_;
+  std::unique_ptr<transport::FecEncoder> fec_encoder_;
+  std::unique_ptr<transport::FecDecoder> fec_decoder_;
+  transport::ProtectionController protection_;
+  double fec_overhead_ = 0.0;
+  std::unique_ptr<transport::NackGenerator> nack_gen_;
+  std::unique_ptr<net::CrossTraffic> cross_traffic_;
+
+  /// Transport-wide sequence space shared by first sends and RTX.
+  int64_t next_transport_seq_ = 0;
+  /// (send time, bits) of recent retransmissions for RtxRate().
+  mutable std::deque<std::pair<Timestamp, int64_t>> rtx_sent_;
+  /// Sender-side media-seq -> frame-id map (simulation bookkeeping for the
+  /// NACK give-up path).
+  std::unordered_map<int64_t, int64_t> media_to_frame_;
+
+  std::unique_ptr<RepeatingTask> frame_task_;
+  std::unique_ptr<RepeatingTask> timeseries_task_;
+
+  // Latest values for observations/timeseries.
+  bool overuse_decrease_seen_ = false;
+  double last_qp_ = 0.0;
+  double last_latency_ms_ = 0.0;
+};
+
+/// Convenience: build + run in one call.
+SessionResult RunSession(const SessionConfig& config);
+
+}  // namespace rave::rtc

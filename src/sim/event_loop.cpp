@@ -1,0 +1,89 @@
+#include "sim/event_loop.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace rave {
+
+EventHandle EventLoop::Schedule(TimeDelta delay, std::function<void()> fn) {
+  if (delay < TimeDelta::Zero()) delay = TimeDelta::Zero();
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventHandle EventLoop::ScheduleAt(Timestamp at, std::function<void()> fn) {
+  assert(fn);
+  if (at < now_) at = now_;
+  const uint64_t id = next_id_++;
+  queue_.push(Event{at, next_seq_++, id, std::move(fn)});
+  return EventHandle(id);
+}
+
+void EventLoop::Cancel(EventHandle handle) {
+  if (!handle.valid()) return;
+  cancelled_.push_back(handle.id_);
+  ++cancelled_pending_;
+}
+
+bool EventLoop::PopAndRunNext(Timestamp until) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), top.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      --cancelled_pending_;
+      queue_.pop();
+      continue;
+    }
+    if (top.at > until) return false;
+    // Move the callback out before popping so re-entrant scheduling is safe.
+    Event ev{top.at, top.seq, top.id,
+             std::move(const_cast<Event&>(top).fn)};
+    queue_.pop();
+    now_ = ev.at;
+    ++events_executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void EventLoop::RunUntil(Timestamp until) {
+  while (PopAndRunNext(until)) {
+  }
+  if (until > now_ && until.IsFinite()) now_ = until;
+}
+
+void EventLoop::RunAll() { RunUntil(Timestamp::PlusInfinity()); }
+
+RepeatingTask::RepeatingTask(EventLoop& loop, TimeDelta period,
+                             std::function<void()> fn)
+    : loop_(loop), period_(period), fn_(std::move(fn)) {
+  assert(period_ > TimeDelta::Zero());
+  assert(fn_);
+}
+
+RepeatingTask::~RepeatingTask() { Stop(); }
+
+void RepeatingTask::Start() { StartWithDelay(period_); }
+
+void RepeatingTask::StartWithDelay(TimeDelta initial_delay) {
+  Stop();
+  running_ = true;
+  pending_ = loop_.Schedule(initial_delay, [this] { Fire(); });
+}
+
+void RepeatingTask::Stop() {
+  if (running_) {
+    loop_.Cancel(pending_);
+    running_ = false;
+  }
+}
+
+void RepeatingTask::Fire() {
+  if (!running_) return;
+  pending_ = loop_.Schedule(period_, [this] { Fire(); });
+  fn_();
+}
+
+}  // namespace rave

@@ -1,0 +1,125 @@
+// Deterministic discrete-event simulation core.
+//
+// Every component in the RTC pipeline (pacer, link, feedback path, encoder
+// cadence) schedules callbacks on a single `EventLoop`. Events with equal
+// fire times execute in scheduling order (a monotonically increasing
+// sequence number breaks ties), which makes whole-session runs bit-for-bit
+// reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.h"
+
+namespace rave {
+
+/// Handle used to cancel a scheduled event. Default-constructed handles are
+/// inert.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  bool valid() const { return id_ != 0; }
+
+ private:
+  friend class EventLoop;
+  explicit EventHandle(uint64_t id) : id_(id) {}
+  uint64_t id_ = 0;
+};
+
+/// Single-threaded discrete-event loop with µs resolution.
+class EventLoop {
+ public:
+  EventLoop() = default;
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Current simulation time. Starts at Timestamp::Zero().
+  Timestamp now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` from now. Negative delays clamp to zero
+  /// (the event still runs strictly after the current callback returns).
+  EventHandle Schedule(TimeDelta delay, std::function<void()> fn);
+
+  /// Schedules `fn` at an absolute time; times in the past clamp to `now()`.
+  EventHandle ScheduleAt(Timestamp at, std::function<void()> fn);
+
+  /// Cancels a pending event. No-op if the event already ran or the handle is
+  /// inert.
+  void Cancel(EventHandle handle);
+
+  /// Runs until the queue drains or simulation time reaches `until`
+  /// (inclusive: events at exactly `until` run).
+  void RunUntil(Timestamp until);
+
+  /// Runs for `duration` from the current time.
+  void RunFor(TimeDelta duration) { RunUntil(now_ + duration); }
+
+  /// Runs until the queue is fully drained. Intended for tests; production
+  /// sessions always bound the run time.
+  void RunAll();
+
+  /// Number of events executed so far (for tests/diagnostics).
+  uint64_t events_executed() const { return events_executed_; }
+  /// Number of events currently pending.
+  size_t pending() const { return queue_.size() - cancelled_pending_; }
+
+ private:
+  struct Event {
+    Timestamp at;
+    uint64_t seq;
+    uint64_t id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool PopAndRunNext(Timestamp until);
+
+  Timestamp now_ = Timestamp::Zero();
+  uint64_t next_seq_ = 1;
+  uint64_t next_id_ = 1;
+  uint64_t events_executed_ = 0;
+  size_t cancelled_pending_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<uint64_t> cancelled_;
+};
+
+/// Re-schedules a callback at a fixed period until stopped. The first firing
+/// is one period after `Start()` (or at an explicit phase offset).
+class RepeatingTask {
+ public:
+  /// Creates a task bound to `loop` firing every `period`, invoking `fn`.
+  RepeatingTask(EventLoop& loop, TimeDelta period, std::function<void()> fn);
+  ~RepeatingTask();
+
+  RepeatingTask(const RepeatingTask&) = delete;
+  RepeatingTask& operator=(const RepeatingTask&) = delete;
+
+  /// Begins firing. `initial_delay` defaults to one period.
+  void Start();
+  void StartWithDelay(TimeDelta initial_delay);
+  /// Stops future firings; safe to call from within the callback.
+  void Stop();
+
+  bool running() const { return running_; }
+
+ private:
+  void Fire();
+
+  EventLoop& loop_;
+  TimeDelta period_;
+  std::function<void()> fn_;
+  bool running_ = false;
+  EventHandle pending_;
+};
+
+}  // namespace rave

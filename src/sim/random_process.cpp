@@ -1,0 +1,47 @@
+#include "sim/random_process.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rave {
+
+Ar1Process::Ar1Process(const Config& config, Rng rng)
+    : config_(config), rng_(rng), value_(config.mean) {
+  assert(config_.phi >= 0.0 && config_.phi < 1.0);
+  assert(config_.hi > config_.lo);
+}
+
+double Ar1Process::Step() {
+  const double centered = value_ - config_.mean;
+  double next =
+      config_.mean + config_.phi * centered + rng_.Gaussian(0.0, config_.sigma);
+  value_ = std::clamp(next, config_.lo, config_.hi);
+  return value_;
+}
+
+void Ar1Process::SetValue(double v) {
+  value_ = std::clamp(v, config_.lo, config_.hi);
+}
+
+GilbertProcess::GilbertProcess(const Config& config, Rng rng)
+    : config_(config), rng_(rng) {}
+
+bool GilbertProcess::Step() {
+  if (bad_) {
+    if (rng_.Bernoulli(config_.p_bad_to_good)) bad_ = false;
+  } else {
+    if (rng_.Bernoulli(config_.p_good_to_bad)) bad_ = true;
+  }
+  return bad_;
+}
+
+PoissonArrivals::PoissonArrivals(TimeDelta mean_interval, Rng rng)
+    : mean_seconds_(mean_interval.seconds()), rng_(rng) {
+  assert(mean_seconds_ > 0.0);
+}
+
+TimeDelta PoissonArrivals::NextGap() {
+  return TimeDelta::SecondsF(rng_.Exponential(mean_seconds_));
+}
+
+}  // namespace rave

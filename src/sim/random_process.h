@@ -1,0 +1,75 @@
+// Stochastic building blocks shared by the content model and the capacity
+// trace generators: a mean-reverting AR(1) process, a two-state Gilbert
+// (Markov) process and a Poisson event stream.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace rave {
+
+/// Mean-reverting first-order autoregressive process:
+///   x' = mean + phi * (x - mean) + N(0, sigma^2),
+/// clamped to [lo, hi]. Sampled at a caller-defined cadence.
+class Ar1Process {
+ public:
+  struct Config {
+    double mean = 1.0;
+    double phi = 0.95;    ///< persistence in [0,1); higher = smoother
+    double sigma = 0.05;  ///< innovation stddev
+    double lo = 0.0;
+    double hi = 1e18;
+  };
+
+  Ar1Process(const Config& config, Rng rng);
+
+  /// Advances one step and returns the new value.
+  double Step();
+  double value() const { return value_; }
+  /// Forces the current value (used to inject scene changes).
+  void SetValue(double v);
+
+ private:
+  Config config_;
+  Rng rng_;
+  double value_;
+};
+
+/// Two-state Markov (Gilbert) process; useful for bursty impairments such as
+/// Wi-Fi interference. State 0 = "good", state 1 = "bad".
+class GilbertProcess {
+ public:
+  struct Config {
+    double p_good_to_bad = 0.01;  ///< per-step transition probability
+    double p_bad_to_good = 0.2;
+  };
+
+  GilbertProcess(const Config& config, Rng rng);
+
+  /// Advances one step; returns true while in the bad state.
+  bool Step();
+  bool bad() const { return bad_; }
+
+ private:
+  Config config_;
+  Rng rng_;
+  bool bad_ = false;
+};
+
+/// Poisson arrival stream: exponentially distributed gaps with a given mean
+/// interval. Used for scene-change arrivals in the content model.
+class PoissonArrivals {
+ public:
+  PoissonArrivals(TimeDelta mean_interval, Rng rng);
+
+  /// Time until the next arrival (freshly sampled each call).
+  TimeDelta NextGap();
+
+ private:
+  double mean_seconds_;
+  Rng rng_;
+};
+
+}  // namespace rave

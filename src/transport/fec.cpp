@@ -1,0 +1,169 @@
+#include "transport/fec.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rave::transport {
+
+FecEncoder::FecEncoder(const Config& config) : config_(config) {
+  assert(config_.group_size > 0);
+}
+
+void FecEncoder::SetRecoveryPackets(int count) {
+  config_.recovery_packets = std::max(count, 0);
+}
+
+std::vector<net::Packet> FecEncoder::OnMediaPacket(const net::Packet& packet) {
+  ProtectedPacket descriptor;
+  descriptor.media_seq = packet.media_seq;
+  descriptor.size = packet.size;
+  descriptor.frame_id = packet.frame_id;
+  descriptor.packet_index = packet.packet_index;
+  descriptor.packets_in_frame = packet.packets_in_frame;
+  descriptor.capture_time = packet.capture_time;
+  descriptor.keyframe = packet.keyframe;
+  current_group_.push_back(descriptor);
+  largest_in_group_ = std::max(largest_in_group_, packet.size);
+
+  std::vector<net::Packet> recovery;
+  if (static_cast<int>(current_group_.size()) < config_.group_size) {
+    return recovery;
+  }
+
+  for (int i = 0; i < config_.recovery_packets; ++i) {
+    net::Packet fec;
+    fec.media_seq = next_fec_seq_--;
+    fec.is_fec = true;
+    fec.frame_id = -1;  // not a media frame
+    fec.size = largest_in_group_;
+    recovery.push_back(fec);
+    groups_[fec.media_seq] = current_group_;
+  }
+  // Bound the bookkeeping (a few hundred groups is several seconds).
+  while (groups_.size() > 512) groups_.erase(std::prev(groups_.end()));
+
+  current_group_.clear();
+  largest_in_group_ = DataSize::Zero();
+  return recovery;
+}
+
+const std::vector<ProtectedPacket>* FecEncoder::GroupFor(
+    int64_t fec_seq) const {
+  auto it = groups_.find(fec_seq);
+  if (it == groups_.end()) return nullptr;
+  return &it->second;
+}
+
+FecDecoder::FecDecoder(RecoverCallback on_recovered)
+    : on_recovered_(std::move(on_recovered)) {
+  assert(on_recovered_);
+}
+
+void FecDecoder::OnMediaPacket(const net::Packet& packet, Timestamp arrival) {
+  auto group_it = media_to_group_.find(packet.media_seq);
+  if (group_it == media_to_group_.end()) {
+    // Group not announced yet (media usually outruns its recovery packet);
+    // remember the arrival so the group can be credited later.
+    orphan_media_[packet.media_seq] = arrival;
+    while (orphan_media_.size() > 2048) {
+      orphan_media_.erase(orphan_media_.begin());
+    }
+    return;
+  }
+  auto it = groups_.find(group_it->second);
+  if (it == groups_.end()) return;
+  GroupState& group = it->second;
+  for (size_t i = 0; i < group.protected_packets.size(); ++i) {
+    if (group.protected_packets[i].media_seq == packet.media_seq &&
+        !group.media_arrived[i]) {
+      group.media_arrived[i] = true;
+      ++group.arrived_total;
+      MaybeRecover(group, arrival);
+      return;
+    }
+  }
+}
+
+void FecDecoder::OnRecoveryPacket(int64_t /*fec_seq*/,
+                                  const std::vector<ProtectedPacket>& group,
+                                  int recovery_in_group, Timestamp arrival) {
+  if (group.empty()) return;
+  const int64_t key = group.front().media_seq;
+  auto [it, inserted] = groups_.try_emplace(key);
+  GroupState& state = it->second;
+  if (inserted) {
+    state.protected_packets = group;
+    state.media_arrived.assign(group.size(), false);
+    state.expected_media = static_cast<int>(group.size());
+    state.expected_recovery = recovery_in_group;
+    for (size_t i = 0; i < group.size(); ++i) {
+      media_to_group_[group[i].media_seq] = key;
+      // Credit media packets that arrived before this announcement.
+      auto orphan = orphan_media_.find(group[i].media_seq);
+      if (orphan != orphan_media_.end()) {
+        state.media_arrived[i] = true;
+        ++state.arrived_total;
+        orphan_media_.erase(orphan);
+      }
+    }
+  }
+  ++state.arrived_total;
+  MaybeRecover(state, arrival);
+  Prune();
+}
+
+void FecDecoder::MaybeRecover(GroupState& group, Timestamp arrival) {
+  if (group.recovered) return;
+  if (group.arrived_total < group.expected_media) return;
+  // MDS property: N total arrivals reconstruct all N media packets.
+  group.recovered = true;
+  for (size_t i = 0; i < group.protected_packets.size(); ++i) {
+    if (group.media_arrived[i]) continue;
+    const ProtectedPacket& d = group.protected_packets[i];
+    net::Packet packet;
+    packet.media_seq = d.media_seq;
+    packet.size = d.size;
+    packet.frame_id = d.frame_id;
+    packet.packet_index = d.packet_index;
+    packet.packets_in_frame = d.packets_in_frame;
+    packet.capture_time = d.capture_time;
+    packet.keyframe = d.keyframe;
+    ++packets_recovered_;
+    on_recovered_(packet, arrival);
+  }
+}
+
+void FecDecoder::Prune() {
+  while (groups_.size() > 256) {
+    for (const ProtectedPacket& p :
+         groups_.begin()->second.protected_packets) {
+      media_to_group_.erase(p.media_seq);
+    }
+    groups_.erase(groups_.begin());
+  }
+}
+
+ProtectionController::ProtectionController(const Config& config)
+    : config_(config) {
+  assert(config_.group_size > 0);
+}
+
+ProtectionController::ProtectionController()
+    : ProtectionController(Config{}) {}
+
+int ProtectionController::RecoveryPacketsFor(double loss_rate) const {
+  if (loss_rate < config_.activation_loss) return 0;
+  // Expected losses per group, with headroom, rounded up.
+  const double expected =
+      loss_rate * config_.headroom * config_.group_size;
+  const int packets = static_cast<int>(std::ceil(expected));
+  return std::clamp(packets, 1, config_.max_recovery);
+}
+
+double ProtectionController::OverheadFor(int recovery_packets) const {
+  return static_cast<double>(recovery_packets) /
+         static_cast<double>(config_.group_size + recovery_packets);
+}
+
+}  // namespace rave::transport

@@ -1,0 +1,139 @@
+// Forward error correction (FLEXFEC-style model) plus the adaptive
+// protection controller that decides how much redundancy to spend.
+//
+// The sender groups consecutive media packets and appends recovery packets;
+// any combination of up to K losses within a group of N media packets is
+// recoverable once at least N of the N+K packets arrive (an idealized MDS
+// code — real XOR-based FlexFEC is slightly weaker, parity in one masked
+// subset). Recovery packets carry descriptors of the packets they protect,
+// so the receiver can resynthesize a lost packet's metadata exactly.
+//
+// FEC trades bitrate for latency: it repairs losses in ~0 RTT where NACK/RTX
+// needs one round trip, at the cost of redundancy that must come out of the
+// media budget. The protection controller scales the overhead with the
+// observed loss rate, as WebRTC's media optimization does.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "net/packet.h"
+#include "util/time.h"
+#include "util/units.h"
+
+namespace rave::transport {
+
+/// Descriptor of a protected media packet (enough to resynthesize it).
+struct ProtectedPacket {
+  int64_t media_seq = -1;
+  DataSize size = DataSize::Zero();
+  int64_t frame_id = -1;
+  int packet_index = 0;
+  int packets_in_frame = 1;
+  Timestamp capture_time = Timestamp::MinusInfinity();
+  bool keyframe = false;
+};
+
+/// Groups media packets and emits recovery packets.
+class FecEncoder {
+ public:
+  struct Config {
+    /// Media packets per protection group.
+    int group_size = 10;
+    /// Current number of recovery packets per group (set by the protection
+    /// controller; 0 disables FEC).
+    int recovery_packets = 0;
+  };
+
+  explicit FecEncoder(const Config& config);
+
+  /// Adjusts redundancy (takes effect from the next group).
+  void SetRecoveryPackets(int count);
+  int recovery_packets() const { return config_.recovery_packets; }
+
+  /// Feeds one outgoing media packet; returns the recovery packets to send
+  /// when this packet closes a group (empty otherwise). Recovery packets are
+  /// sized like the largest packet in the group.
+  std::vector<net::Packet> OnMediaPacket(const net::Packet& packet);
+
+  /// Descriptors of the group a recovery packet protects, keyed by the
+  /// recovery packet's media_seq (negative, distinct space).
+  const std::vector<ProtectedPacket>* GroupFor(int64_t fec_seq) const;
+
+ private:
+  Config config_;
+  std::vector<ProtectedPacket> current_group_;
+  DataSize largest_in_group_ = DataSize::Zero();
+  int64_t next_fec_seq_ = -1000;  // descending, never collides with media
+  std::map<int64_t, std::vector<ProtectedPacket>> groups_;
+};
+
+/// Receiver side: counts arrivals per group and recovers missing packets.
+class FecDecoder {
+ public:
+  /// Called with each packet recovered by FEC (resynthesized metadata).
+  using RecoverCallback = std::function<void(const net::Packet&, Timestamp)>;
+
+  explicit FecDecoder(RecoverCallback on_recovered);
+
+  /// Feeds every received packet (media and recovery). Recovery packets
+  /// must carry their group descriptors (set by the session from the
+  /// FecEncoder bookkeeping).
+  void OnMediaPacket(const net::Packet& packet, Timestamp arrival);
+  void OnRecoveryPacket(int64_t fec_seq,
+                        const std::vector<ProtectedPacket>& group,
+                        int recovery_in_group, Timestamp arrival);
+
+  int64_t packets_recovered() const { return packets_recovered_; }
+
+ private:
+  struct GroupState {
+    std::vector<ProtectedPacket> protected_packets;
+    std::vector<bool> media_arrived;
+    int arrived_total = 0;  // media + recovery
+    int expected_media = 0;
+    int expected_recovery = 0;
+    bool recovered = false;
+  };
+
+  void MaybeRecover(GroupState& group, Timestamp arrival);
+  void Prune();
+
+  RecoverCallback on_recovered_;
+  /// Keyed by the first protected media seq of the group.
+  std::map<int64_t, GroupState> groups_;
+  std::map<int64_t, int64_t> media_to_group_;
+  /// Media arrivals whose group has not been announced yet.
+  std::map<int64_t, Timestamp> orphan_media_;
+  int64_t packets_recovered_ = 0;
+};
+
+/// Loss-adaptive redundancy: recovery packets per group grows with the
+/// recent loss rate (0 below the activation threshold).
+class ProtectionController {
+ public:
+  struct Config {
+    int group_size = 10;
+    int max_recovery = 4;
+    /// Loss rate below which FEC stays off.
+    double activation_loss = 0.005;
+    /// Target: survive `headroom` x the observed loss rate.
+    double headroom = 2.0;
+  };
+
+  explicit ProtectionController(const Config& config);
+  ProtectionController();
+
+  /// Returns the recovery-packet count for the given smoothed loss rate.
+  int RecoveryPacketsFor(double loss_rate) const;
+
+  /// Fraction of the send rate spent on redundancy for that choice.
+  double OverheadFor(int recovery_packets) const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace rave::transport

@@ -1,0 +1,81 @@
+#include "transport/feedback.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace rave::transport {
+
+FeedbackGenerator::FeedbackGenerator(EventLoop& loop, TimeDelta interval,
+                                     SendCallback send)
+    : loop_(loop),
+      send_(std::move(send)),
+      task_(loop, interval, [this] { Flush(); }) {
+  assert(send_);
+  task_.Start();
+}
+
+void FeedbackGenerator::OnPacketReceived(const net::Packet& packet,
+                                         Timestamp arrival) {
+  pending_.push_back({packet.seq, arrival, packet.size});
+  highest_seq_ = std::max(highest_seq_, packet.seq);
+}
+
+void FeedbackGenerator::Flush() {
+  if (pending_.empty()) return;
+  FeedbackReport report;
+  report.created = loop_.now();
+  report.highest_seq = highest_seq_;
+  report.packets = std::move(pending_);
+  pending_.clear();
+  send_(std::move(report));
+}
+
+SentPacketHistory::SentPacketHistory(TimeDelta window) : window_(window) {}
+
+void SentPacketHistory::OnPacketSent(const net::Packet& packet) {
+  assert(sent_.empty() || packet.seq > sent_.back().seq);
+  sent_.push_back({packet.seq, packet.size, packet.send_time});
+  in_flight_ += packet.size;
+}
+
+std::vector<PacketResult> SentPacketHistory::OnFeedback(
+    const FeedbackReport& report, Timestamp now) {
+  std::vector<PacketResult> results;
+  results.reserve(report.packets.size());
+
+  // The report's packets are in arrival order; the history is in seq order.
+  // Every history entry with seq <= highest_seq is resolved by this report:
+  // acked if present, lost otherwise (droptail produces no reordering across
+  // reports, so a gap below the highest received seq is a genuine loss).
+  auto acked_of = [&report](int64_t seq) -> const ReceivedPacket* {
+    for (const ReceivedPacket& r : report.packets) {
+      if (r.seq == seq) return &r;
+    }
+    return nullptr;
+  };
+
+  while (!sent_.empty() && sent_.front().seq <= report.highest_seq) {
+    const SentRecord& rec = sent_.front();
+    PacketResult result;
+    result.seq = rec.seq;
+    result.size = rec.size;
+    result.send_time = rec.send_time;
+    if (const ReceivedPacket* acked = acked_of(rec.seq)) {
+      result.arrival = acked->arrival;
+    }
+    in_flight_ -= rec.size;
+    results.push_back(result);
+    sent_.pop_front();
+  }
+
+  // Prune anything older than the history window that was never covered by
+  // a report (e.g. the tail of a session).
+  while (!sent_.empty() && now - sent_.front().send_time > window_) {
+    in_flight_ -= sent_.front().size;
+    sent_.pop_front();
+  }
+  return results;
+}
+
+}  // namespace rave::transport

@@ -1,0 +1,97 @@
+// Transport-wide congestion-control feedback (RFC 8888 / transport-cc
+// style): the receiver records every media packet's arrival time and flushes
+// periodic reports back to the sender, which joins them with its sent-packet
+// history to produce the (send time, arrival time, size) triples the
+// bandwidth estimator consumes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/event_loop.h"
+#include "util/time.h"
+#include "util/units.h"
+
+namespace rave::transport {
+
+/// Receiver-side record of one arrived packet.
+struct ReceivedPacket {
+  int64_t seq = 0;
+  Timestamp arrival = Timestamp::Zero();
+  DataSize size = DataSize::Zero();
+};
+
+/// One feedback message travelling back to the sender.
+struct FeedbackReport {
+  Timestamp created = Timestamp::Zero();
+  /// Highest sequence number seen by the receiver so far (for loss
+  /// accounting of gaps at the report boundary).
+  int64_t highest_seq = -1;
+  std::vector<ReceivedPacket> packets;
+};
+
+/// Receiver component: buffers arrivals, flushes a report every interval.
+class FeedbackGenerator {
+ public:
+  using SendCallback = std::function<void(FeedbackReport)>;
+
+  FeedbackGenerator(EventLoop& loop, TimeDelta interval, SendCallback send);
+
+  void OnPacketReceived(const net::Packet& packet, Timestamp arrival);
+
+  /// Forces a flush now (used by tests).
+  void Flush();
+
+ private:
+  EventLoop& loop_;
+  SendCallback send_;
+  RepeatingTask task_;
+  std::vector<ReceivedPacket> pending_;
+  int64_t highest_seq_ = -1;
+};
+
+/// Sender-side joined view of one packet's fate.
+struct PacketResult {
+  int64_t seq = 0;
+  DataSize size = DataSize::Zero();
+  Timestamp send_time = Timestamp::Zero();
+  /// Unset when the packet was reported lost (a gap in acked sequences).
+  std::optional<Timestamp> arrival;
+};
+
+/// Sender component: remembers sent packets and resolves feedback reports
+/// into PacketResults, including inferred losses.
+class SentPacketHistory {
+ public:
+  /// Retains at most `window` of history (older entries are pruned).
+  explicit SentPacketHistory(TimeDelta window = TimeDelta::Seconds(10));
+
+  void OnPacketSent(const net::Packet& packet);
+
+  /// Joins a feedback report against history. Packets with a sequence number
+  /// <= report.highest_seq that were sent but never acked by any report so
+  /// far are returned as lost exactly once.
+  std::vector<PacketResult> OnFeedback(const FeedbackReport& report,
+                                       Timestamp now);
+
+  size_t in_flight_packets() const { return sent_.size(); }
+  /// Bits sent but not yet acked or declared lost.
+  DataSize in_flight() const { return in_flight_; }
+
+ private:
+  struct SentRecord {
+    int64_t seq;
+    DataSize size;
+    Timestamp send_time;
+  };
+
+  TimeDelta window_;
+  std::deque<SentRecord> sent_;  // ordered by seq
+  DataSize in_flight_ = DataSize::Zero();
+};
+
+}  // namespace rave::transport

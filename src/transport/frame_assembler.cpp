@@ -1,0 +1,82 @@
+#include "transport/frame_assembler.h"
+
+#include <cassert>
+#include <utility>
+
+namespace rave::transport {
+
+FrameAssembler::FrameAssembler(EventLoop& loop, const Config& config,
+                               FrameCallback on_frame,
+                               LossCallback on_frame_lost)
+    : loop_(loop),
+      config_(config),
+      on_frame_(std::move(on_frame)),
+      on_frame_lost_(std::move(on_frame_lost)),
+      sweep_task_(loop, config.sweep_interval, [this] { Sweep(); }) {
+  assert(on_frame_);
+  assert(on_frame_lost_);
+  sweep_task_.Start();
+}
+
+void FrameAssembler::OnPacketReceived(const net::Packet& packet,
+                                      Timestamp arrival) {
+  if (packet.frame_id < 0) return;
+  if (completed_.count(packet.frame_id) || lost_.count(packet.frame_id)) {
+    return;  // duplicate RTX for an already-resolved frame
+  }
+
+  PendingFrame& frame = pending_[packet.frame_id];
+  if (frame.received.empty()) {
+    frame.received.assign(static_cast<size_t>(packet.packets_in_frame), false);
+    frame.capture_time = packet.capture_time;
+    frame.first_arrival = arrival;
+    frame.keyframe = packet.keyframe;
+  }
+  const auto index = static_cast<size_t>(packet.packet_index);
+  if (index >= frame.received.size() || frame.received[index]) {
+    return;  // duplicate
+  }
+  frame.received[index] = true;
+  ++frame.received_count;
+  frame.size += packet.size;
+
+  if (frame.received_count < static_cast<int>(frame.received.size())) return;
+
+  CompleteFrame complete;
+  complete.frame_id = packet.frame_id;
+  complete.capture_time = frame.capture_time;
+  complete.complete_time = arrival;
+  complete.size = frame.size;
+  complete.keyframe = frame.keyframe;
+  complete.packets = frame.received_count;
+  pending_.erase(packet.frame_id);
+  completed_.insert(packet.frame_id);
+
+  ++frames_completed_;
+  on_frame_(complete);
+}
+
+void FrameAssembler::AbandonFrame(int64_t frame_id) {
+  if (completed_.count(frame_id) || lost_.count(frame_id)) return;
+  DeclareLost(frame_id);
+}
+
+void FrameAssembler::DeclareLost(int64_t frame_id) {
+  pending_.erase(frame_id);
+  lost_.insert(frame_id);
+  ++frames_lost_;
+  on_frame_lost_(frame_id);
+}
+
+void FrameAssembler::Sweep() {
+  const Timestamp now = loop_.now();
+  std::vector<int64_t> expired;
+  for (const auto& [id, frame] : pending_) {
+    if (now - frame.first_arrival > config_.loss_timeout) {
+      expired.push_back(id);
+    }
+  }
+  for (int64_t id : expired) DeclareLost(id);
+}
+
+}  // namespace rave::transport

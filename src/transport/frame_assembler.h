@@ -1,0 +1,82 @@
+// Receiver-side frame reassembly: collects a frame's packets (first
+// transmissions and retransmissions alike, deduplicated), reports the frame
+// complete when the last one arrives — the moment it becomes decodable and
+// the end of its end-to-end latency — and declares frames lost when they
+// cannot complete (NACK retries exhausted, or an incompleteness timeout as
+// backstop). Loss triggers a PLI-style keyframe request upstream.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/event_loop.h"
+#include "util/time.h"
+#include "util/units.h"
+
+namespace rave::transport {
+
+/// A fully received frame.
+struct CompleteFrame {
+  int64_t frame_id = 0;
+  Timestamp capture_time = Timestamp::Zero();
+  /// Arrival of the frame's last packet.
+  Timestamp complete_time = Timestamp::Zero();
+  DataSize size = DataSize::Zero();
+  bool keyframe = false;
+  int packets = 0;
+};
+
+class FrameAssembler {
+ public:
+  struct Config {
+    /// A frame incomplete this long after its first packet is lost.
+    TimeDelta loss_timeout = TimeDelta::Millis(600);
+    TimeDelta sweep_interval = TimeDelta::Millis(100);
+  };
+
+  using FrameCallback = std::function<void(const CompleteFrame&)>;
+  using LossCallback = std::function<void(int64_t frame_id)>;
+
+  FrameAssembler(EventLoop& loop, const Config& config,
+                 FrameCallback on_frame, LossCallback on_frame_lost);
+
+  void OnPacketReceived(const net::Packet& packet, Timestamp arrival);
+
+  /// Declares a frame unrecoverable (e.g. NACK retries exhausted). Fires the
+  /// loss callback exactly once per frame; no-op for completed frames.
+  void AbandonFrame(int64_t frame_id);
+
+  int64_t frames_completed() const { return frames_completed_; }
+  int64_t frames_lost() const { return frames_lost_; }
+  size_t frames_pending() const { return pending_.size(); }
+
+ private:
+  struct PendingFrame {
+    std::vector<bool> received;
+    int received_count = 0;
+    DataSize size = DataSize::Zero();
+    Timestamp capture_time = Timestamp::Zero();
+    Timestamp first_arrival = Timestamp::Zero();
+    bool keyframe = false;
+  };
+
+  void Sweep();
+  void DeclareLost(int64_t frame_id);
+
+  EventLoop& loop_;
+  Config config_;
+  FrameCallback on_frame_;
+  LossCallback on_frame_lost_;
+  RepeatingTask sweep_task_;
+  std::map<int64_t, PendingFrame> pending_;
+  std::set<int64_t> completed_;
+  std::set<int64_t> lost_;
+  int64_t frames_completed_ = 0;
+  int64_t frames_lost_ = 0;
+};
+
+}  // namespace rave::transport

@@ -1,0 +1,51 @@
+#include "transport/jitter_buffer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rave::transport {
+
+JitterBuffer::JitterBuffer(const Config& config)
+    : config_(config),
+      delay_ms_(config.alpha),
+      current_delay_(config.min_delay) {}
+
+JitterBuffer::JitterBuffer() : JitterBuffer(Config{}) {}
+
+void JitterBuffer::AdaptTo(TimeDelta network_delay) {
+  delay_ms_.Add(network_delay.ms_float());
+  const double target_ms =
+      delay_ms_.value() +
+      config_.headroom_stddevs * std::sqrt(std::max(delay_ms_.variance(), 0.0));
+  current_delay_ =
+      std::clamp(TimeDelta::SecondsF(target_ms / 1e3), config_.min_delay,
+                 config_.max_delay);
+}
+
+PlayoutDecision JitterBuffer::OnFrameComplete(Timestamp capture_time,
+                                              Timestamp complete_time) {
+  ++frames_;
+  const TimeDelta network_delay = complete_time - capture_time;
+
+  PlayoutDecision decision;
+  decision.playout_delay = current_delay_;
+  Timestamp render = capture_time + current_delay_;
+  if (render < complete_time) {
+    // Deadline missed: stutter, render on arrival, grow the buffer.
+    decision.late = true;
+    ++late_frames_;
+    render = complete_time;
+    current_delay_ = std::min(
+        config_.max_delay,
+        std::max(current_delay_ * config_.late_boost, network_delay));
+  }
+  // Renders never go backwards (frames display in order).
+  if (render <= last_render_) render = last_render_ + TimeDelta::Micros(1);
+  last_render_ = render;
+  decision.render_time = render;
+
+  AdaptTo(network_delay);
+  return decision;
+}
+
+}  // namespace rave::transport

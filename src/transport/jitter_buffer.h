@@ -1,0 +1,65 @@
+// Adaptive playout buffer (NetEq/WebRTC-style). Decodable frames are not
+// rendered the instant they complete: the receiver schedules playout at
+// capture_time + playout_delay, where the delay adapts to observed network
+// jitter — large enough that most frames arrive before their deadline, small
+// enough not to waste latency. The *render* latency this produces is what
+// the user actually experiences; schemes that keep network delay stable get
+// rewarded with a small playout delay on top.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace rave::transport {
+
+/// Outcome of scheduling one completed frame for playout.
+struct PlayoutDecision {
+  /// When the frame appears on screen.
+  Timestamp render_time = Timestamp::Zero();
+  /// True when the frame missed its deadline (it renders immediately on
+  /// arrival, after a visible stutter).
+  bool late = false;
+  /// The playout delay in force for this frame.
+  TimeDelta playout_delay = TimeDelta::Zero();
+};
+
+class JitterBuffer {
+ public:
+  struct Config {
+    TimeDelta min_delay = TimeDelta::Millis(10);
+    TimeDelta max_delay = TimeDelta::Millis(500);
+    /// Target = smoothed network delay + `headroom_stddevs` * stddev.
+    double headroom_stddevs = 4.0;
+    /// EWMA weight for delay mean/variance tracking.
+    double alpha = 0.05;
+    /// Multiplicative bump applied on a late frame.
+    double late_boost = 1.2;
+  };
+
+  explicit JitterBuffer(const Config& config);
+  JitterBuffer();
+
+  /// Feeds one completed frame (network delay = complete - capture) and
+  /// returns its playout schedule. Frames must be fed in completion order.
+  PlayoutDecision OnFrameComplete(Timestamp capture_time,
+                                  Timestamp complete_time);
+
+  TimeDelta current_delay() const { return current_delay_; }
+  int64_t frames() const { return frames_; }
+  int64_t late_frames() const { return late_frames_; }
+
+ private:
+  void AdaptTo(TimeDelta network_delay);
+
+  Config config_;
+  Ewma delay_ms_;
+  TimeDelta current_delay_;
+  Timestamp last_render_ = Timestamp::MinusInfinity();
+  int64_t frames_ = 0;
+  int64_t late_frames_ = 0;
+};
+
+}  // namespace rave::transport

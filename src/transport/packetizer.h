@@ -1,0 +1,40 @@
+// Splits encoded frames into MTU-sized wire packets with transport-wide
+// sequence numbers, accounting for RTP/UDP/IP/extension header overhead —
+// the part of the stack an RTP packetizer (RFC 6184 FU-A style) performs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/encoder.h"
+#include "net/packet.h"
+#include "util/units.h"
+
+namespace rave::transport {
+
+struct PacketizerConfig {
+  /// Maximum media payload per packet.
+  DataSize mtu_payload = DataSize::Bytes(1200);
+  /// Per-packet header overhead (RTP + UDP + IP + transport-cc extension).
+  DataSize overhead = DataSize::Bytes(68);
+};
+
+/// Stateful packetizer; media sequence numbers are monotone across frames.
+/// Transport-wide sequence numbers are assigned later, when packets leave
+/// the pacer.
+class Packetizer {
+ public:
+  explicit Packetizer(const PacketizerConfig& config = {});
+
+  /// Splits `frame` into packets. Skipped frames yield no packets.
+  std::vector<net::Packet> Packetize(const codec::EncodedFrame& frame);
+
+  int64_t next_seq() const { return next_seq_; }
+  const PacketizerConfig& config() const { return config_; }
+
+ private:
+  PacketizerConfig config_;
+  int64_t next_seq_ = 0;
+};
+
+}  // namespace rave::transport

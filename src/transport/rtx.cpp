@@ -1,0 +1,87 @@
+#include "transport/rtx.h"
+
+#include <cassert>
+#include <utility>
+
+namespace rave::transport {
+
+RtxCache::RtxCache(TimeDelta window) : window_(window) {}
+
+void RtxCache::Insert(const net::Packet& packet, Timestamp now) {
+  if (packet.media_seq < 0) return;
+  by_seq_[packet.media_seq] = {packet, now};
+  Prune(now);
+}
+
+std::optional<net::Packet> RtxCache::Lookup(int64_t media_seq, Timestamp now) {
+  Prune(now);
+  auto it = by_seq_.find(media_seq);
+  if (it == by_seq_.end()) return std::nullopt;
+  net::Packet packet = it->second.first;
+  packet.is_retransmission = true;
+  packet.seq = -1;  // fresh transport seq assigned on send
+  packet.send_time = Timestamp::MinusInfinity();
+  return packet;
+}
+
+void RtxCache::Prune(Timestamp now) {
+  while (!by_seq_.empty() &&
+         now - by_seq_.begin()->second.second > window_) {
+    by_seq_.erase(by_seq_.begin());
+  }
+}
+
+NackGenerator::NackGenerator(EventLoop& loop, const Config& config,
+                             SendCallback send, GiveUpCallback give_up)
+    : loop_(loop),
+      config_(config),
+      send_(std::move(send)),
+      give_up_(std::move(give_up)),
+      task_(loop, config.process_interval, [this] { Process(); }) {
+  assert(send_);
+  assert(give_up_);
+  task_.Start();
+}
+
+void NackGenerator::OnPacketReceived(const net::Packet& packet) {
+  const int64_t seq = packet.media_seq;
+  if (seq < 0) return;
+  missing_.erase(seq);  // an RTX (or late) arrival fills the gap
+  if (seq > highest_seen_) {
+    for (int64_t s = highest_seen_ + 1; s < seq; ++s) {
+      missing_[s] = MissingEntry{.first_seen = loop_.now()};
+    }
+    highest_seen_ = seq;
+  }
+}
+
+void NackGenerator::Process() {
+  const Timestamp now = loop_.now();
+  NackBatch batch;
+  std::vector<int64_t> abandoned;
+
+  for (auto& [seq, entry] : missing_) {
+    if (now - entry.first_seen < config_.initial_delay) continue;
+    if (entry.retries >= config_.max_retries) {
+      abandoned.push_back(seq);
+      continue;
+    }
+    if (entry.last_nack.IsMinusInfinity() ||
+        now - entry.last_nack >= config_.retry_interval) {
+      batch.media_seqs.push_back(seq);
+      entry.last_nack = now;
+      ++entry.retries;
+    }
+  }
+
+  for (int64_t seq : abandoned) {
+    missing_.erase(seq);
+    give_up_(seq);
+  }
+  if (!batch.media_seqs.empty()) {
+    nacks_sent_ += static_cast<int64_t>(batch.media_seqs.size());
+    send_(std::move(batch));
+  }
+}
+
+}  // namespace rave::transport

@@ -1,0 +1,97 @@
+// Retransmission machinery (WebRTC NACK/RTX style):
+//   * `RtxCache` (sender) retains recently sent media packets so a NACKed
+//     media sequence number can be retransmitted with a fresh transport
+//     sequence number.
+//   * `NackGenerator` (receiver) watches the media sequence space for gaps
+//     and emits NACK batches, retrying with backoff and giving up after a
+//     bounded number of attempts (at which point the frame is unrecoverable
+//     and the loss surfaces to the assembler/PLI path).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/event_loop.h"
+#include "util/time.h"
+
+namespace rave::transport {
+
+/// Sender-side cache of recently sent media packets, keyed by media seq.
+class RtxCache {
+ public:
+  /// Packets older than `window` are pruned.
+  explicit RtxCache(TimeDelta window = TimeDelta::Seconds(2));
+
+  /// Stores a packet as it is first sent.
+  void Insert(const net::Packet& packet, Timestamp now);
+
+  /// Fetches a packet for retransmission; nullopt if it aged out. The
+  /// returned packet is flagged `is_retransmission` with `seq` reset.
+  std::optional<net::Packet> Lookup(int64_t media_seq, Timestamp now);
+
+  size_t size() const { return by_seq_.size(); }
+
+ private:
+  void Prune(Timestamp now);
+
+  TimeDelta window_;
+  std::map<int64_t, std::pair<net::Packet, Timestamp>> by_seq_;
+};
+
+/// One NACK message: media sequence numbers the receiver is missing.
+struct NackBatch {
+  std::vector<int64_t> media_seqs;
+};
+
+/// Receiver-side gap detector with retry/backoff.
+class NackGenerator {
+ public:
+  struct Config {
+    /// Delay before a fresh gap is NACKed (reordering grace; our links are
+    /// FIFO so this is small).
+    TimeDelta initial_delay = TimeDelta::Millis(5);
+    /// Minimum spacing between NACKs of the same sequence.
+    TimeDelta retry_interval = TimeDelta::Millis(120);
+    int max_retries = 4;
+    /// Batches are flushed at this cadence.
+    TimeDelta process_interval = TimeDelta::Millis(20);
+  };
+
+  using SendCallback = std::function<void(NackBatch)>;
+  /// Invoked when a media seq is abandoned (retries exhausted).
+  using GiveUpCallback = std::function<void(int64_t media_seq)>;
+
+  NackGenerator(EventLoop& loop, const Config& config, SendCallback send,
+                GiveUpCallback give_up);
+
+  /// Feeds every received media packet (first transmissions and RTX alike).
+  void OnPacketReceived(const net::Packet& packet);
+
+  size_t missing() const { return missing_.size(); }
+  int64_t nacks_sent() const { return nacks_sent_; }
+
+ private:
+  void Process();
+
+  struct MissingEntry {
+    Timestamp first_seen;
+    Timestamp last_nack = Timestamp::MinusInfinity();
+    int retries = 0;
+  };
+
+  EventLoop& loop_;
+  Config config_;
+  SendCallback send_;
+  GiveUpCallback give_up_;
+  RepeatingTask task_;
+  int64_t highest_seen_ = -1;
+  std::map<int64_t, MissingEntry> missing_;
+  int64_t nacks_sent_ = 0;
+};
+
+}  // namespace rave::transport

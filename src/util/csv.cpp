@@ -1,0 +1,32 @@
+#include "util/csv.h"
+
+#include <stdexcept>
+
+namespace rave {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  WriteRow(header);
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::WriteRow(const std::vector<double>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+}
+
+}  // namespace rave

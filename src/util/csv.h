@@ -1,0 +1,28 @@
+// Minimal CSV writer for exporting per-frame records and timeseries from
+// examples and benches so figures can be re-plotted externally.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace rave {
+
+/// Writes rows of cells to a CSV file. Throws `std::runtime_error` if the
+/// file cannot be opened. Values are written verbatim (no quoting); callers
+/// must not embed commas in string cells.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one row. The number of cells should match the header.
+  void WriteRow(const std::vector<std::string>& cells);
+  /// Convenience overload for all-numeric rows.
+  void WriteRow(const std::vector<double>& cells);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace rave

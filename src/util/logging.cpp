@@ -1,0 +1,39 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace rave {
+namespace {
+LogLevel g_level = LogLevel::kWarning;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* /*file*/, int /*line*/)
+    : enabled_(level >= g_level), level_(level) {}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    std::fprintf(stderr, "[%s] %s\n", LevelName(level_), stream_.str().c_str());
+  }
+}
+
+}  // namespace internal
+}  // namespace rave

@@ -1,0 +1,44 @@
+// Lightweight leveled logging. Disabled below the configured level at
+// runtime; the default level is kWarning so simulations stay quiet unless a
+// caller opts in (examples enable kInfo for narrative output).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rave {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that will be emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction when `enabled`.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace rave
+
+#define RAVE_LOG(level) \
+  ::rave::internal::LogMessage(::rave::LogLevel::level, __FILE__, __LINE__)

@@ -1,0 +1,36 @@
+// Fixed-width console table formatting for the benchmark harnesses: every
+// bench binary prints paper-style rows through this, so all experiment output
+// is uniformly aligned and machine-greppable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rave {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table with a
+/// header rule. Numeric helpers format with fixed precision.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row. Cells are appended with `Cell()` until the next
+  /// `AddRow()` call.
+  Table& AddRow();
+  Table& Cell(const std::string& value);
+  Table& Cell(double value, int precision = 2);
+  Table& Cell(int64_t value);
+
+  /// Renders the table (header, rule, rows) to `os`.
+  void Print(std::ostream& os) const;
+  /// Renders to a string (used by tests).
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rave

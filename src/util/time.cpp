@@ -1,0 +1,30 @@
+#include "util/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace rave {
+
+std::string TimeDelta::ToString() const {
+  if (IsPlusInfinity()) return "+inf";
+  if (us_ == std::numeric_limits<int64_t>::min()) return "-inf";
+  char buf[64];
+  const double abs_us = std::abs(static_cast<double>(us_));
+  if (abs_us < 1000) {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(us_));
+  } else if (abs_us < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(us_) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(us_) / 1e6);
+  }
+  return buf;
+}
+
+std::string Timestamp::ToString() const {
+  if (!IsFinite()) return us_ > 0 ? "+inf" : "-inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3fs", seconds());
+  return buf;
+}
+
+}  // namespace rave

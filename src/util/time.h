@@ -1,0 +1,150 @@
+// Strongly typed simulation time: Timestamp (a point in time) and TimeDelta
+// (a duration). Both store microseconds in a signed 64-bit integer, mirroring
+// the units used by real RTC stacks. All arithmetic is explicit; there are no
+// implicit conversions from raw integers, which prevents the classic
+// ms-vs-us unit bugs in networking code.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace rave {
+
+/// A signed duration with microsecond resolution.
+///
+/// Construct via the named factories (`TimeDelta::Millis(20)`), never from a
+/// bare integer. Supports the usual arithmetic and comparison operators as
+/// well as scaling by dimensionless factors.
+class TimeDelta {
+ public:
+  constexpr TimeDelta() : us_(0) {}
+
+  static constexpr TimeDelta Micros(int64_t us) { return TimeDelta(us); }
+  static constexpr TimeDelta Millis(int64_t ms) { return TimeDelta(ms * 1000); }
+  static constexpr TimeDelta Seconds(int64_t s) {
+    return TimeDelta(s * 1'000'000);
+  }
+  /// Builds a delta from a floating point second count (rounded to µs).
+  static constexpr TimeDelta SecondsF(double s) {
+    return TimeDelta(static_cast<int64_t>(s * 1e6 + (s >= 0 ? 0.5 : -0.5)));
+  }
+  static constexpr TimeDelta Zero() { return TimeDelta(0); }
+  static constexpr TimeDelta PlusInfinity() {
+    return TimeDelta(std::numeric_limits<int64_t>::max());
+  }
+  static constexpr TimeDelta MinusInfinity() {
+    return TimeDelta(std::numeric_limits<int64_t>::min());
+  }
+
+  constexpr int64_t us() const { return us_; }
+  constexpr int64_t ms() const { return us_ / 1000; }
+  constexpr double seconds() const { return static_cast<double>(us_) * 1e-6; }
+  constexpr double ms_float() const {
+    return static_cast<double>(us_) * 1e-3;
+  }
+
+  constexpr bool IsZero() const { return us_ == 0; }
+  constexpr bool IsFinite() const {
+    return us_ != std::numeric_limits<int64_t>::max() &&
+           us_ != std::numeric_limits<int64_t>::min();
+  }
+  constexpr bool IsPlusInfinity() const {
+    return us_ == std::numeric_limits<int64_t>::max();
+  }
+
+  constexpr TimeDelta operator+(TimeDelta o) const {
+    return TimeDelta(us_ + o.us_);
+  }
+  constexpr TimeDelta operator-(TimeDelta o) const {
+    return TimeDelta(us_ - o.us_);
+  }
+  constexpr TimeDelta operator-() const { return TimeDelta(-us_); }
+  constexpr TimeDelta& operator+=(TimeDelta o) {
+    us_ += o.us_;
+    return *this;
+  }
+  constexpr TimeDelta& operator-=(TimeDelta o) {
+    us_ -= o.us_;
+    return *this;
+  }
+  constexpr TimeDelta operator*(double f) const {
+    return SecondsF(seconds() * f);
+  }
+  constexpr TimeDelta operator*(int64_t f) const { return TimeDelta(us_ * f); }
+  constexpr TimeDelta operator/(int64_t d) const { return TimeDelta(us_ / d); }
+  constexpr double operator/(TimeDelta o) const {
+    return static_cast<double>(us_) / static_cast<double>(o.us_);
+  }
+
+  constexpr auto operator<=>(const TimeDelta&) const = default;
+
+  /// Human readable rendering, e.g. "12.5ms" or "3.2s".
+  std::string ToString() const;
+
+ private:
+  explicit constexpr TimeDelta(int64_t us) : us_(us) {}
+  int64_t us_;
+};
+
+constexpr TimeDelta operator*(double f, TimeDelta d) { return d * f; }
+
+/// A point on the simulation clock, measured from the start of the run.
+///
+/// Only differences of Timestamps produce TimeDeltas; adding two Timestamps
+/// is (deliberately) not expressible.
+class Timestamp {
+ public:
+  constexpr Timestamp() : us_(0) {}
+
+  static constexpr Timestamp Micros(int64_t us) { return Timestamp(us); }
+  static constexpr Timestamp Millis(int64_t ms) { return Timestamp(ms * 1000); }
+  static constexpr Timestamp Seconds(int64_t s) {
+    return Timestamp(s * 1'000'000);
+  }
+  static constexpr Timestamp Zero() { return Timestamp(0); }
+  static constexpr Timestamp PlusInfinity() {
+    return Timestamp(std::numeric_limits<int64_t>::max());
+  }
+  /// Sentinel for "never set". Compares less than every valid timestamp.
+  static constexpr Timestamp MinusInfinity() {
+    return Timestamp(std::numeric_limits<int64_t>::min());
+  }
+
+  constexpr int64_t us() const { return us_; }
+  constexpr int64_t ms() const { return us_ / 1000; }
+  constexpr double seconds() const { return static_cast<double>(us_) * 1e-6; }
+
+  constexpr bool IsFinite() const {
+    return us_ != std::numeric_limits<int64_t>::max() &&
+           us_ != std::numeric_limits<int64_t>::min();
+  }
+  constexpr bool IsMinusInfinity() const {
+    return us_ == std::numeric_limits<int64_t>::min();
+  }
+
+  constexpr Timestamp operator+(TimeDelta d) const {
+    return Timestamp(us_ + d.us());
+  }
+  constexpr Timestamp operator-(TimeDelta d) const {
+    return Timestamp(us_ - d.us());
+  }
+  constexpr TimeDelta operator-(Timestamp o) const {
+    return TimeDelta::Micros(us_ - o.us_);
+  }
+  constexpr Timestamp& operator+=(TimeDelta d) {
+    us_ += d.us();
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Timestamp&) const = default;
+
+  /// Human readable rendering as seconds, e.g. "12.345s".
+  std::string ToString() const;
+
+ private:
+  explicit constexpr Timestamp(int64_t us) : us_(us) {}
+  int64_t us_;
+};
+
+}  // namespace rave

@@ -1,0 +1,35 @@
+#include "util/units.h"
+
+#include <cstdio>
+
+namespace rave {
+
+std::string DataSize::ToString() const {
+  if (!IsFinite()) return "+inf";
+  char buf[64];
+  if (bits_ < 1000) {
+    std::snprintf(buf, sizeof(buf), "%lldb", static_cast<long long>(bits_));
+  } else if (bits_ < 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fkb",
+                  static_cast<double>(bits_) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fMb",
+                  static_cast<double>(bits_) / 1e6);
+  }
+  return buf;
+}
+
+std::string DataRate::ToString() const {
+  if (!IsFinite()) return "+inf";
+  char buf[64];
+  if (bps_ < 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.0fkbps",
+                  static_cast<double>(bps_) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fMbps",
+                  static_cast<double>(bps_) / 1e6);
+  }
+  return buf;
+}
+
+}  // namespace rave

@@ -1,0 +1,145 @@
+// Strongly typed data quantities: DataSize (bits) and DataRate (bits per
+// second). Like `Timestamp`/`TimeDelta`, these exist so that "kilobits",
+// "bytes" and "megabits per second" can never be silently mixed up.
+// Dimensional arithmetic is provided: size / time = rate, rate * time = size.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "util/time.h"
+
+namespace rave {
+
+/// An amount of data, stored in bits.
+class DataSize {
+ public:
+  constexpr DataSize() : bits_(0) {}
+
+  static constexpr DataSize Bits(int64_t bits) { return DataSize(bits); }
+  static constexpr DataSize Bytes(int64_t bytes) { return DataSize(bytes * 8); }
+  static constexpr DataSize KiloBytes(int64_t kb) {
+    return DataSize(kb * 8000);
+  }
+  static constexpr DataSize Zero() { return DataSize(0); }
+  static constexpr DataSize PlusInfinity() {
+    return DataSize(std::numeric_limits<int64_t>::max());
+  }
+
+  constexpr int64_t bits() const { return bits_; }
+  constexpr int64_t bytes() const { return bits_ / 8; }
+  constexpr double kilobits() const { return static_cast<double>(bits_) / 1e3; }
+
+  constexpr bool IsZero() const { return bits_ == 0; }
+  constexpr bool IsFinite() const {
+    return bits_ != std::numeric_limits<int64_t>::max();
+  }
+
+  constexpr DataSize operator+(DataSize o) const {
+    return DataSize(bits_ + o.bits_);
+  }
+  constexpr DataSize operator-(DataSize o) const {
+    return DataSize(bits_ - o.bits_);
+  }
+  constexpr DataSize& operator+=(DataSize o) {
+    bits_ += o.bits_;
+    return *this;
+  }
+  constexpr DataSize& operator-=(DataSize o) {
+    bits_ -= o.bits_;
+    return *this;
+  }
+  constexpr DataSize operator*(double f) const {
+    return DataSize(static_cast<int64_t>(static_cast<double>(bits_) * f + 0.5));
+  }
+  constexpr double operator/(DataSize o) const {
+    return static_cast<double>(bits_) / static_cast<double>(o.bits_);
+  }
+
+  constexpr auto operator<=>(const DataSize&) const = default;
+
+  /// Human readable rendering, e.g. "12.3kb" (kilobits) or "1.5Mb".
+  std::string ToString() const;
+
+ private:
+  explicit constexpr DataSize(int64_t bits) : bits_(bits) {}
+  int64_t bits_;
+};
+
+/// A data rate, stored in bits per second.
+class DataRate {
+ public:
+  constexpr DataRate() : bps_(0) {}
+
+  static constexpr DataRate BitsPerSec(int64_t bps) { return DataRate(bps); }
+  static constexpr DataRate KilobitsPerSec(int64_t kbps) {
+    return DataRate(kbps * 1000);
+  }
+  static constexpr DataRate KilobitsPerSecF(double kbps) {
+    return DataRate(static_cast<int64_t>(kbps * 1000.0 + 0.5));
+  }
+  static constexpr DataRate MegabitsPerSecF(double mbps) {
+    return DataRate(static_cast<int64_t>(mbps * 1e6 + 0.5));
+  }
+  static constexpr DataRate Zero() { return DataRate(0); }
+  static constexpr DataRate PlusInfinity() {
+    return DataRate(std::numeric_limits<int64_t>::max());
+  }
+
+  constexpr int64_t bps() const { return bps_; }
+  constexpr double kbps() const { return static_cast<double>(bps_) / 1e3; }
+  constexpr double mbps() const { return static_cast<double>(bps_) / 1e6; }
+
+  constexpr bool IsZero() const { return bps_ == 0; }
+  constexpr bool IsFinite() const {
+    return bps_ != std::numeric_limits<int64_t>::max();
+  }
+
+  constexpr DataRate operator+(DataRate o) const {
+    return DataRate(bps_ + o.bps_);
+  }
+  constexpr DataRate operator-(DataRate o) const {
+    return DataRate(bps_ - o.bps_);
+  }
+  constexpr DataRate operator*(double f) const {
+    return DataRate(static_cast<int64_t>(static_cast<double>(bps_) * f + 0.5));
+  }
+  constexpr double operator/(DataRate o) const {
+    return static_cast<double>(bps_) / static_cast<double>(o.bps_);
+  }
+
+  constexpr auto operator<=>(const DataRate&) const = default;
+
+  /// Human readable rendering, e.g. "850kbps" or "2.50Mbps".
+  std::string ToString() const;
+
+ private:
+  explicit constexpr DataRate(int64_t bps) : bps_(bps) {}
+  int64_t bps_;
+};
+
+constexpr DataRate operator*(double f, DataRate r) { return r * f; }
+
+/// rate = size / duration. Duration must be positive.
+constexpr DataRate operator/(DataSize size, TimeDelta duration) {
+  return DataRate::BitsPerSec(static_cast<int64_t>(
+      static_cast<double>(size.bits()) / duration.seconds() + 0.5));
+}
+
+/// size = rate * duration.
+constexpr DataSize operator*(DataRate rate, TimeDelta duration) {
+  return DataSize::Bits(static_cast<int64_t>(
+      static_cast<double>(rate.bps()) * duration.seconds() + 0.5));
+}
+constexpr DataSize operator*(TimeDelta duration, DataRate rate) {
+  return rate * duration;
+}
+
+/// duration = size / rate: how long it takes to serialize `size` at `rate`.
+constexpr TimeDelta operator/(DataSize size, DataRate rate) {
+  return TimeDelta::SecondsF(static_cast<double>(size.bits()) /
+                             static_cast<double>(rate.bps()));
+}
+
+}  // namespace rave

@@ -1,0 +1,90 @@
+#include "video/content_model.h"
+
+#include <algorithm>
+
+namespace rave::video {
+namespace {
+
+struct ClassParams {
+  Ar1Process::Config spatial;
+  Ar1Process::Config temporal;
+  TimeDelta mean_scene_interval;
+  // Post-scene-change temporal spike factor.
+  double scene_spike = 3.0;
+};
+
+ClassParams ParamsFor(ContentClass c) {
+  ClassParams p;
+  switch (c) {
+    case ContentClass::kTalkingHead:
+      p.spatial = {.mean = 1.0, .phi = 0.99, .sigma = 0.01, .lo = 0.5, .hi = 2.0};
+      p.temporal = {.mean = 0.35, .phi = 0.97, .sigma = 0.02, .lo = 0.1, .hi = 1.5};
+      p.mean_scene_interval = TimeDelta::Seconds(45);
+      p.scene_spike = 2.0;
+      break;
+    case ContentClass::kScreenShare:
+      p.spatial = {.mean = 0.8, .phi = 0.995, .sigma = 0.005, .lo = 0.3, .hi = 2.0};
+      p.temporal = {.mean = 0.08, .phi = 0.9, .sigma = 0.02, .lo = 0.01, .hi = 1.0};
+      p.mean_scene_interval = TimeDelta::Seconds(8);
+      p.scene_spike = 8.0;
+      break;
+    case ContentClass::kGaming:
+      p.spatial = {.mean = 1.3, .phi = 0.97, .sigma = 0.04, .lo = 0.5, .hi = 3.0};
+      p.temporal = {.mean = 0.9, .phi = 0.93, .sigma = 0.08, .lo = 0.2, .hi = 3.0};
+      p.mean_scene_interval = TimeDelta::Seconds(12);
+      p.scene_spike = 3.0;
+      break;
+    case ContentClass::kSports:
+      p.spatial = {.mean = 1.2, .phi = 0.98, .sigma = 0.03, .lo = 0.6, .hi = 2.5};
+      p.temporal = {.mean = 1.1, .phi = 0.96, .sigma = 0.05, .lo = 0.4, .hi = 3.0};
+      p.mean_scene_interval = TimeDelta::Seconds(20);
+      p.scene_spike = 2.5;
+      break;
+  }
+  return p;
+}
+
+}  // namespace
+
+std::string ToString(ContentClass c) {
+  switch (c) {
+    case ContentClass::kTalkingHead:
+      return "talking-head";
+    case ContentClass::kScreenShare:
+      return "screen-share";
+    case ContentClass::kGaming:
+      return "gaming";
+    case ContentClass::kSports:
+      return "sports";
+  }
+  return "unknown";
+}
+
+ContentModel::ContentModel(ContentClass content, Rng rng)
+    : content_(content),
+      rng_(rng),
+      spatial_(ParamsFor(content).spatial, rng_.Fork()),
+      temporal_(ParamsFor(content).temporal, rng_.Fork()),
+      scene_changes_(ParamsFor(content).mean_scene_interval, rng_.Fork()),
+      until_next_scene_change_(scene_changes_.NextGap()) {}
+
+ContentModel::Sample ContentModel::NextFrame(TimeDelta frame_interval) {
+  Sample s;
+  until_next_scene_change_ -= frame_interval;
+  if (until_next_scene_change_ <= TimeDelta::Zero()) {
+    s.scene_change = true;
+    until_next_scene_change_ = scene_changes_.NextGap();
+    const ClassParams p = ParamsFor(content_);
+    // A cut makes the next frame nearly intra-cost even when inter coded.
+    temporal_.SetValue(
+        std::min(p.temporal.hi, temporal_.value() * p.scene_spike +
+                                    p.spatial.mean * 0.5));
+    // Spatial statistics can also jump to a new regime.
+    spatial_.SetValue(rng_.Uniform(p.spatial.mean * 0.7, p.spatial.mean * 1.3));
+  }
+  s.spatial = spatial_.Step();
+  s.temporal = temporal_.Step();
+  return s;
+}
+
+}  // namespace rave::video

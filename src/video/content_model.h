@@ -1,0 +1,61 @@
+// Synthetic video-content model.
+//
+// Substitutes for the real video sequences used in the paper's x264 tests:
+// each content class drives AR(1) processes for spatial and temporal
+// complexity plus a Poisson scene-change stream, reproducing the statistical
+// structure the encoder's rate control actually reacts to (slowly varying
+// complexity, motion bursts, abrupt scene cuts).
+#pragma once
+
+#include <string>
+
+#include "sim/random_process.h"
+#include "util/rng.h"
+#include "util/time.h"
+#include "video/frame.h"
+
+namespace rave::video {
+
+/// Broad content categories with distinct complexity statistics.
+enum class ContentClass {
+  kTalkingHead,  ///< low motion, stable complexity, rare cuts
+  kScreenShare,  ///< near-static with abrupt full-screen changes
+  kGaming,       ///< high motion, frequent cuts, volatile complexity
+  kSports,       ///< sustained high temporal complexity, panning motion
+};
+
+/// Human-readable name ("talking-head", ...) for tables and CSV output.
+std::string ToString(ContentClass c);
+
+/// All content classes, for parameter sweeps.
+inline constexpr ContentClass kAllContentClasses[] = {
+    ContentClass::kTalkingHead, ContentClass::kScreenShare,
+    ContentClass::kGaming, ContentClass::kSports};
+
+/// Generates the per-frame complexity trajectory for one content class.
+class ContentModel {
+ public:
+  ContentModel(ContentClass content, Rng rng);
+
+  /// Complexity sample for one frame step.
+  struct Sample {
+    double spatial = 1.0;
+    double temporal = 0.5;
+    bool scene_change = false;
+  };
+
+  /// Advances the model by one frame interval and returns the sample.
+  Sample NextFrame(TimeDelta frame_interval);
+
+  ContentClass content() const { return content_; }
+
+ private:
+  ContentClass content_;
+  Rng rng_;
+  Ar1Process spatial_;
+  Ar1Process temporal_;
+  PoissonArrivals scene_changes_;
+  TimeDelta until_next_scene_change_;
+};
+
+}  // namespace rave::video

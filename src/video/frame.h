@@ -1,0 +1,44 @@
+// Raw (uncompressed) frame description handed from the capture source to the
+// encoder. There are no pixels in this model; the fields that drive encoding
+// cost are the spatial/temporal complexity measures, which play the role of
+// x264's SATD-based complexity estimates (`rce->blurred_complexity`).
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace rave::video {
+
+/// Frame resolution in pixels.
+struct Resolution {
+  int width = 1280;
+  int height = 720;
+
+  constexpr int64_t pixels() const {
+    return static_cast<int64_t>(width) * height;
+  }
+  constexpr bool operator==(const Resolution&) const = default;
+};
+
+/// A captured frame awaiting encoding.
+struct RawFrame {
+  int64_t frame_id = 0;
+  Timestamp capture_time = Timestamp::Zero();
+  Resolution resolution;
+  double fps = 30.0;
+
+  /// Cost of intra-coding this frame, normalized so that 1.0 is "typical
+  /// 720p webcam content". Drives I-frame size in the R-D model.
+  double spatial_complexity = 1.0;
+
+  /// Cost of inter-coding against the previous frame (residual energy),
+  /// normalized the same way. Drives P-frame size.
+  double temporal_complexity = 0.5;
+
+  /// True when the content model emitted a scene change; the encoder will
+  /// typically respond with an I-frame.
+  bool scene_change = false;
+};
+
+}  // namespace rave::video

@@ -1,0 +1,28 @@
+#include "video/video_source.h"
+
+#include <cassert>
+
+namespace rave::video {
+
+VideoSource::VideoSource(const VideoSourceConfig& config)
+    : config_(config),
+      current_resolution_(config.resolution),
+      frame_interval_(TimeDelta::SecondsF(1.0 / config.fps)),
+      model_(config.content, Rng(config.seed)) {
+  assert(config.fps > 0);
+}
+
+RawFrame VideoSource::CaptureFrame(Timestamp capture_time) {
+  const ContentModel::Sample s = model_.NextFrame(frame_interval_);
+  RawFrame frame;
+  frame.frame_id = next_frame_id_++;
+  frame.capture_time = capture_time;
+  frame.resolution = current_resolution_;
+  frame.fps = config_.fps;
+  frame.spatial_complexity = s.spatial;
+  frame.temporal_complexity = s.temporal;
+  frame.scene_change = s.scene_change;
+  return frame;
+}
+
+}  // namespace rave::video

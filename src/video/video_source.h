@@ -1,0 +1,52 @@
+// Frame capture source: produces `RawFrame`s at the configured frame rate
+// with complexity drawn from a `ContentModel`. The sender pipeline drives the
+// cadence via the event loop; `VideoSource` itself is clockless so it can
+// also be used directly in unit tests and codec exploration tools.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+#include "util/time.h"
+#include "video/content_model.h"
+#include "video/frame.h"
+
+namespace rave::video {
+
+/// Configuration for a capture source.
+struct VideoSourceConfig {
+  Resolution resolution{1280, 720};
+  double fps = 30.0;
+  ContentClass content = ContentClass::kTalkingHead;
+  uint64_t seed = 1;
+};
+
+/// Produces the deterministic frame sequence for one session.
+class VideoSource {
+ public:
+  explicit VideoSource(const VideoSourceConfig& config);
+
+  /// The interval between consecutive frames.
+  TimeDelta frame_interval() const { return frame_interval_; }
+  const VideoSourceConfig& config() const { return config_; }
+
+  /// Produces the next frame, stamped with `capture_time`.
+  RawFrame CaptureFrame(Timestamp capture_time);
+
+  /// Number of frames produced so far.
+  int64_t frames_captured() const { return next_frame_id_; }
+
+  /// Changes capture resolution from the next frame on (used by the
+  /// degradation controller extension).
+  void SetResolution(Resolution resolution) { current_resolution_ = resolution; }
+  Resolution resolution() const { return current_resolution_; }
+
+ private:
+  VideoSourceConfig config_;
+  Resolution current_resolution_;
+  TimeDelta frame_interval_;
+  ContentModel model_;
+  int64_t next_frame_id_ = 0;
+};
+
+}  // namespace rave::video

@@ -1,0 +1,153 @@
+#include "cc/aimd.h"
+
+#include <gtest/gtest.h>
+
+namespace rave::cc {
+namespace {
+
+TEST(LinkCapacityEstimatorTest, NoEstimateInitially) {
+  LinkCapacityEstimator est;
+  EXPECT_FALSE(est.has_estimate());
+  EXPECT_EQ(est.UpperBound(), DataRate::PlusInfinity());
+  EXPECT_EQ(est.LowerBound(), DataRate::Zero());
+}
+
+TEST(LinkCapacityEstimatorTest, TracksOveruseSamples) {
+  LinkCapacityEstimator est;
+  for (int i = 0; i < 50; ++i) {
+    est.OnOveruseDetected(DataRate::KilobitsPerSec(1000));
+  }
+  EXPECT_TRUE(est.has_estimate());
+  EXPECT_NEAR(est.estimate().kbps(), 1000.0, 100.0);
+  EXPECT_GT(est.UpperBound(), est.estimate());
+  EXPECT_LT(est.LowerBound(), est.estimate());
+}
+
+TEST(LinkCapacityEstimatorTest, ResetClears) {
+  LinkCapacityEstimator est;
+  est.OnOveruseDetected(DataRate::KilobitsPerSec(500));
+  est.Reset();
+  EXPECT_FALSE(est.has_estimate());
+}
+
+AimdRateControl::Config DefaultConfig() {
+  AimdRateControl::Config config;
+  config.initial_rate = DataRate::KilobitsPerSec(1500);
+  return config;
+}
+
+TEST(AimdTest, OveruseDecreasesTowardBetaTimesAcked) {
+  AimdRateControl aimd(DefaultConfig());
+  const DataRate acked = DataRate::KilobitsPerSec(1000);
+  const DataRate rate =
+      aimd.Update(BandwidthUsage::kOverusing, acked, TimeDelta::Millis(50),
+                  Timestamp::Millis(100));
+  EXPECT_NEAR(rate.kbps(), 850.0, 1.0);
+  EXPECT_TRUE(aimd.last_update_decreased());
+}
+
+TEST(AimdTest, RepeatedOveruseDoesNotCollapseBelowFloor) {
+  // The bug class this guards against: each 50 ms feedback decreasing by
+  // another factor of beta while the queue drains, collapsing the estimate.
+  AimdRateControl aimd(DefaultConfig());
+  const DataRate acked = DataRate::KilobitsPerSec(1000);
+  DataRate rate;
+  for (int i = 0; i < 40; ++i) {
+    rate = aimd.Update(BandwidthUsage::kOverusing, acked,
+                       TimeDelta::Millis(50), Timestamp::Millis(100 + 50 * i));
+  }
+  EXPECT_NEAR(rate.kbps(), 850.0, 1.0);
+}
+
+TEST(AimdTest, OveruseWithoutAckedRateLimitedBackoff) {
+  AimdRateControl aimd(DefaultConfig());
+  DataRate rate;
+  // 10 over-use updates within 300 ms: only one decrease may apply.
+  for (int i = 0; i < 10; ++i) {
+    rate = aimd.Update(BandwidthUsage::kOverusing, DataRate::Zero(),
+                       TimeDelta::Millis(50), Timestamp::Millis(10 * i));
+  }
+  EXPECT_NEAR(rate.kbps(), 1500.0 * 0.85, 1.0);
+}
+
+TEST(AimdTest, NormalAfterHoldIncreases) {
+  AimdRateControl aimd(DefaultConfig());
+  const DataRate acked = DataRate::KilobitsPerSec(1400);
+  aimd.Update(BandwidthUsage::kOverusing, acked, TimeDelta::Millis(50),
+              Timestamp::Millis(0));
+  const DataRate held = aimd.target();
+  DataRate rate = held;
+  for (int i = 1; i <= 40; ++i) {
+    rate = aimd.Update(BandwidthUsage::kNormal, acked, TimeDelta::Millis(50),
+                       Timestamp::Millis(50 * i));
+  }
+  EXPECT_GT(rate, held);
+}
+
+TEST(AimdTest, UnderuseHoldsRate) {
+  AimdRateControl aimd(DefaultConfig());
+  const DataRate before = aimd.target();
+  const DataRate rate = aimd.Update(BandwidthUsage::kUnderusing,
+                                    DataRate::KilobitsPerSec(1200),
+                                    TimeDelta::Millis(50), Timestamp::Zero());
+  EXPECT_EQ(rate, before);
+  EXPECT_FALSE(aimd.last_update_decreased());
+}
+
+TEST(AimdTest, IncreaseCappedByAckedCeiling) {
+  AimdRateControl aimd(DefaultConfig());
+  const DataRate acked = DataRate::KilobitsPerSec(400);
+  DataRate rate;
+  for (int i = 0; i < 100; ++i) {
+    rate = aimd.Update(BandwidthUsage::kNormal, acked, TimeDelta::Millis(50),
+                       Timestamp::Millis(50 * i));
+  }
+  // Never runs far beyond 1.5 x measured throughput.
+  EXPECT_LE(rate.kbps(), 1.5 * 400.0 + 11.0);
+}
+
+TEST(AimdTest, RespectsMinAndMaxBounds) {
+  AimdRateControl::Config config;
+  config.initial_rate = DataRate::KilobitsPerSec(100);
+  config.min_rate = DataRate::KilobitsPerSec(80);
+  config.max_rate = DataRate::KilobitsPerSec(150);
+  AimdRateControl aimd(config);
+  // Hammer decreases (no acked rate, spaced beyond the backoff guard).
+  DataRate rate;
+  for (int i = 0; i < 20; ++i) {
+    rate = aimd.Update(BandwidthUsage::kOverusing, DataRate::Zero(),
+                       TimeDelta::Millis(50), Timestamp::Millis(400 * i));
+  }
+  EXPECT_GE(rate.kbps(), 80);
+  // Hammer increases.
+  for (int i = 0; i < 200; ++i) {
+    rate = aimd.Update(BandwidthUsage::kNormal,
+                       DataRate::KilobitsPerSec(1000), TimeDelta::Millis(50),
+                       Timestamp::Millis(8000 + 50 * i));
+  }
+  EXPECT_LE(rate.kbps(), 150);
+}
+
+TEST(AimdTest, ConvergesIntoCapacityBandInClosedLoop) {
+  // Property-style closed loop: acked = min(target, capacity); overuse
+  // whenever target exceeds capacity. The controller should settle into
+  // [0.8, 1.2] x capacity.
+  for (int64_t capacity_kbps : {300, 800, 2000, 5000}) {
+    AimdRateControl aimd(DefaultConfig());
+    const DataRate capacity = DataRate::KilobitsPerSec(capacity_kbps);
+    DataRate rate = aimd.target();
+    for (int i = 0; i < 2000; ++i) {
+      const DataRate acked = std::min(rate, capacity);
+      const BandwidthUsage usage = rate > capacity
+                                       ? BandwidthUsage::kOverusing
+                                       : BandwidthUsage::kNormal;
+      rate = aimd.Update(usage, acked, TimeDelta::Millis(50),
+                         Timestamp::Millis(50 * i));
+    }
+    EXPECT_GT(rate.kbps(), 0.8 * capacity_kbps) << capacity_kbps;
+    EXPECT_LT(rate.kbps(), 1.2 * capacity_kbps) << capacity_kbps;
+  }
+}
+
+}  // namespace
+}  // namespace rave::cc

@@ -1,0 +1,183 @@
+#include "cc/gcc.h"
+
+#include <gtest/gtest.h>
+
+#include "cc/oracle.h"
+
+namespace rave::cc {
+namespace {
+
+TEST(AckedBitrateTest, ZeroUntilEnoughData) {
+  AckedBitrateEstimator est;
+  EXPECT_EQ(est.rate(), DataRate::Zero());
+  est.OnAckedPacket(Timestamp::Millis(0), DataSize::Bits(9'600));
+  EXPECT_EQ(est.rate(), DataRate::Zero());
+  est.OnAckedPacket(Timestamp::Millis(50), DataSize::Bits(9'600));
+  EXPECT_EQ(est.rate(), DataRate::Zero());  // span < 100 ms
+  est.OnAckedPacket(Timestamp::Millis(150), DataSize::Bits(9'600));
+  EXPECT_GT(est.rate(), DataRate::Zero());
+}
+
+TEST(AckedBitrateTest, MeasuresSteadyRate) {
+  AckedBitrateEstimator est(TimeDelta::Millis(500));
+  // 9600 bits every 10 ms = 960 kbps.
+  for (int i = 0; i <= 100; ++i) {
+    est.OnAckedPacket(Timestamp::Millis(10 * i), DataSize::Bits(9'600));
+  }
+  EXPECT_NEAR(est.rate().kbps(), 960.0, 40.0);
+}
+
+TEST(AckedBitrateTest, WindowForgetsOldRate) {
+  AckedBitrateEstimator est(TimeDelta::Millis(500));
+  for (int i = 0; i <= 50; ++i) {
+    est.OnAckedPacket(Timestamp::Millis(10 * i), DataSize::Bits(19'200));
+  }
+  // Rate halves afterwards; after a full window only the new rate remains.
+  for (int i = 0; i <= 100; ++i) {
+    est.OnAckedPacket(Timestamp::Millis(500 + 10 * i), DataSize::Bits(9'600));
+  }
+  EXPECT_NEAR(est.rate().kbps(), 960.0, 50.0);
+}
+
+std::vector<transport::PacketResult> MakeResults(int count, int64_t lost_every,
+                                                 Timestamp base) {
+  std::vector<transport::PacketResult> results;
+  for (int i = 0; i < count; ++i) {
+    transport::PacketResult r;
+    r.seq = i;
+    r.size = DataSize::Bits(9'600);
+    r.send_time = base + TimeDelta::Millis(10 * i);
+    if (lost_every <= 0 || (i % lost_every) != 0) {
+      r.arrival = r.send_time + TimeDelta::Millis(30);
+    }
+    results.push_back(r);
+  }
+  return results;
+}
+
+TEST(LossBasedControlTest, HighLossCutsRate) {
+  LossBasedControl control;
+  const DataRate before = control.target();
+  // 20% loss sustained over several windows.
+  for (int w = 0; w < 5; ++w) {
+    control.OnPacketResults(MakeResults(100, 5, Timestamp::Seconds(w)),
+                            Timestamp::Seconds(w + 1));
+  }
+  EXPECT_LT(control.target(), before * 0.8);
+  EXPECT_NEAR(control.loss_rate(), 0.2, 0.01);
+}
+
+TEST(LossBasedControlTest, NoLossGrowsSlowly) {
+  LossBasedControl control;
+  const DataRate before = control.target();
+  for (int w = 0; w < 5; ++w) {
+    control.OnPacketResults(MakeResults(100, 0, Timestamp::Seconds(w)),
+                            Timestamp::Seconds(w + 1));
+  }
+  EXPECT_GT(control.target(), before);
+  EXPECT_LT(control.target(), before * 1.4);
+}
+
+TEST(LossBasedControlTest, ModerateLossHoldsRate) {
+  LossBasedControl control;
+  const DataRate before = control.target();
+  // 5% loss: between the low and high thresholds.
+  for (int w = 0; w < 5; ++w) {
+    control.OnPacketResults(MakeResults(100, 20, Timestamp::Seconds(w)),
+                            Timestamp::Seconds(w + 1));
+  }
+  EXPECT_EQ(control.target(), before);
+}
+
+// Closed-loop harness: runs the full GccEstimator against a virtual
+// bottleneck with the given capacity and a droptail-like queue delay model.
+DataRate RunClosedLoop(GccEstimator& gcc, DataRate capacity, int rounds,
+                       Timestamp start = Timestamp::Zero()) {
+  double queue_s = 0.0;
+  int64_t seq = 0;
+  Timestamp now = start;
+  for (int round = 0; round < rounds; ++round) {
+    // One 50 ms feedback round: packets paced at the current target.
+    const DataRate target = gcc.target();
+    const int packets = std::max<int>(
+        1, static_cast<int>(target.bps() * 0.05 / 9'600.0));
+    std::vector<transport::PacketResult> results;
+    for (int i = 0; i < packets; ++i) {
+      transport::PacketResult r;
+      r.seq = seq++;
+      r.size = DataSize::Bits(9'600);
+      r.send_time = now + TimeDelta::Millis(50 * i / packets);
+      // Queue integrates (arrival rate - capacity).
+      queue_s += 9'600.0 / static_cast<double>(capacity.bps());
+      queue_s = std::max(0.0, queue_s - 0.05 / packets);
+      r.arrival = r.send_time + TimeDelta::Millis(30) +
+                  TimeDelta::SecondsF(queue_s);
+      results.push_back(r);
+    }
+    now += TimeDelta::Millis(50);
+    gcc.OnPacketResults(results, now);
+  }
+  return gcc.target();
+}
+
+TEST(GccEstimatorTest, ConvergesBelowCapacityWithQueueFeedback) {
+  GccEstimator::Config config;
+  config.initial_rate = DataRate::KilobitsPerSec(2000);
+  GccEstimator gcc(config);
+  const DataRate final_rate =
+      RunClosedLoop(gcc, DataRate::KilobitsPerSec(1000), 600);
+  EXPECT_LT(final_rate.kbps(), 1300.0);
+  EXPECT_GT(final_rate.kbps(), 500.0);
+}
+
+TEST(GccEstimatorTest, RttTracksSendToFeedbackDelay) {
+  GccEstimator gcc;
+  std::vector<transport::PacketResult> results;
+  transport::PacketResult r;
+  r.seq = 0;
+  r.size = DataSize::Bits(9'600);
+  r.send_time = Timestamp::Millis(100);
+  r.arrival = Timestamp::Millis(140);
+  results.push_back(r);
+  gcc.OnPacketResults(results, Timestamp::Millis(180));
+  EXPECT_EQ(gcc.rtt(), TimeDelta::Millis(80));
+}
+
+TEST(GccEstimatorTest, InitialRatePropagates) {
+  GccEstimator::Config config;
+  config.initial_rate = DataRate::KilobitsPerSec(777);
+  GccEstimator gcc(config);
+  EXPECT_EQ(gcc.target().kbps(), 777);
+}
+
+TEST(GccEstimatorTest, EmptyResultsAreIgnored) {
+  GccEstimator gcc;
+  const DataRate before = gcc.target();
+  gcc.OnPacketResults({}, Timestamp::Seconds(1));
+  EXPECT_EQ(gcc.target(), before);
+}
+
+TEST(OracleBweTest, FollowsTraceWithUtilization) {
+  EventLoop loop;
+  OracleBwe oracle(loop,
+                   net::CapacityTrace::StepDrop(DataRate::KilobitsPerSec(2000),
+                                                DataRate::KilobitsPerSec(1000),
+                                                Timestamp::Seconds(5)),
+                   0.95);
+  EXPECT_NEAR(oracle.target().kbps(), 1900.0, 1.0);
+  loop.RunFor(TimeDelta::Seconds(6));
+  EXPECT_NEAR(oracle.target().kbps(), 950.0, 1.0);
+}
+
+TEST(OracleBweTest, TracksLossAndAckedRate) {
+  EventLoop loop;
+  OracleBwe oracle(loop, net::CapacityTrace::Constant(
+                             DataRate::KilobitsPerSec(1000)));
+  auto results = MakeResults(100, 4, Timestamp::Zero());
+  oracle.OnPacketResults(results, Timestamp::Seconds(2));
+  EXPECT_NEAR(oracle.loss_rate(), 0.25, 0.01);
+  EXPECT_GT(oracle.acked_rate(), DataRate::Zero());
+}
+
+}  // namespace
+}  // namespace rave::cc

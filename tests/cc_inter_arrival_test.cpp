@@ -1,0 +1,70 @@
+#include "cc/inter_arrival.h"
+
+#include <gtest/gtest.h>
+
+namespace rave::cc {
+namespace {
+
+TEST(InterArrivalTest, NoDeltaUntilThirdGroup) {
+  InterArrival ia(TimeDelta::Millis(5));
+  // Group 1.
+  EXPECT_FALSE(ia.OnPacket(Timestamp::Millis(0), Timestamp::Millis(25)));
+  // Group 2 (send 10 > 0 + 5ms): closes group 1, but no previous group yet.
+  EXPECT_FALSE(ia.OnPacket(Timestamp::Millis(10), Timestamp::Millis(35)));
+  // Group 3: now a delta between groups 1 and 2 emerges.
+  const auto delta =
+      ia.OnPacket(Timestamp::Millis(20), Timestamp::Millis(45));
+  ASSERT_TRUE(delta.has_value());
+  EXPECT_EQ(delta->send_delta, TimeDelta::Millis(10));
+  EXPECT_EQ(delta->arrival_delta, TimeDelta::Millis(10));
+}
+
+TEST(InterArrivalTest, PacketsWithinBurstWindowGroupTogether) {
+  InterArrival ia(TimeDelta::Millis(5));
+  ia.OnPacket(Timestamp::Millis(0), Timestamp::Millis(25));
+  ia.OnPacket(Timestamp::Micros(2'000), Timestamp::Millis(27));  // same group
+  ia.OnPacket(Timestamp::Micros(4'000), Timestamp::Millis(29));  // same group
+  ia.OnPacket(Timestamp::Millis(20), Timestamp::Millis(45));     // group 2
+  const auto delta = ia.OnPacket(Timestamp::Millis(40), Timestamp::Millis(65));
+  ASSERT_TRUE(delta.has_value());
+  // Group 1 last send = 4 ms, group 2 last send = 20 ms.
+  EXPECT_EQ(delta->send_delta, TimeDelta::Millis(16));
+  // Group 1 last arrival = 29 ms, group 2 last arrival = 45 ms.
+  EXPECT_EQ(delta->arrival_delta, TimeDelta::Millis(16));
+}
+
+TEST(InterArrivalTest, QueueGrowthShowsPositiveDelayDelta) {
+  InterArrival ia(TimeDelta::Millis(5));
+  // Send every 10 ms; arrivals progressively delayed (queue building).
+  std::optional<InterArrivalDelta> last;
+  for (int i = 0; i < 10; ++i) {
+    const auto send = Timestamp::Millis(i * 10);
+    const auto arrival = Timestamp::Millis(25 + i * 12);  // +2 ms per group
+    if (auto d = ia.OnPacket(send, arrival)) last = d;
+  }
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->arrival_delta - last->send_delta, TimeDelta::Millis(2));
+}
+
+TEST(InterArrivalTest, ResetForgetsHistory) {
+  InterArrival ia(TimeDelta::Millis(5));
+  ia.OnPacket(Timestamp::Millis(0), Timestamp::Millis(25));
+  ia.OnPacket(Timestamp::Millis(10), Timestamp::Millis(35));
+  ia.Reset();
+  // After reset we need three fresh groups again before a delta.
+  EXPECT_FALSE(ia.OnPacket(Timestamp::Millis(20), Timestamp::Millis(45)));
+  EXPECT_FALSE(ia.OnPacket(Timestamp::Millis(30), Timestamp::Millis(55)));
+  EXPECT_TRUE(ia.OnPacket(Timestamp::Millis(40), Timestamp::Millis(65)));
+}
+
+TEST(InterArrivalTest, DeltaArrivalIsLaterGroupArrival) {
+  InterArrival ia(TimeDelta::Millis(5));
+  ia.OnPacket(Timestamp::Millis(0), Timestamp::Millis(20));
+  ia.OnPacket(Timestamp::Millis(10), Timestamp::Millis(30));
+  const auto delta = ia.OnPacket(Timestamp::Millis(20), Timestamp::Millis(40));
+  ASSERT_TRUE(delta.has_value());
+  EXPECT_EQ(delta->arrival, Timestamp::Millis(30));
+}
+
+}  // namespace
+}  // namespace rave::cc

@@ -1,0 +1,95 @@
+#include "cc/trendline.h"
+
+#include <gtest/gtest.h>
+
+namespace rave::cc {
+namespace {
+
+// Feeds deltas with a constant per-group one-way-delay slope (ms per group).
+BandwidthUsage FeedSlope(TrendlineEstimator& est, double slope_ms,
+                         int groups, Timestamp start = Timestamp::Zero()) {
+  BandwidthUsage usage = BandwidthUsage::kNormal;
+  for (int i = 0; i < groups; ++i) {
+    InterArrivalDelta delta;
+    delta.send_delta = TimeDelta::Millis(10);
+    delta.arrival_delta =
+        TimeDelta::Millis(10) + TimeDelta::SecondsF(slope_ms / 1e3);
+    delta.arrival = start + TimeDelta::Millis(10 * (i + 1)) +
+                    TimeDelta::SecondsF(slope_ms * i / 1e3);
+    usage = est.OnDelta(delta);
+  }
+  return usage;
+}
+
+TEST(TrendlineTest, FlatDelayIsNormal) {
+  TrendlineEstimator est;
+  EXPECT_EQ(FeedSlope(est, 0.0, 100), BandwidthUsage::kNormal);
+}
+
+TEST(TrendlineTest, GrowingQueueDetectsOveruse) {
+  TrendlineEstimator est;
+  // Sustained +4 ms delay growth per 10 ms group = strong over-use.
+  EXPECT_EQ(FeedSlope(est, 4.0, 100), BandwidthUsage::kOverusing);
+}
+
+TEST(TrendlineTest, DrainingQueueDetectsUnderuse) {
+  TrendlineEstimator est;
+  FeedSlope(est, 4.0, 60);
+  EXPECT_EQ(FeedSlope(est, -4.0, 60,
+                      Timestamp::Seconds(10)),
+            BandwidthUsage::kUnderusing);
+}
+
+TEST(TrendlineTest, ReturnsToNormalAfterFlattening) {
+  TrendlineEstimator est;
+  FeedSlope(est, 4.0, 60);
+  const BandwidthUsage usage =
+      FeedSlope(est, 0.0, 100, Timestamp::Seconds(20));
+  EXPECT_EQ(usage, BandwidthUsage::kNormal);
+}
+
+TEST(TrendlineTest, SmallJitterDoesNotTrigger) {
+  TrendlineEstimator est;
+  // Alternating +-1 ms jitter has no trend.
+  BandwidthUsage usage = BandwidthUsage::kNormal;
+  for (int i = 0; i < 200; ++i) {
+    InterArrivalDelta delta;
+    delta.send_delta = TimeDelta::Millis(10);
+    delta.arrival_delta =
+        TimeDelta::Millis(10) + TimeDelta::Millis(i % 2 == 0 ? 1 : -1);
+    delta.arrival = Timestamp::Millis(10 * (i + 1));
+    usage = est.OnDelta(delta);
+  }
+  EXPECT_EQ(usage, BandwidthUsage::kNormal);
+}
+
+TEST(TrendlineTest, OveruseNeedsPersistence) {
+  TrendlineEstimator est;
+  // A couple of growing groups are not enough (overuse_time_threshold).
+  FeedSlope(est, 0.0, 30);
+  InterArrivalDelta delta;
+  delta.send_delta = TimeDelta::Millis(10);
+  delta.arrival_delta = TimeDelta::Millis(14);
+  delta.arrival = Timestamp::Seconds(1);
+  EXPECT_NE(est.OnDelta(delta), BandwidthUsage::kOverusing);
+}
+
+TEST(TrendlineTest, ThresholdAdaptsWithinBounds) {
+  TrendlineEstimator est;
+  FeedSlope(est, 2.0, 500);
+  EXPECT_GE(est.threshold(), 6.0);
+  EXPECT_LE(est.threshold(), 600.0);
+}
+
+TEST(TrendlineTest, ModifiedTrendSignMatchesSlope) {
+  TrendlineEstimator up;
+  FeedSlope(up, 3.0, 60);
+  EXPECT_GT(up.modified_trend(), 0.0);
+  TrendlineEstimator down;
+  FeedSlope(down, 3.0, 40);
+  FeedSlope(down, -3.0, 40, Timestamp::Seconds(5));
+  EXPECT_LT(down.modified_trend(), 0.0);
+}
+
+}  // namespace
+}  // namespace rave::cc

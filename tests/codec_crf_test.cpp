@@ -1,0 +1,110 @@
+#include "codec/crf_rate_control.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "codec/encoder.h"
+#include "video/video_source.h"
+
+namespace rave::codec {
+namespace {
+
+struct DriveStats {
+  double mean_qp = 0.0;
+  double mean_ssim = 0.0;
+  double bitrate_kbps = 0.0;
+  int64_t max_frame_bits = 0;
+};
+
+DriveStats Drive(const CrfConfig& config, video::ContentClass content,
+                 int frames) {
+  EncoderConfig enc_config;
+  enc_config.fps = config.fps;
+  enc_config.seed = 5;
+  Encoder encoder(enc_config, std::make_unique<CrfRateControl>(config));
+  video::VideoSource source({.content = content, .seed = 9});
+  DriveStats stats;
+  int64_t bits = 0;
+  for (int i = 0; i < frames; ++i) {
+    const Timestamp now = Timestamp::Millis(i * 33);
+    const EncodedFrame f = encoder.EncodeFrame(source.CaptureFrame(now), now);
+    stats.mean_qp += f.qp / frames;
+    stats.mean_ssim += f.ssim / frames;
+    bits += f.size.bits();
+    stats.max_frame_bits = std::max(stats.max_frame_bits, f.size.bits());
+  }
+  stats.bitrate_kbps = static_cast<double>(bits) / (frames / 30.0) / 1e3;
+  return stats;
+}
+
+TEST(CrfTest, LowerCrfMeansBetterQualityMoreBits) {
+  CrfConfig low;
+  low.crf = 20.0;
+  CrfConfig high;
+  high.crf = 32.0;
+  const DriveStats q_low = Drive(low, video::ContentClass::kTalkingHead, 300);
+  const DriveStats q_high =
+      Drive(high, video::ContentClass::kTalkingHead, 300);
+  EXPECT_GT(q_low.mean_ssim, q_high.mean_ssim);
+  EXPECT_GT(q_low.bitrate_kbps, q_high.bitrate_kbps);
+  EXPECT_LT(q_low.mean_qp, q_high.mean_qp);
+}
+
+TEST(CrfTest, QpStaysNearCrfForTypicalContent) {
+  CrfConfig config;
+  config.crf = 26.0;
+  const DriveStats stats =
+      Drive(config, video::ContentClass::kTalkingHead, 600);
+  // CRF is anchored to the model's reference complexity; average QP should
+  // track the configured factor within a few units.
+  EXPECT_NEAR(stats.mean_qp, 26.0, 4.0);
+}
+
+TEST(CrfTest, BitrateFollowsContentNotATarget) {
+  CrfConfig config;
+  config.crf = 26.0;
+  const DriveStats talking =
+      Drive(config, video::ContentClass::kTalkingHead, 600);
+  const DriveStats sports = Drive(config, video::ContentClass::kSports, 600);
+  // Same quality target; busier content needs substantially more bits.
+  EXPECT_GT(sports.bitrate_kbps, 1.5 * talking.bitrate_kbps);
+}
+
+TEST(CrfTest, PureCrfIgnoresTargetRate) {
+  CrfConfig config;
+  config.crf = 24.0;
+  CrfRateControl rc(config);
+  rc.SetTargetRate(DataRate::KilobitsPerSec(100));
+  EXPECT_EQ(rc.current_target(), DataRate::PlusInfinity());
+}
+
+TEST(CrfTest, CappedCrfBoundsFrameSizes) {
+  CrfConfig config;
+  config.crf = 18.0;  // generous quality so the cap must bite
+  config.cap_rate = DataRate::KilobitsPerSec(800);
+  config.vbv_window = TimeDelta::Millis(500);
+  const DriveStats stats = Drive(config, video::ContentClass::kSports, 600);
+  // VBV capacity is 400 kb; no frame may exceed it (+ encoder tolerance).
+  EXPECT_LE(stats.max_frame_bits, static_cast<int64_t>(400'000 * 1.10));
+  // Long-run bitrate respects the cap with modest slack.
+  EXPECT_LT(stats.bitrate_kbps, 1000.0);
+}
+
+TEST(CrfTest, CappedCrfAcceptsReconfig) {
+  CrfConfig config;
+  config.cap_rate = DataRate::KilobitsPerSec(1500);
+  CrfRateControl rc(config);
+  rc.SetTargetRate(DataRate::KilobitsPerSec(700));
+  EXPECT_EQ(rc.current_target().kbps(), 700);
+  rc.SetTargetRate(DataRate::Zero());  // ignored
+  EXPECT_EQ(rc.current_target().kbps(), 700);
+}
+
+TEST(CrfTest, Name) {
+  CrfRateControl rc(CrfConfig{});
+  EXPECT_EQ(rc.name(), "x264-crf");
+}
+
+}  // namespace
+}  // namespace rave::codec

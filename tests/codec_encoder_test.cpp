@@ -1,0 +1,203 @@
+#include "codec/encoder.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "video/video_source.h"
+
+namespace rave::codec {
+namespace {
+
+// Scripted rate control so encoder behaviour can be tested in isolation.
+class ScriptedRateControl : public RateControl {
+ public:
+  FrameGuidance next;
+  std::vector<FrameOutcome> outcomes;
+  DataRate target = DataRate::KilobitsPerSec(1000);
+
+  void SetTargetRate(DataRate t) override { target = t; }
+  FrameGuidance PlanFrame(const video::RawFrame&, FrameType,
+                          Timestamp) override {
+    return next;
+  }
+  void OnFrameEncoded(const FrameOutcome& outcome, Timestamp) override {
+    outcomes.push_back(outcome);
+  }
+  std::string name() const override { return "scripted"; }
+  DataRate current_target() const override { return target; }
+};
+
+video::RawFrame MakeFrame(int64_t id, bool scene_change = false) {
+  video::RawFrame f;
+  f.frame_id = id;
+  f.capture_time = Timestamp::Millis(id * 33);
+  f.spatial_complexity = 1.0;
+  f.temporal_complexity = 0.5;
+  f.scene_change = scene_change;
+  return f;
+}
+
+struct EncoderFixture {
+  EncoderFixture() {
+    auto owned = std::make_unique<ScriptedRateControl>();
+    rc = owned.get();
+    rc->next.qp = 28.0;
+    EncoderConfig config;
+    config.fps = 30.0;
+    config.seed = 3;
+    encoder = std::make_unique<Encoder>(config, std::move(owned));
+  }
+  ScriptedRateControl* rc = nullptr;
+  std::unique_ptr<Encoder> encoder;
+};
+
+TEST(EncoderTest, FirstFrameIsKeyframe) {
+  EncoderFixture fx;
+  const EncodedFrame f =
+      fx.encoder->EncodeFrame(MakeFrame(0), Timestamp::Zero());
+  EXPECT_EQ(f.type, FrameType::kKey);
+  const EncodedFrame g =
+      fx.encoder->EncodeFrame(MakeFrame(1), Timestamp::Millis(33));
+  EXPECT_EQ(g.type, FrameType::kDelta);
+}
+
+TEST(EncoderTest, SceneChangeForcesKeyframe) {
+  EncoderFixture fx;
+  fx.encoder->EncodeFrame(MakeFrame(0), Timestamp::Zero());
+  const EncodedFrame f = fx.encoder->EncodeFrame(
+      MakeFrame(1, /*scene_change=*/true), Timestamp::Millis(33));
+  EXPECT_EQ(f.type, FrameType::kKey);
+}
+
+TEST(EncoderTest, KeyframeRequestHonoredAfterMinInterval) {
+  EncoderFixture fx;
+  fx.encoder->EncodeFrame(MakeFrame(0), Timestamp::Zero());
+  // Request right after the first keyframe: throttled (min interval 300ms).
+  fx.encoder->RequestKeyFrame();
+  const EncodedFrame f =
+      fx.encoder->EncodeFrame(MakeFrame(1), Timestamp::Millis(33));
+  EXPECT_EQ(f.type, FrameType::kDelta);
+  // After the interval elapses the pending request fires.
+  const EncodedFrame g =
+      fx.encoder->EncodeFrame(MakeFrame(2), Timestamp::Millis(400));
+  EXPECT_EQ(g.type, FrameType::kKey);
+}
+
+TEST(EncoderTest, PeriodicKeyframeInterval) {
+  auto owned = std::make_unique<ScriptedRateControl>();
+  owned->next.qp = 28.0;
+  EncoderConfig config;
+  config.fps = 30.0;
+  config.keyframe_interval_frames = 10;
+  Encoder encoder(config, std::move(owned));
+  int keys = 0;
+  for (int i = 0; i < 50; ++i) {
+    const EncodedFrame f =
+        encoder.EncodeFrame(MakeFrame(i), Timestamp::Millis(i * 33));
+    if (f.type == FrameType::kKey) ++keys;
+  }
+  EXPECT_EQ(keys, 5);
+}
+
+TEST(EncoderTest, SkipProducesEmptyFrameAndInformsRateControl) {
+  EncoderFixture fx;
+  fx.encoder->EncodeFrame(MakeFrame(0), Timestamp::Zero());
+  fx.rc->next.skip = true;
+  const EncodedFrame f =
+      fx.encoder->EncodeFrame(MakeFrame(1), Timestamp::Millis(33));
+  EXPECT_TRUE(f.skipped);
+  EXPECT_TRUE(f.size.IsZero());
+  ASSERT_EQ(fx.rc->outcomes.size(), 2u);
+  EXPECT_TRUE(fx.rc->outcomes[1].skipped);
+}
+
+TEST(EncoderTest, HardCapTriggersReencodes) {
+  EncoderFixture fx;
+  fx.encoder->EncodeFrame(MakeFrame(0), Timestamp::Zero());
+  // Uncapped delta frame at QP 28 is ~35-45 kb; cap it to 15 kb.
+  fx.rc->next.qp = 28.0;
+  fx.rc->next.max_size = DataSize::Bits(15'000);
+  const EncodedFrame f =
+      fx.encoder->EncodeFrame(MakeFrame(1), Timestamp::Millis(33));
+  EXPECT_GT(f.reencodes, 0);
+  EXPECT_LE(f.size.bits(), static_cast<int64_t>(15'000 * 1.06));
+  EXPECT_GT(f.qp, 28.0);  // had to quantize harder
+}
+
+TEST(EncoderTest, CapAlreadySatisfiedMeansNoReencode) {
+  EncoderFixture fx;
+  fx.encoder->EncodeFrame(MakeFrame(0), Timestamp::Zero());
+  fx.rc->next.max_size = DataSize::Bits(10'000'000);
+  const EncodedFrame f =
+      fx.encoder->EncodeFrame(MakeFrame(1), Timestamp::Millis(33));
+  EXPECT_EQ(f.reencodes, 0);
+  EXPECT_DOUBLE_EQ(f.qp, 28.0);
+}
+
+TEST(EncoderTest, ReencodeCountBounded) {
+  EncoderFixture fx;
+  fx.encoder->EncodeFrame(MakeFrame(0), Timestamp::Zero());
+  // Impossible cap: even max QP cannot reach it; encoder must give up after
+  // max_reencodes attempts.
+  fx.rc->next.max_size = DataSize::Bits(1);
+  const EncodedFrame f =
+      fx.encoder->EncodeFrame(MakeFrame(1), Timestamp::Millis(33));
+  EXPECT_LE(f.reencodes, 3);
+  EXPECT_NEAR(f.qp, kMaxQp, 0.5);
+}
+
+TEST(EncoderTest, QualityReflectsFinalQp) {
+  EncoderFixture fx;
+  fx.encoder->EncodeFrame(MakeFrame(0), Timestamp::Zero());
+  fx.rc->next.qp = 20.0;
+  const double ssim_lo_qp =
+      fx.encoder->EncodeFrame(MakeFrame(1), Timestamp::Millis(33)).ssim;
+  fx.rc->next.qp = 45.0;
+  const double ssim_hi_qp =
+      fx.encoder->EncodeFrame(MakeFrame(2), Timestamp::Millis(66)).ssim;
+  EXPECT_GT(ssim_lo_qp, ssim_hi_qp);
+}
+
+TEST(EncoderTest, OutcomeCarriesComplexityTerm) {
+  EncoderFixture fx;
+  const video::RawFrame frame = MakeFrame(0);
+  fx.encoder->EncodeFrame(frame, Timestamp::Zero());
+  ASSERT_EQ(fx.rc->outcomes.size(), 1u);
+  // First frame is a keyframe: complexity term uses spatial complexity.
+  EXPECT_DOUBLE_EQ(fx.rc->outcomes[0].complexity_term,
+                   1280.0 * 720.0 * frame.spatial_complexity);
+}
+
+TEST(EncoderTest, QpClampedToValidRange) {
+  EncoderFixture fx;
+  fx.rc->next.qp = 200.0;
+  const EncodedFrame f =
+      fx.encoder->EncodeFrame(MakeFrame(0), Timestamp::Zero());
+  EXPECT_LE(f.qp, kMaxQp);
+  fx.rc->next.qp = -10.0;
+  const EncodedFrame g =
+      fx.encoder->EncodeFrame(MakeFrame(1), Timestamp::Millis(33));
+  EXPECT_GE(g.qp, kMinQp);
+}
+
+TEST(EncoderTest, DeterministicAcrossInstances) {
+  auto run = [] {
+    auto owned = std::make_unique<ScriptedRateControl>();
+    owned->next.qp = 30.0;
+    EncoderConfig config;
+    config.seed = 17;
+    Encoder encoder(config, std::move(owned));
+    int64_t total = 0;
+    for (int i = 0; i < 100; ++i) {
+      total += encoder
+                   .EncodeFrame(MakeFrame(i), Timestamp::Millis(i * 33))
+                   .size.bits();
+    }
+    return total;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace rave::codec

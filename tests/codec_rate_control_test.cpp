@@ -1,0 +1,162 @@
+// Tests for the x264-style baseline rate controls: long-run convergence to
+// the target bitrate and — the property the paper is built on — their slow
+// reaction to target changes.
+#include <gtest/gtest.h>
+
+#include "codec/abr_rate_control.h"
+#include "codec/cbr_rate_control.h"
+#include "codec/encoder.h"
+#include "video/video_source.h"
+
+namespace rave::codec {
+namespace {
+
+// Drives an encoder with a synthetic source at a fixed frame cadence and
+// returns the achieved bitrate over [from, to).
+struct DriveResult {
+  double bitrate_kbps = 0.0;
+  double mean_qp = 0.0;
+  double max_qp_step = 0.0;
+};
+
+template <typename MakeRc>
+DriveResult Drive(MakeRc make_rc, DataRate target_before, DataRate target_after,
+                  int frames_before, int frames_after, int measure_from,
+                  int measure_to) {
+  EncoderConfig config;
+  config.fps = 30.0;
+  config.seed = 5;
+  Encoder encoder(config, make_rc());
+  video::VideoSource source({.content = video::ContentClass::kTalkingHead,
+                             .seed = 9});
+  encoder.SetTargetRate(target_before);
+
+  DriveResult result;
+  int64_t bits = 0;
+  int counted = 0;
+  double qp_sum = 0.0;
+  double last_qp = 0.0;
+  const int total = frames_before + frames_after;
+  for (int i = 0; i < total; ++i) {
+    if (i == frames_before) encoder.SetTargetRate(target_after);
+    const Timestamp now = Timestamp::Millis(i * 33);
+    const video::RawFrame frame = source.CaptureFrame(now);
+    const EncodedFrame encoded = encoder.EncodeFrame(frame, now);
+    if (i >= measure_from && i < measure_to) {
+      bits += encoded.size.bits();
+      qp_sum += encoded.qp;
+      if (last_qp > 0.0) {
+        result.max_qp_step =
+            std::max(result.max_qp_step, std::abs(encoded.qp - last_qp));
+      }
+      ++counted;
+    }
+    last_qp = encoded.qp;
+  }
+  result.bitrate_kbps =
+      static_cast<double>(bits) / (counted / 30.0) / 1e3;
+  result.mean_qp = qp_sum / counted;
+  return result;
+}
+
+std::unique_ptr<RateControl> MakeAbr() {
+  AbrConfig config;
+  config.fps = 30.0;
+  return std::make_unique<AbrRateControl>(config);
+}
+
+std::unique_ptr<RateControl> MakeCbr() {
+  CbrConfig config;
+  config.fps = 30.0;
+  return std::make_unique<CbrRateControl>(config);
+}
+
+TEST(AbrRateControlTest, ConvergesToTargetLongRun) {
+  const auto r = Drive(MakeAbr, DataRate::KilobitsPerSec(1500),
+                       DataRate::KilobitsPerSec(1500), 0, 900, 300, 900);
+  EXPECT_NEAR(r.bitrate_kbps, 1500.0, 150.0);
+}
+
+TEST(AbrRateControlTest, TracksLowTargetToo) {
+  const auto r = Drive(MakeAbr, DataRate::KilobitsPerSec(400),
+                       DataRate::KilobitsPerSec(400), 0, 900, 300, 900);
+  EXPECT_NEAR(r.bitrate_kbps, 400.0, 60.0);
+}
+
+TEST(AbrRateControlTest, ReactsSlowlyToTargetDrop) {
+  // Right after the target halves, the *output* bitrate must still be much
+  // closer to the old target than the new one — x264's documented
+  // sluggishness, and the paper's motivation.
+  const auto first_half_second =
+      Drive(MakeAbr, DataRate::KilobitsPerSec(2000),
+            DataRate::KilobitsPerSec(800), 600, 300, 600, 615);
+  EXPECT_GT(first_half_second.bitrate_kbps, 1000.0);
+
+  // But several seconds later it has converged.
+  const auto later = Drive(MakeAbr, DataRate::KilobitsPerSec(2000),
+                           DataRate::KilobitsPerSec(800), 600, 300, 750, 900);
+  EXPECT_NEAR(later.bitrate_kbps, 800.0, 160.0);
+}
+
+TEST(AbrRateControlTest, QpStepBounded) {
+  const auto r = Drive(MakeAbr, DataRate::KilobitsPerSec(1500),
+                       DataRate::KilobitsPerSec(600), 300, 300, 10, 600);
+  // lstep with qp_step=4 bounds per-frame QP movement (keyframes and the
+  // first frame are exempt, so allow a little slack).
+  EXPECT_LE(r.max_qp_step, 8.0);
+}
+
+TEST(CbrRateControlTest, ConvergesToTarget) {
+  const auto r = Drive(MakeCbr, DataRate::KilobitsPerSec(1200),
+                       DataRate::KilobitsPerSec(1200), 0, 900, 300, 900);
+  EXPECT_NEAR(r.bitrate_kbps, 1200.0, 180.0);
+}
+
+TEST(CbrRateControlTest, ReactsFasterThanAbr) {
+  // Compare output bitrate in the first second after a 2000->800 drop: the
+  // strict-VBV controller cuts harder (it even undershoots while its buffer
+  // debt drains), while ABR is still far above the new target.
+  const auto abr = Drive(MakeAbr, DataRate::KilobitsPerSec(2000),
+                         DataRate::KilobitsPerSec(800), 600, 60, 600, 630);
+  const auto cbr = Drive(MakeCbr, DataRate::KilobitsPerSec(2000),
+                         DataRate::KilobitsPerSec(800), 600, 60, 600, 630);
+  EXPECT_LT(cbr.bitrate_kbps, abr.bitrate_kbps);
+  // And a couple of seconds later it has converged to the new target.
+  const auto later = Drive(MakeCbr, DataRate::KilobitsPerSec(2000),
+                           DataRate::KilobitsPerSec(800), 600, 300, 720, 900);
+  EXPECT_NEAR(later.bitrate_kbps, 800.0, 160.0);
+}
+
+TEST(CbrRateControlTest, VbvBoundsFrameSizes) {
+  CbrConfig config;
+  config.fps = 30.0;
+  config.initial_target = DataRate::KilobitsPerSec(800);
+  config.vbv_window = TimeDelta::Millis(500);
+  CbrRateControl rc(config);
+  EncoderConfig econfig;
+  econfig.fps = 30.0;
+  Encoder encoder(econfig, std::make_unique<CbrRateControl>(config));
+  video::VideoSource source({.content = video::ContentClass::kSports,
+                             .seed = 2});
+  // VBV capacity = 400 kb; no frame may exceed it (plus cap tolerance).
+  for (int i = 0; i < 600; ++i) {
+    const Timestamp now = Timestamp::Millis(i * 33);
+    const EncodedFrame f = encoder.EncodeFrame(source.CaptureFrame(now), now);
+    EXPECT_LE(f.size.bits(), static_cast<int64_t>(400'000 * 1.10)) << i;
+  }
+}
+
+TEST(RateControlTest, Names) {
+  EXPECT_EQ(MakeAbr()->name(), "x264-abr");
+  EXPECT_EQ(MakeCbr()->name(), "x264-cbr");
+}
+
+TEST(RateControlTest, IgnoresNonPositiveTarget) {
+  auto rc = MakeAbr();
+  rc->SetTargetRate(DataRate::KilobitsPerSec(1200));
+  rc->SetTargetRate(DataRate::Zero());
+  EXPECT_EQ(rc->current_target().kbps(), 1200);
+}
+
+}  // namespace
+}  // namespace rave::codec

@@ -1,0 +1,78 @@
+#include "codec/vbv.h"
+
+#include <gtest/gtest.h>
+
+namespace rave::codec {
+namespace {
+
+TEST(VbvTest, CapacityFromRateAndWindow) {
+  VbvBuffer vbv(DataRate::KilobitsPerSec(1000), TimeDelta::Millis(1000));
+  EXPECT_EQ(vbv.capacity().bits(), 1'000'000);
+  EXPECT_TRUE(vbv.fill().IsZero());
+  EXPECT_DOUBLE_EQ(vbv.fullness(), 0.0);
+}
+
+TEST(VbvTest, AddAndDrain) {
+  VbvBuffer vbv(DataRate::KilobitsPerSec(1000), TimeDelta::Millis(1000));
+  vbv.AddFrame(DataSize::Bits(400'000));
+  EXPECT_EQ(vbv.fill().bits(), 400'000);
+  vbv.Drain(TimeDelta::Millis(100));  // drains 100k bits
+  EXPECT_EQ(vbv.fill().bits(), 300'000);
+  EXPECT_DOUBLE_EQ(vbv.fullness(), 0.3);
+}
+
+TEST(VbvTest, DrainNeverGoesNegative) {
+  VbvBuffer vbv(DataRate::KilobitsPerSec(1000), TimeDelta::Millis(500));
+  vbv.AddFrame(DataSize::Bits(50'000));
+  vbv.Drain(TimeDelta::Seconds(10));
+  EXPECT_TRUE(vbv.fill().IsZero());
+  vbv.Drain(TimeDelta::Millis(-5));  // no-op
+  EXPECT_TRUE(vbv.fill().IsZero());
+}
+
+TEST(VbvTest, AddClampsAtCapacity) {
+  VbvBuffer vbv(DataRate::KilobitsPerSec(1000), TimeDelta::Millis(500));
+  vbv.AddFrame(DataSize::Bits(2'000'000));
+  EXPECT_EQ(vbv.fill(), vbv.capacity());
+  EXPECT_TRUE(vbv.SpaceRemaining().IsZero());
+}
+
+TEST(VbvTest, MaxFrameSizeWithHeadroom) {
+  VbvBuffer vbv(DataRate::KilobitsPerSec(1000), TimeDelta::Millis(1000));
+  vbv.AddFrame(DataSize::Bits(300'000));
+  // Space = 700k; 10% headroom reserves 100k.
+  EXPECT_EQ(vbv.MaxFrameSize(0.1).bits(), 600'000);
+  EXPECT_EQ(vbv.MaxFrameSize(0.0).bits(), 700'000);
+}
+
+TEST(VbvTest, MaxFrameSizeNeverNegative) {
+  VbvBuffer vbv(DataRate::KilobitsPerSec(1000), TimeDelta::Millis(200));
+  vbv.AddFrame(DataSize::Bits(200'000));  // full
+  EXPECT_EQ(vbv.MaxFrameSize(0.5).bits(), 0);
+}
+
+TEST(VbvTest, SetMaxRateRescalesCapacityPreservingFill) {
+  VbvBuffer vbv(DataRate::KilobitsPerSec(2000), TimeDelta::Millis(1000));
+  vbv.AddFrame(DataSize::Bits(500'000));
+  vbv.SetMaxRate(DataRate::KilobitsPerSec(1000));
+  EXPECT_EQ(vbv.capacity().bits(), 1'000'000);
+  EXPECT_EQ(vbv.fill().bits(), 500'000);
+  // Shrinking below the fill clamps the fill.
+  vbv.SetMaxRate(DataRate::KilobitsPerSec(400));
+  EXPECT_EQ(vbv.fill(), vbv.capacity());
+}
+
+TEST(VbvTest, SteadyStateStableUnderMatchedLoad) {
+  // Adding exactly rate*dt per step keeps the buffer level constant.
+  VbvBuffer vbv(DataRate::KilobitsPerSec(1200), TimeDelta::Millis(1000));
+  vbv.AddFrame(DataSize::Bits(600'000));
+  const DataSize per_frame = DataSize::Bits(40'000);  // 1200kbps at 30fps
+  for (int i = 0; i < 300; ++i) {
+    vbv.Drain(TimeDelta::SecondsF(1.0 / 30.0));
+    vbv.AddFrame(per_frame);
+  }
+  EXPECT_NEAR(static_cast<double>(vbv.fill().bits()), 600'000.0, 2000.0);
+}
+
+}  // namespace
+}  // namespace rave::codec

@@ -1,0 +1,198 @@
+#include "core/adaptive_rate_control.h"
+
+#include <gtest/gtest.h>
+
+namespace rave::core {
+namespace {
+
+video::RawFrame MakeFrame(int64_t id = 0) {
+  video::RawFrame f;
+  f.frame_id = id;
+  f.spatial_complexity = 1.0;
+  f.temporal_complexity = 0.5;
+  return f;
+}
+
+NetworkObservation MakeObs(Timestamp at, int64_t target_kbps,
+                           int64_t pacer_bits = 0,
+                           bool overuse_decrease = false) {
+  NetworkObservation obs;
+  obs.at = at;
+  obs.target = DataRate::KilobitsPerSec(target_kbps);
+  obs.acked_rate = DataRate::KilobitsPerSec(target_kbps);
+  obs.rtt = TimeDelta::Millis(50);
+  obs.pacer_queue = DataSize::Bits(pacer_bits);
+  obs.overuse_decrease = overuse_decrease;
+  return obs;
+}
+
+codec::FrameOutcome MakeOutcome(const codec::FrameGuidance& guidance,
+                                const video::RawFrame& frame,
+                                codec::FrameType type, int64_t bits) {
+  codec::FrameOutcome outcome;
+  outcome.type = type;
+  outcome.qp = guidance.qp;
+  outcome.qscale = codec::QpToQscale(guidance.qp);
+  outcome.size = DataSize::Bits(bits);
+  outcome.complexity_term = 1280.0 * 720.0 *
+                            (type == codec::FrameType::kKey
+                                 ? frame.spatial_complexity
+                                 : frame.temporal_complexity);
+  return outcome;
+}
+
+AdaptiveConfig DefaultConfig() {
+  AdaptiveConfig config;
+  config.fps = 30.0;
+  config.initial_target = DataRate::KilobitsPerSec(2000);
+  return config;
+}
+
+// Feeds `n` steady frames so predictors and QP state settle.
+void WarmUp(AdaptiveRateControl& rc, int n, int64_t target_kbps) {
+  const video::RawFrame frame = MakeFrame();
+  for (int i = 0; i < n; ++i) {
+    const Timestamp now = Timestamp::Millis(33 * i);
+    rc.OnNetworkUpdate(MakeObs(now, target_kbps));
+    const codec::FrameGuidance g =
+        rc.PlanFrame(frame, codec::FrameType::kDelta, now);
+    // Assume the encoder hits the plan within noise.
+    rc.OnFrameEncoded(
+        MakeOutcome(g, frame, codec::FrameType::kDelta,
+                    static_cast<int64_t>(target_kbps * 1000.0 / 30.0)),
+        now);
+  }
+}
+
+TEST(AdaptiveRateControlTest, QpRisesImmediatelyOnDrop) {
+  AdaptiveRateControl rc(DefaultConfig());
+  WarmUp(rc, 60, 2000);
+  const codec::FrameGuidance before =
+      rc.PlanFrame(MakeFrame(), codec::FrameType::kDelta, Timestamp::Seconds(2));
+
+  // 60% drop detected via rich observation.
+  rc.OnNetworkUpdate(MakeObs(Timestamp::Millis(2033), 800, 200'000, true));
+  EXPECT_TRUE(rc.drop_active());
+  const codec::FrameGuidance after =
+      rc.PlanFrame(MakeFrame(), codec::FrameType::kDelta,
+                   Timestamp::Millis(2033));
+  // One frame later the QP has already moved by far more than the baseline's
+  // per-frame clamp would allow.
+  EXPECT_GT(after.qp, before.qp + 5.0);
+  EXPECT_TRUE(after.max_size.IsFinite());
+}
+
+TEST(AdaptiveRateControlTest, QpRecoveryIsGradual) {
+  AdaptiveConfig config = DefaultConfig();
+  config.qp_down_step = 1.0;
+  AdaptiveRateControl rc(config);
+  WarmUp(rc, 60, 600);  // high QP operating point
+  const codec::FrameGuidance at_low =
+      rc.PlanFrame(MakeFrame(), codec::FrameType::kDelta,
+                   Timestamp::Seconds(2));
+  // Capacity jumps 3x; QP must come down at most qp_down_step per frame.
+  rc.OnNetworkUpdate(MakeObs(Timestamp::Millis(2033), 1800));
+  const codec::FrameGuidance next =
+      rc.PlanFrame(MakeFrame(), codec::FrameType::kDelta,
+                   Timestamp::Millis(2033));
+  EXPECT_GE(next.qp, at_low.qp - 1.5);
+}
+
+TEST(AdaptiveRateControlTest, SkipsUnderExtremeBacklogThenBounded) {
+  AdaptiveRateControl rc(DefaultConfig());
+  WarmUp(rc, 60, 1000);
+  // 500 ms of backlog.
+  rc.OnNetworkUpdate(MakeObs(Timestamp::Seconds(3), 1000, 500'000, true));
+  int skips = 0;
+  for (int i = 0; i < 5; ++i) {
+    const codec::FrameGuidance g = rc.PlanFrame(
+        MakeFrame(), codec::FrameType::kDelta, Timestamp::Seconds(3));
+    if (!g.skip) break;
+    codec::FrameOutcome outcome;
+    outcome.skipped = true;
+    rc.OnFrameEncoded(outcome, Timestamp::Seconds(3));
+    ++skips;
+  }
+  EXPECT_GE(skips, 1);
+  EXPECT_LE(skips, 2);  // max_consecutive_skips
+}
+
+TEST(AdaptiveRateControlTest, AblationDisableSkip) {
+  AdaptiveConfig config = DefaultConfig();
+  config.enable_skip = false;
+  AdaptiveRateControl rc(config);
+  WarmUp(rc, 60, 1000);
+  rc.OnNetworkUpdate(MakeObs(Timestamp::Seconds(3), 1000, 500'000, true));
+  const codec::FrameGuidance g = rc.PlanFrame(
+      MakeFrame(), codec::FrameType::kDelta, Timestamp::Seconds(3));
+  EXPECT_FALSE(g.skip);
+}
+
+TEST(AdaptiveRateControlTest, AblationDisableFrameCap) {
+  AdaptiveConfig config = DefaultConfig();
+  config.enable_frame_cap = false;
+  AdaptiveRateControl rc(config);
+  WarmUp(rc, 60, 1000);
+  rc.OnNetworkUpdate(MakeObs(Timestamp::Seconds(3), 400, 100'000, true));
+  const codec::FrameGuidance g = rc.PlanFrame(
+      MakeFrame(), codec::FrameType::kDelta, Timestamp::Seconds(3));
+  EXPECT_FALSE(g.max_size.IsFinite());
+}
+
+TEST(AdaptiveRateControlTest, AblationDisableDrainMode) {
+  AdaptiveConfig config = DefaultConfig();
+  config.enable_drain_mode = false;
+  AdaptiveRateControl rc(config);
+  WarmUp(rc, 60, 2000);
+  rc.OnNetworkUpdate(MakeObs(Timestamp::Seconds(3), 800, 200'000, true));
+  EXPECT_FALSE(rc.drop_active());
+}
+
+TEST(AdaptiveRateControlTest, SteadyStateQpIsStable) {
+  AdaptiveRateControl rc(DefaultConfig());
+  WarmUp(rc, 120, 1500);
+  // With a steady target and matched encode sizes, consecutive plans must
+  // not oscillate.
+  double min_qp = 100.0;
+  double max_qp = 0.0;
+  const video::RawFrame frame = MakeFrame();
+  for (int i = 0; i < 60; ++i) {
+    const Timestamp now = Timestamp::Millis(4000 + 33 * i);
+    rc.OnNetworkUpdate(MakeObs(now, 1500));
+    const codec::FrameGuidance g =
+        rc.PlanFrame(frame, codec::FrameType::kDelta, now);
+    min_qp = std::min(min_qp, g.qp);
+    max_qp = std::max(max_qp, g.qp);
+    rc.OnFrameEncoded(MakeOutcome(g, frame, codec::FrameType::kDelta, 50'000),
+                      now);
+  }
+  EXPECT_LT(max_qp - min_qp, 3.0);
+}
+
+TEST(AdaptiveRateControlTest, SetTargetRateFallbackPath) {
+  AdaptiveRateControl rc(DefaultConfig());
+  rc.SetTargetRate(DataRate::KilobitsPerSec(700));
+  EXPECT_EQ(rc.current_target().kbps(), 700);
+  rc.SetTargetRate(DataRate::Zero());  // ignored
+  EXPECT_EQ(rc.current_target().kbps(), 700);
+}
+
+TEST(AdaptiveRateControlTest, LocalBacklogAccountingBetweenFeedbacks) {
+  AdaptiveRateControl rc(DefaultConfig());
+  WarmUp(rc, 60, 1000);
+  const NetworkState before = rc.network_state();
+  const video::RawFrame frame = MakeFrame();
+  const codec::FrameGuidance g =
+      rc.PlanFrame(frame, codec::FrameType::kDelta, Timestamp::Seconds(3));
+  rc.OnFrameEncoded(MakeOutcome(g, frame, codec::FrameType::kDelta, 80'000),
+                    Timestamp::Seconds(3));
+  EXPECT_EQ(rc.network_state().backlog.bits(), before.backlog.bits() + 80'000);
+}
+
+TEST(AdaptiveRateControlTest, Name) {
+  AdaptiveRateControl rc(DefaultConfig());
+  EXPECT_EQ(rc.name(), "rave-adaptive");
+}
+
+}  // namespace
+}  // namespace rave::core

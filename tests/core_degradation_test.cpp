@@ -1,0 +1,90 @@
+#include "core/degradation.h"
+
+#include <gtest/gtest.h>
+
+namespace rave::core {
+namespace {
+
+TEST(DegradationTest, StartsAtTopOfLadder) {
+  DegradationController controller;
+  EXPECT_EQ(controller.resolution(), (video::Resolution{1280, 720}));
+  EXPECT_EQ(controller.level(), 0u);
+}
+
+TEST(DegradationTest, SustainedHighQpStepsDown) {
+  DegradationController controller;
+  bool changed = false;
+  for (int i = 0; i < 100 && !changed; ++i) {
+    changed = controller.OnFrameQp(48.0, Timestamp::Millis(33 * i));
+  }
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(controller.resolution(), (video::Resolution{960, 540}));
+}
+
+TEST(DegradationTest, BriefQpSpikeDoesNotStepDown) {
+  DegradationController controller;
+  // 1 s of high QP (dwell is 1.5 s), then normal again.
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_FALSE(controller.OnFrameQp(48.0, Timestamp::Millis(33 * i)));
+  }
+  EXPECT_FALSE(controller.OnFrameQp(35.0, Timestamp::Millis(1000)));
+  // The dwell clock restarted at 1100 ms; stop before it elapses.
+  for (int i = 0; i < 45; ++i) {
+    EXPECT_FALSE(controller.OnFrameQp(48.0,
+                                      Timestamp::Millis(1100 + 33 * i)));
+  }
+  EXPECT_EQ(controller.level(), 0u);
+}
+
+TEST(DegradationTest, SustainedLowQpStepsBackUp) {
+  DegradationController controller;
+  // Step down exactly once (55 frames = 1.8 s of high QP; the second dwell
+  // does not complete).
+  for (int i = 0; i < 55; ++i) {
+    controller.OnFrameQp(48.0, Timestamp::Millis(33 * i));
+  }
+  ASSERT_EQ(controller.level(), 1u);
+  bool changed = false;
+  for (int i = 0; i < 100 && !changed; ++i) {
+    changed = controller.OnFrameQp(25.0, Timestamp::Millis(5000 + 33 * i));
+  }
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(controller.level(), 0u);
+}
+
+TEST(DegradationTest, NeverStepsBelowLadderBottom) {
+  DegradationController controller;
+  Timestamp now = Timestamp::Zero();
+  for (int step = 0; step < 10; ++step) {
+    for (int i = 0; i < 100; ++i) {
+      controller.OnFrameQp(50.0, now);
+      now += TimeDelta::Millis(33);
+    }
+  }
+  EXPECT_EQ(controller.level(), 3u);
+  EXPECT_EQ(controller.resolution(), (video::Resolution{480, 270}));
+}
+
+TEST(DegradationTest, NeverStepsAboveLadderTop) {
+  DegradationController controller;
+  Timestamp now = Timestamp::Zero();
+  for (int i = 0; i < 500; ++i) {
+    controller.OnFrameQp(20.0, now);
+    now += TimeDelta::Millis(33);
+  }
+  EXPECT_EQ(controller.level(), 0u);
+}
+
+TEST(DegradationTest, MidRangeQpResetsDwellClocks) {
+  DegradationController controller;
+  Timestamp now = Timestamp::Zero();
+  // Alternate high and mid QP so the dwell never completes.
+  for (int i = 0; i < 300; ++i) {
+    controller.OnFrameQp(i % 3 == 2 ? 38.0 : 48.0, now);
+    now += TimeDelta::Millis(33);
+  }
+  EXPECT_EQ(controller.level(), 0u);
+}
+
+}  // namespace
+}  // namespace rave::core

@@ -1,0 +1,118 @@
+#include "core/drop_detector.h"
+
+#include <gtest/gtest.h>
+
+namespace rave::core {
+namespace {
+
+NetworkState MakeState(Timestamp at, int64_t capacity_kbps,
+                       TimeDelta queue_delay = TimeDelta::Zero()) {
+  NetworkState s;
+  s.at = at;
+  s.capacity = DataRate::KilobitsPerSec(capacity_kbps);
+  s.queue_delay = queue_delay;
+  return s;
+}
+
+TEST(DropDetectorTest, InactiveAtSteadyRate) {
+  DropDetector detector;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(detector.OnState(MakeState(Timestamp::Millis(50 * i), 1500),
+                                  false));
+  }
+  EXPECT_EQ(detector.severity(), 0.0);
+}
+
+TEST(DropDetectorTest, TriggersOnSharpFall) {
+  DropDetector detector;
+  for (int i = 0; i < 20; ++i) {
+    detector.OnState(MakeState(Timestamp::Millis(50 * i), 2000), false);
+  }
+  EXPECT_TRUE(
+      detector.OnState(MakeState(Timestamp::Millis(1000), 1000), false));
+  EXPECT_NEAR(detector.severity(), 0.5, 0.01);
+}
+
+TEST(DropDetectorTest, SawtoothBelowRatioDoesNotTrigger) {
+  // GCC's steady-state sawtooth decreases ~15%; drop_ratio is 20%.
+  DropDetector detector;
+  for (int i = 0; i < 200; ++i) {
+    const int64_t kbps = (i % 20 < 17) ? 1000 : 870;
+    EXPECT_FALSE(detector.OnState(
+        MakeState(Timestamp::Millis(50 * i), kbps), false))
+        << i;
+  }
+}
+
+TEST(DropDetectorTest, OveruseDecreaseNeedsQueueGate) {
+  DropDetector detector;
+  detector.OnState(MakeState(Timestamp::Zero(), 1000), false);
+  // Over-use decrease with an empty queue: routine sawtooth, no drop mode.
+  EXPECT_FALSE(detector.OnState(
+      MakeState(Timestamp::Millis(50), 1000, TimeDelta::Millis(10)), true));
+  // Same signal with a swollen queue: genuine drop.
+  EXPECT_TRUE(detector.OnState(
+      MakeState(Timestamp::Millis(100), 1000, TimeDelta::Millis(120)), true));
+}
+
+TEST(DropDetectorTest, QueueDelayAloneTriggers) {
+  DropDetector detector;
+  detector.OnState(MakeState(Timestamp::Zero(), 1000), false);
+  EXPECT_TRUE(detector.OnState(
+      MakeState(Timestamp::Millis(50), 1000, TimeDelta::Millis(200)), false));
+}
+
+TEST(DropDetectorTest, HoldsThenClearsAfterQueueDrains) {
+  DropDetector::Config config;
+  config.hold = TimeDelta::Millis(400);
+  DropDetector detector(config);
+  for (int i = 0; i < 20; ++i) {
+    detector.OnState(MakeState(Timestamp::Millis(50 * i), 2000), false);
+  }
+  detector.OnState(MakeState(Timestamp::Millis(1000), 800,
+                             TimeDelta::Millis(300)),
+                   false);
+  EXPECT_TRUE(detector.active());
+
+  // Queue drained but hold time not elapsed: still active.
+  EXPECT_TRUE(detector.OnState(
+      MakeState(Timestamp::Millis(1100), 800, TimeDelta::Millis(10)), false));
+  // After hold expires with a calm queue (and the 3 s window max fading),
+  // drop mode clears.
+  bool active = true;
+  for (int i = 0; i < 100 && active; ++i) {
+    active = detector.OnState(
+        MakeState(Timestamp::Millis(1500 + 50 * i), 800,
+                  TimeDelta::Millis(10)),
+        false);
+  }
+  EXPECT_FALSE(active);
+  EXPECT_EQ(detector.severity(), 0.0);
+}
+
+TEST(DropDetectorTest, StaysActiveWhileQueueHigh) {
+  DropDetector detector;
+  for (int i = 0; i < 20; ++i) {
+    detector.OnState(MakeState(Timestamp::Millis(50 * i), 2000), false);
+  }
+  detector.OnState(MakeState(Timestamp::Seconds(1), 600), false);
+  // Queue stays above the clear threshold long past the hold time.
+  for (int i = 0; i < 60; ++i) {
+    EXPECT_TRUE(detector.OnState(
+        MakeState(Timestamp::Millis(1050 + 50 * i), 600,
+                  TimeDelta::Millis(100)),
+        false));
+  }
+}
+
+TEST(DropDetectorTest, SeverityScalesWithFall) {
+  DropDetector detector;
+  for (int i = 0; i < 20; ++i) {
+    detector.OnState(MakeState(Timestamp::Millis(50 * i), 2000), false);
+  }
+  detector.OnState(MakeState(Timestamp::Millis(1000), 400), false);
+  EXPECT_NEAR(detector.severity(), 0.8, 0.01);
+}
+
+}  // namespace
+}  // namespace rave::core

@@ -1,0 +1,139 @@
+#include "core/frame_budget.h"
+
+#include <gtest/gtest.h>
+
+namespace rave::core {
+namespace {
+
+NetworkState MakeState(int64_t capacity_kbps, int64_t backlog_bits = 0) {
+  NetworkState s;
+  s.capacity = DataRate::KilobitsPerSec(capacity_kbps);
+  s.backlog = DataSize::Bits(backlog_bits);
+  s.queue_delay = s.backlog / s.capacity;
+  return s;
+}
+
+TEST(FrameBudgetTest, SteadyStateBudgetIsCapacityPerFrame) {
+  FrameBudgetAllocator allocator;
+  const FrameBudget b = allocator.Allocate(MakeState(1500), false,
+                                           codec::FrameType::kDelta, 0);
+  EXPECT_FALSE(b.skip);
+  EXPECT_NEAR(static_cast<double>(b.target.bits()), 1'500'000.0 / 30.0, 100.0);
+  EXPECT_NEAR(b.cap / b.target, 1.5, 0.01);
+}
+
+TEST(FrameBudgetTest, DropModeBudgetsWithHeadroomAndTightCap) {
+  FrameBudgetAllocator allocator;
+  const FrameBudget b = allocator.Allocate(MakeState(1500), true,
+                                           codec::FrameType::kDelta, 0);
+  EXPECT_NEAR(static_cast<double>(b.target.bits()),
+              0.85 * 1'500'000.0 / 30.0, 100.0);
+  EXPECT_NEAR(b.cap / b.target, 1.05, 0.01);
+}
+
+TEST(FrameBudgetTest, BacklogWithinAllowanceIsFree) {
+  FrameBudgetAllocator allocator;
+  // 50 ms allowance at 1500 kbps = 75'000 bits.
+  const FrameBudget with = allocator.Allocate(MakeState(1500, 70'000), false,
+                                              codec::FrameType::kDelta, 0);
+  const FrameBudget without = allocator.Allocate(MakeState(1500), false,
+                                                 codec::FrameType::kDelta, 0);
+  EXPECT_EQ(with.target, without.target);
+}
+
+TEST(FrameBudgetTest, ExcessBacklogPaidAggressivelyInDropMode) {
+  FrameBudgetAllocator allocator;
+  // Excess = 150'000 - 75'000 = 75'000 bits over 5 frames = 15'000/frame.
+  const FrameBudget b = allocator.Allocate(MakeState(1500, 150'000), true,
+                                           codec::FrameType::kDelta, 0);
+  EXPECT_NEAR(static_cast<double>(b.target.bits()),
+              0.85 * 1'500'000.0 / 30.0 - 15'000.0, 200.0);
+}
+
+TEST(FrameBudgetTest, ExcessBacklogPaidGentlyInSteadyState) {
+  FrameBudgetAllocator allocator;
+  // Same excess over the 30-frame steady horizon = 2'500/frame.
+  const FrameBudget b = allocator.Allocate(MakeState(1500, 150'000), false,
+                                           codec::FrameType::kDelta, 0);
+  EXPECT_NEAR(static_cast<double>(b.target.bits()),
+              1'500'000.0 / 30.0 - 2'500.0, 200.0);
+}
+
+TEST(FrameBudgetTest, BudgetNeverBelowMinFrame) {
+  FrameBudgetAllocator allocator;
+  const FrameBudget b = allocator.Allocate(MakeState(200, 5'000'000), true,
+                                           codec::FrameType::kDelta,
+                                           /*consecutive_skips=*/5);
+  EXPECT_FALSE(b.skip);  // skips exhausted
+  EXPECT_GE(b.target.bits(), 4000);
+}
+
+TEST(FrameBudgetTest, SkipUnderExtremeBacklog) {
+  FrameBudgetAllocator allocator;
+  // 500 ms of backlog at 1000 kbps.
+  const FrameBudget b = allocator.Allocate(MakeState(1000, 500'000), true,
+                                           codec::FrameType::kDelta, 0);
+  EXPECT_TRUE(b.skip);
+}
+
+TEST(FrameBudgetTest, SkipsBoundedByConsecutiveLimit) {
+  FrameBudgetAllocator allocator;
+  const NetworkState state = MakeState(1000, 500'000);
+  EXPECT_TRUE(
+      allocator.Allocate(state, true, codec::FrameType::kDelta, 0).skip);
+  EXPECT_TRUE(
+      allocator.Allocate(state, true, codec::FrameType::kDelta, 1).skip);
+  EXPECT_FALSE(
+      allocator.Allocate(state, true, codec::FrameType::kDelta, 2).skip);
+}
+
+TEST(FrameBudgetTest, KeyframesNeverSkipped) {
+  FrameBudgetAllocator allocator;
+  const FrameBudget b = allocator.Allocate(MakeState(1000, 800'000), true,
+                                           codec::FrameType::kKey, 0);
+  EXPECT_FALSE(b.skip);
+}
+
+TEST(FrameBudgetTest, KeyframeBoostDependsOnDropState) {
+  FrameBudgetAllocator allocator;
+  const FrameBudget steady = allocator.Allocate(MakeState(1500), false,
+                                                codec::FrameType::kKey, 0);
+  const FrameBudget delta = allocator.Allocate(MakeState(1500), false,
+                                               codec::FrameType::kDelta, 0);
+  EXPECT_NEAR(steady.target / delta.target, 3.0, 0.01);
+  const FrameBudget drop = allocator.Allocate(MakeState(1500), true,
+                                              codec::FrameType::kKey, 0);
+  const FrameBudget drop_delta = allocator.Allocate(
+      MakeState(1500), true, codec::FrameType::kDelta, 0);
+  EXPECT_NEAR(drop.target / drop_delta.target, 1.5, 0.01);
+}
+
+// Property sweep: for any capacity/backlog/drop combination, budgets are
+// positive, caps are >= targets, and larger backlog never raises the budget.
+class BudgetPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int64_t, bool>> {};
+
+TEST_P(BudgetPropertyTest, MonotoneInBacklogAndWellFormed) {
+  const auto [capacity_kbps, drop_active] = GetParam();
+  FrameBudgetAllocator allocator;
+  int64_t prev = std::numeric_limits<int64_t>::max();
+  for (int64_t backlog = 0; backlog <= 1'000'000; backlog += 50'000) {
+    const FrameBudget b =
+        allocator.Allocate(MakeState(capacity_kbps, backlog), drop_active,
+                           codec::FrameType::kDelta,
+                           /*consecutive_skips=*/99);  // disable skip
+    ASSERT_FALSE(b.skip);
+    EXPECT_GT(b.target.bits(), 0);
+    EXPECT_GE(b.cap, b.target);
+    EXPECT_LE(b.target.bits(), prev);
+    prev = b.target.bits();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CapacityAndMode, BudgetPropertyTest,
+    ::testing::Combine(::testing::Values<int64_t>(200, 500, 1000, 2500, 8000),
+                       ::testing::Bool()));
+
+}  // namespace
+}  // namespace rave::core

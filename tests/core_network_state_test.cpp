@@ -1,0 +1,86 @@
+#include "core/network_state.h"
+
+#include <gtest/gtest.h>
+
+namespace rave::core {
+namespace {
+
+NetworkObservation MakeObs() {
+  NetworkObservation obs;
+  obs.at = Timestamp::Seconds(1);
+  obs.target = DataRate::KilobitsPerSec(1000);
+  obs.acked_rate = DataRate::KilobitsPerSec(900);
+  obs.rtt = TimeDelta::Millis(60);
+  return obs;
+}
+
+TEST(NetworkStateTrackerTest, CapacityIsTargetInNormalState) {
+  NetworkStateTracker tracker;
+  const NetworkState s = tracker.OnObservation(MakeObs());
+  EXPECT_EQ(s.capacity.kbps(), 1000);
+}
+
+TEST(NetworkStateTrackerTest, CapacityBoundedByAckedDuringOveruse) {
+  NetworkStateTracker tracker;
+  NetworkObservation obs = MakeObs();
+  obs.usage = cc::BandwidthUsage::kOverusing;
+  obs.acked_rate = DataRate::KilobitsPerSec(600);
+  const NetworkState s = tracker.OnObservation(obs);
+  EXPECT_EQ(s.capacity.kbps(), 600);
+}
+
+TEST(NetworkStateTrackerTest, MinRttTracksSmallest) {
+  NetworkStateTracker tracker;
+  NetworkObservation obs = MakeObs();
+  obs.rtt = TimeDelta::Millis(80);
+  tracker.OnObservation(obs);
+  obs.rtt = TimeDelta::Millis(52);
+  tracker.OnObservation(obs);
+  obs.rtt = TimeDelta::Millis(200);  // queueing inflates rtt; min stays
+  tracker.OnObservation(obs);
+  EXPECT_EQ(tracker.min_rtt(), TimeDelta::Millis(52));
+}
+
+TEST(NetworkStateTrackerTest, BacklogIsPacerPlusExcessInFlight) {
+  NetworkStateTracker tracker;
+  NetworkObservation obs = MakeObs();
+  obs.rtt = TimeDelta::Millis(50);
+  tracker.OnObservation(obs);  // establish min_rtt = 50 ms
+
+  // BDP = 1 Mbps * 50 ms = 50'000 bits.
+  obs.pacer_queue = DataSize::Bits(30'000);
+  obs.in_flight = DataSize::Bits(80'000);  // 30'000 over BDP
+  const NetworkState s = tracker.OnObservation(obs);
+  EXPECT_EQ(s.backlog.bits(), 60'000);
+  EXPECT_NEAR(s.queue_delay.ms_float(), 60.0, 1.0);
+}
+
+TEST(NetworkStateTrackerTest, InFlightWithinBdpIsNotBacklog) {
+  NetworkStateTracker tracker;
+  NetworkObservation obs = MakeObs();
+  obs.rtt = TimeDelta::Millis(50);
+  tracker.OnObservation(obs);
+  obs.pacer_queue = DataSize::Zero();
+  obs.in_flight = DataSize::Bits(40'000);  // below 50'000 BDP
+  const NetworkState s = tracker.OnObservation(obs);
+  EXPECT_TRUE(s.backlog.IsZero());
+  EXPECT_EQ(s.queue_delay, TimeDelta::Zero());
+}
+
+TEST(NetworkStateTrackerTest, ZeroTargetFallsBackToFloor) {
+  NetworkStateTracker tracker;
+  NetworkObservation obs = MakeObs();
+  obs.target = DataRate::Zero();
+  const NetworkState s = tracker.OnObservation(obs);
+  EXPECT_GT(s.capacity.bps(), 0);
+}
+
+TEST(NetworkStateTrackerTest, StateAccessorReturnsLatest) {
+  NetworkStateTracker tracker;
+  tracker.OnObservation(MakeObs());
+  EXPECT_EQ(tracker.state().capacity.kbps(), 1000);
+  EXPECT_EQ(tracker.state().at, Timestamp::Seconds(1));
+}
+
+}  // namespace
+}  // namespace rave::core

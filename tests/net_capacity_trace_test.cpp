@@ -1,0 +1,116 @@
+#include "net/capacity_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace rave::net {
+namespace {
+
+TEST(CapacityTraceTest, ConstantTrace) {
+  const auto trace = CapacityTrace::Constant(DataRate::KilobitsPerSec(2500));
+  EXPECT_EQ(trace.RateAt(Timestamp::Zero()).kbps(), 2500);
+  EXPECT_EQ(trace.RateAt(Timestamp::Seconds(100)).kbps(), 2500);
+  EXPECT_EQ(trace.NextChangeAfter(Timestamp::Zero()),
+            Timestamp::PlusInfinity());
+}
+
+TEST(CapacityTraceTest, StepDropBoundaries) {
+  const auto trace =
+      CapacityTrace::StepDrop(DataRate::KilobitsPerSec(2000),
+                              DataRate::KilobitsPerSec(800),
+                              Timestamp::Seconds(10));
+  EXPECT_EQ(trace.RateAt(Timestamp::Millis(9'999)).kbps(), 2000);
+  EXPECT_EQ(trace.RateAt(Timestamp::Seconds(10)).kbps(), 800);
+  EXPECT_EQ(trace.RateAt(Timestamp::Seconds(11)).kbps(), 800);
+  EXPECT_EQ(trace.NextChangeAfter(Timestamp::Zero()), Timestamp::Seconds(10));
+  EXPECT_EQ(trace.NextChangeAfter(Timestamp::Seconds(10)),
+            Timestamp::PlusInfinity());
+}
+
+TEST(CapacityTraceTest, StepDropAndRecover) {
+  const auto trace = CapacityTrace::StepDropAndRecover(
+      DataRate::KilobitsPerSec(2000), DataRate::KilobitsPerSec(500),
+      Timestamp::Seconds(10), Timestamp::Seconds(20));
+  EXPECT_EQ(trace.RateAt(Timestamp::Seconds(15)).kbps(), 500);
+  EXPECT_EQ(trace.RateAt(Timestamp::Seconds(25)).kbps(), 2000);
+}
+
+TEST(CapacityTraceTest, ValidationRejectsBadInput) {
+  EXPECT_THROW(CapacityTrace({}), std::invalid_argument);
+  // Must start at t=0.
+  EXPECT_THROW(CapacityTrace({{Timestamp::Seconds(1),
+                               DataRate::KilobitsPerSec(100)}}),
+               std::invalid_argument);
+  // Non-positive rate.
+  EXPECT_THROW(CapacityTrace({{Timestamp::Zero(), DataRate::Zero()}}),
+               std::invalid_argument);
+  // Unsorted steps.
+  EXPECT_THROW(
+      CapacityTrace({{Timestamp::Zero(), DataRate::KilobitsPerSec(100)},
+                     {Timestamp::Seconds(5), DataRate::KilobitsPerSec(200)},
+                     {Timestamp::Seconds(5), DataRate::KilobitsPerSec(300)}}),
+      std::invalid_argument);
+}
+
+TEST(CapacityTraceTest, AverageRateWeightsSegments) {
+  const auto trace =
+      CapacityTrace::StepDrop(DataRate::KilobitsPerSec(2000),
+                              DataRate::KilobitsPerSec(1000),
+                              Timestamp::Seconds(5));
+  // 5s at 2000 + 5s at 1000 over 10s -> 1500.
+  EXPECT_NEAR(trace.AverageRate(TimeDelta::Seconds(10)).kbps(), 1500.0, 1.0);
+  // Horizon entirely before the drop.
+  EXPECT_NEAR(trace.AverageRate(TimeDelta::Seconds(5)).kbps(), 2000.0, 1.0);
+}
+
+TEST(CapacityTraceTest, OscillatingAlternates) {
+  const auto trace = CapacityTrace::Oscillating(
+      DataRate::KilobitsPerSec(1500), DataRate::KilobitsPerSec(500),
+      TimeDelta::Seconds(4), TimeDelta::Seconds(20));
+  EXPECT_EQ(trace.RateAt(Timestamp::Seconds(1)).kbps(), 2000);
+  EXPECT_EQ(trace.RateAt(Timestamp::Seconds(3)).kbps(), 1000);
+  EXPECT_EQ(trace.RateAt(Timestamp::Seconds(5)).kbps(), 2000);
+}
+
+TEST(CapacityTraceTest, RandomWalkBoundedAndDeterministic) {
+  const auto lo = DataRate::KilobitsPerSec(500);
+  const auto hi = DataRate::KilobitsPerSec(3000);
+  const auto a = CapacityTrace::RandomWalk(DataRate::KilobitsPerSec(1500), 0.2,
+                                           TimeDelta::Millis(500),
+                                           TimeDelta::Seconds(60), 42, lo, hi);
+  const auto b = CapacityTrace::RandomWalk(DataRate::KilobitsPerSec(1500), 0.2,
+                                           TimeDelta::Millis(500),
+                                           TimeDelta::Seconds(60), 42, lo, hi);
+  ASSERT_EQ(a.steps().size(), b.steps().size());
+  for (size_t i = 0; i < a.steps().size(); ++i) {
+    EXPECT_EQ(a.steps()[i].rate, b.steps()[i].rate);
+    EXPECT_GE(a.steps()[i].rate, lo);
+    EXPECT_LE(a.steps()[i].rate, hi);
+  }
+  EXPECT_GT(a.steps().size(), 100u);
+}
+
+TEST(CapacityTraceTest, FileRoundTrip) {
+  const auto trace = CapacityTrace::MultiStep(
+      {{Timestamp::Zero(), DataRate::KilobitsPerSec(2500)},
+       {Timestamp::Millis(10'500), DataRate::KilobitsPerSec(1250)},
+       {Timestamp::Seconds(20), DataRate::KilobitsPerSec(900)}});
+  const std::string path = ::testing::TempDir() + "/trace_roundtrip.txt";
+  trace.Save(path);
+  const auto loaded = CapacityTrace::FromFile(path);
+  ASSERT_EQ(loaded.steps().size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(loaded.steps()[i].start, trace.steps()[i].start);
+    EXPECT_EQ(loaded.steps()[i].rate, trace.steps()[i].rate);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CapacityTraceTest, FromFileMissingThrows) {
+  EXPECT_THROW(CapacityTrace::FromFile("/no/such/file.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rave::net

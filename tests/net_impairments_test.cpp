@@ -1,0 +1,175 @@
+// Tests for the non-congestive loss model and the cross-traffic generator.
+#include <gtest/gtest.h>
+
+#include "net/cross_traffic.h"
+#include "net/link.h"
+#include "rtc/session.h"
+
+namespace rave::net {
+namespace {
+
+Packet MediaPacket(int64_t seq, int64_t bits = 9'600) {
+  Packet p;
+  p.seq = seq;
+  p.media_seq = seq;
+  p.size = DataSize::Bits(bits);
+  return p;
+}
+
+TEST(LossModelTest, RandomLossMatchesConfiguredRate) {
+  EventLoop loop;
+  int delivered = 0;
+  Link::Config config;
+  config.trace = CapacityTrace::Constant(DataRate::MegabitsPerSecF(50.0));
+  config.queue_capacity = DataSize::Bytes(10'000'000);
+  config.loss.random_loss = 0.10;
+  Link link(loop, std::move(config),
+            [&](const Packet&, Timestamp) { ++delivered; });
+  const int sent = 6'000;  // fits the queue: 6000 x 9600 bits < 80 Mbit
+  for (int i = 0; i < sent; ++i) link.Send(MediaPacket(i));
+  loop.RunAll();
+  EXPECT_NEAR(static_cast<double>(delivered) / sent, 0.9, 0.02);
+  EXPECT_EQ(delivered + link.stats().packets_lost_random, sent);
+  EXPECT_EQ(link.stats().packets_dropped, 0);
+}
+
+TEST(LossModelTest, LossIsDeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    EventLoop loop;
+    int delivered = 0;
+    Link::Config config;
+    config.trace = CapacityTrace::Constant(DataRate::MegabitsPerSecF(50.0));
+    config.queue_capacity = DataSize::Bytes(10'000'000);
+    config.loss.random_loss = 0.2;
+    config.loss.seed = seed;
+    Link link(loop, std::move(config),
+              [&](const Packet&, Timestamp) { ++delivered; });
+    for (int i = 0; i < 1000; ++i) link.Send(MediaPacket(i));
+    loop.RunAll();
+    return delivered;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST(LossModelTest, GilbertBurstsLoseMoreThanIidAtSameMean) {
+  // With the same long-run loss fraction, Gilbert loss arrives in bursts —
+  // count the longest run of consecutive losses.
+  auto longest_run = [](bool gilbert) {
+    EventLoop loop;
+    std::vector<bool> got(30'000, false);
+    Link::Config config;
+    config.trace = CapacityTrace::Constant(DataRate::MegabitsPerSecF(100.0));
+    config.queue_capacity = DataSize::Bytes(100'000'000);
+    if (gilbert) {
+      config.loss.gilbert_enabled = true;
+      config.loss.gilbert = {.p_good_to_bad = 0.005, .p_bad_to_good = 0.1};
+      config.loss.gilbert_bad_loss = 0.7;
+    } else {
+      config.loss.random_loss = 0.033;  // similar long-run mean
+    }
+    Link link(loop, std::move(config), [&](const Packet& p, Timestamp) {
+      got[static_cast<size_t>(p.seq)] = true;
+    });
+    for (int i = 0; i < 30'000; ++i) link.Send(MediaPacket(i));
+    loop.RunAll();
+    int longest = 0;
+    int current = 0;
+    for (bool ok : got) {
+      current = ok ? 0 : current + 1;
+      longest = std::max(longest, current);
+    }
+    return longest;
+  };
+  EXPECT_GT(longest_run(true), 2 * longest_run(false));
+}
+
+TEST(CrossTrafficTest, GeneratesConfiguredRateWhileOn) {
+  EventLoop loop;
+  int64_t cross_bits = 0;
+  Link::Config config;
+  config.trace = CapacityTrace::Constant(DataRate::MegabitsPerSecF(50.0));
+  config.queue_capacity = DataSize::Bytes(10'000'000);
+  Link link(loop, std::move(config), [&](const Packet& p, Timestamp) {
+    if (p.frame_id < 0) cross_bits += p.size.bits();
+  });
+  CrossTraffic::Config ct_config;
+  ct_config.rate = DataRate::KilobitsPerSec(800);
+  ct_config.mean_on = TimeDelta::Seconds(10'000);  // effectively always on
+  ct_config.start_on = true;
+  CrossTraffic cross(loop, link, ct_config);
+  cross.Start();
+  loop.RunFor(TimeDelta::Seconds(10));
+  EXPECT_NEAR(static_cast<double>(cross_bits) / 10.0 / 1e3, 800.0, 40.0);
+}
+
+TEST(CrossTrafficTest, OffStateSendsNothing) {
+  EventLoop loop;
+  Link::Config config;
+  Link link(loop, std::move(config), [](const Packet&, Timestamp) {});
+  CrossTraffic::Config ct_config;
+  ct_config.mean_off = TimeDelta::Seconds(10'000);
+  ct_config.start_on = false;
+  CrossTraffic cross(loop, link, ct_config);
+  cross.Start();
+  loop.RunFor(TimeDelta::Seconds(5));
+  EXPECT_EQ(cross.packets_sent(), 0);
+  EXPECT_FALSE(cross.on());
+}
+
+TEST(CrossTrafficTest, TogglesBetweenStates) {
+  EventLoop loop;
+  Link::Config config;
+  config.trace = CapacityTrace::Constant(DataRate::MegabitsPerSecF(50.0));
+  config.queue_capacity = DataSize::Bytes(10'000'000);
+  Link link(loop, std::move(config), [](const Packet&, Timestamp) {});
+  CrossTraffic::Config ct_config;
+  ct_config.mean_on = TimeDelta::Millis(500);
+  ct_config.mean_off = TimeDelta::Millis(500);
+  CrossTraffic cross(loop, link, ct_config);
+  cross.Start();
+  loop.RunFor(TimeDelta::Seconds(30));
+  // Roughly half the time on: packets flowed, but far fewer than always-on.
+  EXPECT_GT(cross.packets_sent(), 100);
+  const int64_t always_on_estimate =
+      30 * 800'000 / (1200 * 8);  // 30 s at 800 kbps
+  EXPECT_LT(cross.packets_sent(), always_on_estimate);
+}
+
+TEST(ImpairmentsIntegrationTest, SessionSurvivesLossyLink) {
+  rtc::SessionConfig config;
+  config.scheme = rtc::Scheme::kAdaptive;
+  config.duration = TimeDelta::Seconds(20);
+  config.link.trace =
+      CapacityTrace::Constant(DataRate::KilobitsPerSec(2000));
+  config.link.loss.random_loss = 0.02;
+  const rtc::SessionResult result = rtc::RunSession(config);
+  // RTX recovers nearly everything; a 2% loss rate must not decimate frames.
+  EXPECT_GT(result.summary.frames_delivered,
+            result.summary.frames_captured * 9 / 10);
+}
+
+TEST(ImpairmentsIntegrationTest, CrossTrafficShrinksAvailableCapacity) {
+  rtc::SessionConfig config;
+  config.scheme = rtc::Scheme::kAdaptive;
+  config.duration = TimeDelta::Seconds(30);
+  config.initial_rate = DataRate::KilobitsPerSec(2100);
+  config.link.trace =
+      CapacityTrace::Constant(DataRate::KilobitsPerSec(2500));
+  net::CrossTraffic::Config ct;
+  ct.rate = DataRate::KilobitsPerSec(1200);
+  ct.mean_on = TimeDelta::Seconds(8);
+  ct.mean_off = TimeDelta::Seconds(8);
+  config.cross_traffic = ct;
+  const rtc::SessionResult with_cross = rtc::RunSession(config);
+  config.cross_traffic.reset();
+  const rtc::SessionResult without = rtc::RunSession(config);
+  // Competing traffic must show up as reduced encoded bitrate.
+  EXPECT_LT(with_cross.summary.encoded_bitrate_kbps,
+            without.summary.encoded_bitrate_kbps * 0.9);
+  // But the controller keeps latency bounded regardless.
+  EXPECT_LT(with_cross.summary.latency_p95_ms, 400.0);
+}
+
+}  // namespace
+}  // namespace rave::net

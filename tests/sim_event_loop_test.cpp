@@ -1,0 +1,164 @@
+#include "sim/event_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rave {
+namespace {
+
+TEST(EventLoopTest, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.Schedule(TimeDelta::Millis(20), [&] { order.push_back(2); });
+  loop.Schedule(TimeDelta::Millis(10), [&] { order.push_back(1); });
+  loop.Schedule(TimeDelta::Millis(30), [&] { order.push_back(3); });
+  loop.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.events_executed(), 3u);
+}
+
+TEST(EventLoopTest, SameTimeEventsRunInScheduleOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.Schedule(TimeDelta::Millis(5), [&order, i] { order.push_back(i); });
+  }
+  loop.RunAll();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventLoopTest, NowAdvancesToEventTime) {
+  EventLoop loop;
+  Timestamp seen = Timestamp::Zero();
+  loop.Schedule(TimeDelta::Millis(123), [&] { seen = loop.now(); });
+  loop.RunAll();
+  EXPECT_EQ(seen, Timestamp::Millis(123));
+}
+
+TEST(EventLoopTest, RunUntilStopsAtBoundaryInclusive) {
+  EventLoop loop;
+  int ran = 0;
+  loop.Schedule(TimeDelta::Millis(10), [&] { ++ran; });
+  loop.Schedule(TimeDelta::Millis(20), [&] { ++ran; });
+  loop.Schedule(TimeDelta::Millis(21), [&] { ++ran; });
+  loop.RunUntil(Timestamp::Millis(20));
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(loop.now(), Timestamp::Millis(20));
+  loop.RunAll();
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(EventLoopTest, RunForAdvancesClockEvenWithoutEvents) {
+  EventLoop loop;
+  loop.RunFor(TimeDelta::Seconds(5));
+  EXPECT_EQ(loop.now(), Timestamp::Seconds(5));
+}
+
+TEST(EventLoopTest, ReentrantScheduling) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.Schedule(TimeDelta::Millis(10), [&] {
+    order.push_back(1);
+    loop.Schedule(TimeDelta::Millis(5), [&] { order.push_back(2); });
+  });
+  loop.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(loop.now(), Timestamp::Millis(15));
+}
+
+TEST(EventLoopTest, ZeroAndNegativeDelaysClampToNow) {
+  EventLoop loop;
+  loop.RunFor(TimeDelta::Millis(100));
+  Timestamp seen = Timestamp::MinusInfinity();
+  loop.Schedule(TimeDelta::Millis(-50), [&] { seen = loop.now(); });
+  loop.RunAll();
+  EXPECT_EQ(seen, Timestamp::Millis(100));
+}
+
+TEST(EventLoopTest, CancelPreventsExecution) {
+  EventLoop loop;
+  int ran = 0;
+  EventHandle handle = loop.Schedule(TimeDelta::Millis(10), [&] { ++ran; });
+  loop.Schedule(TimeDelta::Millis(20), [&] { ++ran; });
+  loop.Cancel(handle);
+  loop.RunAll();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(EventLoopTest, CancelInertHandleIsNoop) {
+  EventLoop loop;
+  loop.Cancel(EventHandle{});
+  int ran = 0;
+  loop.Schedule(TimeDelta::Millis(1), [&] { ++ran; });
+  loop.RunAll();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(EventLoopTest, PendingCountExcludesCancelled) {
+  EventLoop loop;
+  EventHandle h = loop.Schedule(TimeDelta::Millis(10), [] {});
+  loop.Schedule(TimeDelta::Millis(20), [] {});
+  EXPECT_EQ(loop.pending(), 2u);
+  loop.Cancel(h);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+TEST(RepeatingTaskTest, FiresAtPeriod) {
+  EventLoop loop;
+  int fired = 0;
+  RepeatingTask task(loop, TimeDelta::Millis(100), [&] { ++fired; });
+  task.Start();
+  loop.RunFor(TimeDelta::Millis(1000));
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(RepeatingTaskTest, StartWithDelayZeroFiresImmediately) {
+  EventLoop loop;
+  std::vector<int64_t> fire_times_ms;
+  RepeatingTask task(loop, TimeDelta::Millis(100),
+                     [&] { fire_times_ms.push_back(loop.now().ms()); });
+  task.StartWithDelay(TimeDelta::Zero());
+  loop.RunFor(TimeDelta::Millis(250));
+  EXPECT_EQ(fire_times_ms, (std::vector<int64_t>{0, 100, 200}));
+}
+
+TEST(RepeatingTaskTest, StopHaltsFiring) {
+  EventLoop loop;
+  int fired = 0;
+  RepeatingTask task(loop, TimeDelta::Millis(10), [&] { ++fired; });
+  task.Start();
+  loop.RunFor(TimeDelta::Millis(35));
+  task.Stop();
+  loop.RunFor(TimeDelta::Millis(100));
+  EXPECT_EQ(fired, 3);
+  EXPECT_FALSE(task.running());
+}
+
+TEST(RepeatingTaskTest, StopFromWithinCallback) {
+  EventLoop loop;
+  int fired = 0;
+  RepeatingTask task(loop, TimeDelta::Millis(10), [&] {
+    ++fired;
+    // Stop after the second firing; `task` must survive re-entrant Stop.
+  });
+  task.Start();
+  RepeatingTask stopper(loop, TimeDelta::Millis(25), [&] { task.Stop(); });
+  stopper.Start();
+  loop.RunFor(TimeDelta::Millis(200));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(RepeatingTaskTest, RestartResetsPhase) {
+  EventLoop loop;
+  int fired = 0;
+  RepeatingTask task(loop, TimeDelta::Millis(100), [&] { ++fired; });
+  task.Start();
+  loop.RunFor(TimeDelta::Millis(150));  // fired once at 100
+  task.Start();                         // re-phase: next at 250
+  loop.RunFor(TimeDelta::Millis(120));  // now at 270
+  EXPECT_EQ(fired, 2);
+}
+
+}  // namespace
+}  // namespace rave

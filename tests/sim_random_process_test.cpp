@@ -1,0 +1,91 @@
+#include "sim/random_process.h"
+
+#include <gtest/gtest.h>
+
+namespace rave {
+namespace {
+
+TEST(Ar1ProcessTest, StartsAtMean) {
+  Ar1Process p({.mean = 2.0, .phi = 0.9, .sigma = 0.1}, Rng(1));
+  EXPECT_DOUBLE_EQ(p.value(), 2.0);
+}
+
+TEST(Ar1ProcessTest, StaysWithinClamp) {
+  Ar1Process p({.mean = 1.0, .phi = 0.5, .sigma = 5.0, .lo = 0.2, .hi = 3.0},
+               Rng(2));
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = p.Step();
+    EXPECT_GE(x, 0.2);
+    EXPECT_LE(x, 3.0);
+  }
+}
+
+TEST(Ar1ProcessTest, LongRunMeanApproximatesMean) {
+  Ar1Process p({.mean = 1.5, .phi = 0.9, .sigma = 0.05, .lo = 0.0, .hi = 10.0},
+               Rng(3));
+  double sum = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += p.Step();
+  EXPECT_NEAR(sum / n, 1.5, 0.02);
+}
+
+TEST(Ar1ProcessTest, HighPhiIsSmoother) {
+  // Per-step changes should be smaller for higher persistence.
+  auto roughness = [](double phi) {
+    Ar1Process p({.mean = 1.0, .phi = phi, .sigma = 0.05}, Rng(4));
+    double sum = 0.0;
+    double prev = p.value();
+    for (int i = 0; i < 10'000; ++i) {
+      const double x = p.Step();
+      sum += std::abs(x - prev);
+      prev = x;
+    }
+    return sum;
+  };
+  EXPECT_LT(roughness(0.99) * 1.05, roughness(0.5));
+}
+
+TEST(Ar1ProcessTest, SetValueClamps) {
+  Ar1Process p({.mean = 1.0, .phi = 0.9, .sigma = 0.1, .lo = 0.5, .hi = 2.0},
+               Rng(5));
+  p.SetValue(100.0);
+  EXPECT_DOUBLE_EQ(p.value(), 2.0);
+  p.SetValue(-100.0);
+  EXPECT_DOUBLE_EQ(p.value(), 0.5);
+}
+
+TEST(GilbertProcessTest, StartsGood) {
+  GilbertProcess p({}, Rng(6));
+  EXPECT_FALSE(p.bad());
+}
+
+TEST(GilbertProcessTest, StationaryFractionMatchesTheory) {
+  // Stationary P(bad) = p_gb / (p_gb + p_bg).
+  GilbertProcess p({.p_good_to_bad = 0.02, .p_bad_to_good = 0.08}, Rng(7));
+  int bad_steps = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    if (p.Step()) ++bad_steps;
+  }
+  EXPECT_NEAR(static_cast<double>(bad_steps) / n, 0.2, 0.02);
+}
+
+TEST(GilbertProcessTest, DegenerateNeverBad) {
+  GilbertProcess p({.p_good_to_bad = 0.0, .p_bad_to_good = 1.0}, Rng(8));
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(p.Step());
+}
+
+TEST(PoissonArrivalsTest, GapsPositiveWithCorrectMean) {
+  PoissonArrivals arrivals(TimeDelta::Millis(500), Rng(9));
+  double sum_s = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    const TimeDelta gap = arrivals.NextGap();
+    EXPECT_GT(gap, TimeDelta::Zero());
+    sum_s += gap.seconds();
+  }
+  EXPECT_NEAR(sum_s / n, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace rave

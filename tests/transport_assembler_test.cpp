@@ -1,0 +1,149 @@
+#include "transport/frame_assembler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rave::transport {
+namespace {
+
+struct AssemblerFixture {
+  explicit AssemblerFixture(FrameAssembler::Config config = {}) {
+    assembler = std::make_unique<FrameAssembler>(
+        loop, config,
+        [this](const CompleteFrame& f) { completed.push_back(f); },
+        [this](int64_t id) { lost.push_back(id); });
+  }
+  EventLoop loop;
+  std::vector<CompleteFrame> completed;
+  std::vector<int64_t> lost;
+  std::unique_ptr<FrameAssembler> assembler;
+};
+
+net::Packet MakePacket(int64_t frame_id, int index, int count,
+                       bool keyframe = false) {
+  net::Packet p;
+  p.media_seq = frame_id * 100 + index;
+  p.frame_id = frame_id;
+  p.packet_index = index;
+  p.packets_in_frame = count;
+  p.capture_time = Timestamp::Millis(frame_id * 33);
+  p.keyframe = keyframe;
+  p.size = DataSize::Bits(9'600);
+  return p;
+}
+
+TEST(FrameAssemblerTest, SinglePacketFrameCompletesImmediately) {
+  AssemblerFixture fx;
+  fx.assembler->OnPacketReceived(MakePacket(0, 0, 1, true),
+                                 Timestamp::Millis(40));
+  ASSERT_EQ(fx.completed.size(), 1u);
+  EXPECT_EQ(fx.completed[0].frame_id, 0);
+  EXPECT_EQ(fx.completed[0].complete_time, Timestamp::Millis(40));
+  EXPECT_EQ(fx.completed[0].capture_time, Timestamp::Millis(0));
+  EXPECT_TRUE(fx.completed[0].keyframe);
+}
+
+TEST(FrameAssemblerTest, MultiPacketFrameCompletesOnLastPacket) {
+  AssemblerFixture fx;
+  fx.assembler->OnPacketReceived(MakePacket(1, 0, 3), Timestamp::Millis(10));
+  fx.assembler->OnPacketReceived(MakePacket(1, 1, 3), Timestamp::Millis(20));
+  EXPECT_TRUE(fx.completed.empty());
+  EXPECT_EQ(fx.assembler->frames_pending(), 1u);
+  fx.assembler->OnPacketReceived(MakePacket(1, 2, 3), Timestamp::Millis(30));
+  ASSERT_EQ(fx.completed.size(), 1u);
+  EXPECT_EQ(fx.completed[0].complete_time, Timestamp::Millis(30));
+  EXPECT_EQ(fx.completed[0].packets, 3);
+  EXPECT_EQ(fx.completed[0].size.bits(), 3 * 9'600);
+  EXPECT_EQ(fx.assembler->frames_pending(), 0u);
+}
+
+TEST(FrameAssemblerTest, DuplicatePacketsIgnored) {
+  AssemblerFixture fx;
+  fx.assembler->OnPacketReceived(MakePacket(0, 0, 2), Timestamp::Millis(10));
+  fx.assembler->OnPacketReceived(MakePacket(0, 0, 2), Timestamp::Millis(12));
+  EXPECT_TRUE(fx.completed.empty());
+  fx.assembler->OnPacketReceived(MakePacket(0, 1, 2), Timestamp::Millis(15));
+  ASSERT_EQ(fx.completed.size(), 1u);
+  EXPECT_EQ(fx.completed[0].size.bits(), 2 * 9'600);
+}
+
+TEST(FrameAssemblerTest, OutOfOrderCompletionAllowed) {
+  // Frame 2 completes while frame 1 still waits for an RTX; frame 1 then
+  // completes late — no spurious loss.
+  AssemblerFixture fx;
+  fx.assembler->OnPacketReceived(MakePacket(1, 0, 2), Timestamp::Millis(10));
+  fx.assembler->OnPacketReceived(MakePacket(2, 0, 1), Timestamp::Millis(20));
+  fx.assembler->OnPacketReceived(MakePacket(1, 1, 2), Timestamp::Millis(90));
+  EXPECT_EQ(fx.completed.size(), 2u);
+  EXPECT_TRUE(fx.lost.empty());
+  EXPECT_EQ(fx.completed[0].frame_id, 2);
+  EXPECT_EQ(fx.completed[1].frame_id, 1);
+}
+
+TEST(FrameAssemblerTest, TimeoutDeclaresLoss) {
+  FrameAssembler::Config config;
+  config.loss_timeout = TimeDelta::Millis(200);
+  config.sweep_interval = TimeDelta::Millis(50);
+  AssemblerFixture fx(config);
+  fx.assembler->OnPacketReceived(MakePacket(0, 0, 2), Timestamp::Zero());
+  fx.loop.RunFor(TimeDelta::Millis(300));
+  ASSERT_EQ(fx.lost.size(), 1u);
+  EXPECT_EQ(fx.lost[0], 0);
+  EXPECT_EQ(fx.assembler->frames_lost(), 1);
+  EXPECT_EQ(fx.assembler->frames_pending(), 0u);
+}
+
+TEST(FrameAssemblerTest, LatePacketAfterLossIgnored) {
+  FrameAssembler::Config config;
+  config.loss_timeout = TimeDelta::Millis(100);
+  config.sweep_interval = TimeDelta::Millis(20);
+  AssemblerFixture fx(config);
+  fx.assembler->OnPacketReceived(MakePacket(0, 0, 2), Timestamp::Zero());
+  fx.loop.RunFor(TimeDelta::Millis(200));
+  ASSERT_EQ(fx.lost.size(), 1u);
+  // The missing packet finally shows up: frame must not resurrect.
+  fx.assembler->OnPacketReceived(MakePacket(0, 1, 2),
+                                 Timestamp::Millis(200));
+  EXPECT_TRUE(fx.completed.empty());
+  EXPECT_EQ(fx.assembler->frames_pending(), 0u);
+}
+
+TEST(FrameAssemblerTest, AbandonFrameFiresLossOnce) {
+  AssemblerFixture fx;
+  fx.assembler->OnPacketReceived(MakePacket(3, 0, 2), Timestamp::Zero());
+  fx.assembler->AbandonFrame(3);
+  fx.assembler->AbandonFrame(3);
+  ASSERT_EQ(fx.lost.size(), 1u);
+  EXPECT_EQ(fx.lost[0], 3);
+}
+
+TEST(FrameAssemblerTest, AbandonUnseenFrameStillReportsLoss) {
+  // A frame whose packets were all dropped never reaches the assembler; the
+  // NACK give-up path still declares it.
+  AssemblerFixture fx;
+  fx.assembler->AbandonFrame(9);
+  ASSERT_EQ(fx.lost.size(), 1u);
+  EXPECT_EQ(fx.lost[0], 9);
+}
+
+TEST(FrameAssemblerTest, AbandonCompletedFrameIsNoop) {
+  AssemblerFixture fx;
+  fx.assembler->OnPacketReceived(MakePacket(0, 0, 1), Timestamp::Zero());
+  fx.assembler->AbandonFrame(0);
+  EXPECT_TRUE(fx.lost.empty());
+}
+
+TEST(FrameAssemblerTest, CountersTrackTotals) {
+  AssemblerFixture fx;
+  for (int64_t id = 0; id < 5; ++id) {
+    fx.assembler->OnPacketReceived(MakePacket(id, 0, 1),
+                                   Timestamp::Millis(id));
+  }
+  fx.assembler->AbandonFrame(100);
+  EXPECT_EQ(fx.assembler->frames_completed(), 5);
+  EXPECT_EQ(fx.assembler->frames_lost(), 1);
+}
+
+}  // namespace
+}  // namespace rave::transport

@@ -1,0 +1,136 @@
+#include "transport/feedback.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rave::transport {
+namespace {
+
+net::Packet MakePacket(int64_t seq, int64_t bits = 9'600) {
+  net::Packet p;
+  p.seq = seq;
+  p.media_seq = seq;
+  p.size = DataSize::Bits(bits);
+  return p;
+}
+
+TEST(FeedbackGeneratorTest, FlushesAtInterval) {
+  EventLoop loop;
+  std::vector<FeedbackReport> reports;
+  FeedbackGenerator gen(loop, TimeDelta::Millis(50),
+                        [&](FeedbackReport r) { reports.push_back(r); });
+  gen.OnPacketReceived(MakePacket(0), Timestamp::Millis(5));
+  gen.OnPacketReceived(MakePacket(1), Timestamp::Millis(10));
+  loop.RunFor(TimeDelta::Millis(60));
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].packets.size(), 2u);
+  EXPECT_EQ(reports[0].highest_seq, 1);
+  EXPECT_EQ(reports[0].created, Timestamp::Millis(50));
+}
+
+TEST(FeedbackGeneratorTest, EmptyIntervalsProduceNoReport) {
+  EventLoop loop;
+  int reports = 0;
+  FeedbackGenerator gen(loop, TimeDelta::Millis(50),
+                        [&](FeedbackReport) { ++reports; });
+  loop.RunFor(TimeDelta::Seconds(1));
+  EXPECT_EQ(reports, 0);
+}
+
+TEST(FeedbackGeneratorTest, HighestSeqSticksAcrossReports) {
+  EventLoop loop;
+  std::vector<FeedbackReport> reports;
+  FeedbackGenerator gen(loop, TimeDelta::Millis(50),
+                        [&](FeedbackReport r) { reports.push_back(r); });
+  gen.OnPacketReceived(MakePacket(7), Timestamp::Millis(1));
+  loop.RunFor(TimeDelta::Millis(50));
+  gen.OnPacketReceived(MakePacket(3), Timestamp::Millis(60));  // late arrival
+  loop.RunFor(TimeDelta::Millis(50));
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[1].highest_seq, 7);
+}
+
+TEST(SentPacketHistoryTest, JoinsAckedPackets) {
+  SentPacketHistory history;
+  net::Packet p = MakePacket(0);
+  p.send_time = Timestamp::Millis(10);
+  history.OnPacketSent(p);
+
+  FeedbackReport report;
+  report.highest_seq = 0;
+  report.packets.push_back({0, Timestamp::Millis(45), p.size});
+  const auto results = history.OnFeedback(report, Timestamp::Millis(70));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].arrival.has_value());
+  EXPECT_EQ(*results[0].arrival, Timestamp::Millis(45));
+  EXPECT_EQ(results[0].send_time, Timestamp::Millis(10));
+  EXPECT_EQ(history.in_flight(), DataSize::Zero());
+}
+
+TEST(SentPacketHistoryTest, InfersLossFromGaps) {
+  SentPacketHistory history;
+  for (int64_t seq = 0; seq < 5; ++seq) {
+    net::Packet p = MakePacket(seq);
+    p.send_time = Timestamp::Millis(seq);
+    history.OnPacketSent(p);
+  }
+  // Receiver saw 0, 2, 4 -> 1 and 3 are lost.
+  FeedbackReport report;
+  report.highest_seq = 4;
+  for (int64_t seq : {0, 2, 4}) {
+    report.packets.push_back({seq, Timestamp::Millis(30 + seq), DataSize::Bits(9'600)});
+  }
+  const auto results = history.OnFeedback(report, Timestamp::Millis(50));
+  ASSERT_EQ(results.size(), 5u);
+  EXPECT_TRUE(results[0].arrival.has_value());
+  EXPECT_FALSE(results[1].arrival.has_value());
+  EXPECT_TRUE(results[2].arrival.has_value());
+  EXPECT_FALSE(results[3].arrival.has_value());
+  EXPECT_TRUE(results[4].arrival.has_value());
+}
+
+TEST(SentPacketHistoryTest, PacketsBeyondHighestSeqStayInFlight) {
+  SentPacketHistory history;
+  for (int64_t seq = 0; seq < 3; ++seq) {
+    net::Packet p = MakePacket(seq);
+    p.send_time = Timestamp::Millis(seq);
+    history.OnPacketSent(p);
+  }
+  FeedbackReport report;
+  report.highest_seq = 1;
+  report.packets.push_back({0, Timestamp::Millis(20), DataSize::Bits(9'600)});
+  report.packets.push_back({1, Timestamp::Millis(21), DataSize::Bits(9'600)});
+  const auto results = history.OnFeedback(report, Timestamp::Millis(25));
+  EXPECT_EQ(results.size(), 2u);
+  EXPECT_EQ(history.in_flight_packets(), 1u);
+  EXPECT_EQ(history.in_flight(), DataSize::Bits(9'600));
+}
+
+TEST(SentPacketHistoryTest, InFlightAccountsBytes) {
+  SentPacketHistory history;
+  for (int64_t seq = 0; seq < 4; ++seq) {
+    net::Packet p = MakePacket(seq, 10'000);
+    p.send_time = Timestamp::Zero();
+    history.OnPacketSent(p);
+  }
+  EXPECT_EQ(history.in_flight().bits(), 40'000);
+}
+
+TEST(SentPacketHistoryTest, PrunesAncientUnackedPackets) {
+  SentPacketHistory history(TimeDelta::Seconds(1));
+  net::Packet old = MakePacket(0);
+  old.send_time = Timestamp::Zero();
+  history.OnPacketSent(old);
+  net::Packet fresh = MakePacket(1);
+  fresh.send_time = Timestamp::Seconds(5);
+  history.OnPacketSent(fresh);
+  // A feedback that covers nothing still triggers pruning.
+  FeedbackReport report;
+  report.highest_seq = -1;
+  history.OnFeedback(report, Timestamp::Seconds(5));
+  EXPECT_EQ(history.in_flight_packets(), 1u);
+}
+
+}  // namespace
+}  // namespace rave::transport

@@ -1,0 +1,113 @@
+#include "transport/jitter_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include "rtc/session.h"
+
+namespace rave::transport {
+namespace {
+
+TEST(JitterBufferTest, StartsAtMinDelay) {
+  JitterBuffer jb;
+  EXPECT_EQ(jb.current_delay(), TimeDelta::Millis(10));
+}
+
+TEST(JitterBufferTest, SteadyDelayConvergesToTightBuffer) {
+  JitterBuffer jb;
+  // Perfectly constant 60 ms network delay: variance -> 0, so the target
+  // approaches the mean (clamped to >= min_delay ... just above 60 ms).
+  for (int i = 0; i < 2000; ++i) {
+    const Timestamp capture = Timestamp::Millis(33 * i);
+    jb.OnFrameComplete(capture, capture + TimeDelta::Millis(60));
+  }
+  EXPECT_NEAR(jb.current_delay().ms_float(), 60.0, 5.0);
+}
+
+TEST(JitterBufferTest, JitteryDelayKeepsHeadroom) {
+  JitterBuffer jb;
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const Timestamp capture = Timestamp::Millis(33 * i);
+    const double delay_ms = 60.0 + rng.Gaussian(0.0, 10.0);
+    jb.OnFrameComplete(capture,
+                       capture + TimeDelta::SecondsF(delay_ms / 1e3));
+  }
+  // Target should hold ~mean + 4 sigma.
+  EXPECT_GT(jb.current_delay().ms_float(), 85.0);
+  EXPECT_LT(jb.current_delay().ms_float(), 130.0);
+  // With 4-sigma headroom, late frames are rare.
+  EXPECT_LT(static_cast<double>(jb.late_frames()) /
+                static_cast<double>(jb.frames()),
+            0.02);
+}
+
+TEST(JitterBufferTest, LateFrameRendersOnArrivalAndGrowsBuffer) {
+  JitterBuffer jb;
+  for (int i = 0; i < 200; ++i) {
+    const Timestamp capture = Timestamp::Millis(33 * i);
+    jb.OnFrameComplete(capture, capture + TimeDelta::Millis(40));
+  }
+  const TimeDelta before = jb.current_delay();
+  // One frame delayed far beyond the buffer.
+  const Timestamp capture = Timestamp::Millis(33 * 200);
+  const PlayoutDecision d =
+      jb.OnFrameComplete(capture, capture + TimeDelta::Millis(400));
+  EXPECT_TRUE(d.late);
+  EXPECT_EQ(d.render_time, capture + TimeDelta::Millis(400));
+  EXPECT_GT(jb.current_delay(), before);
+}
+
+TEST(JitterBufferTest, RendersNeverGoBackwards) {
+  JitterBuffer jb;
+  Timestamp last = Timestamp::MinusInfinity();
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const Timestamp capture = Timestamp::Millis(33 * i);
+    const double delay_ms = 40.0 + rng.Uniform(0.0, 80.0);
+    const PlayoutDecision d = jb.OnFrameComplete(
+        capture, capture + TimeDelta::SecondsF(delay_ms / 1e3));
+    EXPECT_GT(d.render_time, last);
+    last = d.render_time;
+  }
+}
+
+TEST(JitterBufferTest, DelayClampedToMax) {
+  JitterBuffer::Config config;
+  config.max_delay = TimeDelta::Millis(200);
+  JitterBuffer jb(config);
+  for (int i = 0; i < 100; ++i) {
+    const Timestamp capture = Timestamp::Millis(33 * i);
+    jb.OnFrameComplete(capture, capture + TimeDelta::Seconds(1));
+  }
+  EXPECT_LE(jb.current_delay(), TimeDelta::Millis(200));
+}
+
+TEST(JitterBufferIntegrationTest, RenderLatencyTracksNetworkStability) {
+  // Schemes with stable network delay earn a small playout buffer; the
+  // baseline's delay swings force a large one. Render latency amplifies the
+  // paper's effect.
+  rtc::SessionConfig config;
+  config.duration = TimeDelta::Seconds(30);
+  config.initial_rate = DataRate::KilobitsPerSec(2100);
+  config.link.trace = net::CapacityTrace::StepDrop(
+      DataRate::KilobitsPerSec(2500), DataRate::KilobitsPerSec(1000),
+      Timestamp::Seconds(10));
+
+  config.scheme = rtc::Scheme::kAdaptive;
+  const auto adaptive = rtc::RunSession(config);
+  config.scheme = rtc::Scheme::kX264Abr;
+  const auto baseline = rtc::RunSession(config);
+
+  // Render latency includes the playout buffer, so it exceeds network
+  // latency for both.
+  EXPECT_GT(adaptive.summary.render_latency_mean_ms,
+            adaptive.summary.latency_mean_ms);
+  EXPECT_GT(baseline.summary.render_latency_mean_ms,
+            baseline.summary.latency_mean_ms);
+  // And the adaptive scheme's render latency is far lower.
+  EXPECT_LT(adaptive.summary.render_latency_mean_ms,
+            baseline.summary.render_latency_mean_ms * 0.6);
+}
+
+}  // namespace
+}  // namespace rave::transport

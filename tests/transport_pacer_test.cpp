@@ -1,0 +1,142 @@
+#include "transport/pacer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rave::transport {
+namespace {
+
+struct PacerFixture {
+  explicit PacerFixture(Pacer::Config config = {}) {
+    pacer = std::make_unique<Pacer>(loop, config, [this](net::Packet p) {
+      sent.push_back({p, loop.now()});
+    });
+  }
+  EventLoop loop;
+  struct Sent {
+    net::Packet packet;
+    Timestamp at;
+  };
+  std::vector<Sent> sent;
+  std::unique_ptr<Pacer> pacer;
+};
+
+std::vector<net::Packet> MakePackets(int count, int64_t bits,
+                                     int64_t first_media_seq = 0) {
+  std::vector<net::Packet> packets;
+  for (int i = 0; i < count; ++i) {
+    net::Packet p;
+    p.media_seq = first_media_seq + i;
+    p.size = DataSize::Bits(bits);
+    packets.push_back(p);
+  }
+  return packets;
+}
+
+TEST(PacerTest, DrainsAtConfiguredRate) {
+  Pacer::Config config;
+  config.initial_rate = DataRate::KilobitsPerSec(1000);
+  config.burst = TimeDelta::Zero();
+  PacerFixture fx(config);
+  fx.pacer->Enqueue(MakePackets(5, 10'000));
+  fx.loop.RunAll();
+  ASSERT_EQ(fx.sent.size(), 5u);
+  // Packet i leaves at i * 10 ms (10'000 bits at 1 Mbps each).
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(fx.sent[static_cast<size_t>(i)].at, Timestamp::Millis(10 * i));
+  }
+}
+
+TEST(PacerTest, RateComplianceOverWindow) {
+  Pacer::Config config;
+  config.initial_rate = DataRate::KilobitsPerSec(800);
+  PacerFixture fx(config);
+  // Enqueue 2 seconds' worth; after 1 s roughly 800 kb must have left.
+  fx.pacer->Enqueue(MakePackets(200, 9'600));
+  fx.loop.RunFor(TimeDelta::Seconds(1));
+  int64_t bits = 0;
+  for (const auto& s : fx.sent) bits += s.packet.size.bits();
+  EXPECT_NEAR(static_cast<double>(bits), 800'000.0, 40'000.0);
+}
+
+TEST(PacerTest, BurstAllowsCatchUpAfterIdle) {
+  Pacer::Config config;
+  config.initial_rate = DataRate::KilobitsPerSec(1000);
+  config.burst = TimeDelta::Millis(40);
+  PacerFixture fx(config);
+  fx.loop.RunFor(TimeDelta::Seconds(1));  // idle: accumulate burst credit
+  fx.pacer->Enqueue(MakePackets(6, 10'000));
+  // 40 ms of credit = 40'000 bits = 4 packets immediately.
+  size_t immediate = 0;
+  for (const auto& s : fx.sent) {
+    if (s.at == Timestamp::Seconds(1)) ++immediate;
+  }
+  EXPECT_EQ(immediate, 5u);  // 4 from credit + 1 at the boundary
+  fx.loop.RunAll();
+  EXPECT_EQ(fx.sent.size(), 6u);
+}
+
+TEST(PacerTest, QueueMetrics) {
+  Pacer::Config config;
+  config.initial_rate = DataRate::KilobitsPerSec(1000);
+  config.burst = TimeDelta::Zero();
+  PacerFixture fx(config);
+  fx.pacer->Enqueue(MakePackets(10, 10'000));
+  fx.loop.RunFor(TimeDelta::Millis(1));
+  // One packet left immediately; 9 remain = 90'000 bits = 90 ms.
+  EXPECT_EQ(fx.pacer->queue_packets(), 9u);
+  EXPECT_NEAR(fx.pacer->ExpectedQueueTime().ms_float(), 90.0, 2.0);
+  fx.loop.RunAll();
+  EXPECT_EQ(fx.pacer->queue_size(), DataSize::Zero());
+  EXPECT_EQ(fx.pacer->ExpectedQueueTime(), TimeDelta::Zero());
+}
+
+TEST(PacerTest, SetPacingRateSpeedsUpDrain) {
+  Pacer::Config config;
+  config.initial_rate = DataRate::KilobitsPerSec(100);
+  config.burst = TimeDelta::Zero();
+  PacerFixture fx(config);
+  fx.pacer->Enqueue(MakePackets(10, 10'000));
+  fx.loop.RunFor(TimeDelta::Millis(100));  // 1 packet at 100 kbps
+  fx.pacer->SetPacingRate(DataRate::MegabitsPerSecF(10.0));
+  fx.loop.RunFor(TimeDelta::Millis(20));
+  EXPECT_EQ(fx.sent.size(), 10u);
+}
+
+TEST(PacerTest, EnqueueFrontJumpsQueue) {
+  Pacer::Config config;
+  config.initial_rate = DataRate::KilobitsPerSec(1000);
+  config.burst = TimeDelta::Zero();
+  PacerFixture fx(config);
+  fx.pacer->Enqueue(MakePackets(3, 10'000, /*first_media_seq=*/0));
+  fx.loop.RunFor(TimeDelta::Millis(1));  // packet 0 sent
+  net::Packet rtx;
+  rtx.media_seq = 99;
+  rtx.is_retransmission = true;
+  rtx.size = DataSize::Bits(5'000);
+  fx.pacer->EnqueueFront(rtx);
+  fx.loop.RunAll();
+  ASSERT_EQ(fx.sent.size(), 4u);
+  EXPECT_EQ(fx.sent[1].packet.media_seq, 99);
+  EXPECT_EQ(fx.sent[2].packet.media_seq, 1);
+}
+
+TEST(PacerTest, SendTimeStamped) {
+  PacerFixture fx;
+  fx.loop.RunFor(TimeDelta::Millis(7));
+  fx.pacer->Enqueue(MakePackets(1, 1'000));
+  fx.loop.RunAll();
+  ASSERT_EQ(fx.sent.size(), 1u);
+  EXPECT_EQ(fx.sent[0].packet.send_time, Timestamp::Millis(7));
+}
+
+TEST(PacerTest, IgnoresNonPositiveRate) {
+  PacerFixture fx;
+  const DataRate before = fx.pacer->pacing_rate();
+  fx.pacer->SetPacingRate(DataRate::Zero());
+  EXPECT_EQ(fx.pacer->pacing_rate(), before);
+}
+
+}  // namespace
+}  // namespace rave::transport

@@ -1,0 +1,92 @@
+#include "transport/packetizer.h"
+
+#include <gtest/gtest.h>
+
+namespace rave::transport {
+namespace {
+
+codec::EncodedFrame MakeFrame(int64_t id, int64_t bits,
+                              codec::FrameType type = codec::FrameType::kDelta) {
+  codec::EncodedFrame f;
+  f.frame_id = id;
+  f.capture_time = Timestamp::Millis(id * 33);
+  f.type = type;
+  f.size = DataSize::Bits(bits);
+  return f;
+}
+
+TEST(PacketizerTest, SingleSmallPacket) {
+  Packetizer packetizer;
+  const auto packets = packetizer.Packetize(MakeFrame(0, 5'000));
+  ASSERT_EQ(packets.size(), 1u);
+  EXPECT_EQ(packets[0].size.bits(), 5'000 + 68 * 8);
+  EXPECT_EQ(packets[0].packets_in_frame, 1);
+  EXPECT_EQ(packets[0].packet_index, 0);
+}
+
+TEST(PacketizerTest, SplitsAtMtu) {
+  Packetizer packetizer;
+  // 1200-byte MTU = 9600 bits payload per packet; 25'000 bits -> 3 packets.
+  const auto packets = packetizer.Packetize(MakeFrame(0, 25'000));
+  ASSERT_EQ(packets.size(), 3u);
+  EXPECT_EQ(packets[0].size.bits() - 68 * 8, 9'600);
+  EXPECT_EQ(packets[1].size.bits() - 68 * 8, 9'600);
+  EXPECT_EQ(packets[2].size.bits() - 68 * 8, 5'800);
+  for (const auto& p : packets) {
+    EXPECT_EQ(p.packets_in_frame, 3);
+    EXPECT_EQ(p.frame_id, 0);
+  }
+  EXPECT_EQ(packets[2].packet_index, 2);
+}
+
+TEST(PacketizerTest, PayloadBitsConserved) {
+  Packetizer packetizer;
+  for (int64_t bits : {1, 9'600, 9'601, 100'000, 333'333}) {
+    const auto packets = packetizer.Packetize(MakeFrame(1, bits));
+    int64_t payload = 0;
+    for (const auto& p : packets) payload += p.size.bits() - 68 * 8;
+    EXPECT_EQ(payload, bits);
+  }
+}
+
+TEST(PacketizerTest, MediaSeqMonotoneAcrossFrames) {
+  Packetizer packetizer;
+  const auto a = packetizer.Packetize(MakeFrame(0, 20'000));
+  const auto b = packetizer.Packetize(MakeFrame(1, 20'000));
+  EXPECT_EQ(a[0].media_seq, 0);
+  EXPECT_EQ(a.back().media_seq + 1, b[0].media_seq);
+  // Transport seq is unassigned at this stage.
+  EXPECT_EQ(a[0].seq, -1);
+}
+
+TEST(PacketizerTest, KeyframeFlagAndCaptureTimePropagated) {
+  Packetizer packetizer;
+  const auto packets =
+      packetizer.Packetize(MakeFrame(5, 12'000, codec::FrameType::kKey));
+  for (const auto& p : packets) {
+    EXPECT_TRUE(p.keyframe);
+    EXPECT_EQ(p.capture_time, Timestamp::Millis(5 * 33));
+  }
+}
+
+TEST(PacketizerTest, SkippedFrameYieldsNothing) {
+  Packetizer packetizer;
+  codec::EncodedFrame f = MakeFrame(0, 10'000);
+  f.skipped = true;
+  EXPECT_TRUE(packetizer.Packetize(f).empty());
+  codec::EncodedFrame g = MakeFrame(1, 0);
+  EXPECT_TRUE(packetizer.Packetize(g).empty());
+}
+
+TEST(PacketizerTest, CustomMtu) {
+  PacketizerConfig config;
+  config.mtu_payload = DataSize::Bytes(500);
+  config.overhead = DataSize::Bytes(40);
+  Packetizer packetizer(config);
+  const auto packets = packetizer.Packetize(MakeFrame(0, 12'000));
+  ASSERT_EQ(packets.size(), 3u);
+  EXPECT_EQ(packets[0].size.bits(), 4'000 + 320);
+}
+
+}  // namespace
+}  // namespace rave::transport

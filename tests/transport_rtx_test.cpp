@@ -1,0 +1,131 @@
+#include "transport/rtx.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rave::transport {
+namespace {
+
+net::Packet MakePacket(int64_t media_seq, int64_t frame_id = 0) {
+  net::Packet p;
+  p.media_seq = media_seq;
+  p.frame_id = frame_id;
+  p.size = DataSize::Bits(9'600);
+  return p;
+}
+
+TEST(RtxCacheTest, LookupReturnsRetransmissionCopy) {
+  RtxCache cache;
+  net::Packet p = MakePacket(5);
+  p.seq = 100;
+  p.send_time = Timestamp::Millis(10);
+  cache.Insert(p, Timestamp::Millis(10));
+  const auto rtx = cache.Lookup(5, Timestamp::Millis(50));
+  ASSERT_TRUE(rtx.has_value());
+  EXPECT_TRUE(rtx->is_retransmission);
+  EXPECT_EQ(rtx->media_seq, 5);
+  EXPECT_EQ(rtx->seq, -1);  // fresh transport seq to be assigned
+  EXPECT_EQ(rtx->size, p.size);
+}
+
+TEST(RtxCacheTest, MissReturnsNullopt) {
+  RtxCache cache;
+  EXPECT_FALSE(cache.Lookup(42, Timestamp::Zero()).has_value());
+}
+
+TEST(RtxCacheTest, PrunesByAge) {
+  RtxCache cache(TimeDelta::Seconds(1));
+  cache.Insert(MakePacket(1), Timestamp::Zero());
+  cache.Insert(MakePacket(2), Timestamp::Millis(900));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.Lookup(1, Timestamp::Millis(1500)).has_value());
+  EXPECT_TRUE(cache.Lookup(2, Timestamp::Millis(1500)).has_value());
+}
+
+struct NackFixture {
+  explicit NackFixture(NackGenerator::Config config = {}) {
+    gen = std::make_unique<NackGenerator>(
+        loop, config, [this](NackBatch b) { batches.push_back(b); },
+        [this](int64_t seq) { given_up.push_back(seq); });
+  }
+  EventLoop loop;
+  std::vector<NackBatch> batches;
+  std::vector<int64_t> given_up;
+  std::unique_ptr<NackGenerator> gen;
+};
+
+TEST(NackGeneratorTest, DetectsGapAndNacks) {
+  NackFixture fx;
+  fx.gen->OnPacketReceived(MakePacket(0));
+  fx.gen->OnPacketReceived(MakePacket(3));  // 1, 2 missing
+  EXPECT_EQ(fx.gen->missing(), 2u);
+  fx.loop.RunFor(TimeDelta::Millis(40));
+  ASSERT_FALSE(fx.batches.empty());
+  EXPECT_EQ(fx.batches[0].media_seqs, (std::vector<int64_t>{1, 2}));
+}
+
+TEST(NackGeneratorTest, ArrivalClearsMissing) {
+  NackFixture fx;
+  fx.gen->OnPacketReceived(MakePacket(0));
+  fx.gen->OnPacketReceived(MakePacket(2));
+  fx.gen->OnPacketReceived(MakePacket(1));  // RTX or late arrival
+  EXPECT_EQ(fx.gen->missing(), 0u);
+  fx.loop.RunFor(TimeDelta::Millis(100));
+  EXPECT_TRUE(fx.batches.empty());
+}
+
+TEST(NackGeneratorTest, RetriesWithBackoffThenGivesUp) {
+  NackGenerator::Config config;
+  config.initial_delay = TimeDelta::Millis(5);
+  config.retry_interval = TimeDelta::Millis(100);
+  config.max_retries = 3;
+  config.process_interval = TimeDelta::Millis(20);
+  NackFixture fx(config);
+  fx.gen->OnPacketReceived(MakePacket(0));
+  fx.gen->OnPacketReceived(MakePacket(2));
+  fx.loop.RunFor(TimeDelta::Seconds(1));
+  // 3 NACKs, then abandoned.
+  EXPECT_EQ(fx.gen->nacks_sent(), 3);
+  ASSERT_EQ(fx.given_up.size(), 1u);
+  EXPECT_EQ(fx.given_up[0], 1);
+  EXPECT_EQ(fx.gen->missing(), 0u);
+}
+
+TEST(NackGeneratorTest, RetrySpacingRespected) {
+  NackGenerator::Config config;
+  config.initial_delay = TimeDelta::Millis(5);
+  config.retry_interval = TimeDelta::Millis(100);
+  config.max_retries = 10;
+  config.process_interval = TimeDelta::Millis(10);
+  NackFixture fx(config);
+  fx.gen->OnPacketReceived(MakePacket(0));
+  fx.gen->OnPacketReceived(MakePacket(2));
+  fx.loop.RunFor(TimeDelta::Millis(250));
+  // First NACK at ~10 ms, retries at ~110 and ~210 ms -> 3 so far.
+  EXPECT_EQ(fx.gen->nacks_sent(), 3);
+}
+
+TEST(NackGeneratorTest, NoNackBeforeInitialDelay) {
+  NackGenerator::Config config;
+  config.initial_delay = TimeDelta::Millis(50);
+  config.process_interval = TimeDelta::Millis(10);
+  NackFixture fx(config);
+  fx.gen->OnPacketReceived(MakePacket(0));
+  fx.gen->OnPacketReceived(MakePacket(2));
+  fx.loop.RunFor(TimeDelta::Millis(40));
+  EXPECT_TRUE(fx.batches.empty());
+  fx.loop.RunFor(TimeDelta::Millis(30));
+  EXPECT_FALSE(fx.batches.empty());
+}
+
+TEST(NackGeneratorTest, IgnoresPacketsWithoutMediaSeq) {
+  NackFixture fx;
+  net::Packet p;
+  p.media_seq = -1;
+  fx.gen->OnPacketReceived(p);
+  EXPECT_EQ(fx.gen->missing(), 0u);
+}
+
+}  // namespace
+}  // namespace rave::transport

@@ -1,0 +1,73 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace rave {
+namespace {
+
+Flags Parse(std::vector<const char*> argv) {
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, EqualsForm) {
+  const Flags flags = Parse({"--scheme=rave-adaptive", "--severity=0.5"});
+  EXPECT_EQ(flags.GetString("scheme", ""), "rave-adaptive");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("severity", 0.0), 0.5);
+}
+
+TEST(FlagsTest, SpaceForm) {
+  const Flags flags = Parse({"--seconds", "40", "--scheme", "x264-abr"});
+  EXPECT_EQ(flags.GetInt("seconds", 0), 40);
+  EXPECT_EQ(flags.GetString("scheme", ""), "x264-abr");
+}
+
+TEST(FlagsTest, BooleanForms) {
+  const Flags flags =
+      Parse({"--fec", "--rtx=false", "--degradation=yes", "--csv"});
+  EXPECT_TRUE(flags.GetBool("fec", false));
+  EXPECT_FALSE(flags.GetBool("rtx", true));
+  EXPECT_TRUE(flags.GetBool("degradation", false));
+  EXPECT_TRUE(flags.GetBool("csv", false));
+  EXPECT_FALSE(flags.GetBool("absent", false));
+}
+
+TEST(FlagsTest, Positional) {
+  const Flags flags = Parse({"run", "--seed=3", "traces/x.txt"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "run");
+  EXPECT_EQ(flags.positional()[1], "traces/x.txt");
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  const Flags flags = Parse({});
+  EXPECT_EQ(flags.GetString("x", "fallback"), "fallback");
+  EXPECT_EQ(flags.GetInt("x", 7), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("x", 1.5), 1.5);
+  EXPECT_FALSE(flags.Has("x"));
+}
+
+TEST(FlagsTest, TypeErrorsThrow) {
+  const Flags flags = Parse({"--n=abc", "--f=1.2.3", "--b=maybe"});
+  EXPECT_THROW(flags.GetInt("n", 0), std::invalid_argument);
+  EXPECT_THROW(flags.GetDouble("f", 0.0), std::invalid_argument);
+  EXPECT_THROW(flags.GetBool("b", false), std::invalid_argument);
+}
+
+TEST(FlagsTest, BareDashDashThrows) {
+  EXPECT_THROW(Parse({"--"}), std::invalid_argument);
+}
+
+TEST(FlagsTest, UnknownKeysDetectsTypos) {
+  const Flags flags = Parse({"--scheme=x", "--sevrity=0.5"});
+  const auto unknown = flags.UnknownKeys({"scheme", "severity"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "sevrity");
+}
+
+TEST(FlagsTest, LastValueWins) {
+  const Flags flags = Parse({"--seed=1", "--seed=2"});
+  EXPECT_EQ(flags.GetInt("seed", 0), 2);
+}
+
+}  // namespace
+}  // namespace rave

@@ -1,0 +1,39 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace rave {
+namespace {
+
+TEST(LoggingTest, DefaultLevelIsWarning) {
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+}
+
+TEST(LoggingTest, SetLevelRoundTrips) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, SuppressedMessagesDoNotEvaluateCheaply) {
+  // Streaming into a disabled message must be safe (and is a no-op).
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  RAVE_LOG(kDebug) << "invisible " << 42;
+  RAVE_LOG(kInfo) << "also invisible";
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, EmittingMessagesIsSafe) {
+  // Can't capture stderr portably here; just exercise the enabled path.
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  RAVE_LOG(kWarning) << "test warning " << 3.14;
+  SetLogLevel(before);
+}
+
+}  // namespace
+}  // namespace rave

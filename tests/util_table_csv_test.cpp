@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace rave {
+namespace {
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"name", "value"});
+  t.AddRow().Cell("a").Cell(int64_t{1});
+  t.AddRow().Cell("longer-name").Cell(2.5, 1);
+  const std::string out = t.ToString();
+  std::istringstream iss(out);
+  std::string header, rule, row1, row2;
+  std::getline(iss, header);
+  std::getline(iss, rule);
+  std::getline(iss, row1);
+  std::getline(iss, row2);
+  EXPECT_NE(header.find("name"), std::string::npos);
+  EXPECT_NE(header.find("value"), std::string::npos);
+  EXPECT_EQ(rule.find_first_not_of('-'), std::string::npos);
+  EXPECT_NE(row2.find("longer-name"), std::string::npos);
+  EXPECT_NE(row2.find("2.5"), std::string::npos);
+  // All data rows start their second column at the same offset.
+  EXPECT_EQ(row1.size(), row2.size());
+}
+
+TEST(TableTest, NumericFormatting) {
+  Table t({"x"});
+  t.AddRow().Cell(3.14159, 2);
+  EXPECT_NE(t.ToString().find("3.14"), std::string::npos);
+  Table t2({"x"});
+  t2.AddRow().Cell(int64_t{-42});
+  EXPECT_NE(t2.ToString().find("-42"), std::string::npos);
+}
+
+TEST(TableTest, EmptyTableJustHeader) {
+  Table t({"a", "b"});
+  const std::string out = t.ToString();
+  // Header + rule only.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+TEST(CsvWriterTest, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/rave_csv_test.csv";
+  {
+    CsvWriter csv(path, {"t", "x"});
+    csv.WriteRow(std::vector<std::string>{"0.1", "hello"});
+    csv.WriteRow(std::vector<double>{1.5, 2.25});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "t,x");
+  std::getline(in, line);
+  EXPECT_EQ(line, "0.1,hello");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1.5,2.25");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv", {"a"}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rave

@@ -1,0 +1,97 @@
+#include "util/time.h"
+
+#include <gtest/gtest.h>
+
+namespace rave {
+namespace {
+
+TEST(TimeDeltaTest, Factories) {
+  EXPECT_EQ(TimeDelta::Micros(1500).us(), 1500);
+  EXPECT_EQ(TimeDelta::Millis(3).us(), 3000);
+  EXPECT_EQ(TimeDelta::Seconds(2).us(), 2'000'000);
+  EXPECT_EQ(TimeDelta::SecondsF(0.5).us(), 500'000);
+  EXPECT_EQ(TimeDelta::SecondsF(-0.5).us(), -500'000);
+  EXPECT_TRUE(TimeDelta::Zero().IsZero());
+}
+
+TEST(TimeDeltaTest, Conversions) {
+  const TimeDelta d = TimeDelta::Millis(1234);
+  EXPECT_EQ(d.ms(), 1234);
+  EXPECT_DOUBLE_EQ(d.seconds(), 1.234);
+  EXPECT_DOUBLE_EQ(d.ms_float(), 1234.0);
+}
+
+TEST(TimeDeltaTest, Arithmetic) {
+  const TimeDelta a = TimeDelta::Millis(100);
+  const TimeDelta b = TimeDelta::Millis(40);
+  EXPECT_EQ((a + b).ms(), 140);
+  EXPECT_EQ((a - b).ms(), 60);
+  EXPECT_EQ((-a).ms(), -100);
+  EXPECT_EQ((a * 2.5).ms(), 250);
+  EXPECT_EQ((a * int64_t{3}).ms(), 300);
+  EXPECT_EQ((a / 4).ms(), 25);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  EXPECT_EQ((2.0 * b).ms(), 80);
+}
+
+TEST(TimeDeltaTest, CompoundAssignment) {
+  TimeDelta d = TimeDelta::Millis(10);
+  d += TimeDelta::Millis(5);
+  EXPECT_EQ(d.ms(), 15);
+  d -= TimeDelta::Millis(20);
+  EXPECT_EQ(d.ms(), -5);
+}
+
+TEST(TimeDeltaTest, Comparisons) {
+  EXPECT_LT(TimeDelta::Millis(1), TimeDelta::Millis(2));
+  EXPECT_EQ(TimeDelta::Millis(1000), TimeDelta::Seconds(1));
+  EXPECT_GT(TimeDelta::PlusInfinity(), TimeDelta::Seconds(1'000'000));
+  EXPECT_LT(TimeDelta::MinusInfinity(), TimeDelta::Seconds(-1'000'000));
+}
+
+TEST(TimeDeltaTest, InfinityPredicates) {
+  EXPECT_FALSE(TimeDelta::PlusInfinity().IsFinite());
+  EXPECT_TRUE(TimeDelta::PlusInfinity().IsPlusInfinity());
+  EXPECT_FALSE(TimeDelta::MinusInfinity().IsFinite());
+  EXPECT_TRUE(TimeDelta::Millis(5).IsFinite());
+}
+
+TEST(TimeDeltaTest, ToString) {
+  EXPECT_EQ(TimeDelta::Micros(500).ToString(), "500us");
+  EXPECT_EQ(TimeDelta::Millis(13).ToString(), "13.00ms");
+  EXPECT_EQ(TimeDelta::SecondsF(2.5).ToString(), "2.500s");
+  EXPECT_EQ(TimeDelta::PlusInfinity().ToString(), "+inf");
+}
+
+TEST(TimestampTest, FactoriesAndConversions) {
+  const Timestamp t = Timestamp::Millis(1500);
+  EXPECT_EQ(t.us(), 1'500'000);
+  EXPECT_EQ(t.ms(), 1500);
+  EXPECT_DOUBLE_EQ(t.seconds(), 1.5);
+}
+
+TEST(TimestampTest, ArithmeticWithDeltas) {
+  const Timestamp t = Timestamp::Seconds(10);
+  EXPECT_EQ((t + TimeDelta::Millis(500)).ms(), 10'500);
+  EXPECT_EQ((t - TimeDelta::Millis(500)).ms(), 9'500);
+  EXPECT_EQ((t - Timestamp::Seconds(4)).seconds(), 6.0);
+  Timestamp u = t;
+  u += TimeDelta::Seconds(1);
+  EXPECT_EQ(u.seconds(), 11.0);
+}
+
+TEST(TimestampTest, Sentinels) {
+  EXPECT_TRUE(Timestamp::MinusInfinity().IsMinusInfinity());
+  EXPECT_FALSE(Timestamp::MinusInfinity().IsFinite());
+  EXPECT_LT(Timestamp::MinusInfinity(), Timestamp::Zero());
+  EXPECT_GT(Timestamp::PlusInfinity(), Timestamp::Seconds(1'000'000));
+}
+
+TEST(TimestampTest, ToString) {
+  EXPECT_EQ(Timestamp::Millis(12345).ToString(), "12.345s");
+  EXPECT_EQ(Timestamp::PlusInfinity().ToString(), "+inf");
+  EXPECT_EQ(Timestamp::MinusInfinity().ToString(), "-inf");
+}
+
+}  // namespace
+}  // namespace rave

@@ -1,0 +1,88 @@
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace rave {
+namespace {
+
+TEST(DataSizeTest, Factories) {
+  EXPECT_EQ(DataSize::Bits(100).bits(), 100);
+  EXPECT_EQ(DataSize::Bytes(10).bits(), 80);
+  EXPECT_EQ(DataSize::KiloBytes(2).bytes(), 2000);
+  EXPECT_TRUE(DataSize::Zero().IsZero());
+  EXPECT_FALSE(DataSize::PlusInfinity().IsFinite());
+}
+
+TEST(DataSizeTest, Arithmetic) {
+  const DataSize a = DataSize::Bits(1000);
+  const DataSize b = DataSize::Bits(400);
+  EXPECT_EQ((a + b).bits(), 1400);
+  EXPECT_EQ((a - b).bits(), 600);
+  EXPECT_EQ((a * 1.5).bits(), 1500);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  DataSize c = a;
+  c += b;
+  EXPECT_EQ(c.bits(), 1400);
+  c -= a;
+  EXPECT_EQ(c.bits(), 400);
+}
+
+TEST(DataRateTest, Factories) {
+  EXPECT_EQ(DataRate::BitsPerSec(5000).bps(), 5000);
+  EXPECT_EQ(DataRate::KilobitsPerSec(3).bps(), 3000);
+  EXPECT_EQ(DataRate::KilobitsPerSecF(2.5).bps(), 2500);
+  EXPECT_EQ(DataRate::MegabitsPerSecF(1.5).bps(), 1'500'000);
+  EXPECT_DOUBLE_EQ(DataRate::KilobitsPerSec(1500).mbps(), 1.5);
+}
+
+TEST(DataRateTest, Arithmetic) {
+  const DataRate r = DataRate::KilobitsPerSec(1000);
+  EXPECT_EQ((r * 1.25).kbps(), 1250);
+  EXPECT_EQ((0.5 * r).kbps(), 500);
+  EXPECT_EQ((r + DataRate::KilobitsPerSec(500)).kbps(), 1500);
+  EXPECT_EQ((r - DataRate::KilobitsPerSec(300)).kbps(), 700);
+  EXPECT_DOUBLE_EQ(r / DataRate::KilobitsPerSec(250), 4.0);
+}
+
+TEST(DimensionalTest, SizeOverTimeIsRate) {
+  const DataSize size = DataSize::Bits(1'000'000);
+  const TimeDelta t = TimeDelta::Seconds(2);
+  EXPECT_EQ((size / t).bps(), 500'000);
+}
+
+TEST(DimensionalTest, RateTimesTimeIsSize) {
+  const DataRate rate = DataRate::KilobitsPerSec(800);
+  const TimeDelta t = TimeDelta::Millis(250);
+  EXPECT_EQ((rate * t).bits(), 200'000);
+  EXPECT_EQ((t * rate).bits(), 200'000);
+}
+
+TEST(DimensionalTest, SizeOverRateIsTime) {
+  const DataSize size = DataSize::Bits(500'000);
+  const DataRate rate = DataRate::KilobitsPerSec(1000);
+  EXPECT_EQ((size / rate).ms(), 500);
+}
+
+TEST(DimensionalTest, RoundTripConsistency) {
+  // (rate * t) / rate == t for representative values.
+  for (int64_t kbps : {100, 850, 2500, 10000}) {
+    for (int64_t ms : {1, 33, 250, 4000}) {
+      const DataRate rate = DataRate::KilobitsPerSec(kbps);
+      const TimeDelta t = TimeDelta::Millis(ms);
+      const TimeDelta back = (rate * t) / rate;
+      EXPECT_NEAR(back.us(), t.us(), 2)
+          << "kbps=" << kbps << " ms=" << ms;
+    }
+  }
+}
+
+TEST(ToStringTest, Formats) {
+  EXPECT_EQ(DataSize::Bits(500).ToString(), "500b");
+  EXPECT_EQ(DataSize::Bits(12'300).ToString(), "12.3kb");
+  EXPECT_EQ(DataSize::Bits(1'500'000).ToString(), "1.50Mb");
+  EXPECT_EQ(DataRate::KilobitsPerSec(850).ToString(), "850kbps");
+  EXPECT_EQ(DataRate::MegabitsPerSecF(2.5).ToString(), "2.50Mbps");
+}
+
+}  // namespace
+}  // namespace rave

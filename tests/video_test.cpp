@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "video/content_model.h"
+#include "video/video_source.h"
+
+namespace rave::video {
+namespace {
+
+TEST(ContentModelTest, ClassNames) {
+  EXPECT_EQ(ToString(ContentClass::kTalkingHead), "talking-head");
+  EXPECT_EQ(ToString(ContentClass::kScreenShare), "screen-share");
+  EXPECT_EQ(ToString(ContentClass::kGaming), "gaming");
+  EXPECT_EQ(ToString(ContentClass::kSports), "sports");
+}
+
+// Average complexity per class over many frames.
+struct ClassStats {
+  double spatial = 0.0;
+  double temporal = 0.0;
+  int scene_changes = 0;
+};
+
+ClassStats Collect(ContentClass c, int frames, uint64_t seed = 11) {
+  ContentModel model(c, Rng(seed));
+  ClassStats stats;
+  const TimeDelta interval = TimeDelta::SecondsF(1.0 / 30.0);
+  for (int i = 0; i < frames; ++i) {
+    const auto s = model.NextFrame(interval);
+    stats.spatial += s.spatial / frames;
+    stats.temporal += s.temporal / frames;
+    if (s.scene_change) ++stats.scene_changes;
+  }
+  return stats;
+}
+
+TEST(ContentModelTest, SportsHasMoreMotionThanTalkingHead) {
+  const ClassStats sports = Collect(ContentClass::kSports, 20'000);
+  const ClassStats talking = Collect(ContentClass::kTalkingHead, 20'000);
+  EXPECT_GT(sports.temporal, 2.0 * talking.temporal);
+}
+
+TEST(ContentModelTest, ScreenShareIsNearStatic) {
+  const ClassStats screen = Collect(ContentClass::kScreenShare, 20'000);
+  EXPECT_LT(screen.temporal, 0.25);
+}
+
+TEST(ContentModelTest, SceneChangesOccurAtRoughlyConfiguredRate) {
+  // Screen share: mean interval 8 s -> ~75 changes in 600 s of frames.
+  const int frames = 18'000;  // 600 s at 30 fps
+  const ClassStats screen = Collect(ContentClass::kScreenShare, frames);
+  EXPECT_GT(screen.scene_changes, 40);
+  EXPECT_LT(screen.scene_changes, 120);
+  // Talking head: mean 45 s -> ~13.
+  const ClassStats talking = Collect(ContentClass::kTalkingHead, frames);
+  EXPECT_LT(talking.scene_changes, 30);
+  EXPECT_GT(talking.scene_changes, 3);
+}
+
+TEST(ContentModelTest, SceneChangeSpikesTemporalComplexity) {
+  ContentModel model(ContentClass::kScreenShare, Rng(3));
+  const TimeDelta interval = TimeDelta::SecondsF(1.0 / 30.0);
+  double before = 0.0;
+  for (int i = 0; i < 100'000; ++i) {
+    const auto s = model.NextFrame(interval);
+    if (s.scene_change) {
+      EXPECT_GT(s.temporal, 3.0 * std::max(before, 0.02));
+      return;
+    }
+    before = s.temporal;
+  }
+  FAIL() << "no scene change observed";
+}
+
+TEST(ContentModelTest, ComplexityAlwaysPositive) {
+  for (ContentClass c : kAllContentClasses) {
+    ContentModel model(c, Rng(5));
+    for (int i = 0; i < 5000; ++i) {
+      const auto s = model.NextFrame(TimeDelta::Millis(33));
+      EXPECT_GT(s.spatial, 0.0) << ToString(c);
+      EXPECT_GT(s.temporal, 0.0) << ToString(c);
+    }
+  }
+}
+
+TEST(VideoSourceTest, FrameIntervalFromFps) {
+  VideoSource source({.fps = 25.0});
+  EXPECT_EQ(source.frame_interval().ms(), 40);
+}
+
+TEST(VideoSourceTest, MonotoneFrameIdsAndTimestamps) {
+  VideoSource source({});
+  for (int i = 0; i < 100; ++i) {
+    const RawFrame f = source.CaptureFrame(Timestamp::Millis(i * 33));
+    EXPECT_EQ(f.frame_id, i);
+    EXPECT_EQ(f.capture_time, Timestamp::Millis(i * 33));
+  }
+  EXPECT_EQ(source.frames_captured(), 100);
+}
+
+TEST(VideoSourceTest, DeterministicForSameSeed) {
+  VideoSourceConfig config;
+  config.seed = 77;
+  VideoSource a(config);
+  VideoSource b(config);
+  for (int i = 0; i < 500; ++i) {
+    const RawFrame fa = a.CaptureFrame(Timestamp::Zero());
+    const RawFrame fb = b.CaptureFrame(Timestamp::Zero());
+    EXPECT_DOUBLE_EQ(fa.spatial_complexity, fb.spatial_complexity);
+    EXPECT_DOUBLE_EQ(fa.temporal_complexity, fb.temporal_complexity);
+    EXPECT_EQ(fa.scene_change, fb.scene_change);
+  }
+}
+
+TEST(VideoSourceTest, ResolutionSwitchAppliesToNextFrame) {
+  VideoSource source({});
+  EXPECT_EQ(source.CaptureFrame(Timestamp::Zero()).resolution,
+            (Resolution{1280, 720}));
+  source.SetResolution({640, 360});
+  const RawFrame f = source.CaptureFrame(Timestamp::Zero());
+  EXPECT_EQ(f.resolution, (Resolution{640, 360}));
+  EXPECT_EQ(f.resolution.pixels(), 640 * 360);
+}
+
+}  // namespace
+}  // namespace rave::video
