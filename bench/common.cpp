@@ -1,6 +1,49 @@
 #include "common.h"
 
+#include <cstdlib>
+#include <iostream>
+
+#include "runner/parallel_runner.h"
+#include "util/flags.h"
+
 namespace rave::bench {
+
+TimeDelta BenchOptions::DurationOr(TimeDelta fallback) const {
+  return duration_s > 0.0 ? TimeDelta::SecondsF(duration_s) : fallback;
+}
+
+BenchOptions ParseBenchOptions(int argc, char** argv) {
+  try {
+    const Flags flags(argc - 1, argv + 1);
+    for (const std::string& key : flags.UnknownKeys({"jobs", "duration"})) {
+      std::cerr << "error: unknown flag --" << key
+                << "\nusage: " << argv[0]
+                << " [--jobs=N] [--duration=SECONDS]\n";
+      std::exit(2);
+    }
+    BenchOptions options;
+    options.jobs = static_cast<int>(flags.GetInt("jobs", 0));
+    options.duration_s = flags.GetDouble("duration", 0.0);
+    return options;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    std::exit(2);
+  }
+}
+
+std::vector<rtc::SessionResult> RunMatrix(
+    const std::vector<rtc::SessionConfig>& configs, int jobs) {
+  return runner::RunSessions(configs, jobs);
+}
+
+std::vector<double> FrameLatenciesMs(const rtc::SessionResult& result) {
+  std::vector<double> ms;
+  ms.reserve(result.frames.size());
+  for (const auto& f : result.frames) {
+    if (auto l = f.latency()) ms.push_back(l->ms_float());
+  }
+  return ms;
+}
 
 rtc::SessionConfig DefaultConfig(rtc::Scheme scheme, net::CapacityTrace trace,
                                  video::ContentClass content,

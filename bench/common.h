@@ -1,6 +1,7 @@
 // Shared helpers for the experiment harnesses: canonical session
 // configurations (so every bench runs the same well-documented setup), the
-// drop-trace suite, and small formatting utilities.
+// drop-trace suite, parallel matrix execution, command-line handling and
+// small formatting utilities.
 #pragma once
 
 #include <string>
@@ -17,6 +18,29 @@ namespace rave::bench {
 /// Canonical link rate before any drop.
 inline constexpr int64_t kBaseRateKbps = 2500;
 
+/// Command-line options shared by every bench binary.
+struct BenchOptions {
+  /// Worker threads for the session matrix; 0 means hardware concurrency.
+  int jobs = 0;
+  /// Session duration override in seconds, <= 0 means "use the bench's
+  /// default". Smoke runs pass a short value (the canonical drop is at
+  /// t = 10 s, so overrides below ~12 s lose the post-drop phase).
+  double duration_s = 0.0;
+
+  /// The bench's default duration unless overridden on the command line.
+  TimeDelta DurationOr(TimeDelta fallback) const;
+};
+
+/// Parses `--jobs=N` / `--duration=S`. Exits (status 2) on unknown flags so
+/// typos fail loudly. Every bench binary calls this first.
+BenchOptions ParseBenchOptions(int argc, char** argv);
+
+/// Runs every config (in parallel when jobs != 1) and returns results in
+/// submission order — byte-identical output to a serial run regardless of
+/// the job count.
+std::vector<rtc::SessionResult> RunMatrix(
+    const std::vector<rtc::SessionConfig>& configs, int jobs);
+
 /// Builds the default session configuration used across experiments:
 /// 720p30, 2.5 Mbps initial estimate, 50 ms RTT (25 ms each way), 50 ms
 /// feedback interval, deep (~3 s at 1 Mbps) bottleneck buffer.
@@ -32,6 +56,10 @@ net::CapacityTrace DropTrace(double severity);
 /// {single-drop, drop+recover, staircase-down} = 9 traces + 3 random walks.
 std::vector<std::pair<std::string, net::CapacityTrace>> TraceSuite(
     TimeDelta duration);
+
+/// Per-frame end-to-end latencies (ms) of the delivered frames, in capture
+/// order — the samples every latency CDF/percentile is computed from.
+std::vector<double> FrameLatenciesMs(const rtc::SessionResult& result);
 
 /// Mean latency reduction of `treatment` vs `baseline` in percent.
 double ReductionPercent(double baseline, double treatment);

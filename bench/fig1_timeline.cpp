@@ -13,17 +13,23 @@
 
 using namespace rave;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
   const auto trace = bench::DropTrace(0.6);  // 2.5 -> 1.0 Mbps at t=10s
-  const TimeDelta duration = TimeDelta::Seconds(25);
+  const TimeDelta duration = options.DurationOr(TimeDelta::Seconds(25));
 
-  std::map<std::string, rtc::SessionResult> results;
+  std::vector<rtc::SessionConfig> configs;
   for (rtc::Scheme scheme :
        {rtc::Scheme::kX264Abr, rtc::Scheme::kAdaptive}) {
-    auto config = bench::DefaultConfig(scheme, trace,
-                                       video::ContentClass::kTalkingHead,
-                                       duration, /*seed=*/42);
-    results.emplace(rtc::ToString(scheme), rtc::RunSession(config));
+    configs.push_back(bench::DefaultConfig(scheme, trace,
+                                           video::ContentClass::kTalkingHead,
+                                           duration, /*seed=*/42));
+  }
+  const auto run = bench::RunMatrix(configs, options.jobs);
+
+  std::map<std::string, rtc::SessionResult> results;
+  for (const rtc::SessionResult& result : run) {
+    results.emplace(result.scheme_name, result);
   }
 
   std::cout << "Fig 1: timeline across a 2.5->1.0 Mbps drop at t=10s "

@@ -13,34 +13,36 @@
 
 using namespace rave;
 
-int main() {
-  const TimeDelta duration = TimeDelta::Seconds(40);
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  const TimeDelta duration = options.DurationOr(TimeDelta::Seconds(40));
   const auto suite = bench::TraceSuite(duration);
+
+  std::vector<rtc::SessionConfig> configs;
+  for (const auto& [name, trace] : suite) {
+    for (video::ContentClass content : video::kAllContentClasses) {
+      for (rtc::Scheme scheme :
+           {rtc::Scheme::kX264Abr, rtc::Scheme::kAdaptive}) {
+        configs.push_back(
+            bench::DefaultConfig(scheme, trace, content, duration, 7));
+      }
+    }
+  }
+  const auto results = bench::RunMatrix(configs, options.jobs);
 
   std::map<rtc::Scheme, SampleSet> latencies;
   Table per_trace({"trace", "content", "abr-mean(ms)", "adaptive-mean(ms)",
                    "reduction(%)"});
 
+  size_t next = 0;
   for (const auto& [name, trace] : suite) {
     for (video::ContentClass content : video::kAllContentClasses) {
       double mean[2] = {0, 0};
       int i = 0;
       for (rtc::Scheme scheme :
            {rtc::Scheme::kX264Abr, rtc::Scheme::kAdaptive}) {
-        const auto config =
-            bench::DefaultConfig(scheme, trace, content, duration, 7);
-        const rtc::SessionResult result = rtc::RunSession(config);
-        for (double ms : result.frames.empty()
-                             ? std::vector<double>{}
-                             : [&] {
-                                 std::vector<double> v;
-                                 for (const auto& f : result.frames) {
-                                   if (auto l = f.latency()) {
-                                     v.push_back(l->ms_float());
-                                   }
-                                 }
-                                 return v;
-                               }()) {
+        const rtc::SessionResult& result = results[next++];
+        for (double ms : bench::FrameLatenciesMs(result)) {
           latencies[scheme].Add(ms);
         }
         mean[i++] = result.summary.latency_mean_ms;

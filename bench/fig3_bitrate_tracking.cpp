@@ -28,18 +28,25 @@ std::vector<double> WindowedBitrate(const rtc::SessionResult& result,
 
 }  // namespace
 
-int main() {
-  const TimeDelta duration = TimeDelta::Seconds(35);
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  const TimeDelta duration = options.DurationOr(TimeDelta::Seconds(35));
   const auto trace = net::CapacityTrace::StepDropAndRecover(
       DataRate::KilobitsPerSec(2500), DataRate::KilobitsPerSec(1000),
       Timestamp::Seconds(10), Timestamp::Seconds(22));
 
-  std::map<rtc::Scheme, std::vector<double>> series;
+  std::vector<rtc::SessionConfig> configs;
   for (rtc::Scheme scheme : rtc::kAllSchemes) {
-    const auto config =
+    configs.push_back(
         bench::DefaultConfig(scheme, trace, video::ContentClass::kTalkingHead,
-                             duration, /*seed=*/11);
-    series[scheme] = WindowedBitrate(rtc::RunSession(config), duration);
+                             duration, /*seed=*/11));
+  }
+  const auto results = bench::RunMatrix(configs, options.jobs);
+
+  std::map<rtc::Scheme, std::vector<double>> series;
+  size_t next = 0;
+  for (rtc::Scheme scheme : rtc::kAllSchemes) {
+    series[scheme] = WindowedBitrate(results[next++], duration);
   }
 
   std::cout << "Fig 3: encoder output bitrate (kbps per 500 ms window) vs "
@@ -63,7 +70,7 @@ int main() {
   std::cout << "\novershoot in (10s, 13s]: encoded bits above capacity\n";
   for (rtc::Scheme scheme : rtc::kAllSchemes) {
     double over_kbits = 0.0;
-    for (size_t w = 20; w < 26; ++w) {
+    for (size_t w = 20; w < 26 && w < series[scheme].size(); ++w) {
       over_kbits += std::max(0.0, series[scheme][w] - 1000.0) * 0.5;
     }
     std::cout << "  " << ToString(scheme) << ": " << over_kbits << " kbits\n";

@@ -9,20 +9,14 @@
 
 using namespace rave;
 
-int main() {
-  const TimeDelta duration = TimeDelta::Seconds(40);
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  const TimeDelta duration = options.DurationOr(TimeDelta::Seconds(40));
+  const uint64_t seeds[] = {1, 2, 3};
 
-  std::cout << "Fig 4: latency vs feedback RTT (50% drop at t=10s, "
-               "talking-head)\n\n";
-  Table table({"rtt(ms)", "abr-mean(ms)", "adp-mean(ms)", "mean-red(%)",
-               "abr-p95(ms)", "adp-p95(ms)", "p95-red(%)"});
-
+  std::vector<rtc::SessionConfig> configs;
   for (int64_t rtt_ms : {20, 50, 100, 200}) {
-    double mean[2] = {0, 0};
-    double p95[2] = {0, 0};
-    const uint64_t seeds[] = {1, 2, 3};
     for (uint64_t seed : seeds) {
-      int i = 0;
       for (rtc::Scheme scheme :
            {rtc::Scheme::kX264Abr, rtc::Scheme::kAdaptive}) {
         auto config = bench::DefaultConfig(scheme, bench::DropTrace(0.5),
@@ -30,10 +24,26 @@ int main() {
                                            duration, seed);
         config.link.propagation = TimeDelta::Millis(rtt_ms / 2);
         config.feedback_delay = TimeDelta::Millis(rtt_ms / 2);
-        const rtc::SessionResult result = rtc::RunSession(config);
+        configs.push_back(std::move(config));
+      }
+    }
+  }
+  const auto results = bench::RunMatrix(configs, options.jobs);
+
+  std::cout << "Fig 4: latency vs feedback RTT (50% drop at t=10s, "
+               "talking-head)\n\n";
+  Table table({"rtt(ms)", "abr-mean(ms)", "adp-mean(ms)", "mean-red(%)",
+               "abr-p95(ms)", "adp-p95(ms)", "p95-red(%)"});
+
+  size_t next = 0;
+  for (int64_t rtt_ms : {20, 50, 100, 200}) {
+    double mean[2] = {0, 0};
+    double p95[2] = {0, 0};
+    for ([[maybe_unused]] uint64_t seed : seeds) {
+      for (int i = 0; i < 2; ++i) {
+        const rtc::SessionResult& result = results[next++];
         mean[i] += result.summary.latency_mean_ms / std::size(seeds);
         p95[i] += result.summary.latency_p95_ms / std::size(seeds);
-        ++i;
       }
     }
     table.AddRow()

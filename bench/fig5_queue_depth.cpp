@@ -9,8 +9,25 @@
 
 using namespace rave;
 
-int main() {
-  const TimeDelta duration = TimeDelta::Seconds(40);
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  const TimeDelta duration = options.DurationOr(TimeDelta::Seconds(40));
+  const uint64_t seeds[] = {1, 2, 3};
+
+  std::vector<rtc::SessionConfig> configs;
+  for (int64_t kb : {30, 60, 120, 250, 500}) {
+    for (uint64_t seed : seeds) {
+      for (rtc::Scheme scheme :
+           {rtc::Scheme::kX264Abr, rtc::Scheme::kAdaptive}) {
+        auto config = bench::DefaultConfig(scheme, bench::DropTrace(0.6),
+                                           video::ContentClass::kTalkingHead,
+                                           duration, seed);
+        config.link.queue_capacity = DataSize::Bytes(kb * 1000);
+        configs.push_back(std::move(config));
+      }
+    }
+  }
+  const auto results = bench::RunMatrix(configs, options.jobs);
 
   std::cout << "Fig 5: latency/loss vs bottleneck queue depth "
                "(60% drop at t=10s, talking-head)\n"
@@ -19,23 +36,16 @@ int main() {
   Table table({"queue(KB)", "queue(ms@1Mbps)", "abr-p95(ms)", "adp-p95(ms)",
                "p95-red(%)", "abr-lost", "adp-lost"});
 
+  size_t next = 0;
   for (int64_t kb : {30, 60, 120, 250, 500}) {
     double p95[2] = {0, 0};
     double lost[2] = {0, 0};
-    const uint64_t seeds[] = {1, 2, 3};
-    for (uint64_t seed : seeds) {
-      int i = 0;
-      for (rtc::Scheme scheme :
-           {rtc::Scheme::kX264Abr, rtc::Scheme::kAdaptive}) {
-        auto config = bench::DefaultConfig(scheme, bench::DropTrace(0.6),
-                                           video::ContentClass::kTalkingHead,
-                                           duration, seed);
-        config.link.queue_capacity = DataSize::Bytes(kb * 1000);
-        const rtc::SessionResult result = rtc::RunSession(config);
+    for ([[maybe_unused]] uint64_t seed : seeds) {
+      for (int i = 0; i < 2; ++i) {
+        const rtc::SessionResult& result = results[next++];
         p95[i] += result.summary.latency_p95_ms / std::size(seeds);
         lost[i] += static_cast<double>(result.summary.frames_lost_network) /
                    std::size(seeds);
-        ++i;
       }
     }
     table.AddRow()

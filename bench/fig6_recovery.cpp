@@ -10,18 +10,24 @@
 
 using namespace rave;
 
-int main() {
-  const TimeDelta duration = TimeDelta::Seconds(40);
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  const TimeDelta duration = options.DurationOr(TimeDelta::Seconds(40));
   const auto trace = net::CapacityTrace::StepDropAndRecover(
       DataRate::KilobitsPerSec(2500), DataRate::KilobitsPerSec(800),
       Timestamp::Seconds(10), Timestamp::Seconds(20));
 
-  std::map<std::string, rtc::SessionResult> results;
+  std::vector<rtc::SessionConfig> configs;
   for (rtc::Scheme scheme :
        {rtc::Scheme::kX264Abr, rtc::Scheme::kAdaptive}) {
-    const auto config = bench::DefaultConfig(
-        scheme, trace, video::ContentClass::kTalkingHead, duration, 13);
-    results.emplace(rtc::ToString(scheme), rtc::RunSession(config));
+    configs.push_back(bench::DefaultConfig(
+        scheme, trace, video::ContentClass::kTalkingHead, duration, 13));
+  }
+  const auto run = bench::RunMatrix(configs, options.jobs);
+
+  std::map<std::string, rtc::SessionResult> results;
+  for (const rtc::SessionResult& result : run) {
+    results.emplace(result.scheme_name, result);
   }
 
   std::cout << "Fig 6: recovery behaviour (2.5 -> 0.8 Mbps at 10s, back to "

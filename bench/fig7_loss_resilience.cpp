@@ -9,8 +9,10 @@
 
 using namespace rave;
 
-int main() {
-  const TimeDelta duration = TimeDelta::Seconds(40);
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  const TimeDelta duration = options.DurationOr(TimeDelta::Seconds(40));
+  const uint64_t seeds[] = {1, 2, 3};
 
   std::cout << "Fig 7: non-congestive loss sweep (50% drop at t=10s, "
                "talking-head, 3 seeds)\n\n";
@@ -37,13 +39,9 @@ int main() {
     rows.push_back(burst);
   }
 
+  std::vector<rtc::SessionConfig> configs;
   for (const Row& row : rows) {
-    double mean[2] = {0, 0};
-    double disp[2] = {0, 0};
-    double lost[2] = {0, 0};
-    const uint64_t seeds[] = {1, 2, 3};
     for (uint64_t seed : seeds) {
-      int i = 0;
       for (rtc::Scheme scheme :
            {rtc::Scheme::kX264Abr, rtc::Scheme::kAdaptive}) {
         auto config = bench::DefaultConfig(scheme, bench::DropTrace(0.5),
@@ -51,12 +49,24 @@ int main() {
                                            duration, seed);
         config.link.loss = row.loss;
         config.link.loss.seed = seed ^ 0xBEEF;
-        const rtc::SessionResult result = rtc::RunSession(config);
+        configs.push_back(std::move(config));
+      }
+    }
+  }
+  const auto results = bench::RunMatrix(configs, options.jobs);
+
+  size_t next = 0;
+  for (const Row& row : rows) {
+    double mean[2] = {0, 0};
+    double disp[2] = {0, 0};
+    double lost[2] = {0, 0};
+    for ([[maybe_unused]] uint64_t seed : seeds) {
+      for (int i = 0; i < 2; ++i) {
+        const rtc::SessionResult& result = results[next++];
         mean[i] += result.summary.latency_mean_ms / std::size(seeds);
         disp[i] += result.summary.displayed_ssim_mean / std::size(seeds);
         lost[i] += static_cast<double>(result.summary.frames_lost_network) /
                    std::size(seeds);
-        ++i;
       }
     }
     table.AddRow()

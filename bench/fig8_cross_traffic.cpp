@@ -9,21 +9,14 @@
 
 using namespace rave;
 
-int main() {
-  const TimeDelta duration = TimeDelta::Seconds(60);
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  const TimeDelta duration = options.DurationOr(TimeDelta::Seconds(60));
+  const uint64_t seeds[] = {1, 2, 3};
 
-  std::cout << "Fig 8: on/off cross traffic sharing a 2.5 Mbps bottleneck "
-               "(8 s mean on/off periods, 60 s, 3 seeds)\n\n";
-  Table table({"cross(kbps)", "abr-mean(ms)", "adp-mean(ms)", "mean-red(%)",
-               "abr-p95(ms)", "adp-p95(ms)", "abr-ssim", "adp-ssim"});
-
+  std::vector<rtc::SessionConfig> configs;
   for (int64_t cross_kbps : {0, 500, 1000, 1500}) {
-    double mean[2] = {0, 0};
-    double p95[2] = {0, 0};
-    double ssim[2] = {0, 0};
-    const uint64_t seeds[] = {1, 2, 3};
     for (uint64_t seed : seeds) {
-      int i = 0;
       for (rtc::Scheme scheme :
            {rtc::Scheme::kX264Abr, rtc::Scheme::kAdaptive}) {
         auto config = bench::DefaultConfig(
@@ -38,11 +31,28 @@ int main() {
           ct.seed = seed ^ 0xC0FFEE;
           config.cross_traffic = ct;
         }
-        const rtc::SessionResult result = rtc::RunSession(config);
+        configs.push_back(std::move(config));
+      }
+    }
+  }
+  const auto results = bench::RunMatrix(configs, options.jobs);
+
+  std::cout << "Fig 8: on/off cross traffic sharing a 2.5 Mbps bottleneck "
+               "(8 s mean on/off periods, 60 s, 3 seeds)\n\n";
+  Table table({"cross(kbps)", "abr-mean(ms)", "adp-mean(ms)", "mean-red(%)",
+               "abr-p95(ms)", "adp-p95(ms)", "abr-ssim", "adp-ssim"});
+
+  size_t next = 0;
+  for (int64_t cross_kbps : {0, 500, 1000, 1500}) {
+    double mean[2] = {0, 0};
+    double p95[2] = {0, 0};
+    double ssim[2] = {0, 0};
+    for ([[maybe_unused]] uint64_t seed : seeds) {
+      for (int i = 0; i < 2; ++i) {
+        const rtc::SessionResult& result = results[next++];
         mean[i] += result.summary.latency_mean_ms / std::size(seeds);
         p95[i] += result.summary.latency_p95_ms / std::size(seeds);
         ssim[i] += result.summary.displayed_ssim_mean / std::size(seeds);
-        ++i;
       }
     }
     table.AddRow()

@@ -9,25 +9,40 @@
 
 using namespace rave;
 
-int main() {
-  const TimeDelta duration = TimeDelta::Seconds(40);
+namespace {
+constexpr rave::rtc::Scheme kSchemes[] = {
+    rave::rtc::Scheme::kX264Abr, rave::rtc::Scheme::kX264Cbr,
+    rave::rtc::Scheme::kAdaptive, rave::rtc::Scheme::kSalsify};
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  const TimeDelta duration = options.DurationOr(TimeDelta::Seconds(40));
+  const uint64_t seeds[] = {1, 2, 3};
+
+  std::vector<rtc::SessionConfig> configs;
+  for (double severity : {0.3, 0.5, 0.7}) {
+    for (rtc::Scheme scheme : kSchemes) {
+      for (uint64_t seed : seeds) {
+        configs.push_back(bench::DefaultConfig(
+            scheme, bench::DropTrace(severity),
+            video::ContentClass::kTalkingHead, duration, seed));
+      }
+    }
+  }
+  const auto results = bench::RunMatrix(configs, options.jobs);
 
   std::cout << "Fig 9: render latency (network + adaptive playout) across "
                "drop severities (talking-head, 3 seeds)\n\n";
   Table table({"severity", "scheme", "net-mean(ms)", "render-mean(ms)",
                "render-p95(ms)", "late(%)"});
 
+  size_t next = 0;
   for (double severity : {0.3, 0.5, 0.7}) {
-    for (rtc::Scheme scheme :
-         {rtc::Scheme::kX264Abr, rtc::Scheme::kX264Cbr,
-          rtc::Scheme::kAdaptive, rtc::Scheme::kSalsify}) {
+    for (rtc::Scheme scheme : kSchemes) {
       double net = 0, render = 0, render_p95 = 0, late = 0;
-      const uint64_t seeds[] = {1, 2, 3};
-      for (uint64_t seed : seeds) {
-        const auto config = bench::DefaultConfig(
-            scheme, bench::DropTrace(severity),
-            video::ContentClass::kTalkingHead, duration, seed);
-        const rtc::SessionResult result = rtc::RunSession(config);
+      for ([[maybe_unused]] uint64_t seed : seeds) {
+        const rtc::SessionResult& result = results[next++];
         net += result.summary.latency_mean_ms / std::size(seeds);
         render += result.summary.render_latency_mean_ms / std::size(seeds);
         render_p95 += result.summary.render_latency_p95_ms / std::size(seeds);

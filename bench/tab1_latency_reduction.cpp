@@ -9,13 +9,29 @@
 
 using namespace rave;
 
-int main() {
-  const TimeDelta duration = TimeDelta::Seconds(40);
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  const TimeDelta duration = options.DurationOr(TimeDelta::Seconds(40));
   const uint64_t seeds[] = {1, 2, 3};
+
+  std::vector<rtc::SessionConfig> configs;
+  for (double severity : {0.2, 0.3, 0.5, 0.7}) {
+    for (video::ContentClass content : video::kAllContentClasses) {
+      for (uint64_t seed : seeds) {
+        for (rtc::Scheme scheme :
+             {rtc::Scheme::kX264Abr, rtc::Scheme::kAdaptive}) {
+          configs.push_back(bench::DefaultConfig(
+              scheme, bench::DropTrace(severity), content, duration, seed));
+        }
+      }
+    }
+  }
+  const auto results = bench::RunMatrix(configs, options.jobs);
 
   Table table({"severity", "content", "abr-mean(ms)", "adp-mean(ms)",
                "mean-red(%)", "abr-p95(ms)", "adp-p95(ms)", "p95-red(%)"});
 
+  size_t next = 0;
   double min_red = 1e9;
   double max_red = -1e9;
   for (double severity : {0.2, 0.3, 0.5, 0.7}) {
@@ -24,16 +40,11 @@ int main() {
     for (video::ContentClass content : video::kAllContentClasses) {
       double mean[2] = {0, 0};
       double p95[2] = {0, 0};
-      for (uint64_t seed : seeds) {
-        int i = 0;
-        for (rtc::Scheme scheme :
-             {rtc::Scheme::kX264Abr, rtc::Scheme::kAdaptive}) {
-          const auto config = bench::DefaultConfig(
-              scheme, bench::DropTrace(severity), content, duration, seed);
-          const rtc::SessionResult result = rtc::RunSession(config);
+      for ([[maybe_unused]] uint64_t seed : seeds) {
+        for (int i = 0; i < 2; ++i) {
+          const rtc::SessionResult& result = results[next++];
           mean[i] += result.summary.latency_mean_ms / std::size(seeds);
           p95[i] += result.summary.latency_p95_ms / std::size(seeds);
-          ++i;
         }
       }
       const double red = bench::ReductionPercent(mean[0], mean[1]);

@@ -10,14 +10,30 @@
 
 using namespace rave;
 
-int main() {
-  const TimeDelta duration = TimeDelta::Seconds(40);
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  const TimeDelta duration = options.DurationOr(TimeDelta::Seconds(40));
   const uint64_t seeds[] = {1, 2, 3};
+
+  std::vector<rtc::SessionConfig> configs;
+  for (double severity : {0.2, 0.3, 0.5, 0.7}) {
+    for (video::ContentClass content : video::kAllContentClasses) {
+      for (uint64_t seed : seeds) {
+        for (rtc::Scheme scheme :
+             {rtc::Scheme::kX264Abr, rtc::Scheme::kAdaptive}) {
+          configs.push_back(bench::DefaultConfig(
+              scheme, bench::DropTrace(severity), content, duration, seed));
+        }
+      }
+    }
+  }
+  const auto results = bench::RunMatrix(configs, options.jobs);
 
   Table table({"severity", "content", "abr-ssim", "adp-ssim", "enc-gain(%)",
                "abr-disp", "adp-disp", "disp-gain(%)", "abr-psnr(dB)",
                "adp-psnr(dB)"});
 
+  size_t next = 0;
   double min_gain = 1e9;
   double max_gain = -1e9;
   for (double severity : {0.2, 0.3, 0.5, 0.7}) {
@@ -25,17 +41,12 @@ int main() {
       double enc[2] = {0, 0};
       double disp[2] = {0, 0};
       double psnr[2] = {0, 0};
-      for (uint64_t seed : seeds) {
-        int i = 0;
-        for (rtc::Scheme scheme :
-             {rtc::Scheme::kX264Abr, rtc::Scheme::kAdaptive}) {
-          const auto config = bench::DefaultConfig(
-              scheme, bench::DropTrace(severity), content, duration, seed);
-          const rtc::SessionResult result = rtc::RunSession(config);
+      for ([[maybe_unused]] uint64_t seed : seeds) {
+        for (int i = 0; i < 2; ++i) {
+          const rtc::SessionResult& result = results[next++];
           enc[i] += result.summary.encoded_ssim_mean / std::size(seeds);
           disp[i] += result.summary.displayed_ssim_mean / std::size(seeds);
           psnr[i] += result.summary.psnr_mean_db / std::size(seeds);
-          ++i;
         }
       }
       const double gain = (enc[1] / enc[0] - 1.0) * 100.0;

@@ -22,12 +22,14 @@ struct Variant {
 
 }  // namespace
 
-void RunSweep(double severity, TimeDelta duration);
+void RunSweep(double severity, TimeDelta duration, int jobs);
 
-int main() {
-  RunSweep(0.7, TimeDelta::Seconds(40));
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  const TimeDelta duration = options.DurationOr(TimeDelta::Seconds(40));
+  RunSweep(0.7, duration, options.jobs);
   std::cout << '\n';
-  RunSweep(0.85, TimeDelta::Seconds(40));
+  RunSweep(0.85, duration, options.jobs);
   std::cout << "\nThe per-frame budget inversion (not switchable; it is the"
                "\nscheme's identity) provides most of the win over the"
                "\nbaseline; drain-mode and skip matter most under severe"
@@ -35,7 +37,7 @@ int main() {
   return 0;
 }
 
-void RunSweep(double severity, TimeDelta duration) {
+void RunSweep(double severity, TimeDelta duration, int jobs) {
   const std::vector<Variant> variants = {
       {.name = "full"},
       {.name = "w/o fast-qp", .fast_qp = false},
@@ -51,14 +53,8 @@ void RunSweep(double severity, TimeDelta duration) {
       {.name = "baseline-abr", .scheme = rtc::Scheme::kX264Abr},
   };
 
-  std::cout << "Tab 3: ablation (" << static_cast<int>(severity * 100)
-            << "% drop at t=10s, all content classes, 3 seeds)\n\n";
-  Table table({"variant", "lat-mean(ms)", "lat-p95(ms)", "enc-ssim",
-               "disp-ssim", "skipped", "lost"});
-
+  std::vector<rtc::SessionConfig> configs;
   for (const Variant& v : variants) {
-    double mean = 0, p95 = 0, enc = 0, disp = 0, skipped = 0, lost = 0;
-    int runs = 0;
     for (video::ContentClass content : video::kAllContentClasses) {
       for (uint64_t seed : {1ULL, 2ULL, 3ULL}) {
         auto config = bench::DefaultConfig(v.scheme, bench::DropTrace(severity),
@@ -67,7 +63,26 @@ void RunSweep(double severity, TimeDelta duration) {
         config.adaptive.enable_frame_cap = v.frame_cap;
         config.adaptive.enable_drain_mode = v.drain_mode;
         config.adaptive.enable_skip = v.skip;
-        const rtc::SessionResult result = rtc::RunSession(config);
+        configs.push_back(std::move(config));
+      }
+    }
+  }
+  const auto results = bench::RunMatrix(configs, jobs);
+
+  std::cout << "Tab 3: ablation (" << static_cast<int>(severity * 100)
+            << "% drop at t=10s, all content classes, 3 seeds)\n\n";
+  Table table({"variant", "lat-mean(ms)", "lat-p95(ms)", "enc-ssim",
+               "disp-ssim", "skipped", "lost"});
+
+  size_t next = 0;
+  for (const Variant& v : variants) {
+    double mean = 0, p95 = 0, enc = 0, disp = 0, skipped = 0, lost = 0;
+    int runs = 0;
+    for ([[maybe_unused]] video::ContentClass content :
+         video::kAllContentClasses) {
+      for (uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+        (void)seed;
+        const rtc::SessionResult& result = results[next++];
         mean += result.summary.latency_mean_ms;
         p95 += result.summary.latency_p95_ms;
         enc += result.summary.encoded_ssim_mean;

@@ -1,16 +1,43 @@
-// Table 4: controller overhead microbenchmarks (google-benchmark). The
-// paper's premise is that per-frame adaptation is cheap enough to run in the
-// encode path; these benchmarks measure the per-frame decision cost of each
-// rate control, the R-D model, and the estimator's per-feedback cost.
+// Table 4: controller overhead microbenchmarks (google-benchmark) plus
+// simulator throughput. The paper's premise is that per-frame adaptation is
+// cheap enough to run in the encode path; these benchmarks measure the
+// per-frame decision cost of each rate control, the R-D model, the
+// estimator's per-feedback cost, and the event-loop schedule/cancel path.
+//
+// After the microbenchmarks a throughput section measures end-to-end
+// simulation speed — wall clock, sessions/sec and events/sec, serial vs
+// parallel (`--jobs`) — cross-checks that the parallel results are
+// bit-identical to the serial ones, and records the numbers in
+// BENCH_runner.json so future PRs have a perf trajectory to compare
+// against.
+//
+// Flags: --jobs=N (parallel worker count, default hardware concurrency),
+//        --runner-sessions=N (matrix size, default 64),
+//        --runner-duration=S (simulated seconds per session, default 30),
+//        --json=PATH (default BENCH_runner.json; "-" disables),
+//        --smoke (skip the google-benchmark loop, shrink the matrix),
+//        plus any --benchmark_* flag google-benchmark accepts.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
 #include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
 
 #include "cc/gcc.h"
 #include "codec/abr_rate_control.h"
 #include "codec/cbr_rate_control.h"
 #include "codec/encoder.h"
+#include "common.h"
 #include "core/adaptive_rate_control.h"
+#include "runner/parallel_runner.h"
+#include "sim/event_loop.h"
+#include "util/flags.h"
+#include "util/table.h"
 #include "video/video_source.h"
 
 namespace rave {
@@ -128,7 +155,182 @@ void BM_FullEncodeLoop(benchmark::State& state) {
 }
 BENCHMARK(BM_FullEncodeLoop);
 
+// Event-loop hot paths: schedule/run churn (the per-packet pattern) and the
+// cancel-heavy pattern (retransmission timers armed and disarmed without
+// ever firing). Before the O(1) tombstone lookup the second benchmark was
+// quadratic in the pending-event count.
+void BM_EventLoopScheduleRun(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  EventLoop loop;
+  loop.Reserve(static_cast<size_t>(batch));
+  int64_t sink = 0;
+  for (auto _ : state) {
+    for (int64_t i = 0; i < batch; ++i) {
+      loop.Schedule(TimeDelta::Micros(i % 97), [&sink] { ++sink; });
+    }
+    loop.RunAll();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventLoopScheduleRun)->Arg(256)->Arg(4096);
+
+void BM_EventLoopScheduleCancel(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  EventLoop loop;
+  loop.Reserve(static_cast<size_t>(batch));
+  std::vector<EventHandle> handles;
+  handles.reserve(static_cast<size_t>(batch));
+  int64_t sink = 0;
+  for (auto _ : state) {
+    handles.clear();
+    for (int64_t i = 0; i < batch; ++i) {
+      handles.push_back(
+          loop.Schedule(TimeDelta::Micros(100 + i % 97), [&sink] { ++sink; }));
+    }
+    // Cancel every other event, then drain: half run, half are tombstones
+    // the pop path must skip.
+    for (size_t i = 0; i < handles.size(); i += 2) loop.Cancel(handles[i]);
+    loop.RunAll();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventLoopScheduleCancel)->Arg(256)->Arg(4096);
+
+// --- throughput section -----------------------------------------------
+
+/// Deterministic session matrix for the throughput measurement: cycles
+/// schemes x severities x seeds so the mix resembles a real sweep.
+std::vector<rtc::SessionConfig> ThroughputMatrix(int sessions,
+                                                 TimeDelta duration) {
+  const rtc::Scheme schemes[] = {rtc::Scheme::kX264Abr, rtc::Scheme::kAdaptive,
+                                 rtc::Scheme::kSalsify};
+  const double severities[] = {0.3, 0.5, 0.7};
+  std::vector<rtc::SessionConfig> configs;
+  configs.reserve(static_cast<size_t>(sessions));
+  for (int i = 0; i < sessions; ++i) {
+    configs.push_back(bench::DefaultConfig(
+        schemes[static_cast<size_t>(i) % std::size(schemes)],
+        bench::DropTrace(severities[static_cast<size_t>(i) % std::size(severities)]),
+        video::ContentClass::kTalkingHead, duration,
+        /*seed=*/static_cast<uint64_t>(i) + 1));
+  }
+  return configs;
+}
+
+double WallSeconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+bool SameResults(const std::vector<rtc::SessionResult>& a,
+                 const std::vector<rtc::SessionResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].scheme_name != b[i].scheme_name ||
+        a[i].frames.size() != b[i].frames.size() ||
+        a[i].events_executed != b[i].events_executed ||
+        a[i].summary.latency_mean_ms != b[i].summary.latency_mean_ms ||
+        a[i].summary.encoded_ssim_mean != b[i].summary.encoded_ssim_mean ||
+        a[i].link_stats.packets_delivered != b[i].link_stats.packets_delivered) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunThroughputSection(int sessions, TimeDelta duration, int jobs,
+                         const std::string& json_path) {
+  const auto configs = ThroughputMatrix(sessions, duration);
+
+  const auto serial_start = std::chrono::steady_clock::now();
+  const auto serial = runner::RunSessions(configs, /*jobs=*/1);
+  const double serial_s = WallSeconds(serial_start);
+
+  const int parallel_jobs = jobs > 0 ? jobs : runner::DefaultJobs();
+  const auto parallel_start = std::chrono::steady_clock::now();
+  const auto parallel = runner::RunSessions(configs, parallel_jobs);
+  const double parallel_s = WallSeconds(parallel_start);
+
+  const uint64_t events = std::accumulate(
+      serial.begin(), serial.end(), uint64_t{0},
+      [](uint64_t sum, const rtc::SessionResult& r) {
+        return sum + r.events_executed;
+      });
+
+  const bool identical = SameResults(serial, parallel);
+  const double serial_sps = sessions / serial_s;
+  const double parallel_sps = sessions / parallel_s;
+
+  std::cout << "\nSimulator throughput (" << sessions << " sessions x "
+            << duration.seconds() << " s simulated, jobs=" << parallel_jobs
+            << ")\n\n";
+  Table table({"mode", "wall(s)", "sessions/s", "events/s", "speedup"});
+  table.AddRow()
+      .Cell("serial")
+      .Cell(serial_s, 3)
+      .Cell(serial_sps, 1)
+      .Cell(static_cast<double>(events) / serial_s, 0)
+      .Cell(1.0, 2);
+  table.AddRow()
+      .Cell("parallel")
+      .Cell(parallel_s, 3)
+      .Cell(parallel_sps, 1)
+      .Cell(static_cast<double>(events) / parallel_s, 0)
+      .Cell(serial_s / parallel_s, 2);
+  table.Print(std::cout);
+  std::cout << "parallel results bit-identical to serial: "
+            << (identical ? "yes" : "NO — DETERMINISM VIOLATION") << "\n";
+
+  if (json_path != "-") {
+    std::ofstream json(json_path);
+    json << "{\n"
+         << "  \"sessions\": " << sessions << ",\n"
+         << "  \"session_duration_s\": " << duration.seconds() << ",\n"
+         << "  \"jobs\": " << parallel_jobs << ",\n"
+         << "  \"serial_wall_s\": " << serial_s << ",\n"
+         << "  \"parallel_wall_s\": " << parallel_s << ",\n"
+         << "  \"serial_sessions_per_s\": " << serial_sps << ",\n"
+         << "  \"parallel_sessions_per_s\": " << parallel_sps << ",\n"
+         << "  \"speedup\": " << serial_s / parallel_s << ",\n"
+         << "  \"events_executed\": " << events << ",\n"
+         << "  \"serial_events_per_s\": "
+         << static_cast<double>(events) / serial_s << ",\n"
+         << "  \"parallel_identical\": " << (identical ? "true" : "false")
+         << "\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return identical ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace rave
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);  // consumes --benchmark_* flags
+  try {
+    const rave::Flags flags(argc - 1, argv + 1);
+    for (const std::string& key : flags.UnknownKeys(
+             {"jobs", "runner-sessions", "runner-duration", "json", "smoke"})) {
+      std::cerr << "error: unknown flag --" << key
+                << "\nsee the header of bench/tab4_microbench.cpp\n";
+      return 2;
+    }
+    const bool smoke = flags.GetBool("smoke", false);
+    const int jobs = static_cast<int>(flags.GetInt("jobs", 0));
+    const int sessions =
+        static_cast<int>(flags.GetInt("runner-sessions", smoke ? 8 : 64));
+    const rave::TimeDelta duration = rave::TimeDelta::SecondsF(
+        flags.GetDouble("runner-duration", smoke ? 12.0 : 30.0));
+    const std::string json_path =
+        flags.GetString("json", "BENCH_runner.json");
+
+    if (!smoke) benchmark::RunSpecifiedBenchmarks();
+    return rave::RunThroughputSection(sessions, duration, jobs, json_path);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+}

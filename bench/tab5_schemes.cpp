@@ -10,9 +10,21 @@
 
 using namespace rave;
 
-int main() {
-  const TimeDelta duration = TimeDelta::Seconds(40);
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  const TimeDelta duration = options.DurationOr(TimeDelta::Seconds(40));
   const auto suite = bench::TraceSuite(duration);
+
+  std::vector<rtc::SessionConfig> configs;
+  for (rtc::Scheme scheme : rtc::kAllSchemes) {
+    for (const auto& [name, trace] : suite) {
+      for (video::ContentClass content : video::kAllContentClasses) {
+        configs.push_back(
+            bench::DefaultConfig(scheme, trace, content, duration, 7));
+      }
+    }
+  }
+  const auto results = bench::RunMatrix(configs, options.jobs);
 
   std::cout << "Tab 5: scheme comparison over the full trace suite ("
             << suite.size() << " traces x 4 content classes)\n\n";
@@ -20,13 +32,13 @@ int main() {
                "enc-ssim", "disp-ssim", "bitrate(kbps)", "skipped/run",
                "lost/run"});
 
+  size_t next = 0;
   for (rtc::Scheme scheme : rtc::kAllSchemes) {
     RunningStats mean, p50, p95, enc, disp, rate, skipped, lost;
-    for (const auto& [name, trace] : suite) {
-      for (video::ContentClass content : video::kAllContentClasses) {
-        const auto config =
-            bench::DefaultConfig(scheme, trace, content, duration, 7);
-        const rtc::SessionResult result = rtc::RunSession(config);
+    for ([[maybe_unused]] const auto& [name, trace] : suite) {
+      for ([[maybe_unused]] video::ContentClass content :
+           video::kAllContentClasses) {
+        const rtc::SessionResult& result = results[next++];
         mean.Add(result.summary.latency_mean_ms);
         p50.Add(result.summary.latency_p50_ms);
         p95.Add(result.summary.latency_p95_ms);

@@ -9,24 +9,22 @@
 
 using namespace rave;
 
-int main() {
-  const TimeDelta duration = TimeDelta::Seconds(40);
-
-  std::cout << "Tab 6: loss recovery on a 2% i.i.d.-loss link "
-               "(50% drop at t=10s, talking-head, 3 seeds)\n\n";
-  Table table({"recovery", "lat-mean(ms)", "lat-p95(ms)", "disp-ssim",
-               "lost-frames", "bitrate(kbps)"});
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  const TimeDelta duration = options.DurationOr(TimeDelta::Seconds(40));
+  const uint64_t seeds[] = {1, 2, 3};
 
   struct Variant {
     std::string name;
     bool rtx;
     bool fec;
   };
-  for (const Variant& v :
-       {Variant{"none", false, false}, Variant{"rtx", true, false},
-        Variant{"fec", false, true}, Variant{"rtx+fec", true, true}}) {
-    double mean = 0, p95 = 0, disp = 0, lost = 0, rate = 0;
-    const uint64_t seeds[] = {1, 2, 3};
+  const std::vector<Variant> variants = {
+      {"none", false, false}, {"rtx", true, false},
+      {"fec", false, true},   {"rtx+fec", true, true}};
+
+  std::vector<rtc::SessionConfig> configs;
+  for (const Variant& v : variants) {
     for (uint64_t seed : seeds) {
       auto config = bench::DefaultConfig(
           rtc::Scheme::kAdaptive, bench::DropTrace(0.5),
@@ -35,7 +33,21 @@ int main() {
       config.link.loss.seed = seed ^ 0xFEC;
       config.enable_rtx = v.rtx;
       config.enable_fec = v.fec;
-      const rtc::SessionResult result = rtc::RunSession(config);
+      configs.push_back(std::move(config));
+    }
+  }
+  const auto results = bench::RunMatrix(configs, options.jobs);
+
+  std::cout << "Tab 6: loss recovery on a 2% i.i.d.-loss link "
+               "(50% drop at t=10s, talking-head, 3 seeds)\n\n";
+  Table table({"recovery", "lat-mean(ms)", "lat-p95(ms)", "disp-ssim",
+               "lost-frames", "bitrate(kbps)"});
+
+  size_t next = 0;
+  for (const Variant& v : variants) {
+    double mean = 0, p95 = 0, disp = 0, lost = 0, rate = 0;
+    for ([[maybe_unused]] uint64_t seed : seeds) {
+      const rtc::SessionResult& result = results[next++];
       mean += result.summary.latency_mean_ms / std::size(seeds);
       p95 += result.summary.latency_p95_ms / std::size(seeds);
       disp += result.summary.displayed_ssim_mean / std::size(seeds);

@@ -34,6 +34,10 @@ Session::Session(SessionConfig config)
       source_(config_.source),
       packetizer_(),
       protection_(config_.protection) {
+  // A saturated session keeps a few hundred events pending (per-packet link
+  // arrivals + timers); reserving up front keeps the heap allocation-free in
+  // steady state.
+  loop_.Reserve(1024);
   // --- bandwidth estimator ---
   if (config_.scheme == Scheme::kAdaptiveOracle) {
     bwe_ = std::make_unique<cc::OracleBwe>(loop_, config_.link.trace);
@@ -372,6 +376,7 @@ SessionResult Session::Run() {
   result.frames = metrics_.frames();
   result.timeseries = metrics_.timeseries();
   result.link_stats = forward_link_->stats();
+  result.events_executed = loop_.events_executed();
   return result;
 }
 

@@ -91,6 +91,8 @@ struct SessionResult {
   std::vector<metrics::FrameRecord> frames;
   std::vector<metrics::TimeseriesPoint> timeseries;
   net::LinkStats link_stats;
+  /// Simulation events executed by the session's loop (throughput metric).
+  uint64_t events_executed = 0;
 };
 
 /// Builds and runs one session. Single use: construct, Run(), discard.

@@ -1,0 +1,80 @@
+#include "runner/parallel_runner.h"
+
+#include <utility>
+
+namespace rave::runner {
+
+int DefaultJobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ParallelRunner::ParallelRunner(int jobs)
+    : jobs_(jobs > 0 ? jobs : DefaultJobs()) {
+  if (jobs_ == 1) return;  // inline mode
+  workers_.reserve(static_cast<size_t>(jobs_));
+  for (int i = 0; i < jobs_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ParallelRunner::~ParallelRunner() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ParallelRunner::Post(std::function<void()> job) {
+  if (workers_.empty()) {
+    job();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(job));
+  }
+  work_available_.notify_one();
+}
+
+void ParallelRunner::WaitIdle() {
+  if (workers_.empty()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ParallelRunner::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping_ with a drained queue
+    std::function<void()> job = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+    lock.unlock();
+    job();
+    lock.lock();
+    --in_flight_;
+    if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+  }
+}
+
+std::vector<rtc::SessionResult> ParallelRunner::RunSessions(
+    const std::vector<rtc::SessionConfig>& configs) {
+  std::vector<rtc::SessionResult> results(configs.size());
+  for (size_t i = 0; i < configs.size(); ++i) {
+    Post([&configs, &results, i] { results[i] = rtc::RunSession(configs[i]); });
+  }
+  WaitIdle();
+  return results;
+}
+
+std::vector<rtc::SessionResult> RunSessions(
+    const std::vector<rtc::SessionConfig>& configs, int jobs) {
+  ParallelRunner runner(jobs);
+  return runner.RunSessions(configs);
+}
+
+}  // namespace rave::runner

@@ -6,6 +6,11 @@
 
 namespace rave {
 
+void EventLoop::Reserve(size_t events) {
+  heap_.reserve(events);
+  live_.reserve(events);
+}
+
 EventHandle EventLoop::Schedule(TimeDelta delay, std::function<void()> fn) {
   if (delay < TimeDelta::Zero()) delay = TimeDelta::Zero();
   return ScheduleAt(now_ + delay, std::move(fn));
@@ -15,31 +20,37 @@ EventHandle EventLoop::ScheduleAt(Timestamp at, std::function<void()> fn) {
   assert(fn);
   if (at < now_) at = now_;
   const uint64_t id = next_id_++;
-  queue_.push(Event{at, next_seq_++, id, std::move(fn)});
+  heap_.push_back(Event{at, next_seq_++, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  live_.insert(id);
   return EventHandle(id);
 }
 
 void EventLoop::Cancel(EventHandle handle) {
   if (!handle.valid()) return;
-  cancelled_.push_back(handle.id_);
-  ++cancelled_pending_;
+  // Dropping the id from the live set is the whole cancellation; the heap
+  // entry becomes a tombstone discarded when it surfaces. Erase is a no-op
+  // (and leak-free) for events that already ran.
+  live_.erase(handle.id_);
+}
+
+EventLoop::Event EventLoop::PopTop() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  return ev;
 }
 
 bool EventLoop::PopAndRunNext(Timestamp until) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    auto it = std::find(cancelled_.begin(), cancelled_.end(), top.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      --cancelled_pending_;
-      queue_.pop();
+  while (!heap_.empty()) {
+    const Event& top = heap_.front();
+    if (live_.find(top.id) == live_.end()) {
+      PopTop();  // cancelled tombstone
       continue;
     }
     if (top.at > until) return false;
-    // Move the callback out before popping so re-entrant scheduling is safe.
-    Event ev{top.at, top.seq, top.id,
-             std::move(const_cast<Event&>(top).fn)};
-    queue_.pop();
+    Event ev = PopTop();
+    live_.erase(ev.id);
     now_ = ev.at;
     ++events_executed_;
     ev.fn();

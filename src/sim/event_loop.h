@@ -9,7 +9,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "util/time.h"
@@ -31,6 +31,12 @@ class EventHandle {
 };
 
 /// Single-threaded discrete-event loop with µs resolution.
+///
+/// The pending set is a binary heap over a plain vector (reservable, and
+/// events move out of it when they fire) plus a hash set of live event ids:
+/// Schedule, Cancel and the cancelled-event check on pop are all O(1)
+/// (amortized / expected), so cancel-heavy workloads (retransmission timers,
+/// repeating tasks) never degrade to linear scans.
 class EventLoop {
  public:
   EventLoop() = default;
@@ -40,6 +46,10 @@ class EventLoop {
 
   /// Current simulation time. Starts at Timestamp::Zero().
   Timestamp now() const { return now_; }
+
+  /// Pre-allocates capacity for `events` pending events. Optional; callers
+  /// with a known steady-state event population can avoid heap regrowth.
+  void Reserve(size_t events);
 
   /// Schedules `fn` to run `delay` from now. Negative delays clamp to zero
   /// (the event still runs strictly after the current callback returns).
@@ -66,7 +76,7 @@ class EventLoop {
   /// Number of events executed so far (for tests/diagnostics).
   uint64_t events_executed() const { return events_executed_; }
   /// Number of events currently pending.
-  size_t pending() const { return queue_.size() - cancelled_pending_; }
+  size_t pending() const { return live_.size(); }
 
  private:
   struct Event {
@@ -83,14 +93,19 @@ class EventLoop {
   };
 
   bool PopAndRunNext(Timestamp until);
+  /// Removes the heap top and returns it. Cancelled tombstones stay in the
+  /// heap until they reach the top; `live_` tells them apart.
+  Event PopTop();
 
   Timestamp now_ = Timestamp::Zero();
   uint64_t next_seq_ = 1;
   uint64_t next_id_ = 1;
   uint64_t events_executed_ = 0;
-  size_t cancelled_pending_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::vector<uint64_t> cancelled_;
+  /// Min-heap on (at, seq) maintained with std::push_heap/std::pop_heap.
+  std::vector<Event> heap_;
+  /// Ids of scheduled-and-not-yet-run-or-cancelled events. An event found at
+  /// the heap top whose id is absent here was cancelled and is discarded.
+  std::unordered_set<uint64_t> live_;
 };
 
 /// Re-schedules a callback at a fixed period until stopped. The first firing

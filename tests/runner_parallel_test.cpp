@@ -1,0 +1,145 @@
+// ParallelRunner correctness: results must be bit-identical to serial
+// execution at any job count and must come back in submission order, even
+// when there are more workers than jobs.
+#include "runner/parallel_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "common.h"
+
+namespace rave {
+namespace {
+
+void ExpectSameSummary(const metrics::SessionSummary& a,
+                       const metrics::SessionSummary& b) {
+  EXPECT_EQ(a.frames_captured, b.frames_captured);
+  EXPECT_EQ(a.frames_delivered, b.frames_delivered);
+  EXPECT_EQ(a.frames_skipped, b.frames_skipped);
+  EXPECT_EQ(a.frames_dropped_sender, b.frames_dropped_sender);
+  EXPECT_EQ(a.frames_lost_network, b.frames_lost_network);
+  // Bit-identical, not approximately equal: each session's event loop and
+  // RNGs are self-contained, so thread scheduling must not leak into the
+  // arithmetic at all.
+  EXPECT_EQ(a.latency_mean_ms, b.latency_mean_ms);
+  EXPECT_EQ(a.latency_p50_ms, b.latency_p50_ms);
+  EXPECT_EQ(a.latency_p95_ms, b.latency_p95_ms);
+  EXPECT_EQ(a.latency_p99_ms, b.latency_p99_ms);
+  EXPECT_EQ(a.latency_max_ms, b.latency_max_ms);
+  EXPECT_EQ(a.render_latency_mean_ms, b.render_latency_mean_ms);
+  EXPECT_EQ(a.ssim_mean, b.ssim_mean);
+  EXPECT_EQ(a.psnr_mean_db, b.psnr_mean_db);
+  EXPECT_EQ(a.encoded_ssim_mean, b.encoded_ssim_mean);
+  EXPECT_EQ(a.displayed_ssim_mean, b.displayed_ssim_mean);
+  EXPECT_EQ(a.encoded_bitrate_kbps, b.encoded_bitrate_kbps);
+  EXPECT_EQ(a.total_reencodes, b.total_reencodes);
+}
+
+void ExpectSameFrames(const std::vector<metrics::FrameRecord>& a,
+                      const std::vector<metrics::FrameRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].frame_id, b[i].frame_id);
+    EXPECT_EQ(a[i].capture_time, b[i].capture_time);
+    EXPECT_EQ(a[i].fate, b[i].fate);
+    EXPECT_EQ(a[i].qp, b[i].qp);
+    EXPECT_EQ(a[i].size, b[i].size);
+    EXPECT_EQ(a[i].ssim, b[i].ssim);
+    EXPECT_EQ(a[i].complete_time.has_value(), b[i].complete_time.has_value());
+    if (a[i].complete_time && b[i].complete_time) {
+      EXPECT_EQ(*a[i].complete_time, *b[i].complete_time);
+    }
+  }
+}
+
+void ExpectSameLinkStats(const net::LinkStats& a, const net::LinkStats& b) {
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_EQ(a.packets_dropped, b.packets_dropped);
+  EXPECT_EQ(a.packets_lost_random, b.packets_lost_random);
+  EXPECT_EQ(a.bytes_delivered, b.bytes_delivered);
+  EXPECT_EQ(a.bytes_dropped, b.bytes_dropped);
+}
+
+// The drop-trace suite x both headline schemes: jobs=8 must reproduce
+// jobs=1 exactly (summaries, frame records, link stats, event counts).
+TEST(ParallelRunnerTest, ParallelMatchesSerialOverDropSuite) {
+  const TimeDelta duration = TimeDelta::Seconds(15);
+  std::vector<rtc::SessionConfig> configs;
+  for (const auto& [name, trace] : bench::TraceSuite(duration)) {
+    for (rtc::Scheme scheme : rtc::kHeadlineSchemes) {
+      configs.push_back(bench::DefaultConfig(
+          scheme, trace, video::ContentClass::kTalkingHead, duration, 7));
+    }
+  }
+
+  const auto serial = runner::RunSessions(configs, /*jobs=*/1);
+  const auto parallel = runner::RunSessions(configs, /*jobs=*/8);
+
+  ASSERT_EQ(serial.size(), configs.size());
+  ASSERT_EQ(parallel.size(), configs.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("config " + std::to_string(i));
+    EXPECT_EQ(serial[i].scheme_name, parallel[i].scheme_name);
+    EXPECT_EQ(serial[i].events_executed, parallel[i].events_executed);
+    ExpectSameSummary(serial[i].summary, parallel[i].summary);
+    ExpectSameFrames(serial[i].frames, parallel[i].frames);
+    ExpectSameLinkStats(serial[i].link_stats, parallel[i].link_stats);
+    ASSERT_EQ(serial[i].timeseries.size(), parallel[i].timeseries.size());
+  }
+}
+
+// More workers than jobs: results still land at the submission index.
+TEST(ParallelRunnerTest, OrderingWhenJobsExceedSessions) {
+  const TimeDelta duration = TimeDelta::Seconds(5);
+  std::vector<rtc::SessionConfig> configs;
+  for (rtc::Scheme scheme : rtc::kAllSchemes) {
+    configs.push_back(bench::DefaultConfig(
+        scheme, bench::DropTrace(0.5), video::ContentClass::kTalkingHead,
+        duration, 1));
+  }
+  ASSERT_LT(configs.size(), 16u);
+
+  const auto results = runner::RunSessions(configs, /*jobs=*/16);
+  ASSERT_EQ(results.size(), configs.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].scheme_name, rtc::ToString(configs[i].scheme));
+  }
+}
+
+TEST(ParallelRunnerTest, EmptyMatrixReturnsEmpty) {
+  EXPECT_TRUE(runner::RunSessions({}, 4).empty());
+  EXPECT_TRUE(runner::RunSessions({}, 1).empty());
+}
+
+TEST(ParallelRunnerTest, PostAndWaitIdleRunEveryJob) {
+  runner::ParallelRunner runner(4);
+  EXPECT_EQ(runner.jobs(), 4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    runner.Post([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  runner.WaitIdle();
+  EXPECT_EQ(count.load(), 100);
+  // The pool is reusable after WaitIdle.
+  runner.Post([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  runner.WaitIdle();
+  EXPECT_EQ(count.load(), 101);
+}
+
+TEST(ParallelRunnerTest, SingleJobRunsInline) {
+  runner::ParallelRunner runner(1);
+  EXPECT_EQ(runner.jobs(), 1);
+  int count = 0;  // no atomics needed: inline mode runs on this thread
+  runner.Post([&count] { ++count; });
+  EXPECT_EQ(count, 1);
+  runner.WaitIdle();
+}
+
+TEST(ParallelRunnerTest, DefaultJobsIsPositive) {
+  EXPECT_GE(runner::DefaultJobs(), 1);
+}
+
+}  // namespace
+}  // namespace rave

@@ -104,6 +104,76 @@ TEST(EventLoopTest, PendingCountExcludesCancelled) {
   EXPECT_EQ(loop.pending(), 1u);
 }
 
+TEST(EventLoopTest, CancelAfterExecutionIsNoop) {
+  EventLoop loop;
+  int ran = 0;
+  EventHandle h = loop.Schedule(TimeDelta::Millis(10), [&] { ++ran; });
+  loop.RunAll();
+  EXPECT_EQ(ran, 1);
+  loop.Cancel(h);  // already ran; must not disturb later events
+  loop.Schedule(TimeDelta::Millis(10), [&] { ++ran; });
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.RunAll();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(EventLoopTest, DoubleCancelIsNoop) {
+  EventLoop loop;
+  int ran = 0;
+  EventHandle h = loop.Schedule(TimeDelta::Millis(10), [&] { ++ran; });
+  loop.Schedule(TimeDelta::Millis(20), [&] { ++ran; });
+  loop.Cancel(h);
+  loop.Cancel(h);
+  loop.RunAll();
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(loop.events_executed(), 1u);
+}
+
+// Stress test and perf canary for the cancel path: 100k events with half of
+// them cancelled must execute exactly the live half, in order. Before the
+// O(1) tombstone lookup this was an O(pending x cancelled) scan per pop and
+// took minutes; it now finishes in milliseconds.
+TEST(EventLoopTest, ScheduleCancelStress100k) {
+  constexpr int kEvents = 100'000;
+  EventLoop loop;
+  loop.Reserve(kEvents);
+  std::vector<EventHandle> handles;
+  handles.reserve(kEvents);
+  int64_t executed_sum = 0;
+  for (int i = 0; i < kEvents; ++i) {
+    // Spread fire times so the heap stays deep while cancelled tombstones
+    // are interleaved with live events.
+    handles.push_back(loop.Schedule(TimeDelta::Micros(1 + (i * 7919) % 5000),
+                                    [&executed_sum, i] { executed_sum += i; }));
+  }
+  int64_t expected_sum = 0;
+  for (int i = 0; i < kEvents; ++i) {
+    if (i % 2 == 0) {
+      loop.Cancel(handles[static_cast<size_t>(i)]);
+    } else {
+      expected_sum += i;
+    }
+  }
+  EXPECT_EQ(loop.pending(), static_cast<size_t>(kEvents) / 2);
+  loop.RunAll();
+  EXPECT_EQ(loop.events_executed(), static_cast<uint64_t>(kEvents) / 2);
+  EXPECT_EQ(executed_sum, expected_sum);
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+// Cancelling mid-run from inside a callback must prevent the target from
+// firing even when both events share a fire time.
+TEST(EventLoopTest, CancelFromCallbackSameTime) {
+  EventLoop loop;
+  int ran = 0;
+  EventHandle victim;
+  loop.Schedule(TimeDelta::Millis(10), [&] { loop.Cancel(victim); });
+  victim = loop.Schedule(TimeDelta::Millis(10), [&] { ++ran; });
+  loop.RunAll();
+  EXPECT_EQ(ran, 0);
+  EXPECT_EQ(loop.events_executed(), 1u);
+}
+
 TEST(RepeatingTaskTest, FiresAtPeriod) {
   EventLoop loop;
   int fired = 0;
