@@ -8,12 +8,19 @@
 //
 // Common flags: --content, --seconds, --seed, --rtt-ms, --queue-kb,
 // --loss, --cross-kbps, --initial-kbps, --fec, --no-rtx, --degradation,
-// --csv=<prefix>.
+// --csv=<prefix>, --fault=<spec>.
+//
+// --fault injects timed network faults, e.g.
+//   --fault=outage@10+2                    2 s link blackout at t=10 s
+//   --fault=blackhole@10+3                 feedback blackhole
+//   --fault=spike@10+2:150                 +150 ms per direction RTT spike
+//   --fault=dup@10+5:0.2,reorder@10+5:0.2:40   duplication + reordering
 #include <cstdio>
 #include <iostream>
 #include <stdexcept>
 #include <string>
 
+#include "fault/fault_plan.h"
 #include "net/capacity_trace.h"
 #include "rtc/session.h"
 #include "util/csv.h"
@@ -28,7 +35,7 @@ const std::vector<std::string> kKnownFlags = {
     "scheme",  "severity", "trace",        "content", "seconds",
     "seed",    "rtt-ms",   "queue-kb",     "loss",    "cross-kbps",
     "fec",     "no-rtx",   "degradation",  "csv",     "initial-kbps",
-    "seeds"};
+    "seeds",   "fault"};
 
 rtc::Scheme ParseScheme(const std::string& name) {
   for (rtc::Scheme scheme : rtc::kAllSchemes) {
@@ -79,6 +86,9 @@ rtc::SessionConfig ConfigFrom(const Flags& flags) {
     net::CrossTraffic::Config cross;
     cross.rate = DataRate::KilobitsPerSec(flags.GetInt("cross-kbps", 800));
     config.cross_traffic = cross;
+  }
+  if (flags.Has("fault")) {
+    config.faults = fault::ParseFaultSpec(flags.GetString("fault", ""));
   }
   return config;
 }

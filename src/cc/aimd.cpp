@@ -116,7 +116,17 @@ DataRate AimdRateControl::Update(BandwidthUsage usage, DataRate acked,
       break;
     }
     case State::kIncrease: {
-      // Near the estimated link capacity: probe gently (additive).
+      // Throughput above the remembered capacity band means the estimate is
+      // stale (e.g. it was learned during a fault or outage): forget it and
+      // probe multiplicatively again (webrtc resets the same way).
+      if (link_capacity_.has_estimate() &&
+          acked > link_capacity_.UpperBound()) {
+        link_capacity_.Reset();
+      }
+      // Near the estimated link capacity: probe gently (additive). Beyond
+      // it, grow multiplicatively; the acked ceiling below bounds overshoot,
+      // so the stale estimate must not pin the rate (that deadlocks an
+      // application-limited sender that never triggers over-use).
       const bool near_capacity =
           link_capacity_.has_estimate() &&
           current_ > link_capacity_.LowerBound() &&
@@ -127,10 +137,6 @@ DataRate AimdRateControl::Update(BandwidthUsage usage, DataRate acked,
         const double factor = std::pow(config_.increase_factor_per_second,
                                        since_last.seconds());
         current_ = current_ * factor;
-        if (link_capacity_.has_estimate() &&
-            current_ > link_capacity_.UpperBound()) {
-          current_ = link_capacity_.UpperBound();
-        }
       }
       // Do not run far beyond what the network demonstrably delivers.
       if (acked.bps() > 0) {

@@ -1,0 +1,107 @@
+#include "core/circuit_breaker.h"
+
+#include <algorithm>
+
+namespace rave::core {
+
+CircuitBreaker::CircuitBreaker(const Config& config) : config_(config) {}
+
+void CircuitBreaker::OnTick(Timestamp now) {
+  if (!config_.enabled) return;
+  const TimeDelta starved = now - last_feedback_;
+
+  switch (state_) {
+    case State::kClosed:
+    case State::kRecovering:
+      if (starved >
+          config_.feedback_interval * static_cast<double>(config_.open_after_missed)) {
+        Trip(now);
+      }
+      break;
+    case State::kOpen:
+      stats_.time_open += config_.feedback_interval;
+      cap_ = std::max(config_.floor, cap_ * config_.backoff_factor);
+      if (starved > config_.pause_after) {
+        state_ = State::kPaused;
+        ++stats_.pauses;
+        cap_ = config_.floor;
+      }
+      break;
+    case State::kPaused:
+      stats_.time_paused += config_.feedback_interval;
+      break;
+  }
+}
+
+void CircuitBreaker::Trip(Timestamp now) {
+  (void)now;
+  state_ = State::kOpen;
+  ++stats_.opens;
+  // First backoff step happens immediately; subsequent steps per tick.
+  const DataRate base =
+      cap_.IsFinite() ? std::min(cap_, last_healthy_target_)
+                      : last_healthy_target_;
+  cap_ = std::max(config_.floor, base * config_.backoff_factor);
+}
+
+void CircuitBreaker::OnFeedback(Timestamp now, DataRate estimator_target) {
+  if (!config_.enabled) return;
+  last_feedback_ = now;
+
+  switch (state_) {
+    case State::kClosed:
+      last_healthy_target_ = estimator_target;
+      return;
+    case State::kOpen:
+    case State::kPaused: {
+      // Feedback resumed: keyframe recovery + bounded ramp instead of
+      // resuming at the stale target.
+      state_ = State::kRecovering;
+      keyframe_pending_ = true;
+      const DataRate start = std::max(
+          config_.floor,
+          last_healthy_target_ * config_.recovery_start_fraction);
+      cap_ = std::min(start, estimator_target);
+      cap_ = std::max(cap_, config_.floor);
+      return;
+    }
+    case State::kRecovering:
+      cap_ = std::max(config_.floor, cap_ * config_.ramp_up_factor);
+      if (cap_ >= estimator_target) {
+        state_ = State::kClosed;
+        cap_ = DataRate::PlusInfinity();
+        last_healthy_target_ = estimator_target;
+        ++stats_.recoveries;
+      }
+      return;
+  }
+}
+
+DataRate CircuitBreaker::Cap() const {
+  if (!config_.enabled || state_ == State::kClosed) {
+    return DataRate::PlusInfinity();
+  }
+  return cap_;
+}
+
+bool CircuitBreaker::TakeKeyframeRequest() {
+  const bool pending = keyframe_pending_;
+  keyframe_pending_ = false;
+  return pending;
+}
+
+std::string ToString(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kPaused:
+      return "paused";
+    case CircuitBreaker::State::kRecovering:
+      return "recovering";
+  }
+  return "unknown";
+}
+
+}  // namespace rave::core

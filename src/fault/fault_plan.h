@@ -1,0 +1,93 @@
+// Declarative fault scripts for the fault-injection subsystem.
+//
+// A `FaultPlan` is a validated list of timed fault windows — hard failures
+// the capacity trace cannot express: full link blackouts (serialization
+// pauses, queues build, droptail drops the excess), feedback-path blackholes
+// (media flows, reports vanish), one-way delay spikes, and packet
+// duplication / bounded-reordering bursts. Plans are pure data; the
+// `FaultScheduler` applies them to a live `net::Link`/`net::DelayPipe` pair
+// off the session's event loop, so fault-injected runs stay byte-identical
+// at any `--jobs` count.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace rave::fault {
+
+enum class FaultKind {
+  /// Full link blackout: nothing serializes for the window; the droptail
+  /// queue absorbs (and then drops) everything the sender keeps pushing.
+  kLinkOutage,
+  /// Feedback-path blackhole: forward media flows, but every reverse-path
+  /// message (feedback reports, NACKs, PLIs) is silently discarded.
+  kFeedbackBlackhole,
+  /// One-way delay spike: `delay` extra propagation added to each direction
+  /// (RTT grows by 2x `delay`).
+  kDelaySpike,
+  /// Each delivered packet is duplicated with probability `magnitude`.
+  kDuplication,
+  /// Each delivered packet is held back by up to `delay` with probability
+  /// `magnitude`, letting later packets overtake it (bounded reordering).
+  kReorder,
+};
+
+std::string ToString(FaultKind kind);
+
+/// One timed fault window. `magnitude`/`delay` are interpreted per kind
+/// (see FaultKind comments); unused parameters are ignored.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kLinkOutage;
+  Timestamp start = Timestamp::Zero();
+  TimeDelta duration = TimeDelta::Zero();
+  /// Probability in [0,1] for kDuplication/kReorder.
+  double magnitude = 0.0;
+  /// Extra delay for kDelaySpike (per direction) / kReorder (max holdback).
+  TimeDelta delay = TimeDelta::Zero();
+};
+
+/// Validated fault script. Construction throws std::invalid_argument on
+/// non-positive durations, probabilities outside [0,1], negative delays, or
+/// overlapping windows of the same kind (revert order would be ambiguous).
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::vector<FaultEvent> events);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  /// End of the last fault window; Timestamp::Zero() for an empty plan.
+  Timestamp LastClearTime() const;
+
+  // --- convenience builders (append-and-validate) ---
+  FaultPlan& Outage(Timestamp start, TimeDelta duration);
+  FaultPlan& FeedbackBlackhole(Timestamp start, TimeDelta duration);
+  FaultPlan& DelaySpike(Timestamp start, TimeDelta duration, TimeDelta extra);
+  FaultPlan& DuplicationBurst(Timestamp start, TimeDelta duration,
+                              double probability);
+  FaultPlan& ReorderBurst(Timestamp start, TimeDelta duration,
+                          double probability, TimeDelta max_extra);
+
+  /// Human-readable one-line rendering ("outage@10s+2s, spike@20s+1s:150ms").
+  std::string ToString() const;
+
+ private:
+  void Append(FaultEvent event);
+
+  std::vector<FaultEvent> events_;
+};
+
+/// Parses the CLI fault spec: comma-separated `kind@START+DUR[:P1[:P2]]`
+/// tokens with times in seconds —
+///   outage@10+2            link blackout, t = 10 s..12 s
+///   blackhole@20+3         feedback blackhole, 3 s
+///   spike@30+2:150         +150 ms per direction for 2 s
+///   dup@12+5:0.2           20% duplication for 5 s
+///   reorder@12+5:0.2:40    20% of packets held back up to 40 ms
+/// Throws std::invalid_argument naming the offending token.
+FaultPlan ParseFaultSpec(const std::string& spec);
+
+}  // namespace rave::fault

@@ -1,0 +1,63 @@
+#include "fault/fault_scheduler.h"
+
+#include <cassert>
+#include <utility>
+
+namespace rave::fault {
+
+FaultScheduler::FaultScheduler(EventLoop& loop, FaultPlan plan,
+                               net::Link* link, net::DelayPipe* pipe)
+    : loop_(loop), plan_(std::move(plan)), link_(link), pipe_(pipe) {
+  assert(link_ != nullptr);
+  for (const FaultEvent& event : plan_.events()) {
+    loop_.ScheduleAt(event.start, [this, event] { Apply(event); });
+    loop_.ScheduleAt(event.start + event.duration,
+                     [this, event] { Revert(event); });
+  }
+}
+
+void FaultScheduler::Apply(const FaultEvent& event) {
+  ++stats_.faults_applied;
+  switch (event.kind) {
+    case FaultKind::kLinkOutage:
+      link_->SetOutage(true);
+      break;
+    case FaultKind::kFeedbackBlackhole:
+      if (pipe_) pipe_->SetBlackhole(true);
+      break;
+    case FaultKind::kDelaySpike:
+      link_->SetExtraPropagation(event.delay);
+      if (pipe_) pipe_->SetExtraDelay(event.delay);
+      break;
+    case FaultKind::kDuplication:
+      link_->SetDuplication(event.magnitude);
+      break;
+    case FaultKind::kReorder:
+      link_->SetReordering(event.magnitude, event.delay);
+      break;
+  }
+}
+
+void FaultScheduler::Revert(const FaultEvent& event) {
+  ++stats_.faults_reverted;
+  switch (event.kind) {
+    case FaultKind::kLinkOutage:
+      link_->SetOutage(false);
+      break;
+    case FaultKind::kFeedbackBlackhole:
+      if (pipe_) pipe_->SetBlackhole(false);
+      break;
+    case FaultKind::kDelaySpike:
+      link_->SetExtraPropagation(TimeDelta::Zero());
+      if (pipe_) pipe_->SetExtraDelay(TimeDelta::Zero());
+      break;
+    case FaultKind::kDuplication:
+      link_->SetDuplication(0.0);
+      break;
+    case FaultKind::kReorder:
+      link_->SetReordering(0.0, TimeDelta::Zero());
+      break;
+  }
+}
+
+}  // namespace rave::fault

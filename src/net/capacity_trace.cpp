@@ -124,18 +124,43 @@ CapacityTrace CapacityTrace::FromFile(const std::string& path) {
   if (!in) throw std::runtime_error("CapacityTrace: cannot open " + path);
   std::vector<Step> steps;
   std::string line;
+  int line_no = 0;
+  const auto fail = [&](const std::string& why) {
+    throw std::runtime_error("CapacityTrace: " + path + ":" +
+                             std::to_string(line_no) + ": " + why);
+  };
   while (std::getline(in, line)) {
+    ++line_no;
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
     std::istringstream iss(line);
     double t_s = 0.0;
     double kbps = 0.0;
-    if (iss >> t_s >> kbps) {
-      steps.push_back({Timestamp::Micros(static_cast<int64_t>(t_s * 1e6)),
-                       DataRate::KilobitsPerSecF(kbps)});
+    std::string word;
+    if (!(iss >> t_s)) {
+      iss.clear();
+      if (iss >> word) {
+        fail("malformed line (expected \"<time_s> <rate_kbps>\"): " + word);
+      }
+      continue;  // blank or comment-only line
     }
+    if (!(iss >> kbps)) fail("missing or malformed rate");
+    if (iss >> word) fail("trailing garbage after \"<time_s> <rate_kbps>\"");
+    if (!std::isfinite(t_s) || !std::isfinite(kbps)) fail("non-finite value");
+    if (t_s < 0.0) fail("negative time");
+    if (kbps <= 0.0) fail("non-positive rate");
+    steps.push_back({Timestamp::Micros(static_cast<int64_t>(t_s * 1e6)),
+                     DataRate::KilobitsPerSecF(kbps)});
   }
-  return CapacityTrace(std::move(steps));
+  if (steps.empty()) {
+    throw std::runtime_error("CapacityTrace: no capacity steps in " + path);
+  }
+  try {
+    return CapacityTrace(std::move(steps));
+  } catch (const std::invalid_argument& e) {
+    // The constructor's structural checks, with the file named.
+    throw std::runtime_error(std::string(e.what()) + " (from " + path + ")");
+  }
 }
 
 void CapacityTrace::Save(const std::string& path) const {

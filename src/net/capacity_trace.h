@@ -67,7 +67,10 @@ class CapacityTrace {
                                   TimeDelta interval, TimeDelta duration,
                                   uint64_t seed, DataRate lo, DataRate hi);
 
-  /// Parses "<time_s> <rate_kbps>" lines; '#' comments allowed.
+  /// Parses "<time_s> <rate_kbps>" lines; '#' comments allowed. Throws
+  /// std::runtime_error naming the file and line for malformed lines,
+  /// trailing garbage, non-finite values, negative times or non-positive
+  /// rates, and for traces with no steps at all.
   static CapacityTrace FromFile(const std::string& path);
   /// Writes the trace in the FromFile format.
   void Save(const std::string& path) const;

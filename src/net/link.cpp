@@ -12,7 +12,8 @@ Link::Link(EventLoop& loop, Config config, DeliveryCallback on_delivery)
       on_delivery_(std::move(on_delivery)),
       current_rate_(config_.trace.RateAt(Timestamp::Zero())),
       loss_rng_(config_.loss.seed),
-      gilbert_(config_.loss.gilbert, Rng(config_.loss.seed ^ 0x5A5A)) {
+      gilbert_(config_.loss.gilbert, Rng(config_.loss.seed ^ 0x5A5A)),
+      fault_rng_(config_.loss.seed ^ 0xFA17'FA17ULL) {
   assert(on_delivery_);
   // Register a callback at every capacity change point so the in-flight
   // packet's completion can be re-computed exactly.
@@ -37,7 +38,7 @@ void Link::Send(Packet packet) {
 
 void Link::StartNext() {
   assert(!in_flight_);
-  if (queue_.empty()) return;
+  if (outage_ || queue_.empty()) return;
   in_flight_ = queue_.front();
   queue_.pop_front();
   queued_ -= in_flight_->size;
@@ -69,16 +70,86 @@ void Link::OnTransmitComplete() {
   ++stats_.packets_delivered;
   stats_.bytes_delivered += packet.size;
 
-  loop_.Schedule(config_.propagation, [this, packet] {
-    on_delivery_(packet, loop_.now());
-  });
+  Deliver(packet);
 
   StartNext();
 }
 
+void Link::Deliver(const Packet& packet) {
+  TimeDelta propagation = config_.propagation + extra_propagation_;
+  bool reordered = false;
+  if (reorder_probability_ > 0.0 &&
+      fault_rng_.Bernoulli(reorder_probability_)) {
+    // Held back: later packets overtake it. Bypasses the in-order clamp by
+    // design — that is the fault being injected.
+    propagation += TimeDelta::SecondsF(
+        fault_rng_.Uniform(0.0, reorder_max_extra_.seconds()));
+    reordered = true;
+    ++stats_.packets_reordered;
+  }
+
+  Timestamp arrival = loop_.now() + propagation;
+  if (!reordered) {
+    // A delay spike that later clears must not let newer packets arrive
+    // before older ones already in flight.
+    if (arrival <= last_inorder_arrival_) {
+      arrival = last_inorder_arrival_ + TimeDelta::Micros(1);
+    }
+    last_inorder_arrival_ = arrival;
+  }
+  loop_.ScheduleAt(arrival,
+                   [this, packet] { on_delivery_(packet, loop_.now()); });
+
+  if (dup_probability_ > 0.0 && fault_rng_.Bernoulli(dup_probability_)) {
+    ++stats_.packets_duplicated;
+    const TimeDelta dup_extra =
+        TimeDelta::SecondsF(fault_rng_.Uniform(0.0005, 0.005));
+    loop_.ScheduleAt(arrival + dup_extra,
+                     [this, packet] { on_delivery_(packet, loop_.now()); });
+  }
+}
+
+void Link::SetOutage(bool on) {
+  if (on == outage_) return;
+  outage_ = on;
+  if (on) {
+    ++stats_.outages;
+    if (in_flight_) {
+      // Freeze the in-flight packet: account bits already serialized, then
+      // park the remainder until the outage clears.
+      const double sent = static_cast<double>(current_rate_.bps()) *
+                          (loop_.now() - segment_start_).seconds();
+      remaining_bits_ = std::max(0.0, remaining_bits_ - sent);
+      loop_.Cancel(completion_);
+    }
+    return;
+  }
+  if (in_flight_) {
+    segment_start_ = loop_.now();
+    const TimeDelta tx_time = TimeDelta::SecondsF(
+        remaining_bits_ / static_cast<double>(current_rate_.bps()));
+    completion_ = loop_.Schedule(tx_time, [this] { OnTransmitComplete(); });
+  } else {
+    StartNext();
+  }
+}
+
+void Link::SetExtraPropagation(TimeDelta extra) { extra_propagation_ = extra; }
+
+void Link::SetDuplication(double probability) {
+  dup_probability_ = probability;
+}
+
+void Link::SetReordering(double probability, TimeDelta max_extra) {
+  reorder_probability_ = probability;
+  reorder_max_extra_ = max_extra;
+}
+
 void Link::OnRateChange() {
   const DataRate new_rate = config_.trace.RateAt(loop_.now());
-  if (in_flight_) {
+  // During an outage nothing is serializing: remaining_bits_ is frozen and
+  // there is no completion event to re-schedule.
+  if (in_flight_ && !outage_) {
     // Account for bits sent at the old rate since the segment began.
     const double sent = static_cast<double>(current_rate_.bps()) *
                         (loop_.now() - segment_start_).seconds();
@@ -95,9 +166,13 @@ void Link::OnRateChange() {
 DataSize Link::backlog() const {
   double in_flight_bits = 0.0;
   if (in_flight_) {
-    const double sent = static_cast<double>(current_rate_.bps()) *
-                        (loop_.now() - segment_start_).seconds();
-    in_flight_bits = std::max(0.0, remaining_bits_ - sent);
+    if (outage_) {
+      in_flight_bits = remaining_bits_;  // frozen while blacked out
+    } else {
+      const double sent = static_cast<double>(current_rate_.bps()) *
+                          (loop_.now() - segment_start_).seconds();
+      in_flight_bits = std::max(0.0, remaining_bits_ - sent);
+    }
   }
   return queued_ + DataSize::Bits(static_cast<int64_t>(in_flight_bits));
 }
@@ -116,13 +191,17 @@ DelayPipe::DelayPipe(EventLoop& loop, TimeDelta delay, double loss_rate,
       rng_(seed) {}
 
 void DelayPipe::Send(std::function<void()> deliver) {
+  if (blackhole_) {
+    ++blackholed_;
+    return;
+  }
   if (rng_.Bernoulli(loss_rate_)) {
     ++lost_;
     return;
   }
-  TimeDelta extra = TimeDelta::Zero();
+  TimeDelta extra = extra_delay_;
   if (jitter_ > TimeDelta::Zero()) {
-    extra = TimeDelta::SecondsF(rng_.Uniform(0.0, jitter_.seconds()));
+    extra += TimeDelta::SecondsF(rng_.Uniform(0.0, jitter_.seconds()));
   }
   Timestamp at = loop_.now() + delay_ + extra;
   // Keep the channel in-order.

@@ -29,6 +29,10 @@ struct LinkStats {
   int64_t packets_dropped = 0;
   /// Wireless-style corruption drops (random/Gilbert loss model).
   int64_t packets_lost_random = 0;
+  /// Fault-injection counters (see fault::FaultScheduler).
+  int64_t packets_duplicated = 0;
+  int64_t packets_reordered = 0;
+  int64_t outages = 0;
   DataSize bytes_delivered = DataSize::Zero();
   DataSize bytes_dropped = DataSize::Zero();
 };
@@ -70,6 +74,26 @@ class Link {
   /// queue is full.
   void Send(Packet packet);
 
+  // --- fault-injection hooks (driven by fault::FaultScheduler) ---
+
+  /// Link blackout. While on, serialization pauses mid-packet (remaining
+  /// bits are frozen), the queue keeps filling and droptail keeps dropping;
+  /// on revert the in-flight packet resumes exactly where it stopped.
+  void SetOutage(bool on);
+  bool outage() const { return outage_; }
+
+  /// Extra propagation delay added to every subsequent delivery (delay
+  /// spike). Deliveries stay in order even when the extra later shrinks.
+  void SetExtraPropagation(TimeDelta extra);
+
+  /// Each delivered packet is duplicated with probability `probability`
+  /// (the copy arrives 0.5–5 ms later). 0 disables.
+  void SetDuplication(double probability);
+
+  /// Each delivered packet is held back by up to `max_extra` with
+  /// probability `probability`, so later packets overtake it. 0 disables.
+  void SetReordering(double probability, TimeDelta max_extra);
+
   /// Bits waiting in the queue plus the untransmitted remainder of the
   /// in-flight packet.
   DataSize backlog() const;
@@ -85,6 +109,8 @@ class Link {
   void StartNext();
   void OnTransmitComplete();
   void OnRateChange();
+  /// Schedules receiver-side delivery (propagation + fault effects).
+  void Deliver(const Packet& packet);
 
   EventLoop& loop_;
   Config config_;
@@ -102,6 +128,18 @@ class Link {
   LinkStats stats_;
   Rng loss_rng_;
   GilbertProcess gilbert_;
+
+  // Fault-injection state. The fault RNG is consumed only while a
+  // duplication/reorder window is active, so fault-free runs are untouched.
+  bool outage_ = false;
+  TimeDelta extra_propagation_ = TimeDelta::Zero();
+  double dup_probability_ = 0.0;
+  double reorder_probability_ = 0.0;
+  TimeDelta reorder_max_extra_ = TimeDelta::Zero();
+  /// Latest scheduled arrival among in-order deliveries; keeps the channel
+  /// FIFO when the extra propagation shrinks mid-run.
+  Timestamp last_inorder_arrival_ = Timestamp::MinusInfinity();
+  Rng fault_rng_;
 };
 
 /// Fixed-delay control channel for feedback messages (small packets whose
@@ -115,8 +153,18 @@ class DelayPipe {
   /// Schedules `deliver` after the pipe delay (unless lost).
   void Send(std::function<void()> deliver);
 
+  /// Feedback blackhole: while on, every Send is silently discarded
+  /// (counted in `blackholed()`). Data already in flight still arrives.
+  void SetBlackhole(bool on) { blackhole_ = on; }
+  bool blackhole() const { return blackhole_; }
+
+  /// Extra delay added to every subsequent delivery (reverse-path RTT
+  /// spike). The in-order guarantee is preserved when it later shrinks.
+  void SetExtraDelay(TimeDelta extra) { extra_delay_ = extra; }
+
   int64_t delivered() const { return delivered_; }
   int64_t lost() const { return lost_; }
+  int64_t blackholed() const { return blackholed_; }
 
  private:
   EventLoop& loop_;
@@ -125,8 +173,11 @@ class DelayPipe {
   TimeDelta jitter_;
   Rng rng_;
   Timestamp last_delivery_ = Timestamp::MinusInfinity();
+  bool blackhole_ = false;
+  TimeDelta extra_delay_ = TimeDelta::Zero();
   int64_t delivered_ = 0;
   int64_t lost_ = 0;
+  int64_t blackholed_ = 0;
 };
 
 }  // namespace rave::net

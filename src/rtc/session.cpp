@@ -1,5 +1,6 @@
 #include "rtc/session.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -24,6 +25,7 @@ SessionConfig Normalize(SessionConfig c) {
   c.encoder.fps = c.source.fps;
   c.source.seed = c.seed;
   c.encoder.seed = c.seed ^ 0x9E3779B97F4A7C15ULL;
+  c.breaker.feedback_interval = c.feedback_interval;
   return c;
 }
 
@@ -33,7 +35,8 @@ Session::Session(SessionConfig config)
     : config_(Normalize(std::move(config))),
       source_(config_.source),
       packetizer_(),
-      protection_(config_.protection) {
+      protection_(config_.protection),
+      breaker_(config_.breaker) {
   // A saturated session keeps a few hundred events pending (per-packet link
   // arrivals + timers); reserving up front keeps the heap allocation-free in
   // steady state.
@@ -134,11 +137,18 @@ Session::Session(SessionConfig config)
         loop_, *forward_link_, *config_.cross_traffic);
   }
 
+  if (!config_.faults.empty()) {
+    fault_scheduler_ = std::make_unique<fault::FaultScheduler>(
+        loop_, config_.faults, forward_link_.get(), reverse_pipe_.get());
+  }
+
   // --- periodic drivers ---
   frame_task_ = std::make_unique<RepeatingTask>(loop_, source_.frame_interval(),
                                                 [this] { OnFrameTick(); });
   timeseries_task_ = std::make_unique<RepeatingTask>(
       loop_, config_.timeseries_interval, [this] { OnTimeseriesTick(); });
+  watchdog_task_ = std::make_unique<RepeatingTask>(
+      loop_, config_.feedback_interval, [this] { OnWatchdogTick(); });
 }
 
 Session::~Session() = default;
@@ -155,7 +165,7 @@ DataRate Session::RtxRate() const {
 }
 
 DataRate Session::MediaTarget() const {
-  DataRate target = bwe_->target();
+  DataRate target = std::min(bwe_->target(), breaker_.Cap());
   // FEC redundancy comes off the top (WebRTC's protection accounting)...
   if (fec_encoder_) {
     target = target * (1.0 - fec_overhead_);
@@ -184,6 +194,13 @@ void Session::OnFrameTick() {
   const Timestamp now = loop_.now();
   const video::RawFrame frame = source_.CaptureFrame(now);
   metrics_.OnFrameCaptured(frame.frame_id, now);
+
+  // Circuit breaker escalated to a full pause: stop offering load until
+  // feedback resumes (RFC 8083 media timeout).
+  if (breaker_.encoder_paused()) {
+    metrics_.OnFrameDroppedAtSender(frame.frame_id);
+    return;
+  }
 
   // Sender safety valve (applies to every scheme).
   if (pacer_->ExpectedQueueTime() > config_.max_pacer_queue) {
@@ -310,6 +327,13 @@ void Session::OnFeedbackAtSender(const transport::FeedbackReport& report) {
   bwe_->OnPacketResults(results, now);
   if (gcc_ && gcc_->decreased_on_last_update()) overuse_decrease_seen_ = true;
 
+  breaker_.OnFeedback(now, bwe_->target());
+  if (breaker_.TakeKeyframeRequest()) {
+    // Feedback just resumed after starvation: the reference chain is
+    // presumed broken, restart from an intra frame.
+    encoder_->RequestKeyFrame();
+  }
+
   if (fec_encoder_) {
     const int recovery =
         protection_.RecoveryPacketsFor(bwe_->loss_rate());
@@ -317,7 +341,7 @@ void Session::OnFeedbackAtSender(const transport::FeedbackReport& report) {
     fec_overhead_ = protection_.OverheadFor(recovery);
   }
 
-  const DataRate target = bwe_->target();
+  const DataRate target = std::min(bwe_->target(), breaker_.Cap());
   pacer_->SetPacingRate(target * config_.pacing_factor);
 
   if (network_rc_ != nullptr) {
@@ -346,6 +370,21 @@ void Session::OnFrameLost(int64_t frame_id) {
   reverse_pipe_->Send([this] { encoder_->RequestKeyFrame(); });
 }
 
+void Session::OnWatchdogTick() {
+  breaker_.OnTick(loop_.now());
+  if (breaker_.state() == core::CircuitBreaker::State::kClosed) return;
+  // Rate control normally reacts only to feedback; while the sender is
+  // starved the watchdog re-applies the (backing-off) cap so the pipeline
+  // actually slows down instead of transmitting at the stale target.
+  const DataRate capped = std::min(bwe_->target(), breaker_.Cap());
+  pacer_->SetPacingRate(capped * config_.pacing_factor);
+  if (network_rc_ == nullptr) {
+    // Baselines get their targets pushed; the network-aware schemes pick up
+    // the capped MediaTarget() through their per-frame observation.
+    encoder_->SetTargetRate(MediaTarget());
+  }
+}
+
 void Session::OnTimeseriesTick() {
   metrics::TimeseriesPoint p;
   p.at = loop_.now();
@@ -366,9 +405,13 @@ SessionResult Session::Run() {
   // First frame fires immediately; subsequent frames every interval.
   frame_task_->StartWithDelay(TimeDelta::Zero());
   timeseries_task_->StartWithDelay(config_.timeseries_interval);
+  if (config_.breaker.enabled) {
+    watchdog_task_->StartWithDelay(config_.feedback_interval);
+  }
   loop_.RunFor(config_.duration);
   frame_task_->Stop();
   timeseries_task_->Stop();
+  if (config_.breaker.enabled) watchdog_task_->Stop();
 
   SessionResult result;
   result.scheme_name = ToString(config_.scheme);
@@ -376,6 +419,7 @@ SessionResult Session::Run() {
   result.frames = metrics_.frames();
   result.timeseries = metrics_.timeseries();
   result.link_stats = forward_link_->stats();
+  result.breaker_stats = breaker_.stats();
   result.events_executed = loop_.events_executed();
   return result;
 }

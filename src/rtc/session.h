@@ -19,8 +19,11 @@
 #include "codec/cbr_rate_control.h"
 #include "codec/encoder.h"
 #include "core/adaptive_rate_control.h"
+#include "core/circuit_breaker.h"
 #include "core/degradation.h"
 #include "core/salsify_rate_control.h"
+#include "fault/fault_plan.h"
+#include "fault/fault_scheduler.h"
 #include "metrics/session_metrics.h"
 #include "net/cross_traffic.h"
 #include "net/link.h"
@@ -81,6 +84,16 @@ struct SessionConfig {
   /// Optional on/off cross traffic sharing the bottleneck.
   std::optional<net::CrossTraffic::Config> cross_traffic;
 
+  /// Timed hard faults injected into the link/feedback path (empty = none).
+  fault::FaultPlan faults;
+
+  /// Feedback-starvation circuit breaker (RFC 8083 media-timeout style).
+  /// Applies to every scheme, like the pacer valve; `feedback_interval` is
+  /// filled in from the session config. Enabled by default — it only
+  /// engages after ~8 consecutive missed report intervals, which benign
+  /// (fault-free) scenarios never produce.
+  core::CircuitBreaker::Config breaker;
+
   TimeDelta timeseries_interval = TimeDelta::Millis(100);
 };
 
@@ -91,6 +104,8 @@ struct SessionResult {
   std::vector<metrics::FrameRecord> frames;
   std::vector<metrics::TimeseriesPoint> timeseries;
   net::LinkStats link_stats;
+  /// Circuit-breaker activity (opens/pauses/recoveries, starved time).
+  core::CircuitBreaker::Stats breaker_stats;
   /// Simulation events executed by the session's loop (throughput metric).
   uint64_t events_executed = 0;
 };
@@ -122,6 +137,7 @@ class Session {
   void OnFrameComplete(const transport::CompleteFrame& frame);
   void OnFrameLost(int64_t frame_id);
   void OnTimeseriesTick();
+  void OnWatchdogTick();
   core::NetworkObservation MakeObservation() const;
   /// Recent retransmission bitrate (charged against the media budget, like
   /// WebRTC's protection-bitrate accounting).
@@ -160,6 +176,9 @@ class Session {
   std::unique_ptr<transport::NackGenerator> nack_gen_;
   std::unique_ptr<net::CrossTraffic> cross_traffic_;
 
+  core::CircuitBreaker breaker_;
+  std::unique_ptr<fault::FaultScheduler> fault_scheduler_;
+
   /// Transport-wide sequence space shared by first sends and RTX.
   int64_t next_transport_seq_ = 0;
   /// (send time, bits) of recent retransmissions for RtxRate().
@@ -170,6 +189,8 @@ class Session {
 
   std::unique_ptr<RepeatingTask> frame_task_;
   std::unique_ptr<RepeatingTask> timeseries_task_;
+  /// Feedback-starvation watchdog on the feedback cadence (circuit breaker).
+  std::unique_ptr<RepeatingTask> watchdog_task_;
 
   // Latest values for observations/timeseries.
   bool overuse_decrease_seen_ = false;

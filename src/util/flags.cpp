@@ -1,6 +1,7 @@
 #include "util/flags.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace rave {
@@ -59,11 +60,14 @@ double Flags::GetDouble(const std::string& key, double fallback) const {
   try {
     size_t used = 0;
     const double value = std::stod(it->second, &used);
-    if (used != it->second.size()) throw std::invalid_argument(it->second);
+    // stod accepts "nan"/"inf"; no flag in this codebase means either.
+    if (used != it->second.size() || !std::isfinite(value)) {
+      throw std::invalid_argument(it->second);
+    }
     return value;
   } catch (const std::exception&) {
     throw std::invalid_argument("Flags: --" + key + "=" + it->second +
-                                " is not a number");
+                                " is not a finite number");
   }
 }
 

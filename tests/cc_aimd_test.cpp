@@ -128,6 +128,31 @@ TEST(AimdTest, RespectsMinAndMaxBounds) {
   EXPECT_LE(rate.kbps(), 150);
 }
 
+TEST(AimdTest, EscapesStaleCapacityEstimateWhenAppLimited) {
+  // Deadlock this guards against: a fault collapses the rate, the capacity
+  // estimator remembers the fault-era throughput, and an application-limited
+  // sender (acked < target, never over-using) gets pinned at the stale
+  // band's upper edge forever even though the real link is far faster.
+  AimdRateControl aimd(DefaultConfig());
+  // Learn a low capacity during the "fault": repeated over-use at 400 kbps.
+  for (int i = 0; i < 30; ++i) {
+    aimd.Update(BandwidthUsage::kOverusing, DataRate::KilobitsPerSec(400),
+                TimeDelta::Millis(50), Timestamp::Millis(50 * i));
+  }
+  const DataRate after_fault = aimd.target();
+  // Fault clears. The sender ships ~85% of whatever the target is (app
+  // limited), the network never over-uses again.
+  DataRate rate = after_fault;
+  for (int i = 0; i < 1200; ++i) {
+    const DataRate acked = rate * 0.85;
+    rate = aimd.Update(BandwidthUsage::kNormal, acked, TimeDelta::Millis(50),
+                       Timestamp::Millis(2000 + 50 * i));
+  }
+  // One minute later the target must have climbed far past the fault-era
+  // band instead of freezing at its upper edge.
+  EXPECT_GT(rate.kbps(), 10.0 * after_fault.kbps());
+}
+
 TEST(AimdTest, ConvergesIntoCapacityBandInClosedLoop) {
   // Property-style closed loop: acked = min(target, capacity); overuse
   // whenever target exceeds capacity. The controller should settle into

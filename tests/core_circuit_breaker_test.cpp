@@ -1,0 +1,194 @@
+#include "core/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+namespace rave::core {
+namespace {
+
+CircuitBreaker::Config TestConfig() {
+  CircuitBreaker::Config config;
+  config.feedback_interval = TimeDelta::Millis(50);
+  config.open_after_missed = 8;  // opens after 400 ms of silence
+  config.backoff_factor = 0.7;
+  config.floor = DataRate::KilobitsPerSec(50);
+  config.pause_after = TimeDelta::Seconds(3);
+  config.recovery_start_fraction = 0.25;
+  config.ramp_up_factor = 1.6;
+  return config;
+}
+
+// Drives the breaker like the session watchdog: one tick per interval, with
+// feedback delivered (or not) at each step.
+struct BreakerDriver {
+  explicit BreakerDriver(CircuitBreaker::Config config = TestConfig())
+      : breaker(config), interval(config.feedback_interval) {}
+
+  void TickWithFeedback(DataRate target) {
+    now += interval;
+    breaker.OnFeedback(now, target);
+    breaker.OnTick(now);
+  }
+
+  void TickStarved() {
+    now += interval;
+    breaker.OnTick(now);
+  }
+
+  CircuitBreaker breaker;
+  TimeDelta interval;
+  Timestamp now = Timestamp::Zero();
+};
+
+constexpr auto kClosed = CircuitBreaker::State::kClosed;
+constexpr auto kOpen = CircuitBreaker::State::kOpen;
+constexpr auto kPaused = CircuitBreaker::State::kPaused;
+constexpr auto kRecovering = CircuitBreaker::State::kRecovering;
+
+TEST(CircuitBreakerTest, StaysClosedWithRegularFeedback) {
+  BreakerDriver d;
+  for (int i = 0; i < 100; ++i) {
+    d.TickWithFeedback(DataRate::KilobitsPerSec(2000));
+  }
+  EXPECT_EQ(d.breaker.state(), kClosed);
+  EXPECT_FALSE(d.breaker.Cap().IsFinite());
+  EXPECT_EQ(d.breaker.stats().opens, 0);
+}
+
+TEST(CircuitBreakerTest, ToleratesShortFeedbackGaps) {
+  BreakerDriver d;
+  d.TickWithFeedback(DataRate::KilobitsPerSec(2000));
+  // 7 missed intervals = 350 ms < the 400 ms threshold.
+  for (int i = 0; i < 7; ++i) d.TickStarved();
+  EXPECT_EQ(d.breaker.state(), kClosed);
+  d.TickWithFeedback(DataRate::KilobitsPerSec(2000));
+  EXPECT_EQ(d.breaker.state(), kClosed);
+  EXPECT_EQ(d.breaker.stats().opens, 0);
+}
+
+TEST(CircuitBreakerTest, OpensAfterMissedReportsAndBacksOff) {
+  BreakerDriver d;
+  d.TickWithFeedback(DataRate::KilobitsPerSec(2000));
+  for (int i = 0; i < 9; ++i) d.TickStarved();
+  EXPECT_EQ(d.breaker.state(), kOpen);
+  EXPECT_EQ(d.breaker.stats().opens, 1);
+
+  // The cap starts below the last healthy target and keeps shrinking.
+  const DataRate cap_now = d.breaker.Cap();
+  EXPECT_LT(cap_now.kbps(), 2000);
+  d.TickStarved();
+  d.TickStarved();
+  EXPECT_LT(d.breaker.Cap(), cap_now);
+}
+
+TEST(CircuitBreakerTest, BackoffStopsAtFloor) {
+  BreakerDriver d;
+  d.TickWithFeedback(DataRate::KilobitsPerSec(2000));
+  for (int i = 0; i < 40; ++i) d.TickStarved();
+  EXPECT_EQ(d.breaker.Cap(), TestConfig().floor);
+}
+
+TEST(CircuitBreakerTest, EscalatesToPauseAfterDeadline) {
+  BreakerDriver d;
+  d.TickWithFeedback(DataRate::KilobitsPerSec(2000));
+  EXPECT_FALSE(d.breaker.encoder_paused());
+  // 3 s of starvation at 50 ms per tick.
+  for (int i = 0; i < 62; ++i) d.TickStarved();
+  EXPECT_EQ(d.breaker.state(), kPaused);
+  EXPECT_TRUE(d.breaker.encoder_paused());
+  EXPECT_EQ(d.breaker.stats().pauses, 1);
+  EXPECT_GT(d.breaker.stats().time_paused, TimeDelta::Zero());
+}
+
+TEST(CircuitBreakerTest, FeedbackResumptionEntersRecoveryWithKeyframe) {
+  BreakerDriver d;
+  d.TickWithFeedback(DataRate::KilobitsPerSec(2000));
+  for (int i = 0; i < 10; ++i) d.TickStarved();
+  ASSERT_EQ(d.breaker.state(), kOpen);
+  EXPECT_FALSE(d.breaker.TakeKeyframeRequest());
+
+  d.TickWithFeedback(DataRate::KilobitsPerSec(2000));
+  EXPECT_EQ(d.breaker.state(), kRecovering);
+  // Exactly one keyframe request per resumption.
+  EXPECT_TRUE(d.breaker.TakeKeyframeRequest());
+  EXPECT_FALSE(d.breaker.TakeKeyframeRequest());
+  // The ramp starts at a fraction of the last healthy target, not at it.
+  EXPECT_LE(d.breaker.Cap().kbps(), 2000 * 0.25 * 1.6 + 1);
+}
+
+TEST(CircuitBreakerTest, RecoveryRampsUpToTargetThenCloses) {
+  BreakerDriver d;
+  d.TickWithFeedback(DataRate::KilobitsPerSec(2000));
+  for (int i = 0; i < 10; ++i) d.TickStarved();
+
+  // Feedback resumes; the cap must ramp monotonically and close within a
+  // bounded number of reports (0.25 * 1.6^n >= 1 -> n <= 3).
+  DataRate prev = DataRate::Zero();
+  int reports = 0;
+  while (d.breaker.state() != kClosed && reports < 20) {
+    d.TickWithFeedback(DataRate::KilobitsPerSec(2000));
+    ++reports;
+    if (d.breaker.state() == kRecovering) {
+      EXPECT_GE(d.breaker.Cap(), prev);
+      prev = d.breaker.Cap();
+    }
+  }
+  EXPECT_EQ(d.breaker.state(), kClosed);
+  EXPECT_LE(reports, 5);
+  EXPECT_FALSE(d.breaker.Cap().IsFinite());
+  EXPECT_EQ(d.breaker.stats().recoveries, 1);
+}
+
+TEST(CircuitBreakerTest, RecoveryDoesNotOvershootShrunkEstimate) {
+  BreakerDriver d;
+  d.TickWithFeedback(DataRate::KilobitsPerSec(2000));
+  for (int i = 0; i < 10; ++i) d.TickStarved();
+
+  // The estimator came back much lower than before the outage: the ramp
+  // start is bounded by the new estimate, not the stale healthy target.
+  d.TickWithFeedback(DataRate::KilobitsPerSec(300));
+  EXPECT_LE(d.breaker.Cap(), DataRate::KilobitsPerSec(300));
+}
+
+TEST(CircuitBreakerTest, ReopensWhenStarvedDuringRecovery) {
+  BreakerDriver d;
+  d.TickWithFeedback(DataRate::KilobitsPerSec(2000));
+  for (int i = 0; i < 10; ++i) d.TickStarved();
+  d.TickWithFeedback(DataRate::KilobitsPerSec(2000));
+  ASSERT_EQ(d.breaker.state(), kRecovering);
+
+  // Feedback dies again mid-ramp.
+  for (int i = 0; i < 10; ++i) d.TickStarved();
+  EXPECT_EQ(d.breaker.state(), kOpen);
+  EXPECT_EQ(d.breaker.stats().opens, 2);
+}
+
+TEST(CircuitBreakerTest, PausedRecoversDirectlyOnFeedback) {
+  BreakerDriver d;
+  d.TickWithFeedback(DataRate::KilobitsPerSec(2000));
+  for (int i = 0; i < 70; ++i) d.TickStarved();
+  ASSERT_EQ(d.breaker.state(), kPaused);
+  d.TickWithFeedback(DataRate::KilobitsPerSec(2000));
+  EXPECT_EQ(d.breaker.state(), kRecovering);
+  EXPECT_FALSE(d.breaker.encoder_paused());
+  EXPECT_TRUE(d.breaker.TakeKeyframeRequest());
+}
+
+TEST(CircuitBreakerTest, DisabledBreakerNeverEngages) {
+  CircuitBreaker::Config config = TestConfig();
+  config.enabled = false;
+  BreakerDriver d(config);
+  for (int i = 0; i < 200; ++i) d.TickStarved();
+  EXPECT_EQ(d.breaker.state(), kClosed);
+  EXPECT_FALSE(d.breaker.Cap().IsFinite());
+  EXPECT_FALSE(d.breaker.encoder_paused());
+}
+
+TEST(CircuitBreakerTest, ToStringNamesStates) {
+  EXPECT_EQ(ToString(kClosed), "closed");
+  EXPECT_EQ(ToString(kOpen), "open");
+  EXPECT_EQ(ToString(kPaused), "paused");
+  EXPECT_EQ(ToString(kRecovering), "recovering");
+}
+
+}  // namespace
+}  // namespace rave::core

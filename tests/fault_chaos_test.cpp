@@ -1,0 +1,222 @@
+// Chaos matrix over the whole system: every scheme x every hard-fault
+// scenario (link outage, feedback blackhole, RTT spike, duplication +
+// reordering bursts). Invariants: the session never crashes or deadlocks,
+// frame accounting stays conserved, the encoder is never left stuck after
+// the fault clears, the sender recovers to >= 90% of its pre-fault encoder
+// target within a bounded time, and fault-injected runs are deterministic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "net/capacity_trace.h"
+#include "rtc/session.h"
+
+namespace rave::rtc {
+namespace {
+
+struct FaultScenario {
+  std::string name;
+  fault::FaultPlan plan;
+  /// Scenarios that silence feedback long enough must trip the breaker.
+  bool starves_feedback = false;
+  /// Long enough to cross the encoder-pause deadline (3 s).
+  bool reaches_pause = false;
+  /// Worst acceptable time from fault-clear to 90% recovery, across all
+  /// schemes. Estimator rebuild dominates (GCC-style additive increase with
+  /// no probing); bounds carry ~40% margin over the worst measured scheme.
+  TimeDelta recovery_bound = TimeDelta::Seconds(12);
+};
+
+std::vector<FaultScenario> Scenarios() {
+  std::vector<FaultScenario> scenarios;
+  {
+    FaultScenario s{.name = "outage", .starves_feedback = true};
+    s.plan.Outage(Timestamp::Seconds(10), TimeDelta::Seconds(2));
+    scenarios.push_back(std::move(s));
+  }
+  {
+    FaultScenario s{.name = "outage_long",
+                    .starves_feedback = true,
+                    .reaches_pause = true};
+    s.plan.Outage(Timestamp::Seconds(10), TimeDelta::Seconds(4));
+    scenarios.push_back(std::move(s));
+  }
+  {
+    // 3 s of lost feedback collapses every estimator to the starved send
+    // rate; the slow rebuild is additive once inside the capacity band.
+    FaultScenario s{.name = "blackhole",
+                    .starves_feedback = true,
+                    .recovery_bound = TimeDelta::Seconds(34)};
+    s.plan.FeedbackBlackhole(Timestamp::Seconds(10), TimeDelta::Seconds(3));
+    scenarios.push_back(std::move(s));
+  }
+  {
+    // A sustained +150 ms RTT spike reads as 2 s of over-use: the
+    // delay-sensitive schemes multiplicatively back off the whole window.
+    FaultScenario s{.name = "spike",
+                    .recovery_bound = TimeDelta::Seconds(46)};
+    s.plan.DelaySpike(Timestamp::Seconds(10), TimeDelta::Seconds(2),
+                      TimeDelta::Millis(150));
+    scenarios.push_back(std::move(s));
+  }
+  {
+    FaultScenario s{.name = "dup_reorder"};
+    s.plan.DuplicationBurst(Timestamp::Seconds(10), TimeDelta::Seconds(5), 0.2)
+        .ReorderBurst(Timestamp::Seconds(10), TimeDelta::Seconds(5), 0.2,
+                      TimeDelta::Millis(40));
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+class FaultChaosTest
+    : public ::testing::TestWithParam<std::tuple<Scheme, int>> {
+ protected:
+  static FaultScenario Scenario() {
+    return Scenarios()[static_cast<size_t>(std::get<1>(GetParam()))];
+  }
+
+  static constexpr double kLinkKbps = 2500.0;
+
+  static SessionResult Run(uint64_t seed = 42,
+                           TimeDelta duration = TimeDelta::Seconds(30)) {
+    SessionConfig config;
+    config.scheme = std::get<0>(GetParam());
+    config.duration = duration;
+    config.seed = seed;
+    config.initial_rate = DataRate::KilobitsPerSec(2100);
+    config.link.trace =
+        net::CapacityTrace::Constant(DataRate::KilobitsPerSec(2500));
+    config.faults = Scenario().plan;
+    return RunSession(config);
+  }
+
+  static Timestamp FaultClear() { return Scenario().plan.LastClearTime(); }
+};
+
+TEST_P(FaultChaosTest, SurvivesWithFrameAccountingIntact) {
+  const SessionResult result = Run();
+  const auto& s = result.summary;
+  const int64_t accounted = s.frames_delivered + s.frames_skipped +
+                            s.frames_dropped_sender + s.frames_lost_network;
+  EXPECT_LE(accounted, s.frames_captured);
+  // In-flight/timeout tail as in the fault-free property test.
+  EXPECT_GE(accounted, s.frames_captured - 90);
+  EXPECT_GT(s.frames_captured, 0);
+  for (const auto& f : result.frames) {
+    if (f.fate == metrics::FrameFate::kDelivered) {
+      ASSERT_TRUE(f.complete_time.has_value());
+      EXPECT_GE(*f.complete_time, f.capture_time);
+    }
+  }
+}
+
+TEST_P(FaultChaosTest, EncoderIsNotStuckAfterFaultClears) {
+  const SessionResult result = Run();
+  // Well after the fault cleared, the pipeline must be moving again: frames
+  // are being encoded (not paused/skipped) AND delivered end-to-end.
+  const Timestamp tail = Timestamp::Seconds(27);
+  int64_t encoded_tail = 0;
+  int64_t delivered_tail = 0;
+  for (const auto& f : result.frames) {
+    if (f.capture_time < tail) continue;
+    if (f.fate != metrics::FrameFate::kSkippedEncoder &&
+        f.fate != metrics::FrameFate::kDroppedSender) {
+      ++encoded_tail;
+    }
+    if (f.fate == metrics::FrameFate::kDelivered) ++delivered_tail;
+  }
+  EXPECT_GT(encoded_tail, 30) << "encoder stuck after " << Scenario().name;
+  EXPECT_GT(delivered_tail, 30) << "delivery stuck after " << Scenario().name;
+}
+
+TEST_P(FaultChaosTest, RecoversToPreFaultTargetWithinBoundedTime) {
+  // Long horizon: post-starvation estimator rebuild is additive and can
+  // legitimately take tens of seconds (no bandwidth probing in GCC-style
+  // estimation) — but it must complete, and within the scenario's bound.
+  const SessionResult result = Run(42, TimeDelta::Seconds(60));
+
+  // Pre-fault reference: mean encoder target over the 2 s before the fault,
+  // clamped to the link capacity — an estimator that was overshooting the
+  // link pre-fault (salsify does) owes us capacity back, not the overshoot.
+  double pre_sum = 0.0;
+  int pre_n = 0;
+  for (const auto& p : result.timeseries) {
+    if (p.at >= Timestamp::Seconds(8) && p.at < Timestamp::Seconds(10)) {
+      pre_sum += p.encoder_target_kbps;
+      ++pre_n;
+    }
+  }
+  ASSERT_GT(pre_n, 0);
+  const double pre_target = std::min(pre_sum / pre_n, kLinkKbps);
+  ASSERT_GT(pre_target, 0.0);
+
+  // Recovery: first timeseries point after the fault clears where the
+  // encoder target is back to >= 90% of the pre-fault level.
+  const Timestamp clear = FaultClear();
+  Timestamp recovered_at = Timestamp::PlusInfinity();
+  for (const auto& p : result.timeseries) {
+    if (p.at < clear) continue;
+    if (p.encoder_target_kbps >= 0.9 * pre_target) {
+      recovered_at = p.at;
+      break;
+    }
+  }
+  ASSERT_TRUE(recovered_at.IsFinite())
+      << Scenario().name << ": target never returned to 90% of "
+      << pre_target << " kbps";
+  EXPECT_LE(recovered_at - clear, Scenario().recovery_bound)
+      << Scenario().name << ": recovery took too long";
+}
+
+TEST_P(FaultChaosTest, FaultInjectedRunsAreDeterministic) {
+  const SessionResult a = Run(7);
+  const SessionResult b = Run(7);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.summary.latency_mean_ms, b.summary.latency_mean_ms);
+  EXPECT_EQ(a.summary.encoded_ssim_mean, b.summary.encoded_ssim_mean);
+  EXPECT_EQ(a.link_stats.packets_delivered, b.link_stats.packets_delivered);
+  EXPECT_EQ(a.link_stats.packets_duplicated, b.link_stats.packets_duplicated);
+  EXPECT_EQ(a.link_stats.packets_reordered, b.link_stats.packets_reordered);
+  EXPECT_EQ(a.breaker_stats.opens, b.breaker_stats.opens);
+  EXPECT_EQ(a.breaker_stats.recoveries, b.breaker_stats.recoveries);
+}
+
+TEST_P(FaultChaosTest, BreakerEngagesExactlyWhenFeedbackStarves) {
+  const SessionResult result = Run();
+  const FaultScenario scenario = Scenario();
+  if (scenario.starves_feedback) {
+    EXPECT_GE(result.breaker_stats.opens, 1) << scenario.name;
+    EXPECT_GE(result.breaker_stats.recoveries, 1)
+        << scenario.name << ": breaker never closed again";
+    EXPECT_GT(result.breaker_stats.time_open, TimeDelta::Zero());
+  } else {
+    // Benign-for-feedback faults must not trip the breaker.
+    EXPECT_EQ(result.breaker_stats.opens, 0) << scenario.name;
+  }
+  if (scenario.reaches_pause) {
+    EXPECT_GE(result.breaker_stats.pauses, 1) << scenario.name;
+    EXPECT_GT(result.summary.frames_dropped_sender, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemesAndFaults, FaultChaosTest,
+    ::testing::Combine(::testing::ValuesIn(kAllSchemes),
+                       ::testing::Range(0, 5)),
+    [](const ::testing::TestParamInfo<std::tuple<Scheme, int>>& info) {
+      std::string name =
+          ToString(std::get<0>(info.param)) + "_" +
+          Scenarios()[static_cast<size_t>(std::get<1>(info.param))].name;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace rave::rtc

@@ -1,0 +1,134 @@
+#include "fault/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rave::fault {
+namespace {
+
+TEST(FaultPlanTest, BuildersProduceValidatedEvents) {
+  FaultPlan plan;
+  plan.Outage(Timestamp::Seconds(10), TimeDelta::Seconds(2))
+      .FeedbackBlackhole(Timestamp::Seconds(20), TimeDelta::Seconds(3))
+      .DelaySpike(Timestamp::Seconds(30), TimeDelta::Seconds(2),
+                  TimeDelta::Millis(150))
+      .DuplicationBurst(Timestamp::Seconds(40), TimeDelta::Seconds(5), 0.2)
+      .ReorderBurst(Timestamp::Seconds(50), TimeDelta::Seconds(5), 0.2,
+                    TimeDelta::Millis(40));
+  ASSERT_EQ(plan.events().size(), 5u);
+  EXPECT_FALSE(plan.empty());
+  EXPECT_EQ(plan.LastClearTime(), Timestamp::Seconds(55));
+}
+
+TEST(FaultPlanTest, EmptyPlan) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.LastClearTime(), Timestamp::Zero());
+}
+
+TEST(FaultPlanTest, ValidationRejectsBadEvents) {
+  FaultPlan plan;
+  // Negative start.
+  EXPECT_THROW(plan.Outage(Timestamp::Seconds(-1), TimeDelta::Seconds(1)),
+               std::invalid_argument);
+  // Non-positive duration.
+  EXPECT_THROW(plan.Outage(Timestamp::Seconds(1), TimeDelta::Zero()),
+               std::invalid_argument);
+  // Probability outside [0,1].
+  EXPECT_THROW(
+      plan.DuplicationBurst(Timestamp::Seconds(1), TimeDelta::Seconds(1), 1.5),
+      std::invalid_argument);
+  EXPECT_THROW(plan.ReorderBurst(Timestamp::Seconds(1), TimeDelta::Seconds(1),
+                                 -0.1, TimeDelta::Millis(40)),
+               std::invalid_argument);
+  // Non-positive delay for spike/reorder.
+  EXPECT_THROW(plan.DelaySpike(Timestamp::Seconds(1), TimeDelta::Seconds(1),
+                               TimeDelta::Zero()),
+               std::invalid_argument);
+}
+
+TEST(FaultPlanTest, RejectsOverlappingSameKindWindows) {
+  FaultPlan plan;
+  plan.Outage(Timestamp::Seconds(10), TimeDelta::Seconds(5));
+  EXPECT_THROW(plan.Outage(Timestamp::Seconds(12), TimeDelta::Seconds(5)),
+               std::invalid_argument);
+  // Different kinds may overlap freely.
+  plan.FeedbackBlackhole(Timestamp::Seconds(12), TimeDelta::Seconds(5));
+  // Back-to-back same-kind windows (end == start) are fine.
+  plan.Outage(Timestamp::Seconds(15), TimeDelta::Seconds(1));
+  EXPECT_EQ(plan.events().size(), 3u);
+}
+
+TEST(FaultPlanTest, ParseSpecAllKinds) {
+  const FaultPlan plan = ParseFaultSpec(
+      "outage@10+2,blackhole@20+3,spike@30+2:150,dup@12+5:0.2,"
+      "reorder@40+5:0.2:40");
+  ASSERT_EQ(plan.events().size(), 5u);
+
+  const auto& e = plan.events();
+  EXPECT_EQ(e[0].kind, FaultKind::kLinkOutage);
+  EXPECT_EQ(e[0].start, Timestamp::Seconds(10));
+  EXPECT_EQ(e[0].duration, TimeDelta::Seconds(2));
+
+  EXPECT_EQ(e[1].kind, FaultKind::kFeedbackBlackhole);
+  EXPECT_EQ(e[2].kind, FaultKind::kDelaySpike);
+  EXPECT_EQ(e[2].delay, TimeDelta::Millis(150));
+
+  EXPECT_EQ(e[3].kind, FaultKind::kDuplication);
+  EXPECT_DOUBLE_EQ(e[3].magnitude, 0.2);
+
+  EXPECT_EQ(e[4].kind, FaultKind::kReorder);
+  EXPECT_DOUBLE_EQ(e[4].magnitude, 0.2);
+  EXPECT_EQ(e[4].delay, TimeDelta::Millis(40));
+}
+
+TEST(FaultPlanTest, ParseSpecFractionalTimes) {
+  const FaultPlan plan = ParseFaultSpec("outage@1.5+0.25");
+  ASSERT_EQ(plan.events().size(), 1u);
+  EXPECT_EQ(plan.events()[0].start, Timestamp::Millis(1500));
+  EXPECT_EQ(plan.events()[0].duration, TimeDelta::Millis(250));
+}
+
+TEST(FaultPlanTest, ParseSpecErrorsNameTheToken) {
+  // Unknown kind.
+  EXPECT_THROW(ParseFaultSpec("meteor@10+2"), std::invalid_argument);
+  // Missing '@'.
+  EXPECT_THROW(ParseFaultSpec("outage10+2"), std::invalid_argument);
+  // Missing '+DURATION'.
+  EXPECT_THROW(ParseFaultSpec("outage@10"), std::invalid_argument);
+  // Bad numbers.
+  EXPECT_THROW(ParseFaultSpec("outage@ten+2"), std::invalid_argument);
+  EXPECT_THROW(ParseFaultSpec("outage@10+nan"), std::invalid_argument);
+  // Missing required parameter.
+  EXPECT_THROW(ParseFaultSpec("spike@10+2"), std::invalid_argument);
+  EXPECT_THROW(ParseFaultSpec("reorder@10+2:0.2"), std::invalid_argument);
+  // Empty spec.
+  EXPECT_THROW(ParseFaultSpec(""), std::invalid_argument);
+  EXPECT_THROW(ParseFaultSpec(","), std::invalid_argument);
+  // Structural validation still applies to parsed events.
+  EXPECT_THROW(ParseFaultSpec("dup@10+2:1.7"), std::invalid_argument);
+  EXPECT_THROW(ParseFaultSpec("outage@10+2,outage@11+2"),
+               std::invalid_argument);
+
+  try {
+    ParseFaultSpec("outage@10+2,bogus@1+1");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("bogus@1+1"), std::string::npos);
+  }
+}
+
+TEST(FaultPlanTest, ToStringRoundTripsKinds) {
+  FaultPlan plan;
+  plan.Outage(Timestamp::Seconds(10), TimeDelta::Seconds(2))
+      .DelaySpike(Timestamp::Seconds(20), TimeDelta::Seconds(1),
+                  TimeDelta::Millis(150));
+  const std::string text = plan.ToString();
+  EXPECT_NE(text.find("outage@10s+2s"), std::string::npos);
+  EXPECT_NE(text.find("spike@20s+1s"), std::string::npos);
+  EXPECT_NE(text.find("150ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rave::fault

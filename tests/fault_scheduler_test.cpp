@@ -1,0 +1,224 @@
+#include "fault/fault_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "net/link.h"
+#include "sim/event_loop.h"
+
+namespace rave::fault {
+namespace {
+
+net::Packet MakePacket(int64_t media_seq) {
+  net::Packet p;
+  p.media_seq = media_seq;
+  p.size = DataSize::Bytes(1200);
+  return p;
+}
+
+// 10 Mbps link, 10 ms propagation: a 1200-byte packet serializes in ~1 ms.
+struct LinkFixture {
+  LinkFixture() {
+    net::Link::Config config;
+    config.trace =
+        net::CapacityTrace::Constant(DataRate::KilobitsPerSec(10'000));
+    config.propagation = TimeDelta::Millis(10);
+    link = std::make_unique<net::Link>(
+        loop, config, [this](const net::Packet& p, Timestamp at) {
+          arrivals.emplace_back(p.media_seq, at);
+        });
+  }
+
+  void SendAt(Timestamp at, int64_t media_seq) {
+    loop.ScheduleAt(at, [this, media_seq] { link->Send(MakePacket(media_seq)); });
+  }
+
+  EventLoop loop;
+  std::vector<std::pair<int64_t, Timestamp>> arrivals;
+  std::unique_ptr<net::Link> link;
+};
+
+TEST(FaultSchedulerTest, OutageBlocksDeliveryUntilRevert) {
+  LinkFixture fx;
+  FaultPlan plan;
+  plan.Outage(Timestamp::Millis(100), TimeDelta::Millis(200));
+  FaultScheduler scheduler(fx.loop, plan, fx.link.get(), nullptr);
+
+  fx.SendAt(Timestamp::Millis(50), 0);   // before the outage
+  fx.SendAt(Timestamp::Millis(150), 1);  // mid-outage: parked in the queue
+  fx.loop.RunFor(TimeDelta::Millis(500));
+
+  ASSERT_EQ(fx.arrivals.size(), 2u);
+  EXPECT_LT(fx.arrivals[0].second, Timestamp::Millis(100));
+  // Packet 1 cannot start serializing before the outage clears at t=300.
+  EXPECT_GE(fx.arrivals[1].second, Timestamp::Millis(300));
+  EXPECT_EQ(fx.link->stats().outages, 1);
+  EXPECT_EQ(scheduler.stats().faults_applied, 1);
+  EXPECT_EQ(scheduler.stats().faults_reverted, 1);
+  EXPECT_FALSE(scheduler.any_active());
+}
+
+TEST(FaultSchedulerTest, OutageFreezesInFlightPacketMidSerialization) {
+  LinkFixture fx;
+  // 100 kbps: a 1200-byte packet takes 96 ms to serialize.
+  net::Link::Config config;
+  config.trace = net::CapacityTrace::Constant(DataRate::KilobitsPerSec(100));
+  config.propagation = TimeDelta::Millis(10);
+  std::vector<Timestamp> arrivals;
+  net::Link slow(fx.loop, config,
+                 [&](const net::Packet&, Timestamp at) { arrivals.push_back(at); });
+
+  FaultPlan plan;
+  plan.Outage(Timestamp::Millis(50), TimeDelta::Millis(100));
+  FaultScheduler scheduler(fx.loop, plan, &slow, nullptr);
+
+  fx.loop.ScheduleAt(Timestamp::Zero(), [&] { slow.Send(MakePacket(0)); });
+  fx.loop.RunFor(TimeDelta::Millis(400));
+
+  // 50 ms served before the outage + 46 ms after it clears at t=150, plus
+  // 10 ms propagation: arrival at ~206 ms (blackout added exactly 100 ms).
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_GE(arrivals[0], Timestamp::Micros(205'990));
+  EXPECT_LE(arrivals[0], Timestamp::Micros(206'010));
+}
+
+TEST(FaultSchedulerTest, DelaySpikeAddsDelayAndPreservesOrder) {
+  LinkFixture fx;
+  FaultPlan plan;
+  plan.DelaySpike(Timestamp::Millis(100), TimeDelta::Millis(100),
+                  TimeDelta::Millis(80));
+  FaultScheduler scheduler(fx.loop, plan, fx.link.get(), nullptr);
+
+  fx.SendAt(Timestamp::Millis(50), 0);   // normal: ~10 ms propagation
+  fx.SendAt(Timestamp::Millis(150), 1);  // spiked: ~90 ms propagation
+  fx.SendAt(Timestamp::Millis(230), 2);  // after revert: would overtake
+  fx.loop.RunFor(TimeDelta::Millis(500));
+
+  ASSERT_EQ(fx.arrivals.size(), 3u);
+  EXPECT_EQ(fx.arrivals[0].first, 0);
+  EXPECT_GE(fx.arrivals[1].second, Timestamp::Millis(240));
+  // The in-order clamp: packet 2 (sent after the spike cleared) must not
+  // arrive before packet 1, which is still in flight with the extra delay.
+  EXPECT_EQ(fx.arrivals[1].first, 1);
+  EXPECT_EQ(fx.arrivals[2].first, 2);
+  EXPECT_GT(fx.arrivals[2].second, fx.arrivals[1].second);
+}
+
+TEST(FaultSchedulerTest, DuplicationDeliversCopies) {
+  LinkFixture fx;
+  FaultPlan plan;
+  plan.DuplicationBurst(Timestamp::Millis(100), TimeDelta::Millis(200), 1.0);
+  FaultScheduler scheduler(fx.loop, plan, fx.link.get(), nullptr);
+
+  fx.SendAt(Timestamp::Millis(50), 0);   // outside the window: no copy
+  fx.SendAt(Timestamp::Millis(150), 1);  // inside: duplicated
+  fx.loop.RunFor(TimeDelta::Millis(500));
+
+  ASSERT_EQ(fx.arrivals.size(), 3u);
+  EXPECT_EQ(fx.arrivals[0].first, 0);
+  EXPECT_EQ(fx.arrivals[1].first, 1);
+  EXPECT_EQ(fx.arrivals[2].first, 1);
+  EXPECT_GT(fx.arrivals[2].second, fx.arrivals[1].second);
+  EXPECT_EQ(fx.link->stats().packets_duplicated, 1);
+  // The link-level delivery counter counts unique packets.
+  EXPECT_EQ(fx.link->stats().packets_delivered, 2);
+}
+
+TEST(FaultSchedulerTest, ReorderBurstHoldsPacketsBackWithoutLoss) {
+  LinkFixture fx;
+  FaultPlan plan;
+  // Every packet in the window is held back up to 50 ms.
+  plan.ReorderBurst(Timestamp::Millis(100), TimeDelta::Millis(50), 1.0,
+                    TimeDelta::Millis(50));
+  FaultScheduler scheduler(fx.loop, plan, fx.link.get(), nullptr);
+
+  fx.SendAt(Timestamp::Millis(120), 0);  // held back
+  fx.SendAt(Timestamp::Millis(160), 1);  // after the window: normal
+  fx.loop.RunFor(TimeDelta::Millis(500));
+
+  ASSERT_EQ(fx.arrivals.size(), 2u);
+  EXPECT_EQ(fx.link->stats().packets_reordered, 1);
+}
+
+TEST(FaultSchedulerTest, FeedbackBlackholeDiscardsReverseTraffic) {
+  LinkFixture fx;
+  net::DelayPipe pipe(fx.loop, TimeDelta::Millis(25));
+  FaultPlan plan;
+  plan.FeedbackBlackhole(Timestamp::Millis(100), TimeDelta::Millis(200));
+  FaultScheduler scheduler(fx.loop, plan, fx.link.get(), &pipe);
+
+  int delivered = 0;
+  for (int64_t ms : {50, 150, 250, 350}) {
+    fx.loop.ScheduleAt(Timestamp::Millis(ms),
+                       [&] { pipe.Send([&] { ++delivered; }); });
+  }
+  fx.loop.RunFor(TimeDelta::Millis(500));
+
+  // The t=150 and t=250 sends fall into the blackhole window.
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(pipe.blackholed(), 2);
+}
+
+TEST(FaultSchedulerTest, NullPipeIgnoresFeedbackFaults) {
+  LinkFixture fx;
+  FaultPlan plan;
+  plan.FeedbackBlackhole(Timestamp::Millis(100), TimeDelta::Millis(100));
+  FaultScheduler scheduler(fx.loop, plan, fx.link.get(), nullptr);
+  fx.SendAt(Timestamp::Millis(150), 0);
+  fx.loop.RunFor(TimeDelta::Millis(400));
+  // Forward traffic unaffected; apply/revert still accounted.
+  EXPECT_EQ(fx.arrivals.size(), 1u);
+  EXPECT_EQ(scheduler.stats().faults_applied, 1);
+  EXPECT_EQ(scheduler.stats().faults_reverted, 1);
+}
+
+TEST(FaultSchedulerTest, AnyActiveTracksOpenWindows) {
+  LinkFixture fx;
+  FaultPlan plan;
+  plan.Outage(Timestamp::Millis(100), TimeDelta::Millis(100));
+  FaultScheduler scheduler(fx.loop, plan, fx.link.get(), nullptr);
+
+  fx.loop.RunFor(TimeDelta::Millis(50));
+  EXPECT_FALSE(scheduler.any_active());
+  fx.loop.RunFor(TimeDelta::Millis(100));  // now at t=150, mid-window
+  EXPECT_TRUE(scheduler.any_active());
+  EXPECT_TRUE(fx.link->outage());
+  fx.loop.RunFor(TimeDelta::Millis(100));  // t=250, cleared
+  EXPECT_FALSE(scheduler.any_active());
+  EXPECT_FALSE(fx.link->outage());
+}
+
+TEST(FaultSchedulerTest, FaultFreeLinkIsByteIdenticalWithHooksPresent) {
+  // The fault RNG must not be consumed when no dup/reorder window is active:
+  // a link with an (inactive) scheduler attached behaves identically to one
+  // without.
+  auto run = [](bool attach_scheduler) {
+    LinkFixture fx;
+    FaultPlan plan;
+    plan.Outage(Timestamp::Seconds(100), TimeDelta::Seconds(1));  // never hit
+    std::unique_ptr<FaultScheduler> scheduler;
+    if (attach_scheduler) {
+      scheduler = std::make_unique<FaultScheduler>(fx.loop, plan,
+                                                   fx.link.get(), nullptr);
+    }
+    for (int i = 0; i < 50; ++i) {
+      fx.SendAt(Timestamp::Millis(10 * i), i);
+    }
+    fx.loop.RunFor(TimeDelta::Seconds(2));
+    return fx.arrivals;
+  };
+  const auto without = run(false);
+  const auto with = run(true);
+  ASSERT_EQ(without.size(), with.size());
+  for (size_t i = 0; i < without.size(); ++i) {
+    EXPECT_EQ(without[i].first, with[i].first);
+    EXPECT_EQ(without[i].second, with[i].second);
+  }
+}
+
+}  // namespace
+}  // namespace rave::fault

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <string>
 
 namespace rave::net {
 namespace {
@@ -110,6 +112,85 @@ TEST(CapacityTraceTest, FileRoundTrip) {
 TEST(CapacityTraceTest, FromFileMissingThrows) {
   EXPECT_THROW(CapacityTrace::FromFile("/no/such/file.txt"),
                std::runtime_error);
+}
+
+class FromFileErrors : public ::testing::Test {
+ protected:
+  // Writes `content` to a temp trace file and returns its path.
+  std::string Write(const std::string& content) {
+    const std::string path = ::testing::TempDir() + "/bad_trace.txt";
+    std::ofstream out(path);
+    out << content;
+    return path;
+  }
+
+  // Loads `content` and returns the error message (empty = no throw).
+  std::string LoadError(const std::string& content) {
+    const std::string path = Write(content);
+    std::string what;
+    try {
+      CapacityTrace::FromFile(path);
+    } catch (const std::runtime_error& e) {
+      what = e.what();
+    }
+    std::remove(path.c_str());
+    return what;
+  }
+};
+
+TEST_F(FromFileErrors, MalformedLineNamesFileAndLine) {
+  const std::string what = LoadError("0 2500\nnot a number\n1 2000\n");
+  ASSERT_FALSE(what.empty());
+  EXPECT_NE(what.find(":2:"), std::string::npos) << what;
+  EXPECT_NE(what.find("bad_trace.txt"), std::string::npos) << what;
+}
+
+TEST_F(FromFileErrors, MissingRateRejected) {
+  EXPECT_NE(LoadError("0 2500\n1\n"), "");
+}
+
+TEST_F(FromFileErrors, TrailingGarbageRejected) {
+  // Silently ignoring a third column hides column-order mistakes.
+  EXPECT_NE(LoadError("0 2500 9999\n"), "");
+}
+
+TEST_F(FromFileErrors, NonFiniteValuesRejected) {
+  // `KilobitsPerSecF(NaN)` would be UB on the int64 conversion; the loader
+  // must reject it before it gets there.
+  EXPECT_NE(LoadError("0 nan\n"), "");
+  EXPECT_NE(LoadError("0 inf\n"), "");
+  EXPECT_NE(LoadError("nan 2500\n"), "");
+}
+
+TEST_F(FromFileErrors, NegativeTimeRejected) {
+  EXPECT_NE(LoadError("-1 2500\n0 2000\n"), "");
+}
+
+TEST_F(FromFileErrors, NonPositiveRateRejected) {
+  EXPECT_NE(LoadError("0 0\n"), "");
+  EXPECT_NE(LoadError("0 -100\n"), "");
+}
+
+TEST_F(FromFileErrors, EmptyOrCommentOnlyFileRejected) {
+  EXPECT_NE(LoadError(""), "");
+  EXPECT_NE(LoadError("# only comments\n\n# here\n"), "");
+}
+
+TEST_F(FromFileErrors, StructuralErrorsNameTheFile) {
+  // First step not at t=0: caught by the constructor, wrapped with the path.
+  const std::string what = LoadError("1 2500\n2 2000\n");
+  ASSERT_FALSE(what.empty());
+  EXPECT_NE(what.find("bad_trace.txt"), std::string::npos) << what;
+}
+
+TEST_F(FromFileErrors, CommentsAndBlankLinesStillFine) {
+  const std::string path = Write("# header\n\n0 2500  # inline comment\n"
+                                 "10.5 1250\n");
+  const auto trace = CapacityTrace::FromFile(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(trace.steps().size(), 2u);
+  EXPECT_EQ(trace.steps()[0].rate.kbps(), 2500);
+  EXPECT_EQ(trace.steps()[1].start, Timestamp::Millis(10'500));
 }
 
 }  // namespace

@@ -68,6 +68,33 @@ TEST(FrameAssemblerTest, DuplicatePacketsIgnored) {
   EXPECT_EQ(fx.completed[0].size.bits(), 2 * 9'600);
 }
 
+TEST(FrameAssemblerTest, DuplicateAfterCompletionDoesNotRefire) {
+  // A network-duplicated copy of the completing packet arrives after the
+  // frame already completed: no second completion, no resurrection.
+  AssemblerFixture fx;
+  fx.assembler->OnPacketReceived(MakePacket(0, 0, 2), Timestamp::Millis(10));
+  fx.assembler->OnPacketReceived(MakePacket(0, 1, 2), Timestamp::Millis(15));
+  ASSERT_EQ(fx.completed.size(), 1u);
+  fx.assembler->OnPacketReceived(MakePacket(0, 1, 2), Timestamp::Millis(18));
+  fx.assembler->OnPacketReceived(MakePacket(0, 0, 2), Timestamp::Millis(20));
+  EXPECT_EQ(fx.completed.size(), 1u);
+  EXPECT_EQ(fx.assembler->frames_completed(), 1);
+  EXPECT_EQ(fx.assembler->frames_pending(), 0u);
+  EXPECT_TRUE(fx.lost.empty());
+}
+
+TEST(FrameAssemblerTest, ReorderedPacketsStillCompleteFrame) {
+  // Packets of one frame arriving out of order (reordering fault) complete
+  // the frame at the last arrival regardless of index order.
+  AssemblerFixture fx;
+  fx.assembler->OnPacketReceived(MakePacket(0, 2, 3), Timestamp::Millis(10));
+  fx.assembler->OnPacketReceived(MakePacket(0, 0, 3), Timestamp::Millis(12));
+  fx.assembler->OnPacketReceived(MakePacket(0, 1, 3), Timestamp::Millis(14));
+  ASSERT_EQ(fx.completed.size(), 1u);
+  EXPECT_EQ(fx.completed[0].complete_time, Timestamp::Millis(14));
+  EXPECT_EQ(fx.completed[0].packets, 3);
+}
+
 TEST(FrameAssemblerTest, OutOfOrderCompletionAllowed) {
   // Frame 2 completes while frame 1 still waits for an RTX; frame 1 then
   // completes late — no spurious loss.

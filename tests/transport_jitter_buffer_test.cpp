@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "rtc/session.h"
 
 namespace rave::transport {
@@ -80,6 +82,27 @@ TEST(JitterBufferTest, DelayClampedToMax) {
     jb.OnFrameComplete(capture, capture + TimeDelta::Seconds(1));
   }
   EXPECT_LE(jb.current_delay(), TimeDelta::Millis(200));
+}
+
+TEST(JitterBufferTest, RenderTimesMonotoneUnderBurstyCompletions) {
+  // Duplication/reordering faults can complete several frames at the same
+  // instant (an RTX burst after an outage). Scheduled render times must
+  // still be usable: never before the completion the frame arrived at.
+  JitterBuffer jb;
+  Timestamp last_render = Timestamp::MinusInfinity();
+  for (int i = 0; i < 20; ++i) {
+    const Timestamp capture = Timestamp::Millis(33 * i);
+    // Frames 5..9 all complete in the same burst instant; later frames
+    // complete normally afterwards (fed in completion order).
+    Timestamp complete = capture + TimeDelta::Millis(60);
+    if (i >= 5 && i < 10) complete = Timestamp::Millis(400);
+    if (i >= 10) complete = std::max(complete, Timestamp::Millis(401));
+    const PlayoutDecision d = jb.OnFrameComplete(capture, complete);
+    EXPECT_GE(d.render_time, complete);
+    EXPECT_GT(d.render_time, last_render);  // frames display in order
+    last_render = d.render_time;
+  }
+  EXPECT_EQ(jb.frames(), 20);
 }
 
 TEST(JitterBufferIntegrationTest, RenderLatencyTracksNetworkStability) {

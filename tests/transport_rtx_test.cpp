@@ -43,6 +43,45 @@ TEST(RtxCacheTest, PrunesByAge) {
   EXPECT_TRUE(cache.Lookup(2, Timestamp::Millis(1500)).has_value());
 }
 
+TEST(RtxCacheTest, LookupAfterPruneStillServesFreshEntries) {
+  // A NACK burst arriving after the prune horizon moved must still be able
+  // to fetch every entry that survived, repeatedly (lookups don't consume).
+  RtxCache cache(TimeDelta::Seconds(1));
+  for (int64_t seq = 0; seq < 10; ++seq) {
+    cache.Insert(MakePacket(seq), Timestamp::Millis(100 * seq));
+  }
+  // At t=1500 entries inserted before t=500 (seqs 0..4) have aged out.
+  const Timestamp now = Timestamp::Millis(1500);
+  for (int64_t seq = 0; seq < 5; ++seq) {
+    EXPECT_FALSE(cache.Lookup(seq, now).has_value()) << "seq " << seq;
+  }
+  for (int64_t seq = 5; seq < 10; ++seq) {
+    ASSERT_TRUE(cache.Lookup(seq, now).has_value()) << "seq " << seq;
+    // Retried NACK for the same seq: the entry must still be there.
+    ASSERT_TRUE(cache.Lookup(seq, now).has_value()) << "seq " << seq;
+  }
+  EXPECT_EQ(cache.size(), 5u);
+}
+
+TEST(RtxCacheTest, ReinsertAfterFullPruneWorks) {
+  RtxCache cache(TimeDelta::Seconds(1));
+  cache.Insert(MakePacket(1), Timestamp::Zero());
+  EXPECT_FALSE(cache.Lookup(1, Timestamp::Seconds(5)).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  cache.Insert(MakePacket(1), Timestamp::Seconds(5));
+  EXPECT_TRUE(cache.Lookup(1, Timestamp::Seconds(5)).has_value());
+}
+
+TEST(RtxCacheTest, DuplicateInsertRefreshesEntry) {
+  // The same media seq sent again (e.g. an RTX of an RTX) refreshes the
+  // entry's age instead of creating a second one.
+  RtxCache cache(TimeDelta::Seconds(1));
+  cache.Insert(MakePacket(1), Timestamp::Zero());
+  cache.Insert(MakePacket(1), Timestamp::Millis(900));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.Lookup(1, Timestamp::Millis(1500)).has_value());
+}
+
 struct NackFixture {
   explicit NackFixture(NackGenerator::Config config = {}) {
     gen = std::make_unique<NackGenerator>(
@@ -117,6 +156,40 @@ TEST(NackGeneratorTest, NoNackBeforeInitialDelay) {
   EXPECT_TRUE(fx.batches.empty());
   fx.loop.RunFor(TimeDelta::Millis(30));
   EXPECT_FALSE(fx.batches.empty());
+}
+
+TEST(NackGeneratorTest, GiveUpFiresOncePerSeqAndDoesNotResurrect) {
+  NackGenerator::Config config;
+  config.initial_delay = TimeDelta::Millis(5);
+  config.retry_interval = TimeDelta::Millis(50);
+  config.max_retries = 2;
+  config.process_interval = TimeDelta::Millis(10);
+  NackFixture fx(config);
+  fx.gen->OnPacketReceived(MakePacket(0));
+  fx.gen->OnPacketReceived(MakePacket(4));  // 1, 2, 3 missing
+  fx.loop.RunFor(TimeDelta::Seconds(1));
+
+  // Every abandoned seq surfaces exactly once.
+  EXPECT_EQ(fx.given_up, (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_EQ(fx.gen->missing(), 0u);
+
+  // A duplicate/late copy of an abandoned seq must not resurrect it.
+  fx.gen->OnPacketReceived(MakePacket(2));
+  fx.loop.RunFor(TimeDelta::Seconds(1));
+  EXPECT_EQ(fx.given_up.size(), 3u);
+  EXPECT_EQ(fx.gen->missing(), 0u);
+}
+
+TEST(NackGeneratorTest, DuplicateArrivalsDoNotCreateGaps) {
+  NackFixture fx;
+  fx.gen->OnPacketReceived(MakePacket(0));
+  fx.gen->OnPacketReceived(MakePacket(1));
+  fx.gen->OnPacketReceived(MakePacket(1));  // duplicated in the network
+  fx.gen->OnPacketReceived(MakePacket(0));  // late duplicate
+  fx.gen->OnPacketReceived(MakePacket(2));
+  EXPECT_EQ(fx.gen->missing(), 0u);
+  fx.loop.RunFor(TimeDelta::Millis(100));
+  EXPECT_TRUE(fx.batches.empty());
 }
 
 TEST(NackGeneratorTest, IgnoresPacketsWithoutMediaSeq) {

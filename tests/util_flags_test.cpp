@@ -69,5 +69,21 @@ TEST(FlagsTest, LastValueWins) {
   EXPECT_EQ(flags.GetInt("seed", 0), 2);
 }
 
+TEST(FlagsTest, NonFiniteDoublesRejected) {
+  // std::stod happily parses "nan"/"inf"; no flag in this codebase means
+  // either, so they must fail loudly instead of poisoning downstream math.
+  const Flags flags = Parse({"--a=nan", "--b=inf", "--c=-inf", "--d=NAN"});
+  EXPECT_THROW(flags.GetDouble("a", 0.0), std::invalid_argument);
+  EXPECT_THROW(flags.GetDouble("b", 0.0), std::invalid_argument);
+  EXPECT_THROW(flags.GetDouble("c", 0.0), std::invalid_argument);
+  EXPECT_THROW(flags.GetDouble("d", 0.0), std::invalid_argument);
+}
+
+TEST(FlagsTest, OrdinaryDoublesStillParse) {
+  const Flags flags = Parse({"--x=-2.5", "--y=1e3"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("x", 0.0), -2.5);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("y", 0.0), 1000.0);
+}
+
 }  // namespace
 }  // namespace rave
