@@ -11,10 +11,16 @@
 // BENCH_runner.json so future PRs have a perf trajectory to compare
 // against.
 //
+// A hot-path section then measures the event loop's schedule/cancel/fire
+// throughput with manual timing and — when the build carries the
+// RAVE_ALLOC_PROBE option — the steady-state allocation counts per
+// event-loop cycle and per encoded frame, recorded in BENCH_hotpath.json.
+//
 // Flags: --jobs=N (parallel worker count, default hardware concurrency),
 //        --runner-sessions=N (matrix size, default 64),
 //        --runner-duration=S (simulated seconds per session, default 30),
 //        --json=PATH (default BENCH_runner.json; "-" disables),
+//        --hotpath-json=PATH (default BENCH_hotpath.json; "-" disables),
 //        --smoke (skip the google-benchmark loop, shrink the matrix),
 //        plus any --benchmark_* flag google-benchmark accepts.
 #include <benchmark/benchmark.h>
@@ -26,6 +32,7 @@
 #include <memory>
 #include <numeric>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cc/gcc.h"
@@ -34,8 +41,10 @@
 #include "codec/encoder.h"
 #include "common.h"
 #include "core/adaptive_rate_control.h"
+#include "rtc/session.h"
 #include "runner/parallel_runner.h"
 #include "sim/event_loop.h"
+#include "util/alloc_probe.h"
 #include "util/flags.h"
 #include "util/table.h"
 #include "video/video_source.h"
@@ -198,6 +207,126 @@ void BM_EventLoopScheduleCancel(benchmark::State& state) {
 }
 BENCHMARK(BM_EventLoopScheduleCancel)->Arg(256)->Arg(4096);
 
+double WallSeconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// --- hot-path section -------------------------------------------------
+
+struct HotpathStats {
+  double schedule_run_events_per_s = 0;
+  double schedule_cancel_events_per_s = 0;
+  double allocs_per_event = 0;
+  double allocs_per_frame = 0;
+  bool alloc_probe = false;
+};
+
+/// Manual (non-google-benchmark) timing of the event-loop hot paths plus the
+/// steady-state allocation rates the zero-allocation design promises. The
+/// allocation figures use a long-minus-short delta so construction and
+/// warm-up costs cancel; they read 0 when the build lacks RAVE_ALLOC_PROBE.
+HotpathStats MeasureHotpath(bool smoke) {
+  HotpathStats stats;
+  stats.alloc_probe = AllocProbeEnabled();
+  const int64_t batch = 4096;
+  const int rounds = smoke ? 50 : 500;
+
+  {
+    EventLoop loop;
+    loop.Reserve(static_cast<size_t>(batch));
+    int64_t sink = 0;
+    auto cycle = [&] {
+      for (int64_t i = 0; i < batch; ++i) {
+        loop.Schedule(TimeDelta::Micros(i % 97), [&sink] { ++sink; });
+      }
+      loop.RunAll();
+    };
+    cycle();  // warm-up
+    const auto start = std::chrono::steady_clock::now();
+    AllocScope scope;
+    for (int r = 0; r < rounds; ++r) cycle();
+    const double events = static_cast<double>(rounds) * batch;
+    stats.schedule_run_events_per_s = events / WallSeconds(start);
+    stats.allocs_per_event = static_cast<double>(scope.allocs()) / events;
+  }
+  {
+    EventLoop loop;
+    loop.Reserve(static_cast<size_t>(batch));
+    std::vector<EventHandle> handles;
+    handles.reserve(static_cast<size_t>(batch));
+    int64_t sink = 0;
+    auto cycle = [&] {
+      handles.clear();
+      for (int64_t i = 0; i < batch; ++i) {
+        handles.push_back(loop.Schedule(TimeDelta::Micros(100 + i % 97),
+                                        [&sink] { ++sink; }));
+      }
+      for (size_t i = 0; i < handles.size(); i += 2) loop.Cancel(handles[i]);
+      loop.RunAll();
+    };
+    cycle();  // warm-up
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < rounds; ++r) cycle();
+    stats.schedule_cancel_events_per_s =
+        static_cast<double>(rounds) * batch / WallSeconds(start);
+  }
+  if (stats.alloc_probe) {
+    auto session_allocs = [](double seconds) {
+      rtc::SessionConfig config;
+      config.duration = TimeDelta::SecondsF(seconds);
+      AllocScope scope;
+      const rtc::SessionResult result = rtc::RunSession(config);
+      return std::pair<uint64_t, size_t>(scope.allocs(), result.frames.size());
+    };
+    const auto [short_allocs, short_frames] =
+        session_allocs(smoke ? 3.0 : 5.0);
+    const auto [long_allocs, long_frames] = session_allocs(smoke ? 6.0 : 10.0);
+    if (long_allocs > short_allocs && long_frames > short_frames) {
+      stats.allocs_per_frame = static_cast<double>(long_allocs - short_allocs) /
+                               static_cast<double>(long_frames - short_frames);
+    }
+  }
+  return stats;
+}
+
+void RunHotpathSection(bool smoke, const std::string& json_path) {
+  const HotpathStats stats = MeasureHotpath(smoke);
+
+  std::cout << "\nEvent-loop hot path (manual timing, batch=4096"
+            << (stats.alloc_probe ? ", alloc probe on" : ", alloc probe OFF")
+            << ")\n\n";
+  Table table({"metric", "value"});
+  table.AddRow()
+      .Cell("schedule+fire (M events/s)")
+      .Cell(stats.schedule_run_events_per_s / 1e6, 2);
+  table.AddRow()
+      .Cell("schedule+cancel+fire (M events/s)")
+      .Cell(stats.schedule_cancel_events_per_s / 1e6, 2);
+  table.AddRow()
+      .Cell("allocations/event, steady state")
+      .Cell(stats.allocs_per_event, 4);
+  table.AddRow()
+      .Cell("allocations/frame, steady state")
+      .Cell(stats.allocs_per_frame, 2);
+  table.Print(std::cout);
+
+  if (json_path != "-") {
+    std::ofstream json(json_path);
+    json << "{\n"
+         << "  \"alloc_probe\": " << (stats.alloc_probe ? "true" : "false")
+         << ",\n"
+         << "  \"schedule_run_events_per_s\": "
+         << stats.schedule_run_events_per_s << ",\n"
+         << "  \"schedule_cancel_events_per_s\": "
+         << stats.schedule_cancel_events_per_s << ",\n"
+         << "  \"allocs_per_event\": " << stats.allocs_per_event << ",\n"
+         << "  \"allocs_per_frame\": " << stats.allocs_per_frame << "\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+}
+
 // --- throughput section -----------------------------------------------
 
 /// Deterministic session matrix for the throughput measurement: cycles
@@ -217,12 +346,6 @@ std::vector<rtc::SessionConfig> ThroughputMatrix(int sessions,
         /*seed=*/static_cast<uint64_t>(i) + 1));
   }
   return configs;
-}
-
-double WallSeconds(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
 }
 
 bool SameResults(const std::vector<rtc::SessionResult>& a,
@@ -312,8 +435,9 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);  // consumes --benchmark_* flags
   try {
     const rave::Flags flags(argc - 1, argv + 1);
-    for (const std::string& key : flags.UnknownKeys(
-             {"jobs", "runner-sessions", "runner-duration", "json", "smoke"})) {
+    for (const std::string& key :
+         flags.UnknownKeys({"jobs", "runner-sessions", "runner-duration",
+                            "json", "hotpath-json", "smoke"})) {
       std::cerr << "error: unknown flag --" << key
                 << "\nsee the header of bench/tab4_microbench.cpp\n";
       return 2;
@@ -326,8 +450,11 @@ int main(int argc, char** argv) {
         flags.GetDouble("runner-duration", smoke ? 12.0 : 30.0));
     const std::string json_path =
         flags.GetString("json", "BENCH_runner.json");
+    const std::string hotpath_json_path =
+        flags.GetString("hotpath-json", "BENCH_hotpath.json");
 
     if (!smoke) benchmark::RunSpecifiedBenchmarks();
+    rave::RunHotpathSection(smoke, hotpath_json_path);
     return rave::RunThroughputSection(sessions, duration, jobs, json_path);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

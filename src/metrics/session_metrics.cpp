@@ -5,19 +5,33 @@
 
 namespace rave::metrics {
 
+void SessionMetrics::Reserve(size_t expected_frames,
+                             size_t expected_timeseries) {
+  frames_.reserve(expected_frames);
+  timeseries_.reserve(expected_timeseries);
+}
+
 FrameRecord* SessionMetrics::Find(int64_t frame_id) {
-  auto it = index_.find(frame_id);
-  if (it == index_.end()) return nullptr;
-  return &frames_[it->second];
+  const int64_t idx = frame_id - base_frame_id_;
+  if (base_frame_id_ < 0 || idx < 0 ||
+      static_cast<size_t>(idx) >= frames_.size()) {
+    return nullptr;
+  }
+  FrameRecord* r = &frames_[static_cast<size_t>(idx)];
+  assert(r->frame_id == frame_id);
+  return r;
 }
 
 void SessionMetrics::OnFrameCaptured(int64_t frame_id,
                                      Timestamp capture_time) {
+  if (base_frame_id_ < 0) base_frame_id_ = frame_id;
+  // Capture ids must stay consecutive for base-offset lookup to hold.
+  assert(frame_id ==
+         base_frame_id_ + static_cast<int64_t>(frames_.size()));
   FrameRecord record;
   record.frame_id = frame_id;
   record.capture_time = capture_time;
   record.fate = FrameFate::kInFlight;
-  index_[frame_id] = frames_.size();
   frames_.push_back(record);
 }
 

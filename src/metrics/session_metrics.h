@@ -3,7 +3,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "metrics/frame_record.h"
@@ -74,6 +73,11 @@ struct SessionSummary {
 /// Collector owned by the session.
 class SessionMetrics {
  public:
+  /// Pre-allocates the frame and timeseries vectors. The session calls this
+  /// with duration x fps (and duration / timeseries interval), so steady-state
+  /// recording never reallocates.
+  void Reserve(size_t expected_frames, size_t expected_timeseries);
+
   /// Registers a captured frame (all frames pass through here first).
   void OnFrameCaptured(int64_t frame_id, Timestamp capture_time);
   /// Marks a frame dropped by the sender safety valve (never encoded).
@@ -104,7 +108,9 @@ class SessionMetrics {
   FrameRecord* Find(int64_t frame_id);
 
   std::vector<FrameRecord> frames_;
-  std::unordered_map<int64_t, size_t> index_;
+  /// Frame ids arrive consecutively from the capture path, so the record for
+  /// id x lives at frames_[x - base_frame_id_] — no hash map needed.
+  int64_t base_frame_id_ = -1;
   std::vector<TimeseriesPoint> timeseries_;
 };
 

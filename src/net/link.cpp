@@ -32,14 +32,14 @@ void Link::Send(Packet packet) {
     return;
   }
   queued_ += packet.size;
-  queue_.push_back(packet);
+  queue_.push_back(std::move(packet));
   if (!in_flight_) StartNext();
 }
 
 void Link::StartNext() {
   assert(!in_flight_);
   if (outage_ || queue_.empty()) return;
-  in_flight_ = queue_.front();
+  in_flight_ = std::move(queue_.front());
   queue_.pop_front();
   queued_ -= in_flight_->size;
   remaining_bits_ = static_cast<double>(in_flight_->size.bits());
@@ -190,7 +190,7 @@ DelayPipe::DelayPipe(EventLoop& loop, TimeDelta delay, double loss_rate,
       jitter_(jitter),
       rng_(seed) {}
 
-void DelayPipe::Send(std::function<void()> deliver) {
+void DelayPipe::Send(EventLoop::Callback deliver) {
   if (blackhole_) {
     ++blackholed_;
     return;

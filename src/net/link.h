@@ -8,14 +8,14 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <optional>
 
 #include "net/capacity_trace.h"
 #include "net/packet.h"
 #include "sim/event_loop.h"
 #include "sim/random_process.h"
+#include "util/inline_function.h"
+#include "util/ring_deque.h"
 #include "util/rng.h"
 #include "util/time.h"
 #include "util/units.h"
@@ -63,7 +63,7 @@ class Link {
     LossModel loss;
   };
 
-  using DeliveryCallback = std::function<void(const Packet&, Timestamp)>;
+  using DeliveryCallback = InlineFunction<void(const Packet&, Timestamp)>;
 
   Link(EventLoop& loop, Config config, DeliveryCallback on_delivery);
 
@@ -116,7 +116,7 @@ class Link {
   Config config_;
   DeliveryCallback on_delivery_;
 
-  std::deque<Packet> queue_;
+  RingDeque<Packet> queue_;
   DataSize queued_ = DataSize::Zero();
 
   std::optional<Packet> in_flight_;
@@ -150,8 +150,10 @@ class DelayPipe {
   DelayPipe(EventLoop& loop, TimeDelta delay, double loss_rate = 0.0,
             TimeDelta jitter = TimeDelta::Zero(), uint64_t seed = 99);
 
-  /// Schedules `deliver` after the pipe delay (unless lost).
-  void Send(std::function<void()> deliver);
+  /// Schedules `deliver` after the pipe delay (unless lost). The callback
+  /// type is the event loop's inline-storage closure, so feedback deliveries
+  /// never heap-allocate.
+  void Send(EventLoop::Callback deliver);
 
   /// Feedback blackhole: while on, every Send is silently discarded
   /// (counted in `blackholed()`). Data already in flight still arrives.

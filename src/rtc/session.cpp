@@ -41,6 +41,18 @@ Session::Session(SessionConfig config)
   // arrivals + timers); reserving up front keeps the heap allocation-free in
   // steady state.
   loop_.Reserve(1024);
+  // Size the metric sinks and per-packet bookkeeping for the whole session
+  // so steady-state recording never reallocates either.
+  const double duration_s = config_.duration.seconds();
+  const size_t expected_frames =
+      static_cast<size_t>(duration_s * config_.source.fps) + 4;
+  const size_t expected_points =
+      static_cast<size_t>(duration_s /
+                          config_.timeseries_interval.seconds()) +
+      4;
+  metrics_.Reserve(expected_frames, expected_points);
+  media_to_frame_.reserve(expected_frames * 4);  // a few packets per frame
+  packet_scratch_.reserve(64);
   // --- bandwidth estimator ---
   if (config_.scheme == Scheme::kAdaptiveOracle) {
     bwe_ = std::make_unique<cc::OracleBwe>(loop_, config_.link.trace);
@@ -88,7 +100,7 @@ Session::Session(SessionConfig config)
       loop_,
       transport::Pacer::Config{
           .initial_rate = config_.initial_rate * config_.pacing_factor},
-      [this](net::Packet p) { OnPacerSend(std::move(p)); });
+      [this](net::Packet&& p) { OnPacerSend(std::move(p)); });
 
   forward_link_ = std::make_unique<net::Link>(
       loop_, config_.link, [this](const net::Packet& p, Timestamp arrival) {
@@ -101,7 +113,7 @@ Session::Session(SessionConfig config)
 
   feedback_gen_ = std::make_unique<transport::FeedbackGenerator>(
       loop_, config_.feedback_interval,
-      [this](transport::FeedbackReport report) {
+      [this](transport::FeedbackReport&& report) {
         reverse_pipe_->Send([this, report = std::move(report)] {
           OnFeedbackAtSender(report);
         });
@@ -115,9 +127,10 @@ Session::Session(SessionConfig config)
   if (config_.enable_rtx) {
     nack_gen_ = std::make_unique<transport::NackGenerator>(
         loop_, transport::NackGenerator::Config{},
-        [this](transport::NackBatch batch) {
-          reverse_pipe_->Send(
-              [this, batch = std::move(batch)] { OnNackAtSender(batch); });
+        [this](const transport::NackBatch& batch) {
+          // The generator reuses its batch buffer, so the in-flight feedback
+          // message needs its own copy.
+          reverse_pipe_->Send([this, batch] { OnNackAtSender(batch); });
         },
         [this](int64_t media_seq) { OnNackGiveUp(media_seq); });
   }
@@ -160,7 +173,7 @@ DataRate Session::RtxRate() const {
     rtx_sent_.pop_front();
   }
   int64_t bits = 0;
-  for (const auto& [t, b] : rtx_sent_) bits += b;
+  for (size_t i = 0; i < rtx_sent_.size(); ++i) bits += rtx_sent_[i].second;
   return DataSize::Bits(bits) / kWindow;
 }
 
@@ -237,21 +250,24 @@ void Session::OnFrameTick() {
     source_.SetResolution(degradation_->resolution());
   }
 
-  std::vector<net::Packet> packets = packetizer_.Packetize(encoded);
-  for (const net::Packet& p : packets) {
-    media_to_frame_[p.media_seq] = p.frame_id;
+  packetizer_.Packetize(encoded, packet_scratch_);
+  for (const net::Packet& p : packet_scratch_) {
+    if (static_cast<size_t>(p.media_seq) >= media_to_frame_.size()) {
+      media_to_frame_.resize(static_cast<size_t>(p.media_seq) + 1, -1);
+    }
+    media_to_frame_[static_cast<size_t>(p.media_seq)] = p.frame_id;
   }
-  pacer_->Enqueue(std::move(packets));
+  pacer_->Enqueue(packet_scratch_);
 }
 
-void Session::OnPacerSend(net::Packet packet) {
+void Session::OnPacerSend(net::Packet&& packet) {
   packet.seq = next_transport_seq_++;
   history_.OnPacketSent(packet);
   if (config_.enable_rtx && !packet.is_retransmission && !packet.is_fec) {
     rtx_cache_.Insert(packet, loop_.now());
   }
   if (packet.is_retransmission) {
-    rtx_sent_.emplace_back(loop_.now(), packet.size.bits());
+    rtx_sent_.push_back({loop_.now(), packet.size.bits()});
   }
 
   // FEC: first transmissions of media close protection groups. The
@@ -268,7 +284,7 @@ void Session::OnPacerSend(net::Packet packet) {
   if (!recovery.empty()) {
     loop_.Schedule(TimeDelta::Zero(),
                    [this, recovery = std::move(recovery)]() mutable {
-                     pacer_->Enqueue(std::move(recovery));
+                     pacer_->Enqueue(recovery);
                    });
   }
 }
@@ -315,9 +331,13 @@ void Session::OnNackAtSender(const transport::NackBatch& batch) {
 }
 
 void Session::OnNackGiveUp(int64_t media_seq) {
-  auto it = media_to_frame_.find(media_seq);
-  if (it == media_to_frame_.end()) return;
-  assembler_->AbandonFrame(it->second);
+  if (media_seq < 0 ||
+      static_cast<size_t>(media_seq) >= media_to_frame_.size()) {
+    return;
+  }
+  const int64_t frame_id = media_to_frame_[static_cast<size_t>(media_seq)];
+  if (frame_id < 0) return;
+  assembler_->AbandonFrame(frame_id);
 }
 
 void Session::OnFeedbackAtSender(const transport::FeedbackReport& report) {

@@ -6,12 +6,11 @@
 // Sessions.
 #pragma once
 
-#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "cc/bwe.h"
 #include "cc/gcc.h"
@@ -36,6 +35,7 @@
 #include "transport/pacer.h"
 #include "transport/jitter_buffer.h"
 #include "transport/rtx.h"
+#include "util/ring_deque.h"
 #include "video/video_source.h"
 
 namespace rave::rtc {
@@ -128,7 +128,7 @@ class Session {
 
  private:
   void OnFrameTick();
-  void OnPacerSend(net::Packet packet);
+  void OnPacerSend(net::Packet&& packet);
   void OnPacketArrival(const net::Packet& packet, Timestamp arrival);
   void OnFeedbackAtSender(const transport::FeedbackReport& report);
   void OnNackAtSender(const transport::NackBatch& batch);
@@ -182,10 +182,14 @@ class Session {
   /// Transport-wide sequence space shared by first sends and RTX.
   int64_t next_transport_seq_ = 0;
   /// (send time, bits) of recent retransmissions for RtxRate().
-  mutable std::deque<std::pair<Timestamp, int64_t>> rtx_sent_;
+  mutable RingDeque<std::pair<Timestamp, int64_t>> rtx_sent_;
   /// Sender-side media-seq -> frame-id map (simulation bookkeeping for the
-  /// NACK give-up path).
-  std::unordered_map<int64_t, int64_t> media_to_frame_;
+  /// NACK give-up path). Media seqs are dense from 0, so this is a flat
+  /// vector indexed by seq (-1 = unknown).
+  std::vector<int64_t> media_to_frame_;
+  /// Reused packetizer output; capacity persists across frames so the
+  /// per-frame packetize -> enqueue path is allocation-free in steady state.
+  std::vector<net::Packet> packet_scratch_;
 
   std::unique_ptr<RepeatingTask> frame_task_;
   std::unique_ptr<RepeatingTask> timeseries_task_;

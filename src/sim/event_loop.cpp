@@ -1,6 +1,6 @@
 #include "sim/event_loop.h"
 
-#include <algorithm>
+#include <bit>
 #include <cassert>
 #include <utility>
 
@@ -8,55 +8,179 @@ namespace rave {
 
 void EventLoop::Reserve(size_t events) {
   heap_.reserve(events);
-  live_.reserve(events);
+  slots_.reserve(events);
+  free_slots_.reserve(events);
 }
 
-EventHandle EventLoop::Schedule(TimeDelta delay, std::function<void()> fn) {
+EventHandle EventLoop::Schedule(TimeDelta delay, Callback fn) {
   if (delay < TimeDelta::Zero()) delay = TimeDelta::Zero();
   return ScheduleAt(now_ + delay, std::move(fn));
 }
 
-EventHandle EventLoop::ScheduleAt(Timestamp at, std::function<void()> fn) {
+EventHandle EventLoop::ScheduleAt(Timestamp at, Callback fn) {
   assert(fn);
   if (at < now_) at = now_;
-  const uint64_t id = next_id_++;
-  heap_.push_back(Event{at, next_seq_++, id, std::move(fn)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  live_.insert(id);
+
+  uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<uint32_t>(slots_.size());
+    assert(slot < kSlotMask);
+    slots_.emplace_back();
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  assert(next_seq_ < (1ull << 40));
+  const uint64_t id = (next_seq_++ << kSlotBits) | slot;
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.id = id;
+
+  // Inside the window (at >= now_ >= wheel_base_us_) the event goes straight
+  // to its µs bucket; beyond it, to the overflow heap.
+  if (at.us() - wheel_base_us_ < kWheelSpanUs) {
+    BucketAppend(at.us() & (kWheelSpanUs - 1), slot);
+  } else {
+    HeapPush(Event{at, id});
+  }
+  ++live_count_;
   return EventHandle(id);
 }
 
 void EventLoop::Cancel(EventHandle handle) {
   if (!handle.valid()) return;
-  // Dropping the id from the live set is the whole cancellation; the heap
-  // entry becomes a tombstone discarded when it surfaces. Erase is a no-op
-  // (and leak-free) for events that already ran.
-  live_.erase(handle.id_);
+  const uint32_t slot = static_cast<uint32_t>(handle.id_ & kSlotMask);
+  if (slot >= slots_.size()) return;
+  Slot& s = slots_[slot];
+  // Stale id => the event already ran or was cancelled (and the slot
+  // possibly reused by a newer event, which must survive).
+  if (s.id != handle.id_) return;
+  // Destroy the captured state now; the bucket/heap entry becomes a
+  // tombstone whose slot is reclaimed when it surfaces.
+  s.fn = Callback();
+  s.id = 0;
+  --live_count_;
+}
+
+void EventLoop::HeapPush(const Event& e) {
+  size_t i = heap_.size();
+  heap_.push_back(e);
+  while (i > 0) {
+    const size_t parent = (i - 1) >> 2;
+    if (!Earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
 }
 
 EventLoop::Event EventLoop::PopTop() {
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Event ev = std::move(heap_.back());
+  const Event top = heap_.front();
+  const Event last = heap_.back();
   heap_.pop_back();
-  return ev;
+  const size_t n = heap_.size();
+  if (n > 0) {
+    // Sift `last` down from the root, early-exiting as soon as it is no
+    // later than every child of the current hole.
+    size_t i = 0;
+    for (;;) {
+      const size_t first = 4 * i + 1;
+      if (first >= n) break;
+      size_t best = first;
+      const size_t end = first + 4 < n ? first + 4 : n;
+      for (size_t c = first + 1; c < end; ++c) {
+        if (Earlier(heap_[c], heap_[best])) best = c;
+      }
+      if (!Earlier(heap_[best], last)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+  return top;
+}
+
+void EventLoop::BucketAppend(int64_t offset, uint32_t slot) {
+  slots_[slot].next = kNilSlot;
+  Bucket& b = wheel_[static_cast<size_t>(offset)];
+  if (b.tail == kNilSlot) {
+    b.head = slot;
+    occupied_[static_cast<size_t>(offset >> 6)] |= 1ull << (offset & 63);
+  } else {
+    slots_[b.tail].next = slot;
+  }
+  b.tail = slot;
+}
+
+void EventLoop::BucketPopHead(int64_t offset) {
+  Bucket& b = wheel_[static_cast<size_t>(offset)];
+  b.head = slots_[b.head].next;
+  if (b.head == kNilSlot) {
+    b.tail = kNilSlot;
+    occupied_[static_cast<size_t>(offset >> 6)] &= ~(1ull << (offset & 63));
+  }
+}
+
+int EventLoop::FindFirstOccupied() const {
+  for (size_t w = 0; w < kWheelWords; ++w) {
+    if (occupied_[w] != 0) {
+      return static_cast<int>(w * 64) + std::countr_zero(occupied_[w]);
+    }
+  }
+  return -1;
+}
+
+void EventLoop::AdvanceWheel(Timestamp horizon) {
+  wheel_base_us_ = horizon.us() & ~(kWheelSpanUs - 1);
+  while (!heap_.empty() && heap_.front().at.us() - wheel_base_us_ < kWheelSpanUs) {
+    const Event e = PopTop();
+    const uint32_t slot = static_cast<uint32_t>(e.id & kSlotMask);
+    if (slots_[slot].id != e.id) {
+      free_slots_.push_back(slot);  // cancelled while in overflow
+      continue;
+    }
+    BucketAppend(e.at.us() & (kWheelSpanUs - 1), slot);
+  }
 }
 
 bool EventLoop::PopAndRunNext(Timestamp until) {
-  while (!heap_.empty()) {
-    const Event& top = heap_.front();
-    if (live_.find(top.id) == live_.end()) {
-      PopTop();  // cancelled tombstone
+  for (;;) {
+    const int offset = FindFirstOccupied();
+    if (offset < 0) {
+      // Window exhausted: the next event (if any) lives in overflow.
+      if (heap_.empty()) return false;
+      const Event& top = heap_.front();
+      const uint32_t tslot = static_cast<uint32_t>(top.id & kSlotMask);
+      if (slots_[tslot].id != top.id) {
+        PopTop();  // cancelled tombstone
+        free_slots_.push_back(tslot);
+        continue;
+      }
+      if (top.at > until) return false;
+      AdvanceWheel(top.at);
       continue;
     }
-    if (top.at > until) return false;
-    Event ev = PopTop();
-    live_.erase(ev.id);
-    now_ = ev.at;
+    const uint32_t slot = wheel_[static_cast<size_t>(offset)].head;
+    Slot& s = slots_[slot];
+    if (s.id == 0) {
+      BucketPopHead(offset);  // cancelled tombstone
+      free_slots_.push_back(slot);
+      continue;
+    }
+    const Timestamp at = Timestamp::Micros(wheel_base_us_ + offset);
+    if (at > until) return false;
+    BucketPopHead(offset);
+    // Move the callback out before releasing: it may re-schedule (growing
+    // slots_) or cancel, and must be able to reuse this slot.
+    Callback fn = std::move(s.fn);
+    s.id = 0;
+    free_slots_.push_back(slot);
+    --live_count_;
+    now_ = at;
     ++events_executed_;
-    ev.fn();
+    fn();
     return true;
   }
-  return false;
 }
 
 void EventLoop::RunUntil(Timestamp until) {
@@ -68,7 +192,7 @@ void EventLoop::RunUntil(Timestamp until) {
 void EventLoop::RunAll() { RunUntil(Timestamp::PlusInfinity()); }
 
 RepeatingTask::RepeatingTask(EventLoop& loop, TimeDelta period,
-                             std::function<void()> fn)
+                             EventLoop::Callback fn)
     : loop_(loop), period_(period), fn_(std::move(fn)) {
   assert(period_ > TimeDelta::Zero());
   assert(fn_);

@@ -7,17 +7,20 @@
 // reproducible.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
 #include <vector>
 
+#include "util/inline_function.h"
 #include "util/time.h"
 
 namespace rave {
 
 /// Handle used to cancel a scheduled event. Default-constructed handles are
-/// inert.
+/// inert. The 64-bit id encodes (sequence number << 24 | slot index) into
+/// the loop's slot table; the sequence number is globally unique, so it acts
+/// as the slot's generation stamp — a stale handle (its event already ran or
+/// was cancelled, and the slot was reused) can never cancel a newer event.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -32,13 +35,38 @@ class EventHandle {
 
 /// Single-threaded discrete-event loop with µs resolution.
 ///
-/// The pending set is a binary heap over a plain vector (reservable, and
-/// events move out of it when they fire) plus a hash set of live event ids:
-/// Schedule, Cancel and the cancelled-event check on pop are all O(1)
-/// (amortized / expected), so cancel-heavy workloads (retransmission timers,
-/// repeating tasks) never degrade to linear scans.
+/// Allocation-free in steady state: callbacks live in fixed inline storage
+/// (`Callback`, an InlineFunction — oversized captures fail to compile) inside
+/// a reusable slot table, and liveness is an id stamp on the slot — Schedule,
+/// Cancel and the cancelled-event check on pop are two array reads with no
+/// hashing and no heap traffic.
+///
+/// The pending set is a timing wheel: a 1024 µs window of per-µs FIFO
+/// buckets (intrusive lists threaded through the slot table), with a 4-ary
+/// min-heap of 16-byte plain structs as overflow for events beyond the
+/// window. Short-horizon events — the per-packet hot path — schedule and
+/// fire in O(1) with no comparisons; long-horizon events pay one small heap
+/// push/pop and migrate into the wheel when the window advances. Two
+/// invariants make the pop order exactly (fire time, scheduling order):
+/// the window base only ever advances to the block containing the overflow
+/// minimum (so overflow events are always strictly later than every wheel
+/// event), and migration drains the heap in (at, seq) order before any
+/// direct insert can target the new window (so bucket FIFO order is
+/// scheduling order). Cancelled events destroy their callback immediately
+/// and leave a tombstone in their bucket or the heap, reclaimed when it
+/// surfaces.
+///
+/// Capacity limits (asserted in debug builds): at most 2^24 - 1 events
+/// pending at once, at most 2^40 events scheduled over the loop's lifetime.
 class EventLoop {
  public:
+  /// Inline storage budget for event closures. Sized for the largest hot
+  /// closure in the pipeline — `this` plus a 72-byte net::Packet captured by
+  /// value in the link delivery path (80 bytes) — with one word of headroom.
+  /// Anything bigger must capture by pointer/reference or shrink.
+  static constexpr size_t kCallbackCapacity = 88;
+  using Callback = InlineFunction<void(), kCallbackCapacity>;
+
   EventLoop() = default;
 
   EventLoop(const EventLoop&) = delete;
@@ -47,19 +75,22 @@ class EventLoop {
   /// Current simulation time. Starts at Timestamp::Zero().
   Timestamp now() const { return now_; }
 
-  /// Pre-allocates capacity for `events` pending events. Optional; callers
-  /// with a known steady-state event population can avoid heap regrowth.
+  /// Pre-allocates capacity for `events` concurrently pending events in
+  /// every internal structure: the event heap AND the liveness slot table
+  /// (slots + free list). After Reserve(n), a loop whose pending population
+  /// never exceeds n performs no allocations — Schedule/Cancel/pop are
+  /// guaranteed heap-traffic-free.
   void Reserve(size_t events);
 
   /// Schedules `fn` to run `delay` from now. Negative delays clamp to zero
   /// (the event still runs strictly after the current callback returns).
-  EventHandle Schedule(TimeDelta delay, std::function<void()> fn);
+  EventHandle Schedule(TimeDelta delay, Callback fn);
 
   /// Schedules `fn` at an absolute time; times in the past clamp to `now()`.
-  EventHandle ScheduleAt(Timestamp at, std::function<void()> fn);
+  EventHandle ScheduleAt(Timestamp at, Callback fn);
 
   /// Cancels a pending event. No-op if the event already ran or the handle is
-  /// inert.
+  /// inert or stale.
   void Cancel(EventHandle handle);
 
   /// Runs until the queue drains or simulation time reaches `until`
@@ -76,36 +107,85 @@ class EventLoop {
   /// Number of events executed so far (for tests/diagnostics).
   uint64_t events_executed() const { return events_executed_; }
   /// Number of events currently pending.
-  size_t pending() const { return live_.size(); }
+  size_t pending() const { return live_count_; }
 
  private:
+  /// Overflow-heap entry: trivially copyable, 16 bytes — four children share
+  /// one cache line, so the pop-path sift-down stays cheap even for deep
+  /// heaps. The callback lives in the slot table, not the heap. `id` packs
+  /// the monotone sequence number into the high 40 bits and the slot index
+  /// into the low 24, so comparing ids compares scheduling order directly.
   struct Event {
     Timestamp at;
-    uint64_t seq;
     uint64_t id;
-    std::function<void()> fn;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+  /// Strict total order: earlier fire time first, scheduling order breaking
+  /// ties. Because the order is total, the pop sequence is identical for any
+  /// heap arity — the 4-ary layout below is purely a cache optimization.
+  static bool Earlier(const Event& a, const Event& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.id < b.id;
+  }
+  /// Slot-table entry. `id` is the packed id of the current occupant, 0 when
+  /// the slot is free or cancelled. Since the sequence half of the id is
+  /// globally unique, an id mismatch identifies both stale handles and
+  /// tombstones — no per-slot generation counter (or wrap concern) is
+  /// needed. `next` threads the slot into its wheel bucket's FIFO list.
+  struct Slot {
+    Callback fn;
+    uint64_t id = 0;
+    uint32_t next = 0;
+  };
+  /// Wheel bucket: head/tail of the intrusive FIFO list of slots whose
+  /// events fire in this µs.
+  struct Bucket {
+    uint32_t head = kNilSlot;
+    uint32_t tail = kNilSlot;
   };
 
+  static constexpr uint64_t kSlotMask = 0xFFFFFFull;
+  static constexpr int kSlotBits = 24;
+  static constexpr uint32_t kNilSlot = 0xFFFFFFFFu;
+  /// Wheel window in µs (power of two; one bucket per µs).
+  static constexpr int64_t kWheelSpanUs = 1024;
+  static constexpr size_t kWheelWords = kWheelSpanUs / 64;
+
   bool PopAndRunNext(Timestamp until);
-  /// Removes the heap top and returns it. Cancelled tombstones stay in the
-  /// heap until they reach the top; `live_` tells them apart.
+  /// Sift-up insertion into the 4-ary overflow heap.
+  void HeapPush(const Event& e);
+  /// Removes the overflow-heap top and returns it.
   Event PopTop();
+  /// Appends `slot` to the bucket at `offset` within the window.
+  void BucketAppend(int64_t offset, uint32_t slot);
+  /// Unlinks the head of the bucket at `offset`, clearing its occupancy bit
+  /// when the bucket empties.
+  void BucketPopHead(int64_t offset);
+  /// Offset of the earliest occupied bucket, or -1 if the window is empty.
+  int FindFirstOccupied() const;
+  /// Jumps the window base to the block containing `horizon` (the overflow
+  /// minimum) and migrates every overflow event inside the new window into
+  /// its bucket, in (at, seq) order. Only legal while the window is empty.
+  void AdvanceWheel(Timestamp horizon);
 
   Timestamp now_ = Timestamp::Zero();
   uint64_t next_seq_ = 1;
-  uint64_t next_id_ = 1;
   uint64_t events_executed_ = 0;
-  /// Min-heap on (at, seq) maintained with std::push_heap/std::pop_heap.
+  size_t live_count_ = 0;
+  /// Start of the wheel window; always aligned to kWheelSpanUs and <= now_
+  /// whenever control is outside PopAndRunNext.
+  int64_t wheel_base_us_ = 0;
+  /// One FIFO bucket per µs of the window.
+  std::array<Bucket, kWheelSpanUs> wheel_{};
+  /// Occupancy bitmap over `wheel_` for O(1) earliest-bucket scans.
+  std::array<uint64_t, kWheelWords> occupied_{};
+  /// Implicit 4-ary min-heap on (at, seq) holding events beyond the window:
+  /// root at 0, children of i at 4i+1..4i+4.
   std::vector<Event> heap_;
-  /// Ids of scheduled-and-not-yet-run-or-cancelled events. An event found at
-  /// the heap top whose id is absent here was cancelled and is discarded.
-  std::unordered_set<uint64_t> live_;
+  /// Callback slots addressed by the low 24 handle bits, stamped with the
+  /// occupant's id.
+  std::vector<Slot> slots_;
+  /// Released slot indices available for reuse (LIFO).
+  std::vector<uint32_t> free_slots_;
 };
 
 /// Re-schedules a callback at a fixed period until stopped. The first firing
@@ -113,7 +193,7 @@ class EventLoop {
 class RepeatingTask {
  public:
   /// Creates a task bound to `loop` firing every `period`, invoking `fn`.
-  RepeatingTask(EventLoop& loop, TimeDelta period, std::function<void()> fn);
+  RepeatingTask(EventLoop& loop, TimeDelta period, EventLoop::Callback fn);
   ~RepeatingTask();
 
   RepeatingTask(const RepeatingTask&) = delete;
@@ -132,7 +212,7 @@ class RepeatingTask {
 
   EventLoop& loop_;
   TimeDelta period_;
-  std::function<void()> fn_;
+  EventLoop::Callback fn_;
   bool running_ = false;
   EventHandle pending_;
 };

@@ -15,11 +15,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <vector>
 
 #include "net/packet.h"
+#include "util/inline_function.h"
 #include "util/time.h"
 #include "util/units.h"
 
@@ -74,7 +74,7 @@ class FecEncoder {
 class FecDecoder {
  public:
   /// Called with each packet recovered by FEC (resynthesized metadata).
-  using RecoverCallback = std::function<void(const net::Packet&, Timestamp)>;
+  using RecoverCallback = InlineFunction<void(const net::Packet&, Timestamp)>;
 
   explicit FecDecoder(RecoverCallback on_recovered);
 

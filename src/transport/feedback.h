@@ -6,13 +6,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <optional>
 #include <vector>
 
 #include "net/packet.h"
 #include "sim/event_loop.h"
+#include "util/inline_function.h"
+#include "util/ring_deque.h"
 #include "util/time.h"
 #include "util/units.h"
 
@@ -37,7 +37,7 @@ struct FeedbackReport {
 /// Receiver component: buffers arrivals, flushes a report every interval.
 class FeedbackGenerator {
  public:
-  using SendCallback = std::function<void(FeedbackReport)>;
+  using SendCallback = InlineFunction<void(FeedbackReport&&)>;
 
   FeedbackGenerator(EventLoop& loop, TimeDelta interval, SendCallback send);
 
@@ -90,7 +90,7 @@ class SentPacketHistory {
   };
 
   TimeDelta window_;
-  std::deque<SentRecord> sent_;  // ordered by seq
+  RingDeque<SentRecord> sent_;  // ordered by seq
   DataSize in_flight_ = DataSize::Zero();
 };
 

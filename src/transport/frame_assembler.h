@@ -7,13 +7,13 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <set>
 #include <vector>
 
 #include "net/packet.h"
 #include "sim/event_loop.h"
+#include "util/inline_function.h"
 #include "util/time.h"
 #include "util/units.h"
 
@@ -38,8 +38,8 @@ class FrameAssembler {
     TimeDelta sweep_interval = TimeDelta::Millis(100);
   };
 
-  using FrameCallback = std::function<void(const CompleteFrame&)>;
-  using LossCallback = std::function<void(int64_t frame_id)>;
+  using FrameCallback = InlineFunction<void(const CompleteFrame&)>;
+  using LossCallback = InlineFunction<void(int64_t frame_id)>;
 
   FrameAssembler(EventLoop& loop, const Config& config,
                  FrameCallback on_frame, LossCallback on_frame_lost);

@@ -15,11 +15,12 @@ Pacer::Pacer(EventLoop& loop, const Config& config, SendCallback send)
   assert(rate_.bps() > 0);
 }
 
-void Pacer::Enqueue(std::vector<net::Packet> packets) {
+void Pacer::Enqueue(std::vector<net::Packet>& packets) {
   for (net::Packet& p : packets) {
     queued_ += p.size;
     queue_.push_back(std::move(p));
   }
+  packets.clear();
   MaybeSend();
 }
 

@@ -7,11 +7,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
+#include <vector>
 
 #include "net/packet.h"
 #include "sim/event_loop.h"
+#include "util/inline_function.h"
+#include "util/ring_deque.h"
 #include "util/time.h"
 #include "util/units.h"
 
@@ -27,15 +28,16 @@ class Pacer {
     TimeDelta burst = TimeDelta::Millis(40);
   };
 
-  using SendCallback = std::function<void(net::Packet)>;
+  using SendCallback = InlineFunction<void(net::Packet&&)>;
 
   Pacer(EventLoop& loop, const Config& config, SendCallback send);
 
   Pacer(const Pacer&) = delete;
   Pacer& operator=(const Pacer&) = delete;
 
-  /// Queues packets for paced transmission.
-  void Enqueue(std::vector<net::Packet> packets);
+  /// Queues packets for paced transmission, draining (but not deallocating)
+  /// the caller's vector so its capacity is reused for the next frame.
+  void Enqueue(std::vector<net::Packet>& packets);
 
   /// Queues a high-priority packet at the head of the queue (used for
   /// retransmissions, which must not wait behind fresh media).
@@ -61,7 +63,7 @@ class Pacer {
   DataRate rate_;
   TimeDelta burst_;
 
-  std::deque<net::Packet> queue_;
+  RingDeque<net::Packet> queue_;
   DataSize queued_ = DataSize::Zero();
   Timestamp next_send_time_ = Timestamp::Zero();
   EventHandle pending_;

@@ -9,16 +9,16 @@ Packetizer::Packetizer(const PacketizerConfig& config) : config_(config) {
   assert(config_.mtu_payload.bits() > 0);
 }
 
-std::vector<net::Packet> Packetizer::Packetize(
-    const codec::EncodedFrame& frame) {
-  std::vector<net::Packet> packets;
-  if (frame.skipped || frame.size.IsZero()) return packets;
+void Packetizer::Packetize(const codec::EncodedFrame& frame,
+                           std::vector<net::Packet>& out) {
+  out.clear();
+  if (frame.skipped || frame.size.IsZero()) return;
 
   const int64_t payload_bits = frame.size.bits();
   const int64_t mtu_bits = config_.mtu_payload.bits();
   const int count =
       static_cast<int>((payload_bits + mtu_bits - 1) / mtu_bits);
-  packets.reserve(static_cast<size_t>(count));
+  out.reserve(static_cast<size_t>(count));
 
   int64_t remaining = payload_bits;
   for (int i = 0; i < count; ++i) {
@@ -32,9 +32,8 @@ std::vector<net::Packet> Packetizer::Packetize(
     p.packets_in_frame = count;
     p.capture_time = frame.capture_time;
     p.keyframe = frame.type == codec::FrameType::kKey;
-    packets.push_back(p);
+    out.push_back(p);
   }
-  return packets;
 }
 
 }  // namespace rave::transport

@@ -26,8 +26,12 @@ class Packetizer {
  public:
   explicit Packetizer(const PacketizerConfig& config = {});
 
-  /// Splits `frame` into packets. Skipped frames yield no packets.
-  std::vector<net::Packet> Packetize(const codec::EncodedFrame& frame);
+  /// Splits `frame` into packets, appending to the caller-owned `out` after
+  /// clearing it. Skipped frames yield no packets. Taking the output vector
+  /// by reference lets the session reuse one scratch vector across frames,
+  /// so steady-state packetization never allocates.
+  void Packetize(const codec::EncodedFrame& frame,
+                 std::vector<net::Packet>& out);
 
   int64_t next_seq() const { return next_seq_; }
   const PacketizerConfig& config() const { return config_; }

@@ -1,5 +1,6 @@
 #include "transport/rtx.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -9,15 +10,45 @@ RtxCache::RtxCache(TimeDelta window) : window_(window) {}
 
 void RtxCache::Insert(const net::Packet& packet, Timestamp now) {
   if (packet.media_seq < 0) return;
-  by_seq_[packet.media_seq] = {packet, now};
+  if (ring_.empty()) {
+    base_seq_ = packet.media_seq;
+    ring_.push_back(Entry{packet, now, true});
+    ++valid_count_;
+  } else {
+    const int64_t idx = packet.media_seq - base_seq_;
+    if (idx < 0) {
+      // Older than anything cached (already pruned); monotone send order
+      // makes this unreachable in practice, and re-caching it would only
+      // produce an immediately-prunable entry.
+      return;
+    }
+    if (static_cast<size_t>(idx) < ring_.size()) {
+      Entry& e = ring_[static_cast<size_t>(idx)];
+      e.packet = packet;
+      e.sent = now;
+      if (!e.valid) {
+        e.valid = true;
+        ++valid_count_;
+      }
+    } else {
+      // Fill any seq gap with invalid placeholders so indexing stays direct.
+      while (ring_.size() < static_cast<size_t>(idx)) ring_.push_back(Entry{});
+      ring_.push_back(Entry{packet, now, true});
+      ++valid_count_;
+    }
+  }
   Prune(now);
 }
 
 std::optional<net::Packet> RtxCache::Lookup(int64_t media_seq, Timestamp now) {
   Prune(now);
-  auto it = by_seq_.find(media_seq);
-  if (it == by_seq_.end()) return std::nullopt;
-  net::Packet packet = it->second.first;
+  const int64_t idx = media_seq - base_seq_;
+  if (ring_.empty() || idx < 0 || static_cast<size_t>(idx) >= ring_.size()) {
+    return std::nullopt;
+  }
+  const Entry& e = ring_[static_cast<size_t>(idx)];
+  if (!e.valid) return std::nullopt;
+  net::Packet packet = e.packet;
   packet.is_retransmission = true;
   packet.seq = -1;  // fresh transport seq assigned on send
   packet.send_time = Timestamp::MinusInfinity();
@@ -25,9 +56,13 @@ std::optional<net::Packet> RtxCache::Lookup(int64_t media_seq, Timestamp now) {
 }
 
 void RtxCache::Prune(Timestamp now) {
-  while (!by_seq_.empty() &&
-         now - by_seq_.begin()->second.second > window_) {
-    by_seq_.erase(by_seq_.begin());
+  // Entries are in seq order and (placeholders aside) age order, exactly like
+  // the smallest-seq-first pruning of the old ordered map.
+  while (!ring_.empty() &&
+         (!ring_.front().valid || now - ring_.front().sent > window_)) {
+    if (ring_.front().valid) --valid_count_;
+    ring_.pop_front();
+    ++base_seq_;
   }
 }
 
@@ -40,16 +75,25 @@ NackGenerator::NackGenerator(EventLoop& loop, const Config& config,
       task_(loop, config.process_interval, [this] { Process(); }) {
   assert(send_);
   assert(give_up_);
+  missing_.reserve(64);
+  batch_scratch_.media_seqs.reserve(64);
+  abandoned_scratch_.reserve(64);
   task_.Start();
 }
 
 void NackGenerator::OnPacketReceived(const net::Packet& packet) {
   const int64_t seq = packet.media_seq;
   if (seq < 0) return;
-  missing_.erase(seq);  // an RTX (or late) arrival fills the gap
+  // An RTX (or late) arrival fills the gap.
+  auto it = std::lower_bound(
+      missing_.begin(), missing_.end(), seq,
+      [](const MissingEntry& e, int64_t s) { return e.seq < s; });
+  if (it != missing_.end() && it->seq == seq) missing_.erase(it);
   if (seq > highest_seen_) {
+    // New gaps have seqs above every tracked entry, so appending keeps the
+    // vector sorted.
     for (int64_t s = highest_seen_ + 1; s < seq; ++s) {
-      missing_[s] = MissingEntry{.first_seen = loop_.now()};
+      missing_.push_back(MissingEntry{.seq = s, .first_seen = loop_.now()});
     }
     highest_seen_ = seq;
   }
@@ -57,30 +101,37 @@ void NackGenerator::OnPacketReceived(const net::Packet& packet) {
 
 void NackGenerator::Process() {
   const Timestamp now = loop_.now();
-  NackBatch batch;
-  std::vector<int64_t> abandoned;
+  batch_scratch_.media_seqs.clear();
+  abandoned_scratch_.clear();
 
-  for (auto& [seq, entry] : missing_) {
+  for (MissingEntry& entry : missing_) {
     if (now - entry.first_seen < config_.initial_delay) continue;
     if (entry.retries >= config_.max_retries) {
-      abandoned.push_back(seq);
+      abandoned_scratch_.push_back(entry.seq);
       continue;
     }
     if (entry.last_nack.IsMinusInfinity() ||
         now - entry.last_nack >= config_.retry_interval) {
-      batch.media_seqs.push_back(seq);
+      batch_scratch_.media_seqs.push_back(entry.seq);
       entry.last_nack = now;
       ++entry.retries;
     }
   }
 
-  for (int64_t seq : abandoned) {
-    missing_.erase(seq);
-    give_up_(seq);
+  if (!abandoned_scratch_.empty()) {
+    missing_.erase(
+        std::remove_if(missing_.begin(), missing_.end(),
+                       [this](const MissingEntry& e) {
+                         return std::binary_search(abandoned_scratch_.begin(),
+                                                   abandoned_scratch_.end(),
+                                                   e.seq);
+                       }),
+        missing_.end());
+    for (int64_t seq : abandoned_scratch_) give_up_(seq);
   }
-  if (!batch.media_seqs.empty()) {
-    nacks_sent_ += static_cast<int64_t>(batch.media_seqs.size());
-    send_(std::move(batch));
+  if (!batch_scratch_.media_seqs.empty()) {
+    nacks_sent_ += static_cast<int64_t>(batch_scratch_.media_seqs.size());
+    send_(batch_scratch_);
   }
 }
 

@@ -6,41 +6,58 @@
 //     and emits NACK batches, retrying with backoff and giving up after a
 //     bounded number of attempts (at which point the frame is unrecoverable
 //     and the loss surfaces to the assembler/PLI path).
+//
+// Both exploit the monotone media sequence space for flat storage: the cache
+// is a ring indexed by (media_seq - front seq), the missing set a sorted
+// flat vector — no node-based containers, no per-packet allocation once the
+// rings reach steady-state capacity.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <map>
 #include <optional>
 #include <vector>
 
 #include "net/packet.h"
 #include "sim/event_loop.h"
+#include "util/inline_function.h"
+#include "util/ring_deque.h"
 #include "util/time.h"
 
 namespace rave::transport {
 
 /// Sender-side cache of recently sent media packets, keyed by media seq.
+/// Media sequence numbers are assigned monotonically and first transmissions
+/// leave the pacer in order, so the cache is a contiguous ring: insert
+/// appends at the back, prune pops from the front, lookup is an array index.
 class RtxCache {
  public:
   /// Packets older than `window` are pruned.
   explicit RtxCache(TimeDelta window = TimeDelta::Seconds(2));
 
-  /// Stores a packet as it is first sent.
+  /// Stores a packet as it is first sent. Re-inserting a cached seq
+  /// refreshes the entry (age included).
   void Insert(const net::Packet& packet, Timestamp now);
 
   /// Fetches a packet for retransmission; nullopt if it aged out. The
   /// returned packet is flagged `is_retransmission` with `seq` reset.
   std::optional<net::Packet> Lookup(int64_t media_seq, Timestamp now);
 
-  size_t size() const { return by_seq_.size(); }
+  size_t size() const { return valid_count_; }
 
  private:
+  struct Entry {
+    net::Packet packet;
+    Timestamp sent = Timestamp::MinusInfinity();
+    bool valid = false;
+  };
+
   void Prune(Timestamp now);
 
   TimeDelta window_;
-  std::map<int64_t, std::pair<net::Packet, Timestamp>> by_seq_;
+  /// Entry i holds media seq `base_seq_ + i`; gap seqs are invalid entries.
+  RingDeque<Entry> ring_;
+  int64_t base_seq_ = 0;
+  size_t valid_count_ = 0;
 };
 
 /// One NACK message: media sequence numbers the receiver is missing.
@@ -62,9 +79,9 @@ class NackGenerator {
     TimeDelta process_interval = TimeDelta::Millis(20);
   };
 
-  using SendCallback = std::function<void(NackBatch)>;
+  using SendCallback = InlineFunction<void(const NackBatch&)>;
   /// Invoked when a media seq is abandoned (retries exhausted).
-  using GiveUpCallback = std::function<void(int64_t media_seq)>;
+  using GiveUpCallback = InlineFunction<void(int64_t media_seq)>;
 
   NackGenerator(EventLoop& loop, const Config& config, SendCallback send,
                 GiveUpCallback give_up);
@@ -79,6 +96,7 @@ class NackGenerator {
   void Process();
 
   struct MissingEntry {
+    int64_t seq = -1;
     Timestamp first_seen;
     Timestamp last_nack = Timestamp::MinusInfinity();
     int retries = 0;
@@ -90,7 +108,14 @@ class NackGenerator {
   GiveUpCallback give_up_;
   RepeatingTask task_;
   int64_t highest_seen_ = -1;
-  std::map<int64_t, MissingEntry> missing_;
+  /// Sorted by seq: new gaps append at the back (monotone), arrivals erase
+  /// in place. Small in steady state (bounded by the retry/give-up horizon).
+  std::vector<MissingEntry> missing_;
+  /// Reused across Process() calls so flushing never allocates in steady
+  /// state (the NackBatch handed to `send_` is const& and copied only if the
+  /// receiver keeps it).
+  NackBatch batch_scratch_;
+  std::vector<int64_t> abandoned_scratch_;
   int64_t nacks_sent_ = 0;
 };
 

@@ -1,0 +1,106 @@
+#include "util/alloc_probe.h"
+
+#ifdef RAVE_ALLOC_PROBE
+
+#include <cstdlib>
+#include <new>
+
+namespace rave::detail {
+namespace {
+thread_local AllocCounts t_counts;
+}  // namespace
+
+void* CountedAlloc(std::size_t size) {
+  ++t_counts.allocs;
+  t_counts.bytes += size;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t alignment) {
+  ++t_counts.allocs;
+  t_counts.bytes += size;
+  // aligned_alloc requires size to be a multiple of alignment.
+  const std::size_t padded = (size + alignment - 1) / alignment * alignment;
+  void* p = std::aligned_alloc(alignment, padded);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void CountedFree(void* p) {
+  if (p == nullptr) return;
+  ++t_counts.frees;
+  std::free(p);
+}
+
+}  // namespace rave::detail
+
+namespace rave {
+AllocCounts ThreadAllocCounts() { return detail::t_counts; }
+}  // namespace rave
+
+// Replaceable global allocation functions. Defined here (in rave_util) so
+// every binary that references ThreadAllocCounts — the unit tests and
+// tab4_microbench — links the counting versions program-wide.
+void* operator new(std::size_t size) { return rave::detail::CountedAlloc(size); }
+void* operator new[](std::size_t size) {
+  return rave::detail::CountedAlloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return rave::detail::CountedAlignedAlloc(size,
+                                           static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return rave::detail::CountedAlignedAlloc(size,
+                                           static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return rave::detail::CountedAlloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return rave::detail::CountedAlloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { rave::detail::CountedFree(p); }
+void operator delete[](void* p) noexcept { rave::detail::CountedFree(p); }
+void operator delete(void* p, std::size_t) noexcept {
+  rave::detail::CountedFree(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  rave::detail::CountedFree(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  rave::detail::CountedFree(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  rave::detail::CountedFree(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  rave::detail::CountedFree(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  rave::detail::CountedFree(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  rave::detail::CountedFree(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  rave::detail::CountedFree(p);
+}
+
+#else  // !RAVE_ALLOC_PROBE
+
+namespace rave {
+AllocCounts ThreadAllocCounts() { return AllocCounts{}; }
+}  // namespace rave
+
+#endif  // RAVE_ALLOC_PROBE

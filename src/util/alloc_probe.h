@@ -1,0 +1,52 @@
+// Allocation-counting probe: when the build defines RAVE_ALLOC_PROBE (CMake
+// option, ON by default), the global `operator new`/`operator delete` are
+// replaced with versions that bump thread-local counters before deferring to
+// malloc/free. The counters are how the allocation-regression gate
+// (`tests/hotpath_alloc_test.cpp`) proves the event-loop steady state is
+// allocation-free, and how `tab4_microbench` reports allocations-per-event /
+// allocations-per-frame in BENCH_hotpath.json.
+//
+// Cost when enabled: one predicted branch + two thread-local increments per
+// allocation, no behavioural change. Counters are per-thread, so parallel
+// session runners don't contend and a test observes only its own thread.
+#pragma once
+
+#include <cstdint>
+
+namespace rave {
+
+/// Snapshot of this thread's allocation activity since thread start.
+struct AllocCounts {
+  uint64_t allocs = 0;  ///< operator new calls
+  uint64_t frees = 0;   ///< operator delete calls (non-null)
+  uint64_t bytes = 0;   ///< total bytes requested through operator new
+};
+
+/// True when the counting operator new/delete are compiled in.
+constexpr bool AllocProbeEnabled() {
+#ifdef RAVE_ALLOC_PROBE
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Current counters for the calling thread (all-zero when the probe is
+/// compiled out).
+AllocCounts ThreadAllocCounts();
+
+/// Convenience delta-meter: construct at the start of the measured region,
+/// call `allocs()` / `bytes()` at the end.
+class AllocScope {
+ public:
+  AllocScope() : start_(ThreadAllocCounts()) {}
+
+  uint64_t allocs() const { return ThreadAllocCounts().allocs - start_.allocs; }
+  uint64_t frees() const { return ThreadAllocCounts().frees - start_.frees; }
+  uint64_t bytes() const { return ThreadAllocCounts().bytes - start_.bytes; }
+
+ private:
+  AllocCounts start_;
+};
+
+}  // namespace rave

@@ -1,0 +1,128 @@
+// Move-only callable wrapper with fixed inline storage — the hot-path
+// replacement for `std::function` in the event loop and transport callback
+// chain. A `std::function` type-erases through the heap whenever the capture
+// outgrows its (implementation-defined, ~16 byte) small buffer; an
+// `InlineFunction<Sig, N>` stores the callable in N bytes inside the object
+// itself and *refuses to compile* when the capture does not fit, so
+// constructing, moving and destroying one never allocates.
+//
+// Semantics:
+//   * move-only (captured state moves with the wrapper; no shared ownership),
+//   * oversized or over-aligned callables are rejected at compile time
+//     (deleted constructor, so `std::is_constructible_v` is testable),
+//   * invoking an empty InlineFunction aborts (in every build type),
+//   * trivially-copyable captures move by memcpy, others by move-construct.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rave {
+
+template <typename Signature, size_t Capacity = 64>
+class InlineFunction;
+
+template <typename R, typename... Args, size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+ public:
+  static constexpr size_t kCapacity = Capacity;
+
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT(runtime/explicit)
+
+  /// Wraps any callable whose decayed type fits the inline storage.
+  template <typename F, typename D = std::decay_t<F>,
+            std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                 std::is_invocable_r_v<R, D&, Args...> &&
+                                 sizeof(D) <= Capacity &&
+                                 alignof(D) <= alignof(std::max_align_t),
+                             int> = 0>
+  InlineFunction(F&& f) {  // NOLINT(runtime/explicit)
+    static_assert(sizeof(D) <= Capacity,
+                  "InlineFunction capture exceeds the inline storage budget");
+    ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+    invoke_ = &Invoke<D>;
+    manage_ = &Manage<D>;
+  }
+
+  /// Oversized / over-aligned captures: compile-time rejection. Shrink the
+  /// capture (capture pointers, not values) or widen the wrapper's Capacity.
+  template <typename F, typename D = std::decay_t<F>,
+            std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                 std::is_invocable_r_v<R, D&, Args...> &&
+                                 !(sizeof(D) <= Capacity &&
+                                   alignof(D) <= alignof(std::max_align_t)),
+                             int> = 0>
+  InlineFunction(F&&) = delete;
+
+  InlineFunction(InlineFunction&& other) noexcept { MoveFrom(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { Reset(); }
+
+  explicit operator bool() const { return manage_ != nullptr; }
+
+  R operator()(Args... args) {
+    return invoke_(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  enum class Op { kMoveTo, kDestroy };
+  using InvokeFn = R (*)(void*, Args&&...);
+  using ManageFn = void (*)(void* self, void* dst, Op op);
+
+  [[noreturn]] static R AbortInvoke(void*, Args&&...) { std::abort(); }
+
+  template <typename D>
+  static R Invoke(void* storage, Args&&... args) {
+    return (*static_cast<D*>(storage))(std::forward<Args>(args)...);
+  }
+
+  template <typename D>
+  static void Manage(void* self, void* dst, Op op) {
+    D* f = static_cast<D*>(self);
+    if constexpr (std::is_trivially_copyable_v<D> &&
+                  std::is_trivially_destructible_v<D>) {
+      if (op == Op::kMoveTo) std::memcpy(dst, self, sizeof(D));
+    } else {
+      if (op == Op::kMoveTo) ::new (dst) D(std::move(*f));
+      f->~D();
+    }
+  }
+
+  void MoveFrom(InlineFunction& other) noexcept {
+    if (other.manage_ == nullptr) return;
+    other.manage_(other.storage_, storage_, Op::kMoveTo);
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    other.invoke_ = &AbortInvoke;
+    other.manage_ = nullptr;
+  }
+
+  void Reset() {
+    if (manage_ == nullptr) return;
+    manage_(storage_, nullptr, Op::kDestroy);
+    invoke_ = &AbortInvoke;
+    manage_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  InvokeFn invoke_ = &AbortInvoke;
+  ManageFn manage_ = nullptr;
+};
+
+}  // namespace rave

@@ -1,0 +1,125 @@
+// Flat double-ended queue over a single contiguous power-of-two ring buffer.
+// The hot-path replacement for `std::deque` (which allocates/frees a block
+// every few dozen elements) and node-based `std::map` queues in the transport
+// layer: after `reserve()` — or once the ring has grown to the steady-state
+// population — push/pop at either end never allocates.
+//
+// Requirements on T: default-constructible and movable (popped slots keep a
+// moved-from T; the element count is tracked separately). Indexing is
+// logical: `dq[0]` is the front.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace rave {
+
+template <typename T>
+class RingDeque {
+ public:
+  RingDeque() = default;
+
+  bool empty() const { return count_ == 0; }
+  size_t size() const { return count_; }
+  size_t capacity() const { return slots_.size(); }
+
+  /// Pre-allocates capacity for at least `n` elements (rounded up to a power
+  /// of two). Never shrinks.
+  void reserve(size_t n) {
+    if (n > slots_.size()) Grow(RoundUpPow2(n));
+  }
+
+  void clear() {
+    // Release element-owned resources eagerly (moved-from slots stay).
+    for (size_t i = 0; i < count_; ++i) Slot(i) = T{};
+    head_ = 0;
+    count_ = 0;
+  }
+
+  void push_back(T value) {
+    if (count_ == slots_.size()) Grow(NextCapacity());
+    Slot(count_) = std::move(value);
+    ++count_;
+  }
+
+  void push_front(T value) {
+    if (count_ == slots_.size()) Grow(NextCapacity());
+    head_ = (head_ + slots_.size() - 1) & mask_;
+    slots_[head_] = std::move(value);
+    ++count_;
+  }
+
+  void pop_front() {
+    assert(count_ > 0);
+    slots_[head_] = T{};  // release resources; slot stays constructed
+    head_ = (head_ + 1) & mask_;
+    --count_;
+  }
+
+  void pop_back() {
+    assert(count_ > 0);
+    Slot(count_ - 1) = T{};
+    --count_;
+  }
+
+  T& front() {
+    assert(count_ > 0);
+    return slots_[head_];
+  }
+  const T& front() const {
+    assert(count_ > 0);
+    return slots_[head_];
+  }
+  T& back() {
+    assert(count_ > 0);
+    return Slot(count_ - 1);
+  }
+  const T& back() const {
+    assert(count_ > 0);
+    return Slot(count_ - 1);
+  }
+
+  T& operator[](size_t i) {
+    assert(i < count_);
+    return Slot(i);
+  }
+  const T& operator[](size_t i) const {
+    assert(i < count_);
+    return Slot(i);
+  }
+
+ private:
+  static size_t RoundUpPow2(size_t n) {
+    size_t cap = 1;
+    while (cap < n) cap <<= 1;
+    return cap;
+  }
+
+  size_t NextCapacity() const {
+    return slots_.empty() ? kInitialCapacity : slots_.size() * 2;
+  }
+
+  T& Slot(size_t logical) { return slots_[(head_ + logical) & mask_]; }
+  const T& Slot(size_t logical) const {
+    return slots_[(head_ + logical) & mask_];
+  }
+
+  void Grow(size_t new_capacity) {
+    std::vector<T> grown(new_capacity);
+    for (size_t i = 0; i < count_; ++i) grown[i] = std::move(Slot(i));
+    slots_ = std::move(grown);
+    head_ = 0;
+    mask_ = slots_.size() - 1;
+  }
+
+  static constexpr size_t kInitialCapacity = 16;
+
+  std::vector<T> slots_;
+  size_t head_ = 0;
+  size_t count_ = 0;
+  size_t mask_ = 0;
+};
+
+}  // namespace rave

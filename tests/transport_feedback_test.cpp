@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 namespace rave::transport {
@@ -19,7 +20,7 @@ TEST(FeedbackGeneratorTest, FlushesAtInterval) {
   EventLoop loop;
   std::vector<FeedbackReport> reports;
   FeedbackGenerator gen(loop, TimeDelta::Millis(50),
-                        [&](FeedbackReport r) { reports.push_back(r); });
+                        [&](FeedbackReport&& r) { reports.push_back(std::move(r)); });
   gen.OnPacketReceived(MakePacket(0), Timestamp::Millis(5));
   gen.OnPacketReceived(MakePacket(1), Timestamp::Millis(10));
   loop.RunFor(TimeDelta::Millis(60));
@@ -33,7 +34,7 @@ TEST(FeedbackGeneratorTest, EmptyIntervalsProduceNoReport) {
   EventLoop loop;
   int reports = 0;
   FeedbackGenerator gen(loop, TimeDelta::Millis(50),
-                        [&](FeedbackReport) { ++reports; });
+                        [&](FeedbackReport&&) { ++reports; });
   loop.RunFor(TimeDelta::Seconds(1));
   EXPECT_EQ(reports, 0);
 }
@@ -42,7 +43,7 @@ TEST(FeedbackGeneratorTest, HighestSeqSticksAcrossReports) {
   EventLoop loop;
   std::vector<FeedbackReport> reports;
   FeedbackGenerator gen(loop, TimeDelta::Millis(50),
-                        [&](FeedbackReport r) { reports.push_back(r); });
+                        [&](FeedbackReport&& r) { reports.push_back(std::move(r)); });
   gen.OnPacketReceived(MakePacket(7), Timestamp::Millis(1));
   loop.RunFor(TimeDelta::Millis(50));
   gen.OnPacketReceived(MakePacket(3), Timestamp::Millis(60));  // late arrival

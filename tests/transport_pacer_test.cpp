@@ -9,7 +9,7 @@ namespace {
 
 struct PacerFixture {
   explicit PacerFixture(Pacer::Config config = {}) {
-    pacer = std::make_unique<Pacer>(loop, config, [this](net::Packet p) {
+    pacer = std::make_unique<Pacer>(loop, config, [this](net::Packet&& p) {
       sent.push_back({p, loop.now()});
     });
   }
@@ -34,12 +34,18 @@ std::vector<net::Packet> MakePackets(int count, int64_t bits,
   return packets;
 }
 
+// Enqueue drains the caller's vector in place; tests hand it a temporary.
+void Enqueue(Pacer& pacer, std::vector<net::Packet> packets) {
+  pacer.Enqueue(packets);
+  EXPECT_TRUE(packets.empty());
+}
+
 TEST(PacerTest, DrainsAtConfiguredRate) {
   Pacer::Config config;
   config.initial_rate = DataRate::KilobitsPerSec(1000);
   config.burst = TimeDelta::Zero();
   PacerFixture fx(config);
-  fx.pacer->Enqueue(MakePackets(5, 10'000));
+  Enqueue(*fx.pacer, MakePackets(5, 10'000));
   fx.loop.RunAll();
   ASSERT_EQ(fx.sent.size(), 5u);
   // Packet i leaves at i * 10 ms (10'000 bits at 1 Mbps each).
@@ -53,7 +59,7 @@ TEST(PacerTest, RateComplianceOverWindow) {
   config.initial_rate = DataRate::KilobitsPerSec(800);
   PacerFixture fx(config);
   // Enqueue 2 seconds' worth; after 1 s roughly 800 kb must have left.
-  fx.pacer->Enqueue(MakePackets(200, 9'600));
+  Enqueue(*fx.pacer, MakePackets(200, 9'600));
   fx.loop.RunFor(TimeDelta::Seconds(1));
   int64_t bits = 0;
   for (const auto& s : fx.sent) bits += s.packet.size.bits();
@@ -66,7 +72,7 @@ TEST(PacerTest, BurstAllowsCatchUpAfterIdle) {
   config.burst = TimeDelta::Millis(40);
   PacerFixture fx(config);
   fx.loop.RunFor(TimeDelta::Seconds(1));  // idle: accumulate burst credit
-  fx.pacer->Enqueue(MakePackets(6, 10'000));
+  Enqueue(*fx.pacer, MakePackets(6, 10'000));
   // 40 ms of credit = 40'000 bits = 4 packets immediately.
   size_t immediate = 0;
   for (const auto& s : fx.sent) {
@@ -82,7 +88,7 @@ TEST(PacerTest, QueueMetrics) {
   config.initial_rate = DataRate::KilobitsPerSec(1000);
   config.burst = TimeDelta::Zero();
   PacerFixture fx(config);
-  fx.pacer->Enqueue(MakePackets(10, 10'000));
+  Enqueue(*fx.pacer, MakePackets(10, 10'000));
   fx.loop.RunFor(TimeDelta::Millis(1));
   // One packet left immediately; 9 remain = 90'000 bits = 90 ms.
   EXPECT_EQ(fx.pacer->queue_packets(), 9u);
@@ -97,7 +103,7 @@ TEST(PacerTest, SetPacingRateSpeedsUpDrain) {
   config.initial_rate = DataRate::KilobitsPerSec(100);
   config.burst = TimeDelta::Zero();
   PacerFixture fx(config);
-  fx.pacer->Enqueue(MakePackets(10, 10'000));
+  Enqueue(*fx.pacer, MakePackets(10, 10'000));
   fx.loop.RunFor(TimeDelta::Millis(100));  // 1 packet at 100 kbps
   fx.pacer->SetPacingRate(DataRate::MegabitsPerSecF(10.0));
   fx.loop.RunFor(TimeDelta::Millis(20));
@@ -109,7 +115,7 @@ TEST(PacerTest, EnqueueFrontJumpsQueue) {
   config.initial_rate = DataRate::KilobitsPerSec(1000);
   config.burst = TimeDelta::Zero();
   PacerFixture fx(config);
-  fx.pacer->Enqueue(MakePackets(3, 10'000, /*first_media_seq=*/0));
+  Enqueue(*fx.pacer, MakePackets(3, 10'000, /*first_media_seq=*/0));
   fx.loop.RunFor(TimeDelta::Millis(1));  // packet 0 sent
   net::Packet rtx;
   rtx.media_seq = 99;
@@ -125,7 +131,7 @@ TEST(PacerTest, EnqueueFrontJumpsQueue) {
 TEST(PacerTest, SendTimeStamped) {
   PacerFixture fx;
   fx.loop.RunFor(TimeDelta::Millis(7));
-  fx.pacer->Enqueue(MakePackets(1, 1'000));
+  Enqueue(*fx.pacer, MakePackets(1, 1'000));
   fx.loop.RunAll();
   ASSERT_EQ(fx.sent.size(), 1u);
   EXPECT_EQ(fx.sent[0].packet.send_time, Timestamp::Millis(7));

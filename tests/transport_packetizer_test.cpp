@@ -2,8 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 namespace rave::transport {
 namespace {
+
+// Wraps the out-parameter API for test convenience.
+std::vector<net::Packet> Packetize(Packetizer& packetizer,
+                                   const codec::EncodedFrame& frame) {
+  std::vector<net::Packet> out;
+  packetizer.Packetize(frame, out);
+  return out;
+}
 
 codec::EncodedFrame MakeFrame(int64_t id, int64_t bits,
                               codec::FrameType type = codec::FrameType::kDelta) {
@@ -17,7 +27,7 @@ codec::EncodedFrame MakeFrame(int64_t id, int64_t bits,
 
 TEST(PacketizerTest, SingleSmallPacket) {
   Packetizer packetizer;
-  const auto packets = packetizer.Packetize(MakeFrame(0, 5'000));
+  const auto packets = Packetize(packetizer, MakeFrame(0, 5'000));
   ASSERT_EQ(packets.size(), 1u);
   EXPECT_EQ(packets[0].size.bits(), 5'000 + 68 * 8);
   EXPECT_EQ(packets[0].packets_in_frame, 1);
@@ -27,7 +37,7 @@ TEST(PacketizerTest, SingleSmallPacket) {
 TEST(PacketizerTest, SplitsAtMtu) {
   Packetizer packetizer;
   // 1200-byte MTU = 9600 bits payload per packet; 25'000 bits -> 3 packets.
-  const auto packets = packetizer.Packetize(MakeFrame(0, 25'000));
+  const auto packets = Packetize(packetizer, MakeFrame(0, 25'000));
   ASSERT_EQ(packets.size(), 3u);
   EXPECT_EQ(packets[0].size.bits() - 68 * 8, 9'600);
   EXPECT_EQ(packets[1].size.bits() - 68 * 8, 9'600);
@@ -42,7 +52,7 @@ TEST(PacketizerTest, SplitsAtMtu) {
 TEST(PacketizerTest, PayloadBitsConserved) {
   Packetizer packetizer;
   for (int64_t bits : {1, 9'600, 9'601, 100'000, 333'333}) {
-    const auto packets = packetizer.Packetize(MakeFrame(1, bits));
+    const auto packets = Packetize(packetizer, MakeFrame(1, bits));
     int64_t payload = 0;
     for (const auto& p : packets) payload += p.size.bits() - 68 * 8;
     EXPECT_EQ(payload, bits);
@@ -51,8 +61,8 @@ TEST(PacketizerTest, PayloadBitsConserved) {
 
 TEST(PacketizerTest, MediaSeqMonotoneAcrossFrames) {
   Packetizer packetizer;
-  const auto a = packetizer.Packetize(MakeFrame(0, 20'000));
-  const auto b = packetizer.Packetize(MakeFrame(1, 20'000));
+  const auto a = Packetize(packetizer, MakeFrame(0, 20'000));
+  const auto b = Packetize(packetizer, MakeFrame(1, 20'000));
   EXPECT_EQ(a[0].media_seq, 0);
   EXPECT_EQ(a.back().media_seq + 1, b[0].media_seq);
   // Transport seq is unassigned at this stage.
@@ -62,7 +72,7 @@ TEST(PacketizerTest, MediaSeqMonotoneAcrossFrames) {
 TEST(PacketizerTest, KeyframeFlagAndCaptureTimePropagated) {
   Packetizer packetizer;
   const auto packets =
-      packetizer.Packetize(MakeFrame(5, 12'000, codec::FrameType::kKey));
+      Packetize(packetizer, MakeFrame(5, 12'000, codec::FrameType::kKey));
   for (const auto& p : packets) {
     EXPECT_TRUE(p.keyframe);
     EXPECT_EQ(p.capture_time, Timestamp::Millis(5 * 33));
@@ -73,9 +83,9 @@ TEST(PacketizerTest, SkippedFrameYieldsNothing) {
   Packetizer packetizer;
   codec::EncodedFrame f = MakeFrame(0, 10'000);
   f.skipped = true;
-  EXPECT_TRUE(packetizer.Packetize(f).empty());
+  EXPECT_TRUE(Packetize(packetizer, f).empty());
   codec::EncodedFrame g = MakeFrame(1, 0);
-  EXPECT_TRUE(packetizer.Packetize(g).empty());
+  EXPECT_TRUE(Packetize(packetizer, g).empty());
 }
 
 TEST(PacketizerTest, CustomMtu) {
@@ -83,7 +93,7 @@ TEST(PacketizerTest, CustomMtu) {
   config.mtu_payload = DataSize::Bytes(500);
   config.overhead = DataSize::Bytes(40);
   Packetizer packetizer(config);
-  const auto packets = packetizer.Packetize(MakeFrame(0, 12'000));
+  const auto packets = Packetize(packetizer, MakeFrame(0, 12'000));
   ASSERT_EQ(packets.size(), 3u);
   EXPECT_EQ(packets[0].size.bits(), 4'000 + 320);
 }

@@ -85,7 +85,7 @@ TEST(RtxCacheTest, DuplicateInsertRefreshesEntry) {
 struct NackFixture {
   explicit NackFixture(NackGenerator::Config config = {}) {
     gen = std::make_unique<NackGenerator>(
-        loop, config, [this](NackBatch b) { batches.push_back(b); },
+        loop, config, [this](const NackBatch& b) { batches.push_back(b); },
         [this](int64_t seq) { given_up.push_back(seq); });
   }
   EventLoop loop;

@@ -1,0 +1,195 @@
+#include "util/inline_function.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "util/ring_deque.h"
+
+namespace rave {
+namespace {
+
+using Fn = InlineFunction<void(), 64>;
+
+TEST(InlineFunctionTest, DefaultConstructedIsEmpty) {
+  Fn f;
+  EXPECT_FALSE(f);
+  Fn g(nullptr);
+  EXPECT_FALSE(g);
+}
+
+TEST(InlineFunctionTest, CallsCapturedLambda) {
+  int calls = 0;
+  Fn f = [&calls] { ++calls; };
+  ASSERT_TRUE(f);
+  f();
+  f();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineFunctionTest, ForwardsArgumentsAndReturnValue) {
+  InlineFunction<int(int, int)> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+// Functors sized exactly at / just over the capacity probe the compile-time
+// boundary. The oversized overload is deleted, so is_constructible_v is the
+// observable contract.
+struct ExactlyCapacity {
+  unsigned char pad[64];
+  void operator()() const {}
+};
+struct OneWordOver {
+  unsigned char pad[72];
+  void operator()() const {}
+};
+static_assert(std::is_constructible_v<Fn, ExactlyCapacity>,
+              "a capture of exactly Capacity bytes must fit");
+static_assert(!std::is_constructible_v<Fn, OneWordOver>,
+              "a capture over Capacity bytes must be rejected");
+static_assert(std::is_constructible_v<InlineFunction<void(), 72>, OneWordOver>,
+              "widening Capacity admits the same capture");
+static_assert(!std::is_copy_constructible_v<Fn> && !std::is_copy_assignable_v<Fn>,
+              "InlineFunction is move-only");
+
+TEST(InlineFunctionTest, CaptureAtCapacityBoundaryWorks) {
+  ExactlyCapacity functor{};
+  Fn f = functor;
+  ASSERT_TRUE(f);
+  f();
+}
+
+TEST(InlineFunctionTest, MoveTransfersCallableAndEmptiesSource) {
+  auto owned = std::make_unique<int>(41);
+  InlineFunction<int()> f = [p = std::move(owned)] { return *p + 1; };
+  InlineFunction<int()> g = std::move(f);
+  EXPECT_FALSE(f);  // NOLINT(bugprone-use-after-move): post-move state is API
+  ASSERT_TRUE(g);
+  EXPECT_EQ(g(), 42);
+}
+
+TEST(InlineFunctionTest, MoveAssignmentDestroysPreviousCapture) {
+  auto tracked = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = tracked;
+  Fn f = [keep = std::move(tracked)] {};
+  ASSERT_FALSE(watch.expired());
+  f = Fn([] {});
+  EXPECT_TRUE(watch.expired());
+  f();
+}
+
+TEST(InlineFunctionTest, DestructorDestroysCapture) {
+  auto tracked = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = tracked;
+  {
+    Fn f = [keep = std::move(tracked)] {};
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFunctionTest, SelfMoveAssignmentIsNoop) {
+  int calls = 0;
+  Fn f = [&calls] { ++calls; };
+  Fn& alias = f;
+  f = std::move(alias);
+  ASSERT_TRUE(f);
+  f();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(InlineFunctionTest, TriviallyCopyableCaptureSurvivesMoveChain) {
+  int target = 0;
+  InlineFunction<void(int)> f = [&target](int v) { target = v; };
+  InlineFunction<void(int)> g = std::move(f);
+  InlineFunction<void(int)> h;
+  h = std::move(g);
+  h(13);
+  EXPECT_EQ(target, 13);
+}
+
+using InlineFunctionDeathTest = ::testing::Test;
+
+TEST(InlineFunctionDeathTest, EmptyInvocationAborts) {
+  Fn empty;
+  EXPECT_DEATH(empty(), "");
+  Fn moved_from = [] {};
+  Fn sink = std::move(moved_from);
+  EXPECT_DEATH(moved_from(), "");  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(RingDequeTest, FifoOrderAndIndexing) {
+  RingDeque<int> dq;
+  for (int i = 0; i < 5; ++i) dq.push_back(i);
+  ASSERT_EQ(dq.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(dq[static_cast<size_t>(i)], i);
+  EXPECT_EQ(dq.front(), 0);
+  EXPECT_EQ(dq.back(), 4);
+  dq.pop_front();
+  EXPECT_EQ(dq.front(), 1);
+  dq.pop_back();
+  EXPECT_EQ(dq.back(), 3);
+  EXPECT_EQ(dq.size(), 3u);
+}
+
+TEST(RingDequeTest, PushFrontWrapsAround) {
+  RingDeque<int> dq;
+  dq.push_back(2);
+  dq.push_front(1);
+  dq.push_front(0);
+  ASSERT_EQ(dq.size(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(dq[static_cast<size_t>(i)], i);
+}
+
+TEST(RingDequeTest, GrowthPreservesLogicalOrder) {
+  RingDeque<int> dq;
+  // Force a wrapped layout, then grow through it.
+  for (int i = 0; i < 12; ++i) dq.push_back(i);
+  for (int i = 0; i < 8; ++i) dq.pop_front();
+  for (int i = 12; i < 40; ++i) dq.push_back(i);  // grows past 16 and 32
+  ASSERT_EQ(dq.size(), 32u);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(dq[static_cast<size_t>(i)], 8 + i);
+}
+
+TEST(RingDequeTest, ReserveRoundsUpToPowerOfTwoAndNeverShrinks) {
+  RingDeque<int> dq;
+  dq.reserve(20);
+  EXPECT_EQ(dq.capacity(), 32u);
+  dq.reserve(5);
+  EXPECT_EQ(dq.capacity(), 32u);
+}
+
+TEST(RingDequeTest, ReservedPushesDoNotGrow) {
+  RingDeque<int> dq;
+  dq.reserve(64);
+  const size_t cap = dq.capacity();
+  for (int i = 0; i < 64; ++i) dq.push_back(i);
+  EXPECT_EQ(dq.capacity(), cap);
+}
+
+TEST(RingDequeTest, PopReleasesOwnedResources) {
+  auto tracked = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = tracked;
+  RingDeque<std::shared_ptr<int>> dq;
+  dq.push_back(std::move(tracked));
+  dq.pop_front();
+  EXPECT_TRUE(dq.empty());
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(RingDequeTest, ClearEmptiesAndReleases) {
+  auto tracked = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = tracked;
+  RingDeque<std::shared_ptr<int>> dq;
+  dq.push_back(std::move(tracked));
+  dq.push_back(nullptr);
+  dq.clear();
+  EXPECT_TRUE(dq.empty());
+  EXPECT_TRUE(watch.expired());
+  dq.push_back(std::make_shared<int>(2));
+  EXPECT_EQ(dq.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rave
