@@ -2,11 +2,27 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 
 #include "runner/parallel_runner.h"
+#include "runner/result_cache.h"
 #include "util/flags.h"
 
 namespace rave::bench {
+
+namespace {
+
+/// Process-wide cache pointer (see SuiteCache). Owned either by run_suite
+/// (which calls SetSuiteCache with its own cache) or by `owned_cache` below
+/// when a standalone bench enables caching via flag/environment.
+runner::ResultCache* g_suite_cache = nullptr;
+std::unique_ptr<runner::ResultCache> owned_cache;
+
+}  // namespace
+
+runner::ResultCache* SuiteCache() { return g_suite_cache; }
+
+void SetSuiteCache(runner::ResultCache* cache) { g_suite_cache = cache; }
 
 TimeDelta BenchOptions::DurationOr(TimeDelta fallback) const {
   return duration_s > 0.0 ? TimeDelta::SecondsF(duration_s) : fallback;
@@ -15,15 +31,32 @@ TimeDelta BenchOptions::DurationOr(TimeDelta fallback) const {
 BenchOptions ParseBenchOptions(int argc, char** argv) {
   try {
     const Flags flags(argc - 1, argv + 1);
-    for (const std::string& key : flags.UnknownKeys({"jobs", "duration"})) {
+    for (const std::string& key :
+         flags.UnknownKeys({"jobs", "duration", "cache-dir"})) {
       std::cerr << "error: unknown flag --" << key
                 << "\nusage: " << argv[0]
-                << " [--jobs=N] [--duration=SECONDS]\n";
+                << " [--jobs=N] [--duration=SECONDS] [--cache-dir=DIR]\n";
       std::exit(2);
     }
     BenchOptions options;
     options.jobs = static_cast<int>(flags.GetInt("jobs", 0));
     options.duration_s = flags.GetDouble("duration", 0.0);
+    options.cache_dir = flags.GetString("cache-dir", "");
+    if (options.cache_dir.empty()) {
+      if (auto env = runner::ResultCache::DirFromEnv()) {
+        options.cache_dir = *env;
+      }
+    }
+    // A suite-installed cache wins; otherwise a standalone bench that asked
+    // for caching gets its own process-wide instance. No directory, no
+    // cache — the default path is exactly the uncached behaviour.
+    if (!options.cache_dir.empty() && SuiteCache() == nullptr) {
+      runner::ResultCache::Options cache_options;
+      cache_options.dir = options.cache_dir;
+      cache_options.max_disk_bytes = runner::ResultCache::MaxDiskBytesFromEnv();
+      owned_cache = std::make_unique<runner::ResultCache>(cache_options);
+      SetSuiteCache(owned_cache.get());
+    }
     return options;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
@@ -33,7 +66,7 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
 
 std::vector<rtc::SessionResult> RunMatrix(
     const std::vector<rtc::SessionConfig>& configs, int jobs) {
-  return runner::RunSessions(configs, jobs);
+  return runner::RunSessions(configs, jobs, SuiteCache());
 }
 
 std::vector<double> FrameLatenciesMs(const rtc::SessionResult& result) {
@@ -45,7 +78,8 @@ std::vector<double> FrameLatenciesMs(const rtc::SessionResult& result) {
   return ms;
 }
 
-rtc::SessionConfig DefaultConfig(rtc::Scheme scheme, net::CapacityTrace trace,
+rtc::SessionConfig DefaultConfig(rtc::Scheme scheme,
+                                 Interned<net::CapacityTrace> trace,
                                  video::ContentClass content,
                                  TimeDelta duration, uint64_t seed) {
   rtc::SessionConfig config;
@@ -67,10 +101,11 @@ net::CapacityTrace DropTrace(double severity) {
   return net::CapacityTrace::StepDrop(base, low, Timestamp::Seconds(10));
 }
 
-std::vector<std::pair<std::string, net::CapacityTrace>> TraceSuite(
+std::vector<std::pair<std::string, Interned<net::CapacityTrace>>> TraceSuite(
     TimeDelta duration) {
   const auto base = DataRate::KilobitsPerSec(kBaseRateKbps);
-  std::vector<std::pair<std::string, net::CapacityTrace>> suite;
+  std::vector<std::pair<std::string, Interned<net::CapacityTrace>>> suite;
+  suite.reserve(12);
 
   for (double severity : {0.3, 0.5, 0.7}) {
     suite.emplace_back("drop" + std::to_string(static_cast<int>(severity * 100)),

@@ -9,9 +9,14 @@
 
 #include "net/capacity_trace.h"
 #include "rtc/session.h"
+#include "util/interned.h"
 #include "util/time.h"
 #include "util/units.h"
 #include "video/content_model.h"
+
+namespace rave::runner {
+class ResultCache;
+}  // namespace rave::runner
 
 namespace rave::bench {
 
@@ -26,26 +31,42 @@ struct BenchOptions {
   /// default". Smoke runs pass a short value (the canonical drop is at
   /// t = 10 s, so overrides below ~12 s lose the post-drop phase).
   double duration_s = 0.0;
+  /// Session-result cache directory (--cache-dir / RAVE_CACHE_DIR); empty
+  /// means no cache — today's exact behaviour.
+  std::string cache_dir;
 
   /// The bench's default duration unless overridden on the command line.
   TimeDelta DurationOr(TimeDelta fallback) const;
 };
 
-/// Parses `--jobs=N` / `--duration=S`. Exits (status 2) on unknown flags so
-/// typos fail loudly. Every bench binary calls this first.
+/// Parses `--jobs=N` / `--duration=S` / `--cache-dir=DIR`. Exits (status 2)
+/// on unknown flags so typos fail loudly. Every bench binary calls this
+/// first. When a cache directory is configured (flag, or the RAVE_CACHE_DIR
+/// environment variable) and no suite cache is already installed, this
+/// creates a process-wide ResultCache that RunMatrix then consults.
 BenchOptions ParseBenchOptions(int argc, char** argv);
+
+/// The process-wide session-result cache (nullptr = caching disabled).
+/// `run_suite` installs one shared cache before invoking each bench entry
+/// point; standalone binaries get one from ParseBenchOptions when asked.
+runner::ResultCache* SuiteCache();
+/// Installs `cache` as the process-wide cache (nullptr to uninstall). The
+/// caller keeps ownership.
+void SetSuiteCache(runner::ResultCache* cache);
 
 /// Runs every config (in parallel when jobs != 1) and returns results in
 /// submission order — byte-identical output to a serial run regardless of
-/// the job count.
+/// the job count or cache state. Consults SuiteCache() when installed.
 std::vector<rtc::SessionResult> RunMatrix(
     const std::vector<rtc::SessionConfig>& configs, int jobs);
 
 /// Builds the default session configuration used across experiments:
 /// 720p30, 2.5 Mbps initial estimate, 50 ms RTT (25 ms each way), 50 ms
-/// feedback interval, deep (~3 s at 1 Mbps) bottleneck buffer.
+/// feedback interval, deep (~3 s at 1 Mbps) bottleneck buffer. The trace
+/// handle is shared into the config (no per-config deep copy); plain
+/// CapacityTrace arguments still convert implicitly.
 rtc::SessionConfig DefaultConfig(rtc::Scheme scheme,
-                                 net::CapacityTrace trace,
+                                 Interned<net::CapacityTrace> trace,
                                  video::ContentClass content,
                                  TimeDelta duration, uint64_t seed);
 
@@ -54,7 +75,9 @@ net::CapacityTrace DropTrace(double severity);
 
 /// The drop-trace suite used by CDF experiments: three severities x
 /// {single-drop, drop+recover, staircase-down} = 9 traces + 3 random walks.
-std::vector<std::pair<std::string, net::CapacityTrace>> TraceSuite(
+/// Traces come pre-interned: every config built from one entry shares the
+/// same step vector.
+std::vector<std::pair<std::string, Interned<net::CapacityTrace>>> TraceSuite(
     TimeDelta duration);
 
 /// Per-frame end-to-end latencies (ms) of the delivered frames, in capture

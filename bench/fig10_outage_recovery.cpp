@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common.h"
+#include "registry.h"
 #include "fault/fault_plan.h"
 #include "util/table.h"
 
@@ -42,20 +43,22 @@ std::vector<Scenario> Scenarios() {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int bench::Fig10OutageRecoveryMain(int argc, char** argv) {
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
   // Post-starvation estimator rebuild is additive (no probing), so the
   // slowest scheme needs ~45 s after the fault clears; see the chaos tests.
   const TimeDelta duration = options.DurationOr(TimeDelta::Seconds(60));
   const auto scenarios = Scenarios();
 
+  const Interned<net::CapacityTrace> steady_trace = net::CapacityTrace::Constant(
+      DataRate::KilobitsPerSec(bench::kBaseRateKbps));
   std::vector<rtc::SessionConfig> configs;
+  configs.reserve(std::size(rtc::kAllSchemes) * scenarios.size());
   for (rtc::Scheme scheme : rtc::kAllSchemes) {
     for (const Scenario& scenario : scenarios) {
       rtc::SessionConfig config = bench::DefaultConfig(
-          scheme, net::CapacityTrace::Constant(
-                      DataRate::KilobitsPerSec(bench::kBaseRateKbps)),
-          video::ContentClass::kTalkingHead, duration, 17);
+          scheme, steady_trace, video::ContentClass::kTalkingHead, duration,
+          17);
       config.faults = scenario.plan;
       configs.push_back(std::move(config));
     }
@@ -136,3 +139,9 @@ int main(int argc, char** argv) {
                "target is back to 90% of its pre-fault level.\n";
   return 0;
 }
+
+#ifndef RAVE_SUITE_BUILD
+int main(int argc, char** argv) {
+  return rave::bench::Fig10OutageRecoveryMain(argc, argv);
+}
+#endif

@@ -9,16 +9,18 @@
 #include <map>
 
 #include "common.h"
+#include "registry.h"
 #include "util/table.h"
 
 using namespace rave;
 
-int main(int argc, char** argv) {
+int bench::Fig1TimelineMain(int argc, char** argv) {
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
-  const auto trace = bench::DropTrace(0.6);  // 2.5 -> 1.0 Mbps at t=10s
+  const Interned<net::CapacityTrace> trace = bench::DropTrace(0.6);  // 2.5 -> 1.0 Mbps at t=10s
   const TimeDelta duration = options.DurationOr(TimeDelta::Seconds(25));
 
   std::vector<rtc::SessionConfig> configs;
+  configs.reserve(2);
   for (rtc::Scheme scheme :
        {rtc::Scheme::kX264Abr, rtc::Scheme::kAdaptive}) {
     configs.push_back(bench::DefaultConfig(scheme, trace,
@@ -59,3 +61,9 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+#ifndef RAVE_SUITE_BUILD
+int main(int argc, char** argv) {
+  return rave::bench::Fig1TimelineMain(argc, argv);
+}
+#endif

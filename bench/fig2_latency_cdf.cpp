@@ -8,17 +8,19 @@
 #include <map>
 
 #include "common.h"
+#include "registry.h"
 #include "util/stats.h"
 #include "util/table.h"
 
 using namespace rave;
 
-int main(int argc, char** argv) {
+int bench::Fig2LatencyCdfMain(int argc, char** argv) {
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
   const TimeDelta duration = options.DurationOr(TimeDelta::Seconds(40));
   const auto suite = bench::TraceSuite(duration);
 
   std::vector<rtc::SessionConfig> configs;
+  configs.reserve(suite.size() * std::size(video::kAllContentClasses) * 2);
   for (const auto& [name, trace] : suite) {
     for (video::ContentClass content : video::kAllContentClasses) {
       for (rtc::Scheme scheme :
@@ -70,3 +72,9 @@ int main(int argc, char** argv) {
   per_trace.Print(std::cout);
   return 0;
 }
+
+#ifndef RAVE_SUITE_BUILD
+int main(int argc, char** argv) {
+  return rave::bench::Fig2LatencyCdfMain(argc, argv);
+}
+#endif

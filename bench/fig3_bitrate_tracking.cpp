@@ -6,6 +6,7 @@
 #include <map>
 
 #include "common.h"
+#include "registry.h"
 #include "util/table.h"
 
 using namespace rave;
@@ -28,14 +29,15 @@ std::vector<double> WindowedBitrate(const rtc::SessionResult& result,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int bench::Fig3BitrateTrackingMain(int argc, char** argv) {
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
   const TimeDelta duration = options.DurationOr(TimeDelta::Seconds(35));
-  const auto trace = net::CapacityTrace::StepDropAndRecover(
+  const Interned<net::CapacityTrace> trace = net::CapacityTrace::StepDropAndRecover(
       DataRate::KilobitsPerSec(2500), DataRate::KilobitsPerSec(1000),
       Timestamp::Seconds(10), Timestamp::Seconds(22));
 
   std::vector<rtc::SessionConfig> configs;
+  configs.reserve(std::size(rtc::kAllSchemes));
   for (rtc::Scheme scheme : rtc::kAllSchemes) {
     configs.push_back(
         bench::DefaultConfig(scheme, trace, video::ContentClass::kTalkingHead,
@@ -57,7 +59,7 @@ int main(int argc, char** argv) {
     const Timestamp t = Timestamp::Millis(static_cast<int64_t>(w) * 500);
     table.AddRow()
         .Cell(t.seconds(), 1)
-        .Cell(trace.RateAt(t).kbps(), 0)
+        .Cell(trace->RateAt(t).kbps(), 0)
         .Cell(series[rtc::Scheme::kX264Abr][w], 0)
         .Cell(series[rtc::Scheme::kX264Cbr][w], 0)
         .Cell(series[rtc::Scheme::kAdaptive][w], 0)
@@ -77,3 +79,9 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+#ifndef RAVE_SUITE_BUILD
+int main(int argc, char** argv) {
+  return rave::bench::Fig3BitrateTrackingMain(argc, argv);
+}
+#endif

@@ -5,21 +5,24 @@
 #include <iostream>
 
 #include "common.h"
+#include "registry.h"
 #include "util/table.h"
 
 using namespace rave;
 
-int main(int argc, char** argv) {
+int bench::Fig4RttSensitivityMain(int argc, char** argv) {
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
   const TimeDelta duration = options.DurationOr(TimeDelta::Seconds(40));
   const uint64_t seeds[] = {1, 2, 3};
 
+  const Interned<net::CapacityTrace> drop_trace = bench::DropTrace(0.5);
   std::vector<rtc::SessionConfig> configs;
+  configs.reserve(4 * 3 * 2);
   for (int64_t rtt_ms : {20, 50, 100, 200}) {
     for (uint64_t seed : seeds) {
       for (rtc::Scheme scheme :
            {rtc::Scheme::kX264Abr, rtc::Scheme::kAdaptive}) {
-        auto config = bench::DefaultConfig(scheme, bench::DropTrace(0.5),
+        auto config = bench::DefaultConfig(scheme, drop_trace,
                                            video::ContentClass::kTalkingHead,
                                            duration, seed);
         config.link.propagation = TimeDelta::Millis(rtt_ms / 2);
@@ -58,3 +61,9 @@ int main(int argc, char** argv) {
   table.Print(std::cout);
   return 0;
 }
+
+#ifndef RAVE_SUITE_BUILD
+int main(int argc, char** argv) {
+  return rave::bench::Fig4RttSensitivityMain(argc, argv);
+}
+#endif

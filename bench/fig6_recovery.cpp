@@ -6,18 +6,20 @@
 #include <map>
 
 #include "common.h"
+#include "registry.h"
 #include "util/table.h"
 
 using namespace rave;
 
-int main(int argc, char** argv) {
+int bench::Fig6RecoveryMain(int argc, char** argv) {
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
   const TimeDelta duration = options.DurationOr(TimeDelta::Seconds(40));
-  const auto trace = net::CapacityTrace::StepDropAndRecover(
+  const Interned<net::CapacityTrace> trace = net::CapacityTrace::StepDropAndRecover(
       DataRate::KilobitsPerSec(2500), DataRate::KilobitsPerSec(800),
       Timestamp::Seconds(10), Timestamp::Seconds(20));
 
   std::vector<rtc::SessionConfig> configs;
+  configs.reserve(2);
   for (rtc::Scheme scheme :
        {rtc::Scheme::kX264Abr, rtc::Scheme::kAdaptive}) {
     configs.push_back(bench::DefaultConfig(
@@ -82,3 +84,9 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+#ifndef RAVE_SUITE_BUILD
+int main(int argc, char** argv) {
+  return rave::bench::Fig6RecoveryMain(argc, argv);
+}
+#endif

@@ -5,11 +5,12 @@
 #include <iostream>
 
 #include "common.h"
+#include "registry.h"
 #include "util/table.h"
 
 using namespace rave;
 
-int main(int argc, char** argv) {
+int bench::Fig7LossResilienceMain(int argc, char** argv) {
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
   const TimeDelta duration = options.DurationOr(TimeDelta::Seconds(40));
   const uint64_t seeds[] = {1, 2, 3};
@@ -39,12 +40,14 @@ int main(int argc, char** argv) {
     rows.push_back(burst);
   }
 
+  const Interned<net::CapacityTrace> drop_trace = bench::DropTrace(0.5);
   std::vector<rtc::SessionConfig> configs;
+  configs.reserve(rows.size() * 3 * 2);
   for (const Row& row : rows) {
     for (uint64_t seed : seeds) {
       for (rtc::Scheme scheme :
            {rtc::Scheme::kX264Abr, rtc::Scheme::kAdaptive}) {
-        auto config = bench::DefaultConfig(scheme, bench::DropTrace(0.5),
+        auto config = bench::DefaultConfig(scheme, drop_trace,
                                            video::ContentClass::kTalkingHead,
                                            duration, seed);
         config.link.loss = row.loss;
@@ -82,3 +85,9 @@ int main(int argc, char** argv) {
   table.Print(std::cout);
   return 0;
 }
+
+#ifndef RAVE_SUITE_BUILD
+int main(int argc, char** argv) {
+  return rave::bench::Fig7LossResilienceMain(argc, argv);
+}
+#endif

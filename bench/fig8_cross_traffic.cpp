@@ -5,24 +5,27 @@
 #include <iostream>
 
 #include "common.h"
+#include "registry.h"
 #include "util/table.h"
 
 using namespace rave;
 
-int main(int argc, char** argv) {
+int bench::Fig8CrossTrafficMain(int argc, char** argv) {
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
   const TimeDelta duration = options.DurationOr(TimeDelta::Seconds(60));
   const uint64_t seeds[] = {1, 2, 3};
 
+  const Interned<net::CapacityTrace> steady_trace =
+      net::CapacityTrace::Constant(DataRate::KilobitsPerSec(2500));
   std::vector<rtc::SessionConfig> configs;
+  configs.reserve(4 * 3 * 2);
   for (int64_t cross_kbps : {0, 500, 1000, 1500}) {
     for (uint64_t seed : seeds) {
       for (rtc::Scheme scheme :
            {rtc::Scheme::kX264Abr, rtc::Scheme::kAdaptive}) {
         auto config = bench::DefaultConfig(
-            scheme,
-            net::CapacityTrace::Constant(DataRate::KilobitsPerSec(2500)),
-            video::ContentClass::kTalkingHead, duration, seed);
+            scheme, steady_trace, video::ContentClass::kTalkingHead, duration,
+            seed);
         if (cross_kbps > 0) {
           net::CrossTraffic::Config ct;
           ct.rate = DataRate::KilobitsPerSec(cross_kbps);
@@ -68,3 +71,9 @@ int main(int argc, char** argv) {
   table.Print(std::cout);
   return 0;
 }
+
+#ifndef RAVE_SUITE_BUILD
+int main(int argc, char** argv) {
+  return rave::bench::Fig8CrossTrafficMain(argc, argv);
+}
+#endif

@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "common.h"
+#include "registry.h"
 #include "util/table.h"
 
 using namespace rave;
@@ -15,18 +16,20 @@ constexpr rave::rtc::Scheme kSchemes[] = {
     rave::rtc::Scheme::kAdaptive, rave::rtc::Scheme::kSalsify};
 }  // namespace
 
-int main(int argc, char** argv) {
+int bench::Fig9RenderLatencyMain(int argc, char** argv) {
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
   const TimeDelta duration = options.DurationOr(TimeDelta::Seconds(40));
   const uint64_t seeds[] = {1, 2, 3};
 
   std::vector<rtc::SessionConfig> configs;
+  configs.reserve(3 * std::size(kSchemes) * 3);
   for (double severity : {0.3, 0.5, 0.7}) {
+    const Interned<net::CapacityTrace> drop_trace = bench::DropTrace(severity);
     for (rtc::Scheme scheme : kSchemes) {
       for (uint64_t seed : seeds) {
         configs.push_back(bench::DefaultConfig(
-            scheme, bench::DropTrace(severity),
-            video::ContentClass::kTalkingHead, duration, seed));
+            scheme, drop_trace, video::ContentClass::kTalkingHead, duration,
+            seed));
       }
     }
   }
@@ -60,3 +63,9 @@ int main(int argc, char** argv) {
   table.Print(std::cout);
   return 0;
 }
+
+#ifndef RAVE_SUITE_BUILD
+int main(int argc, char** argv) {
+  return rave::bench::Fig9RenderLatencyMain(argc, argv);
+}
+#endif

@@ -1,0 +1,26 @@
+#include "registry.h"
+
+namespace rave::bench {
+
+const std::vector<BenchEntry>& AllBenches() {
+  static const std::vector<BenchEntry> kBenches = {
+      {"fig1_timeline", Fig1TimelineMain},
+      {"fig2_latency_cdf", Fig2LatencyCdfMain},
+      {"fig3_bitrate_tracking", Fig3BitrateTrackingMain},
+      {"fig4_rtt_sensitivity", Fig4RttSensitivityMain},
+      {"fig5_queue_depth", Fig5QueueDepthMain},
+      {"fig6_recovery", Fig6RecoveryMain},
+      {"fig7_loss_resilience", Fig7LossResilienceMain},
+      {"fig8_cross_traffic", Fig8CrossTrafficMain},
+      {"fig9_render_latency", Fig9RenderLatencyMain},
+      {"fig10_outage_recovery", Fig10OutageRecoveryMain},
+      {"tab1_latency_reduction", Tab1LatencyReductionMain},
+      {"tab2_quality", Tab2QualityMain},
+      {"tab3_ablation", Tab3AblationMain},
+      {"tab5_schemes", Tab5SchemesMain},
+      {"tab6_fec", Tab6FecMain},
+  };
+  return kBenches;
+}
+
+}  // namespace rave::bench

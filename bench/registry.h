@@ -1,0 +1,39 @@
+// Entry points of every figure/table harness, callable in-process.
+//
+// Each bench's `main` body lives in `rave::bench::<Name>Main`; when built
+// standalone the binary wraps it in a real `main`, and when built into the
+// suite library (RAVE_SUITE_BUILD) only the named entry point exists, so
+// `run_suite` can invoke all of them from one process against one shared
+// result cache. tab4_microbench (the google-benchmark harness) is not part
+// of the suite — it measures simulator throughput, not paper outputs.
+#pragma once
+
+#include <vector>
+
+namespace rave::bench {
+
+int Fig1TimelineMain(int argc, char** argv);
+int Fig2LatencyCdfMain(int argc, char** argv);
+int Fig3BitrateTrackingMain(int argc, char** argv);
+int Fig4RttSensitivityMain(int argc, char** argv);
+int Fig5QueueDepthMain(int argc, char** argv);
+int Fig6RecoveryMain(int argc, char** argv);
+int Fig7LossResilienceMain(int argc, char** argv);
+int Fig8CrossTrafficMain(int argc, char** argv);
+int Fig9RenderLatencyMain(int argc, char** argv);
+int Fig10OutageRecoveryMain(int argc, char** argv);
+int Tab1LatencyReductionMain(int argc, char** argv);
+int Tab2QualityMain(int argc, char** argv);
+int Tab3AblationMain(int argc, char** argv);
+int Tab5SchemesMain(int argc, char** argv);
+int Tab6FecMain(int argc, char** argv);
+
+struct BenchEntry {
+  const char* name;  ///< binary name, e.g. "fig1_timeline"
+  int (*entry)(int argc, char** argv);
+};
+
+/// Every suite bench, in canonical (fig1..fig10, tab1..tab6) order.
+const std::vector<BenchEntry>& AllBenches();
+
+}  // namespace rave::bench

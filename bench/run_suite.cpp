@@ -1,0 +1,238 @@
+// Single-process suite orchestrator: runs every figure/table harness
+// in-process against one shared session-result cache.
+//
+// Each bench's stdout is captured and tee'd to `BENCH_<name>.out` (so runs
+// can be diffed byte-for-byte against standalone binaries and against
+// cold/warm cache passes), and `BENCH_suite.json` records per-bench wall
+// clock, sessions simulated vs served from cache, and the aggregate
+// speedup. Because all benches share one process, a session that several
+// harnesses request (same trace/content/seed/scheme) is simulated exactly
+// once per suite run even without a disk cache — and with `--cache-dir`
+// (or RAVE_CACHE_DIR) a warm rerun skips simulation entirely.
+//
+// Usage:
+//   run_suite [--jobs=N] [--duration=SECONDS] [--cache-dir=DIR]
+//             [--out-dir=DIR] [--benches=fig1_timeline,tab5_schemes,...]
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "registry.h"
+#include "runner/result_cache.h"
+#include "util/flags.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+struct BenchReport {
+  std::string name;
+  int exit_code = 0;
+  double wall_ms = 0.0;
+  uint64_t sessions_computed = 0;
+  uint64_t cache_hits = 0;
+  double saved_ms = 0.0;
+};
+
+/// JSON number formatting: fixed with enough precision, no locale traps.
+std::string Num(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using rave::Flags;
+  namespace bench = rave::bench;
+  namespace runner = rave::runner;
+
+  int jobs = 0;
+  double duration_s = 0.0;
+  std::string cache_dir;
+  std::string out_dir = ".";
+  std::string benches_csv;
+  try {
+    const Flags flags(argc - 1, argv + 1);
+    for (const std::string& key : flags.UnknownKeys(
+             {"jobs", "duration", "cache-dir", "out-dir", "benches"})) {
+      std::cerr << "error: unknown flag --" << key << "\nusage: " << argv[0]
+                << " [--jobs=N] [--duration=SECONDS] [--cache-dir=DIR]"
+                   " [--out-dir=DIR] [--benches=name,name,...]\n";
+      return 2;
+    }
+    jobs = static_cast<int>(flags.GetInt("jobs", 0));
+    duration_s = flags.GetDouble("duration", 0.0);
+    cache_dir = flags.GetString("cache-dir", "");
+    out_dir = flags.GetString("out-dir", ".");
+    benches_csv = flags.GetString("benches", "");
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+  if (cache_dir.empty()) {
+    if (auto env = runner::ResultCache::DirFromEnv()) cache_dir = *env;
+  }
+
+  // Select benches (all, or the --benches subset in the given order).
+  std::vector<bench::BenchEntry> selected;
+  if (benches_csv.empty()) {
+    selected = bench::AllBenches();
+  } else {
+    std::istringstream iss(benches_csv);
+    std::string name;
+    while (std::getline(iss, name, ',')) {
+      bool found = false;
+      for (const bench::BenchEntry& e : bench::AllBenches()) {
+        if (name == e.name) {
+          selected.push_back(e);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        std::cerr << "error: unknown bench \"" << name << "\"; known:";
+        for (const bench::BenchEntry& e : bench::AllBenches()) {
+          std::cerr << ' ' << e.name;
+        }
+        std::cerr << '\n';
+        return 2;
+      }
+    }
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+
+  // One cache for the whole suite. Even without a disk dir the in-memory
+  // tier dedups sessions shared between benches within this run.
+  runner::ResultCache::Options cache_options;
+  cache_options.dir = cache_dir;
+  cache_options.max_disk_bytes = runner::ResultCache::MaxDiskBytesFromEnv();
+  runner::ResultCache cache(cache_options);
+  bench::SetSuiteCache(&cache);
+
+  // Argv handed to every bench entry point: only flags ParseBenchOptions
+  // knows, so no bench can bail out with exit(2).
+  std::vector<std::string> bench_args;
+  bench_args.push_back("run_suite");
+  bench_args.push_back("--jobs=" + std::to_string(jobs));
+  if (duration_s > 0.0) {
+    std::ostringstream d;
+    d << "--duration=" << duration_s;
+    bench_args.push_back(d.str());
+  }
+
+  std::vector<BenchReport> reports;
+  reports.reserve(selected.size());
+  const Clock::time_point suite_start = Clock::now();
+  int suite_exit = 0;
+
+  for (const bench::BenchEntry& entry : selected) {
+    BenchReport report;
+    report.name = entry.name;
+
+    std::vector<std::string> args = bench_args;
+    args[0] = std::string("run_suite/") + entry.name;
+    std::vector<char*> argv_ptrs;
+    argv_ptrs.reserve(args.size());
+    for (std::string& a : args) argv_ptrs.push_back(a.data());
+
+    const runner::ResultCache::Stats before = cache.stats();
+
+    // Capture the bench's stdout; benches print their figures/tables there.
+    std::ostringstream captured;
+    std::streambuf* real_cout = std::cout.rdbuf(captured.rdbuf());
+    const Clock::time_point start = Clock::now();
+    try {
+      report.exit_code =
+          entry.entry(static_cast<int>(argv_ptrs.size()), argv_ptrs.data());
+    } catch (const std::exception& e) {
+      std::cout.rdbuf(real_cout);
+      std::cerr << "error: bench " << entry.name << " threw: " << e.what()
+                << '\n';
+      report.exit_code = 1;
+    }
+    report.wall_ms = MsSince(start);
+    std::cout.rdbuf(real_cout);
+
+    const runner::ResultCache::Stats after = cache.stats();
+    report.sessions_computed = after.computes - before.computes;
+    report.cache_hits = (after.memory_hits + after.disk_hits) -
+                        (before.memory_hits + before.disk_hits);
+    report.saved_ms =
+        static_cast<double>(after.saved_compute_us - before.saved_compute_us) /
+        1000.0;
+    if (report.exit_code != 0) suite_exit = 1;
+
+    // Tee: the bench's normal output still reaches the console, and a
+    // byte-identical copy lands next to the suite report for diffing.
+    const std::string text = captured.str();
+    std::cout << text;
+    std::ofstream out(out_dir + "/BENCH_" + entry.name + ".out",
+                      std::ios::binary | std::ios::trunc);
+    if (out) out.write(text.data(), static_cast<std::streamsize>(text.size()));
+
+    std::cerr << "[suite] " << entry.name << ": " << Num(report.wall_ms)
+              << " ms, " << report.sessions_computed << " simulated, "
+              << report.cache_hits << " cached";
+    if (report.saved_ms > 0.0) {
+      std::cerr << " (saved ~" << Num(report.saved_ms) << " ms)";
+    }
+    std::cerr << (report.exit_code == 0 ? "" : " [FAILED]") << '\n';
+    reports.push_back(report);
+  }
+
+  const double suite_wall_ms = MsSince(suite_start);
+  const runner::ResultCache::Stats total = cache.stats();
+  const double total_saved_ms =
+      static_cast<double>(total.saved_compute_us) / 1000.0;
+  // Wall clock this suite would have needed with every hit simulated
+  // instead, over the wall clock it actually took.
+  const double est_speedup =
+      suite_wall_ms > 0.0 ? (suite_wall_ms + total_saved_ms) / suite_wall_ms
+                          : 1.0;
+
+  std::ofstream json(out_dir + "/BENCH_suite.json",
+                     std::ios::binary | std::ios::trunc);
+  json << "{\n  \"jobs\": " << jobs << ",\n  \"duration_s\": " << Num(duration_s)
+       << ",\n  \"cache_dir\": \"" << cache_dir << "\",\n  \"benches\": [\n";
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const BenchReport& r = reports[i];
+    json << "    {\"name\": \"" << r.name << "\", \"exit_code\": " << r.exit_code
+         << ", \"wall_ms\": " << Num(r.wall_ms)
+         << ", \"sessions_computed\": " << r.sessions_computed
+         << ", \"cache_hits\": " << r.cache_hits
+         << ", \"saved_ms\": " << Num(r.saved_ms) << "}"
+         << (i + 1 < reports.size() ? "," : "") << '\n';
+  }
+  json << "  ],\n  \"total\": {\"wall_ms\": " << Num(suite_wall_ms)
+       << ", \"sessions_computed\": " << total.computes
+       << ", \"memory_hits\": " << total.memory_hits
+       << ", \"disk_hits\": " << total.disk_hits
+       << ", \"stores\": " << total.stores
+       << ", \"corrupt\": " << total.corrupt
+       << ", \"evictions\": " << total.evictions
+       << ", \"saved_ms\": " << Num(total_saved_ms)
+       << ", \"estimated_speedup\": " << Num(est_speedup) << "}\n}\n";
+
+  std::cerr << "[suite] total: " << Num(suite_wall_ms) << " ms, "
+            << total.computes << " simulated, "
+            << total.memory_hits + total.disk_hits << " cache hits, est. "
+            << Num(est_speedup) << "x vs uncached\n";
+
+  bench::SetSuiteCache(nullptr);
+  return suite_exit;
+}

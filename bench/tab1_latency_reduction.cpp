@@ -5,23 +5,26 @@
 #include <iostream>
 
 #include "common.h"
+#include "registry.h"
 #include "util/table.h"
 
 using namespace rave;
 
-int main(int argc, char** argv) {
+int bench::Tab1LatencyReductionMain(int argc, char** argv) {
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
   const TimeDelta duration = options.DurationOr(TimeDelta::Seconds(40));
   const uint64_t seeds[] = {1, 2, 3};
 
   std::vector<rtc::SessionConfig> configs;
+  configs.reserve(4 * std::size(video::kAllContentClasses) * 3 * 2);
   for (double severity : {0.2, 0.3, 0.5, 0.7}) {
+    const Interned<net::CapacityTrace> drop_trace = bench::DropTrace(severity);
     for (video::ContentClass content : video::kAllContentClasses) {
       for (uint64_t seed : seeds) {
         for (rtc::Scheme scheme :
              {rtc::Scheme::kX264Abr, rtc::Scheme::kAdaptive}) {
-          configs.push_back(bench::DefaultConfig(
-              scheme, bench::DropTrace(severity), content, duration, seed));
+          configs.push_back(bench::DefaultConfig(scheme, drop_trace, content,
+                                                 duration, seed));
         }
       }
     }
@@ -73,3 +76,9 @@ int main(int argc, char** argv) {
             << max_red << "%]  (paper: 28.66% to 78.87%)\n";
   return 0;
 }
+
+#ifndef RAVE_SUITE_BUILD
+int main(int argc, char** argv) {
+  return rave::bench::Tab1LatencyReductionMain(argc, argv);
+}
+#endif

@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "common.h"
+#include "registry.h"
 #include "util/table.h"
 
 using namespace rave;
@@ -24,7 +25,7 @@ struct Variant {
 
 void RunSweep(double severity, TimeDelta duration, int jobs);
 
-int main(int argc, char** argv) {
+int bench::Tab3AblationMain(int argc, char** argv) {
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
   const TimeDelta duration = options.DurationOr(TimeDelta::Seconds(40));
   RunSweep(0.7, duration, options.jobs);
@@ -53,12 +54,14 @@ void RunSweep(double severity, TimeDelta duration, int jobs) {
       {.name = "baseline-abr", .scheme = rtc::Scheme::kX264Abr},
   };
 
+  const Interned<net::CapacityTrace> drop_trace = bench::DropTrace(severity);
   std::vector<rtc::SessionConfig> configs;
+  configs.reserve(variants.size() * std::size(video::kAllContentClasses) * 3);
   for (const Variant& v : variants) {
     for (video::ContentClass content : video::kAllContentClasses) {
       for (uint64_t seed : {1ULL, 2ULL, 3ULL}) {
-        auto config = bench::DefaultConfig(v.scheme, bench::DropTrace(severity),
-                                           content, duration, seed);
+        auto config = bench::DefaultConfig(v.scheme, drop_trace, content,
+                                           duration, seed);
         config.adaptive.enable_fast_qp = v.fast_qp;
         config.adaptive.enable_frame_cap = v.frame_cap;
         config.adaptive.enable_drain_mode = v.drain_mode;
@@ -103,3 +106,9 @@ void RunSweep(double severity, TimeDelta duration, int jobs) {
   }
   table.Print(std::cout);
 }
+
+#ifndef RAVE_SUITE_BUILD
+int main(int argc, char** argv) {
+  return rave::bench::Tab3AblationMain(argc, argv);
+}
+#endif

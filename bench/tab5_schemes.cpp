@@ -5,17 +5,20 @@
 #include <iostream>
 
 #include "common.h"
+#include "registry.h"
 #include "util/stats.h"
 #include "util/table.h"
 
 using namespace rave;
 
-int main(int argc, char** argv) {
+int bench::Tab5SchemesMain(int argc, char** argv) {
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
   const TimeDelta duration = options.DurationOr(TimeDelta::Seconds(40));
   const auto suite = bench::TraceSuite(duration);
 
   std::vector<rtc::SessionConfig> configs;
+  configs.reserve(std::size(rtc::kAllSchemes) * suite.size() *
+                  std::size(video::kAllContentClasses));
   for (rtc::Scheme scheme : rtc::kAllSchemes) {
     for (const auto& [name, trace] : suite) {
       for (video::ContentClass content : video::kAllContentClasses) {
@@ -66,3 +69,9 @@ int main(int argc, char** argv) {
                "noise 1:1) and skips.\n";
   return 0;
 }
+
+#ifndef RAVE_SUITE_BUILD
+int main(int argc, char** argv) {
+  return rave::bench::Tab5SchemesMain(argc, argv);
+}
+#endif

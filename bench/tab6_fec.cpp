@@ -5,11 +5,12 @@
 #include <iostream>
 
 #include "common.h"
+#include "registry.h"
 #include "util/table.h"
 
 using namespace rave;
 
-int main(int argc, char** argv) {
+int bench::Tab6FecMain(int argc, char** argv) {
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
   const TimeDelta duration = options.DurationOr(TimeDelta::Seconds(40));
   const uint64_t seeds[] = {1, 2, 3};
@@ -23,11 +24,13 @@ int main(int argc, char** argv) {
       {"none", false, false}, {"rtx", true, false},
       {"fec", false, true},   {"rtx+fec", true, true}};
 
+  const Interned<net::CapacityTrace> drop_trace = bench::DropTrace(0.5);
   std::vector<rtc::SessionConfig> configs;
+  configs.reserve(variants.size() * 3);
   for (const Variant& v : variants) {
     for (uint64_t seed : seeds) {
       auto config = bench::DefaultConfig(
-          rtc::Scheme::kAdaptive, bench::DropTrace(0.5),
+          rtc::Scheme::kAdaptive, drop_trace,
           video::ContentClass::kTalkingHead, duration, seed);
       config.link.loss.random_loss = 0.02;
       config.link.loss.seed = seed ^ 0xFEC;
@@ -66,3 +69,9 @@ int main(int argc, char** argv) {
   table.Print(std::cout);
   return 0;
 }
+
+#ifndef RAVE_SUITE_BUILD
+int main(int argc, char** argv) {
+  return rave::bench::Tab6FecMain(argc, argv);
+}
+#endif

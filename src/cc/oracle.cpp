@@ -2,9 +2,12 @@
 
 namespace rave::cc {
 
-OracleBwe::OracleBwe(const EventLoop& loop, net::CapacityTrace trace,
+OracleBwe::OracleBwe(const EventLoop& loop, Interned<net::CapacityTrace> trace,
                      double utilization)
-    : loop_(loop), trace_(std::move(trace)), utilization_(utilization) {}
+    : loop_(loop),
+      trace_(std::move(trace)),
+      trace_cursor_(*trace_),
+      utilization_(utilization) {}
 
 void OracleBwe::OnPacketResults(
     const std::vector<transport::PacketResult>& results, Timestamp now) {
@@ -24,7 +27,7 @@ void OracleBwe::OnPacketResults(
 }
 
 DataRate OracleBwe::target() const {
-  return trace_.RateAt(loop_.now()) * utilization_;
+  return trace_cursor_.RateAt(loop_.now()) * utilization_;
 }
 
 }  // namespace rave::cc

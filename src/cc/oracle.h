@@ -8,14 +8,15 @@
 #include "cc/gcc.h"
 #include "net/capacity_trace.h"
 #include "sim/event_loop.h"
+#include "util/interned.h"
 
 namespace rave::cc {
 
 class OracleBwe : public BandwidthEstimator {
  public:
   /// `utilization` scales the true capacity (RTC stacks target ~85-95% to
-  /// leave queue headroom).
-  OracleBwe(const EventLoop& loop, net::CapacityTrace trace,
+  /// leave queue headroom). The trace is shared, not copied.
+  OracleBwe(const EventLoop& loop, Interned<net::CapacityTrace> trace,
             double utilization = 0.95);
 
   void OnPacketResults(const std::vector<transport::PacketResult>& results,
@@ -29,7 +30,9 @@ class OracleBwe : public BandwidthEstimator {
 
  private:
   const EventLoop& loop_;
-  net::CapacityTrace trace_;
+  Interned<net::CapacityTrace> trace_;
+  /// target() reads the clock, which only moves forward.
+  mutable net::CapacityTrace::Cursor trace_cursor_;
   double utilization_;
   AckedBitrateEstimator acked_;
   TimeDelta rtt_ = TimeDelta::Millis(100);

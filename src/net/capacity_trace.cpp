@@ -43,6 +43,32 @@ Timestamp CapacityTrace::NextChangeAfter(Timestamp t) const {
   return it->start;
 }
 
+void CapacityTrace::Cursor::Seek(Timestamp t) {
+  const std::vector<Step>& steps = trace_->steps_;
+  if (t < steps[index_].start) {
+    // Non-monotonic query: rewind (rare; correctness fallback).
+    index_ = 0;
+  }
+  while (index_ + 1 < steps.size() && steps[index_ + 1].start <= t) {
+    ++index_;
+  }
+}
+
+DataRate CapacityTrace::Cursor::RateAt(Timestamp t) {
+  Seek(t);
+  return trace_->steps_[index_].rate;
+}
+
+Timestamp CapacityTrace::Cursor::NextChangeAfter(Timestamp t) {
+  Seek(t);
+  // After Seek, steps_[index_] is the last step with start <= t, so the next
+  // step (if any) is the first change strictly after t.
+  if (index_ + 1 < trace_->steps_.size()) {
+    return trace_->steps_[index_ + 1].start;
+  }
+  return Timestamp::PlusInfinity();
+}
+
 DataRate CapacityTrace::AverageRate(TimeDelta horizon) const {
   const Timestamp end = Timestamp::Zero() + horizon;
   double bits = 0.0;

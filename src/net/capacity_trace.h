@@ -36,6 +36,30 @@ class CapacityTrace {
   /// First change strictly after `t`; PlusInfinity when none remain.
   Timestamp NextChangeAfter(Timestamp t) const;
 
+  /// Stateful view for callers whose query timestamps are non-decreasing
+  /// (event-loop consumers: the link serializer, timeseries sampling, the
+  /// oracle estimator). Each query advances a step index instead of binary
+  /// searching, so a simulation pass over an N-step trace costs O(N) total
+  /// rather than O(events * log N). Queries that go backwards in time are
+  /// still answered correctly (the cursor rewinds), just not in O(1).
+  class Cursor {
+   public:
+    /// `trace` must outlive the cursor.
+    explicit Cursor(const CapacityTrace& trace) : trace_(&trace) {}
+
+    /// Same value as trace.RateAt(t), amortized O(1) for monotonic `t`.
+    DataRate RateAt(Timestamp t);
+    /// Same value as trace.NextChangeAfter(t), amortized O(1) likewise.
+    Timestamp NextChangeAfter(Timestamp t);
+
+   private:
+    /// Moves index_ to the last step with start <= t.
+    void Seek(Timestamp t);
+
+    const CapacityTrace* trace_;
+    size_t index_ = 0;
+  };
+
   const std::vector<Step>& steps() const { return steps_; }
 
   /// Mean rate over [0, horizon].

@@ -10,14 +10,15 @@ Link::Link(EventLoop& loop, Config config, DeliveryCallback on_delivery)
     : loop_(loop),
       config_(std::move(config)),
       on_delivery_(std::move(on_delivery)),
-      current_rate_(config_.trace.RateAt(Timestamp::Zero())),
+      trace_cursor_(*config_.trace),
+      current_rate_(trace_cursor_.RateAt(Timestamp::Zero())),
       loss_rng_(config_.loss.seed),
       gilbert_(config_.loss.gilbert, Rng(config_.loss.seed ^ 0x5A5A)),
       fault_rng_(config_.loss.seed ^ 0xFA17'FA17ULL) {
   assert(on_delivery_);
   // Register a callback at every capacity change point so the in-flight
   // packet's completion can be re-computed exactly.
-  for (const CapacityTrace::Step& step : config_.trace.steps()) {
+  for (const CapacityTrace::Step& step : config_.trace->steps()) {
     if (step.start > Timestamp::Zero()) {
       loop_.ScheduleAt(step.start, [this] { OnRateChange(); });
     }
@@ -146,7 +147,7 @@ void Link::SetReordering(double probability, TimeDelta max_extra) {
 }
 
 void Link::OnRateChange() {
-  const DataRate new_rate = config_.trace.RateAt(loop_.now());
+  const DataRate new_rate = trace_cursor_.RateAt(loop_.now());
   // During an outage nothing is serializing: remaining_bits_ is frozen and
   // there is no completion event to re-schedule.
   if (in_flight_ && !outage_) {

@@ -15,6 +15,7 @@
 #include "sim/event_loop.h"
 #include "sim/random_process.h"
 #include "util/inline_function.h"
+#include "util/interned.h"
 #include "util/ring_deque.h"
 #include "util/rng.h"
 #include "util/time.h"
@@ -54,7 +55,11 @@ struct LossModel {
 class Link {
  public:
   struct Config {
-    CapacityTrace trace = CapacityTrace::Constant(DataRate::KilobitsPerSec(2500));
+    /// Shared immutable capacity schedule: copying a Config (or a
+    /// SessionConfig containing one) shares the step vector instead of
+    /// deep-copying it, so sweep matrices intern one trace across cells.
+    Interned<CapacityTrace> trace =
+        CapacityTrace::Constant(DataRate::KilobitsPerSec(2500));
     TimeDelta propagation = TimeDelta::Millis(25);
     /// Droptail queue capacity. Default ~256 ms at 2.5 Mbps (a moderate
     /// last-mile buffer); experiments sweep this.
@@ -115,6 +120,9 @@ class Link {
   EventLoop& loop_;
   Config config_;
   DeliveryCallback on_delivery_;
+  /// Monotonic view of the capacity trace (rate-change callbacks fire in
+  /// time order, so every lookup is an amortized O(1) index advance).
+  CapacityTrace::Cursor trace_cursor_;
 
   RingDeque<Packet> queue_;
   DataSize queued_ = DataSize::Zero();

@@ -33,6 +33,7 @@ SessionConfig Normalize(SessionConfig c) {
 
 Session::Session(SessionConfig config)
     : config_(Normalize(std::move(config))),
+      trace_cursor_(*config_.link.trace),
       source_(config_.source),
       packetizer_(),
       protection_(config_.protection),
@@ -150,9 +151,9 @@ Session::Session(SessionConfig config)
         loop_, *forward_link_, *config_.cross_traffic);
   }
 
-  if (!config_.faults.empty()) {
+  if (!config_.faults->empty()) {
     fault_scheduler_ = std::make_unique<fault::FaultScheduler>(
-        loop_, config_.faults, forward_link_.get(), reverse_pipe_.get());
+        loop_, *config_.faults, forward_link_.get(), reverse_pipe_.get());
   }
 
   // --- periodic drivers ---
@@ -408,7 +409,7 @@ void Session::OnWatchdogTick() {
 void Session::OnTimeseriesTick() {
   metrics::TimeseriesPoint p;
   p.at = loop_.now();
-  p.capacity_kbps = config_.link.trace.RateAt(loop_.now()).kbps();
+  p.capacity_kbps = trace_cursor_.RateAt(loop_.now()).kbps();
   p.bwe_target_kbps = bwe_->target().kbps();
   p.encoder_target_kbps = encoder_->rate_control().current_target().kbps();
   p.acked_kbps = bwe_->acked_rate().kbps();

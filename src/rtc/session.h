@@ -35,6 +35,7 @@
 #include "transport/pacer.h"
 #include "transport/jitter_buffer.h"
 #include "transport/rtx.h"
+#include "util/interned.h"
 #include "util/ring_deque.h"
 #include "video/video_source.h"
 
@@ -85,7 +86,9 @@ struct SessionConfig {
   std::optional<net::CrossTraffic::Config> cross_traffic;
 
   /// Timed hard faults injected into the link/feedback path (empty = none).
-  fault::FaultPlan faults;
+  /// Interned: sweeps that reuse one plan across cells share it rather than
+  /// copying the event list per config.
+  Interned<fault::FaultPlan> faults = fault::FaultPlan();
 
   /// Feedback-starvation circuit breaker (RFC 8083 media-timeout style).
   /// Applies to every scheme, like the pacer valve; `feedback_interval` is
@@ -147,6 +150,8 @@ class Session {
 
   SessionConfig config_;
   EventLoop loop_;
+  /// Timeseries capacity lookups (ticks are time-ordered, so amortized O(1)).
+  net::CapacityTrace::Cursor trace_cursor_;
   video::VideoSource source_;
   metrics::SessionMetrics metrics_;
   transport::Packetizer packetizer_;

@@ -21,9 +21,22 @@
 
 namespace rave::runner {
 
+class ResultCache;
+
 /// Number of jobs used when a caller passes `jobs <= 0`: the hardware
 /// concurrency, or 1 if the runtime cannot report it.
 int DefaultJobs();
+
+/// Deterministic cost heuristic for one session, in arbitrary units
+/// (roughly "simulated frames, weighted by extra machinery"). Depends only
+/// on the config, so the schedule — and therefore the run — is reproducible.
+double EstimatedSessionCost(const rtc::SessionConfig& config);
+
+/// Posting order for a config matrix: indices sorted longest-expected-first
+/// (stable, so equal-cost jobs keep submission order). Running stragglers
+/// first minimizes the tail where one long job runs alone at the end.
+std::vector<size_t> ScheduleOrder(
+    const std::vector<rtc::SessionConfig>& configs);
 
 /// Fixed-size thread pool over a job queue. Workers start in the
 /// constructor and join in the destructor; `Post` enqueues arbitrary work
@@ -49,9 +62,13 @@ class ParallelRunner {
   /// Blocks until the queue is empty and no worker is mid-job.
   void WaitIdle();
 
-  /// Runs every config and returns the results in submission order.
+  /// Runs every config and returns the results in submission order
+  /// (bit-identical at any job count; jobs are *posted* longest-first but
+  /// each result lands in its submission-order slot). With a cache, each
+  /// session is looked up by content key first and only computed on a miss.
   std::vector<rtc::SessionResult> RunSessions(
-      const std::vector<rtc::SessionConfig>& configs);
+      const std::vector<rtc::SessionConfig>& configs,
+      ResultCache* cache = nullptr);
 
  private:
   void WorkerLoop();
@@ -69,6 +86,7 @@ class ParallelRunner {
 
 /// Convenience: pool-per-call form of ParallelRunner::RunSessions.
 std::vector<rtc::SessionResult> RunSessions(
-    const std::vector<rtc::SessionConfig>& configs, int jobs = 0);
+    const std::vector<rtc::SessionConfig>& configs, int jobs = 0,
+    ResultCache* cache = nullptr);
 
 }  // namespace rave::runner

@@ -1,0 +1,114 @@
+// Content-addressed session-result cache.
+//
+// Two tiers:
+//  - In-process: a map from SessionKey to the finished result, with
+//    in-flight deduplication — when several workers ask for the same key
+//    concurrently, exactly one computes and the rest block on its future.
+//  - On-disk (optional): versioned binary blobs under `Options::dir`, one
+//    file per key (`<hex>.rrc`), written via temp-file + atomic rename so
+//    concurrent writers (threads or separate processes sharing a cache
+//    directory) never expose partial files.
+//
+// The disk tier is fail-safe by construction: a truncated, corrupted,
+// version-mismatched, or fingerprint-mismatched blob is treated as a miss —
+// the session is recomputed and the blob overwritten. The cache can slow a
+// run down (never) or lose entries (harmless); it cannot crash a run or
+// serve stale results, because the key embeds kSimFingerprint and the blob
+// carries a checksum over its payload.
+//
+// Lookups happen once per session, strictly off the per-event hot path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rtc/session.h"
+#include "runner/session_key.h"
+
+namespace rave::runner {
+
+class ResultCache {
+ public:
+  struct Options {
+    /// On-disk store directory; empty = in-memory tier only.
+    std::string dir;
+    /// Disk-tier size cap; oldest blobs (by mtime) are evicted past it.
+    uint64_t max_disk_bytes = 512ull * 1024 * 1024;
+  };
+
+  struct Stats {
+    uint64_t memory_hits = 0;
+    uint64_t disk_hits = 0;
+    /// Sessions actually simulated (misses).
+    uint64_t computes = 0;
+    /// Blobs written to disk.
+    uint64_t stores = 0;
+    /// Disk entries rejected (bad magic/version/fingerprint/checksum/decode).
+    uint64_t corrupt = 0;
+    /// Blobs removed by the size-cap sweep.
+    uint64_t evictions = 0;
+    /// Simulation time skipped thanks to hits (from the blobs' recorded
+    /// compute durations).
+    uint64_t saved_compute_us = 0;
+  };
+
+  ResultCache() : ResultCache(Options()) {}
+  explicit ResultCache(Options options);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the cached result for `key`, or runs `compute` (exactly once
+  /// per key, even under concurrent callers) and caches what it returns.
+  rtc::SessionResult GetOrCompute(
+      const SessionKey& key,
+      const std::function<rtc::SessionResult()>& compute);
+
+  Stats stats() const;
+
+  const Options& options() const { return options_; }
+
+  /// Reads RAVE_CACHE_DIR; nullopt when unset or empty.
+  static std::optional<std::string> DirFromEnv();
+  /// Reads RAVE_CACHE_MAX_MB; Options{} default when unset or malformed.
+  static uint64_t MaxDiskBytesFromEnv();
+
+  // --- blob codec, exposed for tests ---
+
+  /// Payload encoding of a SessionResult (field-by-field, little-endian).
+  static std::vector<uint8_t> EncodeResult(const rtc::SessionResult& result);
+  /// Inverse of EncodeResult; false on any truncation/garbage.
+  static bool DecodeResult(const std::vector<uint8_t>& payload,
+                           rtc::SessionResult* out);
+
+ private:
+  struct Entry {
+    rtc::SessionResult result;
+    uint64_t compute_us = 0;
+  };
+  using EntryPtr = std::shared_ptr<const Entry>;
+
+  /// Disk-tier blob path for a key.
+  std::string BlobPath(const SessionKey& key) const;
+  /// Loads and fully validates a blob; nullptr on miss or corruption.
+  EntryPtr LoadBlob(const SessionKey& key);
+  /// Writes a blob atomically (temp + rename), then runs the eviction sweep.
+  void StoreBlob(const SessionKey& key, const Entry& entry);
+  /// Deletes oldest blobs until the directory fits the size cap.
+  void EvictOverCap();
+
+  Options options_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<SessionKey, std::shared_future<EntryPtr>> inflight_;
+  Stats stats_;
+};
+
+}  // namespace rave::runner

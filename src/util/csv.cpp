@@ -1,32 +1,56 @@
 #include "util/csv.h"
 
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <stdexcept>
 
 namespace rave {
 
+namespace {
+constexpr size_t kFileBufBytes = 64 * 1024;
+}  // namespace
+
 CsvWriter::CsvWriter(const std::string& path,
                      const std::vector<std::string>& header)
-    : out_(path) {
+    : file_buf_(kFileBufBytes) {
+  // pubsetbuf only takes effect before the file is opened.
+  out_.rdbuf()->pubsetbuf(file_buf_.data(),
+                          static_cast<std::streamsize>(file_buf_.size()));
+  out_.open(path);
   if (!out_) {
-    throw std::runtime_error("CsvWriter: cannot open " + path);
+    throw std::runtime_error("CsvWriter: cannot open " + path + ": " +
+                             std::strerror(errno));
   }
+  row_.reserve(256);
   WriteRow(header);
 }
 
+void CsvWriter::Flush() {
+  out_.write(row_.data(), static_cast<std::streamsize>(row_.size()));
+}
+
 void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  row_.clear();
   for (size_t i = 0; i < cells.size(); ++i) {
-    if (i) out_ << ',';
-    out_ << cells[i];
+    if (i) row_ += ',';
+    row_ += cells[i];
   }
-  out_ << '\n';
+  row_ += '\n';
+  Flush();
 }
 
 void CsvWriter::WriteRow(const std::vector<double>& cells) {
+  row_.clear();
+  char cell[64];
   for (size_t i = 0; i < cells.size(); ++i) {
-    if (i) out_ << ',';
-    out_ << cells[i];
+    if (i) row_ += ',';
+    // %g with default precision matches operator<<(double) byte for byte.
+    const int n = std::snprintf(cell, sizeof(cell), "%g", cells[i]);
+    row_.append(cell, static_cast<size_t>(n));
   }
-  out_ << '\n';
+  row_ += '\n';
+  Flush();
 }
 
 }  // namespace rave

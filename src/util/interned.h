@@ -1,0 +1,49 @@
+// Interned<T>: a cheap-to-copy handle to an immutable, shared value.
+//
+// Session matrices repeat the same heavyweight inputs (capacity traces with
+// hundreds of steps, fault plans) across hundreds of SessionConfigs; carrying
+// them by value deep-copies the backing vectors once per cell. Interned<T>
+// carries a shared_ptr<const T> instead: copying a config bumps a refcount,
+// and every cell of a sweep points at the same immutable object. Implicit
+// conversion from T keeps `config.link.trace = CapacityTrace::StepDrop(...)`
+// call sites working unchanged (they pay a single allocation at build time).
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace rave {
+
+template <typename T>
+class Interned {
+ public:
+  /// Wraps a value (implicit, so existing by-value assignments keep
+  /// compiling). The value is moved into shared immutable storage.
+  Interned(T value)  // NOLINT(google-explicit-constructor)
+      : ptr_(std::make_shared<const T>(std::move(value))) {}
+
+  /// Adopts an existing shared value without copying (the interning path).
+  Interned(std::shared_ptr<const T> ptr)  // NOLINT(google-explicit-constructor)
+      : ptr_(std::move(ptr)) {
+    assert(ptr_ != nullptr);
+  }
+
+  const T& operator*() const { return *ptr_; }
+  const T* operator->() const { return ptr_.get(); }
+  const T& value() const { return *ptr_; }
+
+  /// The underlying shared pointer, for re-interning into other configs.
+  const std::shared_ptr<const T>& ptr() const { return ptr_; }
+
+ private:
+  std::shared_ptr<const T> ptr_;
+};
+
+/// Builds an interned value in place.
+template <typename T, typename... Args>
+Interned<T> MakeInterned(Args&&... args) {
+  return Interned<T>(std::make_shared<const T>(std::forward<Args>(args)...));
+}
+
+}  // namespace rave

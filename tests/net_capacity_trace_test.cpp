@@ -183,6 +183,66 @@ TEST_F(FromFileErrors, StructuralErrorsNameTheFile) {
   EXPECT_NE(what.find("bad_trace.txt"), std::string::npos) << what;
 }
 
+// --- Cursor: the stateful monotonic view must be an exact drop-in for the
+// stateless queries, including when callers go backwards in time.
+
+TEST(CapacityTraceCursorTest, MatchesStatelessOnStepBoundaries) {
+  const auto trace = CapacityTrace::MultiStep(
+      {{Timestamp::Zero(), DataRate::KilobitsPerSec(2500)},
+       {Timestamp::Seconds(10), DataRate::KilobitsPerSec(800)},
+       {Timestamp::Millis(10'001), DataRate::KilobitsPerSec(900)},
+       {Timestamp::Seconds(20), DataRate::KilobitsPerSec(2500)}});
+  CapacityTrace::Cursor cursor(trace);
+  for (const Timestamp t :
+       {Timestamp::Zero(), Timestamp::Millis(9'999), Timestamp::Seconds(10),
+        Timestamp::Millis(10'000), Timestamp::Millis(10'001),
+        Timestamp::Seconds(15), Timestamp::Seconds(20),
+        Timestamp::Seconds(100)}) {
+    EXPECT_EQ(cursor.RateAt(t), trace.RateAt(t)) << t.seconds();
+    EXPECT_EQ(cursor.NextChangeAfter(t), trace.NextChangeAfter(t))
+        << t.seconds();
+  }
+}
+
+TEST(CapacityTraceCursorTest, RandomizedEquivalenceMonotonic) {
+  const auto trace = CapacityTrace::RandomWalk(
+      DataRate::KilobitsPerSec(1500), 0.2, TimeDelta::Millis(200),
+      TimeDelta::Seconds(60), 7, DataRate::KilobitsPerSec(300),
+      DataRate::KilobitsPerSec(4000));
+  CapacityTrace::Cursor cursor(trace);
+  Rng rng(123);
+  Timestamp t = Timestamp::Zero();
+  for (int i = 0; i < 5000; ++i) {
+    t = t + TimeDelta::Micros(rng.UniformInt(0, 40'000));
+    ASSERT_EQ(cursor.RateAt(t), trace.RateAt(t)) << t.us();
+    ASSERT_EQ(cursor.NextChangeAfter(t), trace.NextChangeAfter(t)) << t.us();
+  }
+}
+
+TEST(CapacityTraceCursorTest, RandomizedEquivalenceWithRewinds) {
+  const auto trace = CapacityTrace::RandomWalk(
+      DataRate::KilobitsPerSec(1500), 0.3, TimeDelta::Millis(500),
+      TimeDelta::Seconds(60), 11, DataRate::KilobitsPerSec(300),
+      DataRate::KilobitsPerSec(4000));
+  CapacityTrace::Cursor cursor(trace);
+  Rng rng(456);
+  for (int i = 0; i < 5000; ++i) {
+    // Arbitrary (unsorted) timestamps: the cursor must rewind correctly.
+    const Timestamp t = Timestamp::Micros(rng.UniformInt(0, 70'000'000));
+    ASSERT_EQ(cursor.RateAt(t), trace.RateAt(t)) << t.us();
+    ASSERT_EQ(cursor.NextChangeAfter(t), trace.NextChangeAfter(t)) << t.us();
+  }
+}
+
+TEST(CapacityTraceCursorTest, SingleStepTrace) {
+  const auto trace = CapacityTrace::Constant(DataRate::KilobitsPerSec(2500));
+  CapacityTrace::Cursor cursor(trace);
+  EXPECT_EQ(cursor.RateAt(Timestamp::Zero()).kbps(), 2500);
+  EXPECT_EQ(cursor.RateAt(Timestamp::Seconds(999)).kbps(), 2500);
+  EXPECT_EQ(cursor.NextChangeAfter(Timestamp::Zero()),
+            Timestamp::PlusInfinity());
+}
+
 TEST_F(FromFileErrors, CommentsAndBlankLinesStillFine) {
   const std::string path = Write("# header\n\n0 2500  # inline comment\n"
                                  "10.5 1250\n");

@@ -6,9 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <vector>
 
 #include "common.h"
+#include "runner/result_cache.h"
 
 namespace rave {
 namespace {
@@ -139,6 +141,119 @@ TEST(ParallelRunnerTest, SingleJobRunsInline) {
 
 TEST(ParallelRunnerTest, DefaultJobsIsPositive) {
   EXPECT_GE(runner::DefaultJobs(), 1);
+}
+
+// --- longest-job-first scheduling ---
+
+TEST(ScheduleOrderTest, LongestExpectedJobsGoFirst) {
+  std::vector<rtc::SessionConfig> configs;
+  for (const int seconds : {5, 40, 10, 40, 20}) {
+    configs.push_back(bench::DefaultConfig(
+        rtc::Scheme::kAdaptive, bench::DropTrace(0.5),
+        video::ContentClass::kTalkingHead, TimeDelta::Seconds(seconds), 1));
+  }
+  const std::vector<size_t> order = runner::ScheduleOrder(configs);
+  ASSERT_EQ(order.size(), configs.size());
+  // Costs must be non-increasing along the schedule...
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(runner::EstimatedSessionCost(configs[order[i - 1]]),
+              runner::EstimatedSessionCost(configs[order[i]]));
+  }
+  // ...equal costs keep submission order (stable sort), so the whole order
+  // is deterministic: 40s (index 1), 40s (index 3), 20s, 10s, 5s.
+  EXPECT_EQ(order, (std::vector<size_t>{1, 3, 4, 2, 0}));
+}
+
+TEST(ScheduleOrderTest, CostReflectsConfigWeight) {
+  auto base = bench::DefaultConfig(
+      rtc::Scheme::kAdaptive, bench::DropTrace(0.5),
+      video::ContentClass::kTalkingHead, TimeDelta::Seconds(20), 1);
+  auto heavier = base;
+  heavier.enable_fec = true;
+  EXPECT_GT(runner::EstimatedSessionCost(heavier),
+            runner::EstimatedSessionCost(base));
+  auto longer = base;
+  longer.duration = TimeDelta::Seconds(40);
+  EXPECT_GT(runner::EstimatedSessionCost(longer),
+            runner::EstimatedSessionCost(base));
+}
+
+// Straggler case: a single long session submitted *last* after many short
+// ones. LJF reorders execution, but results must still land at their
+// submission index and match a serial run bit for bit.
+TEST(ParallelRunnerTest, StragglerSubmittedLastStaysInSubmissionOrder) {
+  std::vector<rtc::SessionConfig> configs;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    configs.push_back(bench::DefaultConfig(
+        rtc::Scheme::kAdaptive, bench::DropTrace(0.5),
+        video::ContentClass::kTalkingHead, TimeDelta::Seconds(4), seed));
+  }
+  configs.push_back(bench::DefaultConfig(
+      rtc::Scheme::kX264Abr, bench::DropTrace(0.3),
+      video::ContentClass::kGaming, TimeDelta::Seconds(30), 99));
+  // The straggler must be scheduled first even though it was submitted last.
+  EXPECT_EQ(runner::ScheduleOrder(configs).front(), configs.size() - 1);
+
+  const auto serial = runner::RunSessions(configs, /*jobs=*/1);
+  const auto parallel = runner::RunSessions(configs, /*jobs=*/8);
+  ASSERT_EQ(serial.size(), configs.size());
+  ASSERT_EQ(parallel.size(), configs.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("config " + std::to_string(i));
+    EXPECT_EQ(serial[i].scheme_name, rtc::ToString(configs[i].scheme));
+    EXPECT_EQ(serial[i].events_executed, parallel[i].events_executed);
+    ExpectSameSummary(serial[i].summary, parallel[i].summary);
+  }
+}
+
+// --- cache-backed runs ---
+
+TEST(ParallelRunnerTest, CacheBackedRunMatchesUncached) {
+  std::vector<rtc::SessionConfig> configs;
+  for (rtc::Scheme scheme : rtc::kHeadlineSchemes) {
+    for (uint64_t seed : {1, 2}) {
+      configs.push_back(bench::DefaultConfig(
+          scheme, bench::DropTrace(0.5), video::ContentClass::kTalkingHead,
+          TimeDelta::Seconds(5), seed));
+    }
+  }
+
+  const auto uncached = runner::RunSessions(configs, /*jobs=*/2);
+  runner::ResultCache cache;
+  const auto cold = runner::RunSessions(configs, /*jobs=*/2, &cache);
+  EXPECT_EQ(cache.stats().computes, configs.size());
+  const auto warm = runner::RunSessions(configs, /*jobs=*/2, &cache);
+  EXPECT_EQ(cache.stats().computes, configs.size());  // nothing recomputed
+  EXPECT_EQ(cache.stats().memory_hits, configs.size());
+
+  ASSERT_EQ(cold.size(), configs.size());
+  ASSERT_EQ(warm.size(), configs.size());
+  for (size_t i = 0; i < configs.size(); ++i) {
+    SCOPED_TRACE("config " + std::to_string(i));
+    EXPECT_EQ(uncached[i].events_executed, cold[i].events_executed);
+    EXPECT_EQ(uncached[i].events_executed, warm[i].events_executed);
+    ExpectSameSummary(uncached[i].summary, cold[i].summary);
+    ExpectSameSummary(uncached[i].summary, warm[i].summary);
+    ExpectSameFrames(uncached[i].frames, warm[i].frames);
+    ExpectSameLinkStats(uncached[i].link_stats, warm[i].link_stats);
+  }
+}
+
+TEST(ParallelRunnerTest, DuplicateConfigsComputeOncePerKeyWithCache) {
+  const auto config = bench::DefaultConfig(
+      rtc::Scheme::kAdaptive, bench::DropTrace(0.5),
+      video::ContentClass::kTalkingHead, TimeDelta::Seconds(4), 7);
+  const std::vector<rtc::SessionConfig> configs(6, config);
+
+  runner::ResultCache cache;
+  const auto results = runner::RunSessions(configs, /*jobs=*/4, &cache);
+  ASSERT_EQ(results.size(), configs.size());
+  EXPECT_EQ(cache.stats().computes, 1u);
+  EXPECT_EQ(cache.stats().memory_hits, configs.size() - 1);
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[0].events_executed, results[i].events_executed);
+    ExpectSameSummary(results[0].summary, results[i].summary);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,334 @@
+// ResultCache correctness: blob codec round-trips bit-exactly, every flavor
+// of disk corruption degrades to a recompute (never a crash, never a wrong
+// result), and concurrent writers sharing one cache directory stay safe.
+#include "runner/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "fault/fault_plan.h"
+#include "runner/session_key.h"
+
+namespace rave {
+namespace {
+
+namespace fs = std::filesystem;
+
+rtc::SessionConfig SmallConfig(uint64_t seed = 3,
+                               rtc::Scheme scheme = rtc::Scheme::kAdaptive) {
+  auto config = bench::DefaultConfig(scheme, bench::DropTrace(0.5),
+                                     video::ContentClass::kTalkingHead,
+                                     TimeDelta::Seconds(4), seed);
+  return config;
+}
+
+/// Fresh empty scratch directory under the gtest temp dir.
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/rave_cache_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+void ExpectBitIdentical(const rtc::SessionResult& a,
+                        const rtc::SessionResult& b) {
+  // The codec serializes every field bit-exactly, so encoded equality is
+  // full-result equality — and it is exactly what the disk tier preserves.
+  EXPECT_EQ(runner::ResultCache::EncodeResult(a),
+            runner::ResultCache::EncodeResult(b));
+}
+
+TEST(ResultCacheCodecTest, RoundTripsARealSessionBitExactly) {
+  auto config = SmallConfig();
+  config.enable_fec = true;  // exercise protection/FEC summary fields
+  config.faults =
+      fault::FaultPlan().Outage(Timestamp::Seconds(2), TimeDelta::Millis(500));
+  const rtc::SessionResult original = rtc::RunSession(config);
+  ASSERT_FALSE(original.frames.empty());
+  ASSERT_FALSE(original.timeseries.empty());
+
+  const std::vector<uint8_t> payload =
+      runner::ResultCache::EncodeResult(original);
+  rtc::SessionResult decoded;
+  ASSERT_TRUE(runner::ResultCache::DecodeResult(payload, &decoded));
+
+  EXPECT_EQ(decoded.scheme_name, original.scheme_name);
+  EXPECT_EQ(decoded.events_executed, original.events_executed);
+  EXPECT_EQ(decoded.frames.size(), original.frames.size());
+  EXPECT_EQ(decoded.timeseries.size(), original.timeseries.size());
+  EXPECT_EQ(decoded.summary.frames_captured, original.summary.frames_captured);
+  EXPECT_EQ(decoded.summary.latency_p95_ms, original.summary.latency_p95_ms);
+  EXPECT_EQ(decoded.summary.encoded_ssim_mean,
+            original.summary.encoded_ssim_mean);
+  EXPECT_EQ(decoded.link_stats.packets_delivered,
+            original.link_stats.packets_delivered);
+  EXPECT_EQ(decoded.breaker_stats.opens, original.breaker_stats.opens);
+  for (size_t i = 0; i < original.frames.size(); ++i) {
+    ASSERT_EQ(decoded.frames[i].frame_id, original.frames[i].frame_id);
+    ASSERT_EQ(decoded.frames[i].fate, original.frames[i].fate);
+    ASSERT_EQ(decoded.frames[i].ssim, original.frames[i].ssim);
+    ASSERT_EQ(decoded.frames[i].complete_time,
+              original.frames[i].complete_time);
+  }
+  // Re-encoding the decoded result must reproduce the payload byte for byte.
+  EXPECT_EQ(runner::ResultCache::EncodeResult(decoded), payload);
+}
+
+TEST(ResultCacheCodecTest, DecodeRejectsTruncationAtEveryLength) {
+  const rtc::SessionResult result = rtc::RunSession(SmallConfig());
+  const std::vector<uint8_t> payload =
+      runner::ResultCache::EncodeResult(result);
+  rtc::SessionResult out;
+  // Every strict prefix must be rejected cleanly (no crash, no partial OK).
+  // Step through lengths to keep the test fast on big payloads.
+  for (size_t len = 0; len < payload.size();
+       len += (payload.size() / 257) + 1) {
+    const std::vector<uint8_t> truncated(payload.begin(),
+                                         payload.begin() + len);
+    EXPECT_FALSE(runner::ResultCache::DecodeResult(truncated, &out))
+        << "accepted a " << len << "-byte prefix";
+  }
+  // Trailing garbage is rejected too (AtEnd check).
+  std::vector<uint8_t> padded = payload;
+  padded.push_back(0);
+  EXPECT_FALSE(runner::ResultCache::DecodeResult(padded, &out));
+}
+
+TEST(ResultCacheTest, MemoryTierHitsWithoutDisk) {
+  runner::ResultCache cache;  // no dir: memory tier only
+  const auto config = SmallConfig();
+  const runner::SessionKey key = runner::ComputeSessionKey(config);
+
+  int computes = 0;
+  auto compute = [&] {
+    ++computes;
+    return rtc::RunSession(config);
+  };
+  const auto first = cache.GetOrCompute(key, compute);
+  const auto second = cache.GetOrCompute(key, compute);
+  EXPECT_EQ(computes, 1);
+  ExpectBitIdentical(first, second);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.computes, 1u);
+  EXPECT_EQ(stats.memory_hits, 1u);
+  EXPECT_EQ(stats.disk_hits, 0u);
+  EXPECT_EQ(stats.stores, 0u);  // no disk tier configured
+}
+
+TEST(ResultCacheTest, DiskTierSurvivesProcessRestart) {
+  const std::string dir = FreshDir("restart");
+  const auto config = SmallConfig();
+  const runner::SessionKey key = runner::ComputeSessionKey(config);
+  auto compute = [&] { return rtc::RunSession(config); };
+
+  rtc::SessionResult first;
+  {
+    runner::ResultCache cache({dir});
+    first = cache.GetOrCompute(key, compute);
+    EXPECT_EQ(cache.stats().computes, 1u);
+    EXPECT_EQ(cache.stats().stores, 1u);
+  }
+  {
+    // A new instance stands in for a new process sharing the directory.
+    runner::ResultCache cache({dir});
+    const auto second = cache.GetOrCompute(key, [&]() -> rtc::SessionResult {
+      ADD_FAILURE() << "disk hit expected; compute ran";
+      return rtc::RunSession(config);
+    });
+    ExpectBitIdentical(first, second);
+    EXPECT_EQ(cache.stats().disk_hits, 1u);
+    EXPECT_EQ(cache.stats().computes, 0u);
+    EXPECT_GT(cache.stats().saved_compute_us, 0u);
+  }
+  fs::remove_all(dir);
+}
+
+// Corruption matrix: flip/truncate/garble the one blob in the directory; a
+// fresh cache must recompute (miss), count the blob as corrupt, and heal the
+// file by overwriting it.
+TEST(ResultCacheTest, CorruptedBlobsAreMissesNotCrashes) {
+  const std::string dir = FreshDir("corrupt");
+  const auto config = SmallConfig();
+  const runner::SessionKey key = runner::ComputeSessionKey(config);
+  auto compute = [&] { return rtc::RunSession(config); };
+
+  rtc::SessionResult reference;
+  {
+    runner::ResultCache cache({dir});
+    reference = cache.GetOrCompute(key, compute);
+  }
+  const std::string blob = dir + "/" + key.ToHex() + ".rrc";
+  ASSERT_TRUE(fs::exists(blob));
+  std::vector<char> pristine;
+  {
+    std::ifstream in(blob, std::ios::binary);
+    pristine.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(pristine.size(), 64u);
+
+  struct Corruption {
+    const char* name;
+    size_t resize;   // 0 = keep size
+    size_t flip_at;  // byte to XOR when resize == 0
+  };
+  const Corruption corruptions[] = {
+      {"bad magic", 0, 0},
+      {"bad header", 0, 24},
+      {"bad payload", 0, pristine.size() - 9},
+      {"truncated header", 16, 0},
+      {"truncated payload", pristine.size() / 2, 0},
+      {"empty file", 1, 0},
+  };
+  for (const Corruption& c : corruptions) {
+    SCOPED_TRACE(c.name);
+    std::vector<char> bytes = pristine;
+    if (c.resize > 0) {
+      bytes.resize(c.resize);
+    } else {
+      bytes[c.flip_at] = static_cast<char>(bytes[c.flip_at] ^ 0x5a);
+    }
+    {
+      std::ofstream out(blob, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    runner::ResultCache cache({dir});
+    const auto recomputed = cache.GetOrCompute(key, compute);
+    ExpectBitIdentical(reference, recomputed);
+    EXPECT_EQ(cache.stats().corrupt, 1u);
+    EXPECT_EQ(cache.stats().computes, 1u);
+    EXPECT_EQ(cache.stats().stores, 1u);  // blob healed
+  }
+
+  // After the last heal the blob must be valid again.
+  runner::ResultCache cache({dir});
+  cache.GetOrCompute(key, compute);
+  EXPECT_EQ(cache.stats().disk_hits, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(ResultCacheTest, UnwritableDirDegradesToMemoryTier) {
+  // A path under a regular file can never be created.
+  const std::string file = ::testing::TempDir() + "/rave_cache_blocker";
+  { std::ofstream out(file); }
+  runner::ResultCache cache({file + "/sub"});
+  const auto config = SmallConfig();
+  const runner::SessionKey key = runner::ComputeSessionKey(config);
+  auto compute = [&] { return rtc::RunSession(config); };
+  const auto first = cache.GetOrCompute(key, compute);
+  const auto second = cache.GetOrCompute(key, compute);
+  ExpectBitIdentical(first, second);
+  EXPECT_EQ(cache.stats().computes, 1u);
+  EXPECT_EQ(cache.stats().memory_hits, 1u);
+  fs::remove(file);
+}
+
+TEST(ResultCacheTest, InflightDedupUnderConcurrency) {
+  runner::ResultCache cache;
+  const auto config = SmallConfig();
+  const runner::SessionKey key = runner::ComputeSessionKey(config);
+
+  std::vector<std::thread> threads;
+  std::vector<rtc::SessionResult> results(8);
+  for (size_t i = 0; i < results.size(); ++i) {
+    threads.emplace_back([&, i] {
+      results[i] =
+          cache.GetOrCompute(key, [&] { return rtc::RunSession(config); });
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Exactly one compute; everyone else waited on the in-flight future.
+  EXPECT_EQ(cache.stats().computes, 1u);
+  EXPECT_EQ(cache.stats().memory_hits, results.size() - 1);
+  for (size_t i = 1; i < results.size(); ++i) {
+    ExpectBitIdentical(results[0], results[i]);
+  }
+}
+
+// Two cache instances (standing in for two processes) hammer one directory
+// with overlapping key sets. Atomic temp+rename writes mean every read sees
+// either a whole valid blob or nothing.
+TEST(ResultCacheTest, ConcurrentWritersToOneDirectory) {
+  const std::string dir = FreshDir("writers");
+  runner::ResultCache cache_a({dir});
+  runner::ResultCache cache_b({dir});
+
+  const uint64_t seeds[] = {11, 12, 13, 14};
+  auto work = [&](runner::ResultCache& cache,
+                  std::vector<rtc::SessionResult>* out) {
+    for (uint64_t seed : seeds) {
+      const auto config = SmallConfig(seed);
+      out->push_back(cache.GetOrCompute(runner::ComputeSessionKey(config),
+                                        [&] { return rtc::RunSession(config); }));
+    }
+  };
+  std::vector<rtc::SessionResult> results_a;
+  std::vector<rtc::SessionResult> results_b;
+  std::thread ta([&] { work(cache_a, &results_a); });
+  std::thread tb([&] { work(cache_b, &results_b); });
+  ta.join();
+  tb.join();
+
+  ASSERT_EQ(results_a.size(), std::size(seeds));
+  ASSERT_EQ(results_b.size(), std::size(seeds));
+  for (size_t i = 0; i < std::size(seeds); ++i) {
+    ExpectBitIdentical(results_a[i], results_b[i]);
+  }
+  // No blob was ever rejected: concurrent stores are atomic, not corrupting.
+  EXPECT_EQ(cache_a.stats().corrupt, 0u);
+  EXPECT_EQ(cache_b.stats().corrupt, 0u);
+  // Every key has exactly one blob (plus no leftover temp files).
+  size_t blobs = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().extension(), ".rrc") << entry.path();
+    ++blobs;
+  }
+  EXPECT_EQ(blobs, std::size(seeds));
+  fs::remove_all(dir);
+}
+
+TEST(ResultCacheTest, EvictionKeepsDirectoryUnderCap) {
+  const std::string dir = FreshDir("evict");
+  runner::ResultCache::Options options;
+  options.dir = dir;
+  options.max_disk_bytes = 1;  // every store must evict down to one blob
+  runner::ResultCache cache(options);
+  for (uint64_t seed = 21; seed < 25; ++seed) {
+    const auto config = SmallConfig(seed);
+    cache.GetOrCompute(runner::ComputeSessionKey(config),
+                       [&] { return rtc::RunSession(config); });
+  }
+  EXPECT_GT(cache.stats().evictions, 0u);
+  size_t blobs = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    (void)entry;
+    ++blobs;
+  }
+  EXPECT_LE(blobs, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(ResultCacheTest, EnvHelpersDefaultWhenUnset) {
+  // Only exercise the no-env path (tests must not mutate the environment of
+  // the whole binary): unset means "no dir" and the default size cap.
+  if (::getenv("RAVE_CACHE_DIR") == nullptr) {
+    EXPECT_FALSE(runner::ResultCache::DirFromEnv().has_value());
+  }
+  if (::getenv("RAVE_CACHE_MAX_MB") == nullptr) {
+    EXPECT_EQ(runner::ResultCache::MaxDiskBytesFromEnv(),
+              runner::ResultCache::Options{}.max_disk_bytes);
+  }
+}
+
+}  // namespace
+}  // namespace rave
