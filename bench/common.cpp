@@ -7,6 +7,7 @@
 #include "runner/parallel_runner.h"
 #include "runner/result_cache.h"
 #include "util/flags.h"
+#include "util/logging.h"
 
 namespace rave::bench {
 
@@ -17,6 +18,10 @@ namespace {
 /// when a standalone bench enables caching via flag/environment.
 runner::ResultCache* g_suite_cache = nullptr;
 std::unique_ptr<runner::ResultCache> owned_cache;
+
+/// Suite-wide metric aggregate (see SuiteMetrics). RunMatrix merges on the
+/// calling thread only, so no locking is needed.
+obs::RegistrySnapshot g_suite_metrics;
 
 }  // namespace
 
@@ -32,16 +37,23 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
   try {
     const Flags flags(argc - 1, argv + 1);
     for (const std::string& key :
-         flags.UnknownKeys({"jobs", "duration", "cache-dir"})) {
+         flags.UnknownKeys({"jobs", "duration", "cache-dir", "log-level"})) {
       std::cerr << "error: unknown flag --" << key
                 << "\nusage: " << argv[0]
-                << " [--jobs=N] [--duration=SECONDS] [--cache-dir=DIR]\n";
+                << " [--jobs=N] [--duration=SECONDS] [--cache-dir=DIR]"
+                   " [--log-level=debug|info|warning|error]\n";
       std::exit(2);
     }
     BenchOptions options;
     options.jobs = static_cast<int>(flags.GetInt("jobs", 0));
     options.duration_s = flags.GetDouble("duration", 0.0);
     options.cache_dir = flags.GetString("cache-dir", "");
+    const std::string log_level = flags.GetString("log-level", "");
+    if (!log_level.empty() && !SetLogLevelFromString(log_level)) {
+      std::cerr << "error: bad --log-level '" << log_level
+                << "' (want debug|info|warning|error)\n";
+      std::exit(2);
+    }
     if (options.cache_dir.empty()) {
       if (auto env = runner::ResultCache::DirFromEnv()) {
         options.cache_dir = *env;
@@ -66,8 +78,19 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
 
 std::vector<rtc::SessionResult> RunMatrix(
     const std::vector<rtc::SessionConfig>& configs, int jobs) {
-  return runner::RunSessions(configs, jobs, SuiteCache());
+  std::vector<rtc::SessionResult> results =
+      runner::RunSessions(configs, jobs, SuiteCache());
+  // Results arrive in submission order whatever the job count, so the
+  // suite-wide merge is deterministic too.
+  for (const rtc::SessionResult& result : results) {
+    g_suite_metrics.Merge(result.metrics);
+  }
+  return results;
 }
+
+const obs::RegistrySnapshot& SuiteMetrics() { return g_suite_metrics; }
+
+void ResetSuiteMetrics() { g_suite_metrics = obs::RegistrySnapshot{}; }
 
 std::vector<double> FrameLatenciesMs(const rtc::SessionResult& result) {
   std::vector<double> ms;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "net/capacity_trace.h"
+#include "obs/metrics_registry.h"
 #include "rtc/session.h"
 #include "util/interned.h"
 #include "util/time.h"
@@ -39,11 +40,12 @@ struct BenchOptions {
   TimeDelta DurationOr(TimeDelta fallback) const;
 };
 
-/// Parses `--jobs=N` / `--duration=S` / `--cache-dir=DIR`. Exits (status 2)
-/// on unknown flags so typos fail loudly. Every bench binary calls this
-/// first. When a cache directory is configured (flag, or the RAVE_CACHE_DIR
-/// environment variable) and no suite cache is already installed, this
-/// creates a process-wide ResultCache that RunMatrix then consults.
+/// Parses `--jobs=N` / `--duration=S` / `--cache-dir=DIR` /
+/// `--log-level=LEVEL`. Exits (status 2) on unknown flags so typos fail
+/// loudly. Every bench binary calls this first. When a cache directory is
+/// configured (flag, or the RAVE_CACHE_DIR environment variable) and no
+/// suite cache is already installed, this creates a process-wide
+/// ResultCache that RunMatrix then consults.
 BenchOptions ParseBenchOptions(int argc, char** argv);
 
 /// The process-wide session-result cache (nullptr = caching disabled).
@@ -56,9 +58,18 @@ void SetSuiteCache(runner::ResultCache* cache);
 
 /// Runs every config (in parallel when jobs != 1) and returns results in
 /// submission order — byte-identical output to a serial run regardless of
-/// the job count or cache state. Consults SuiteCache() when installed.
+/// the job count or cache state. Consults SuiteCache() when installed, and
+/// merges each result's metrics snapshot into SuiteMetrics().
 std::vector<rtc::SessionResult> RunMatrix(
     const std::vector<rtc::SessionConfig>& configs, int jobs);
+
+/// Process-wide merge of the per-session metric registries of every session
+/// RunMatrix has executed (or served from cache) so far. Deterministic:
+/// only sim-derived values reach SessionResult::metrics, and RunMatrix
+/// merges in submission order, so a cold and a warm suite run aggregate to
+/// the same snapshot. run_suite writes this as BENCH_suite.json "metrics".
+const obs::RegistrySnapshot& SuiteMetrics();
+void ResetSuiteMetrics();
 
 /// Builds the default session configuration used across experiments:
 /// 720p30, 2.5 Mbps initial estimate, 50 ms RTT (25 ms each way), 50 ms

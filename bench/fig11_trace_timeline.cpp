@@ -1,0 +1,126 @@
+// Figure 11 (observability): the motivation timeline of Fig 1, rendered
+// from a Chrome trace capture instead of the session's timeseries.
+//
+// Runs baseline and adaptive across the canonical 2.5 -> 1.0 Mbps drop with
+// a TraceRecorder installed, writes each capture to
+// `fig11_trace_<scheme>.json` (openable in Perfetto / chrome://tracing),
+// then re-reads the JSON and prints one row per 500 ms from the parsed
+// events — so the table is exercising the full export/import round trip,
+// not a private in-memory shortcut.
+//
+// Traced sessions bypass RunMatrix and the result cache on purpose: a
+// cached result replays no events, so it cannot produce a trace, and the
+// warm-suite invariant (`sessions_computed: 0`) must keep holding.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "obs/trace.h"
+#include "registry.h"
+#include "util/table.h"
+
+using namespace rave;
+
+namespace {
+
+/// Last value per 500 ms bucket for one named counter track.
+struct TrackSeries {
+  std::map<int64_t, double> last_in_bucket;  // bucket index -> value
+};
+
+constexpr int64_t kBucketUs = 500'000;
+
+}  // namespace
+
+int bench::Fig11TraceTimelineMain(int argc, char** argv) {
+  const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
+  const Interned<net::CapacityTrace> trace = bench::DropTrace(0.6);
+  const TimeDelta duration = options.DurationOr(TimeDelta::Seconds(25));
+
+  std::cout << "Fig 11: control-plane timeline re-read from Chrome trace "
+               "captures (2.5->1.0 Mbps drop at t=10s)\n\n";
+
+  for (rtc::Scheme scheme : {rtc::Scheme::kX264Abr, rtc::Scheme::kAdaptive}) {
+    const rtc::SessionConfig config =
+        bench::DefaultConfig(scheme, trace, video::ContentClass::kTalkingHead,
+                             duration, /*seed=*/42);
+
+    obs::TraceRecorder::Options trace_options;
+    trace_options.sample_hz = 0.0;  // record every sample
+    obs::TraceRecorder recorder(trace_options);
+    rtc::SessionResult result;
+    {
+      const obs::TraceScope scope(&recorder);
+      result = rtc::RunSession(config);
+    }
+
+    const std::string path = "fig11_trace_" + result.scheme_name + ".json";
+    if (!recorder.WriteJsonFile(path)) {
+      std::cerr << "error: cannot write " << path << '\n';
+      return 1;
+    }
+
+    std::ifstream in(path);
+    std::vector<obs::ParsedTraceEvent> events;
+    if (!obs::ReadTraceJson(in, &events)) {
+      std::cerr << "error: no events parsed back from " << path << '\n';
+      return 1;
+    }
+
+    std::map<std::string, TrackSeries> series;
+    std::map<int64_t, int> instants;  // bucket -> instant-event count
+    int64_t max_bucket = 0;
+    for (const obs::ParsedTraceEvent& e : events) {
+      const int64_t bucket = e.ts_us / kBucketUs;
+      if (e.phase == "C") {
+        series[e.name].last_in_bucket[bucket] = e.value;
+        if (bucket > max_bucket) max_bucket = bucket;
+      } else if (e.phase == "i") {
+        ++instants[bucket];
+        if (bucket > max_bucket) max_bucket = bucket;
+      }
+    }
+
+    std::cout << "--- scheme: " << result.scheme_name << " (" << path
+              << ", " << events.size() << " parsed events) ---\n";
+    Table table({"t(s)", "capacity(kbps)", "bwe(kbps)", "qp", "vbv-fill",
+                 "linkQ(ms)", "pacerQ(ms)", "instants"});
+    // Carry the last seen value forward so rows between samples stay
+    // meaningful (counters are step functions).
+    std::map<std::string, double> carried;
+    for (int64_t bucket = 0; bucket <= max_bucket; ++bucket) {
+      for (auto& [name, s] : series) {
+        auto it = s.last_in_bucket.find(bucket);
+        if (it != s.last_in_bucket.end()) carried[name] = it->second;
+      }
+      auto value = [&](const char* name) {
+        auto it = carried.find(name);
+        return it == carried.end() ? 0.0 : it->second;
+      };
+      auto inst = instants.find(bucket);
+      table.AddRow()
+          .Cell(static_cast<double>(bucket) * kBucketUs * 1e-6, 1)
+          .Cell(value("session/capacity_kbps"), 0)
+          .Cell(value("cc/bwe_kbps"), 0)
+          .Cell(value("encoder/qp"), 1)
+          .Cell(value("codec/vbv_fill"), 3)
+          .Cell(value("net/link_queue_ms"), 1)
+          .Cell(value("transport/pacer_queue_ms"), 1)
+          .Cell(inst == instants.end() ? 0.0 : inst->second, 0);
+    }
+    table.Print(std::cout);
+    const auto& s = result.summary;
+    std::cout << "summary: mean=" << s.latency_mean_ms
+              << "ms p95=" << s.latency_p95_ms << "ms\n\n";
+  }
+  return 0;
+}
+
+#ifndef RAVE_SUITE_BUILD
+int main(int argc, char** argv) {
+  return rave::bench::Fig11TraceTimelineMain(argc, argv);
+}
+#endif

@@ -4,21 +4,39 @@ namespace rave::bench {
 
 const std::vector<BenchEntry>& AllBenches() {
   static const std::vector<BenchEntry> kBenches = {
-      {"fig1_timeline", Fig1TimelineMain},
-      {"fig2_latency_cdf", Fig2LatencyCdfMain},
-      {"fig3_bitrate_tracking", Fig3BitrateTrackingMain},
-      {"fig4_rtt_sensitivity", Fig4RttSensitivityMain},
-      {"fig5_queue_depth", Fig5QueueDepthMain},
-      {"fig6_recovery", Fig6RecoveryMain},
-      {"fig7_loss_resilience", Fig7LossResilienceMain},
-      {"fig8_cross_traffic", Fig8CrossTrafficMain},
-      {"fig9_render_latency", Fig9RenderLatencyMain},
-      {"fig10_outage_recovery", Fig10OutageRecoveryMain},
-      {"tab1_latency_reduction", Tab1LatencyReductionMain},
-      {"tab2_quality", Tab2QualityMain},
-      {"tab3_ablation", Tab3AblationMain},
-      {"tab5_schemes", Tab5SchemesMain},
-      {"tab6_fec", Tab6FecMain},
+      {"fig1_timeline", Fig1TimelineMain,
+       "per-frame latency + control-plane timeline across one drop", "-"},
+      {"fig2_latency_cdf", Fig2LatencyCdfMain,
+       "end-to-end frame latency CDF, baseline vs adaptive", "-"},
+      {"fig3_bitrate_tracking", Fig3BitrateTrackingMain,
+       "encoder output bitrate vs link capacity over time", "-"},
+      {"fig4_rtt_sensitivity", Fig4RttSensitivityMain,
+       "latency reduction as a function of path RTT", "-"},
+      {"fig5_queue_depth", Fig5QueueDepthMain,
+       "pacer and bottleneck queue depth across a drop", "-"},
+      {"fig6_recovery", Fig6RecoveryMain,
+       "convergence time after capacity recovers", "-"},
+      {"fig7_loss_resilience", Fig7LossResilienceMain,
+       "quality/latency under random packet loss sweeps", "-"},
+      {"fig8_cross_traffic", Fig8CrossTrafficMain,
+       "behaviour when competing with on/off cross traffic", "-"},
+      {"fig9_render_latency", Fig9RenderLatencyMain,
+       "render-path latency distribution per scheme", "-"},
+      {"fig10_outage_recovery", Fig10OutageRecoveryMain,
+       "full outage (circuit breaker) injection and recovery", "-"},
+      {"fig11_trace_timeline", Fig11TraceTimelineMain,
+       "motivation timeline rendered from a Chrome trace capture",
+       "fig11_trace_x264-abr.json fig11_trace_rave-adaptive.json"},
+      {"tab1_latency_reduction", Tab1LatencyReductionMain,
+       "headline p95 latency reduction across drop severities", "-"},
+      {"tab2_quality", Tab2QualityMain,
+       "SSIM / bitrate quality comparison per scheme", "-"},
+      {"tab3_ablation", Tab3AblationMain,
+       "ablation of adaptive-encoder components", "-"},
+      {"tab5_schemes", Tab5SchemesMain,
+       "cross-scheme summary table over the trace suite", "-"},
+      {"tab6_fec", Tab6FecMain,
+       "FEC overhead/benefit sweep", "-"},
   };
   return kBenches;
 }

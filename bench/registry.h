@@ -25,15 +25,18 @@ int Fig10OutageRecoveryMain(int argc, char** argv);
 int Tab1LatencyReductionMain(int argc, char** argv);
 int Tab2QualityMain(int argc, char** argv);
 int Tab3AblationMain(int argc, char** argv);
+int Fig11TraceTimelineMain(int argc, char** argv);
 int Tab5SchemesMain(int argc, char** argv);
 int Tab6FecMain(int argc, char** argv);
 
 struct BenchEntry {
   const char* name;  ///< binary name, e.g. "fig1_timeline"
   int (*entry)(int argc, char** argv);
+  const char* description;  ///< one line for `run_suite --list`
+  const char* outputs;      ///< files written besides stdout ("-" if none)
 };
 
-/// Every suite bench, in canonical (fig1..fig10, tab1..tab6) order.
+/// Every suite bench, in canonical (fig1..fig11, tab1..tab6) order.
 const std::vector<BenchEntry>& AllBenches();
 
 }  // namespace rave::bench

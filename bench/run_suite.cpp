@@ -10,9 +10,18 @@
 // once per suite run even without a disk cache — and with `--cache-dir`
 // (or RAVE_CACHE_DIR) a warm rerun skips simulation entirely.
 //
+// BENCH_suite.json additionally carries two metric sections:
+//   "metrics"  — the deterministic merge of every session's metric registry
+//                (counters, gauges, histogram percentiles); identical
+//                between cold and warm passes and across job counts.
+//   "runtime"  — host-side wall-clock / allocation roll-ups from
+//                obs::RuntimeStats plus cache hit rates; excluded from
+//                determinism comparisons by construction.
+//
 // Usage:
 //   run_suite [--jobs=N] [--duration=SECONDS] [--cache-dir=DIR]
-//             [--out-dir=DIR] [--benches=fig1_timeline,tab5_schemes,...]
+//             [--out-dir=DIR] [--only=fig1_timeline,tab5_schemes,...]
+//             [--log-level=LEVEL] [--list]
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
@@ -23,9 +32,11 @@
 #include <vector>
 
 #include "common.h"
+#include "obs/metrics_registry.h"
 #include "registry.h"
 #include "runner/result_cache.h"
 #include "util/flags.h"
+#include "util/logging.h"
 
 namespace {
 
@@ -52,6 +63,48 @@ std::string Num(double v) {
   return os.str();
 }
 
+/// One JSON line per metric, mirroring the MetricSnapshot schema.
+/// Histograms come with interpolated p50/p95/p99, so the suite report is
+/// directly plottable without re-deriving percentiles from buckets.
+void WriteMetricsJson(std::ostream& json, const char* indent,
+                      const rave::obs::RegistrySnapshot& snapshot) {
+  using rave::obs::MetricKind;
+  for (size_t i = 0; i < snapshot.metrics.size(); ++i) {
+    const rave::obs::MetricSnapshot& m = snapshot.metrics[i];
+    json << indent << "{\"name\": \"" << m.name << "\", ";
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        json << "\"kind\": \"counter\", \"value\": " << m.counter;
+        break;
+      case MetricKind::kGauge:
+        json << "\"kind\": \"gauge\", \"value\": " << Num(m.gauge);
+        break;
+      case MetricKind::kHistogram:
+        json << "\"kind\": \"histogram\", \"count\": " << m.count
+             << ", \"sum\": " << Num(m.sum) << ", \"min\": " << Num(m.min)
+             << ", \"max\": " << Num(m.max)
+             << ", \"p50\": " << Num(m.Percentile(0.50))
+             << ", \"p95\": " << Num(m.Percentile(0.95))
+             << ", \"p99\": " << Num(m.Percentile(0.99));
+        break;
+    }
+    json << "}" << (i + 1 < snapshot.metrics.size() ? "," : "") << '\n';
+  }
+}
+
+/// `run_suite --list`: the bench registry with descriptions and outputs.
+void PrintBenchList(std::ostream& os) {
+  os << "available benches (run a subset with --only=name,name,...):\n";
+  for (const rave::bench::BenchEntry& e : rave::bench::AllBenches()) {
+    os << "  " << e.name << "\n      " << e.description
+       << "\n      outputs: BENCH_" << e.name << ".out";
+    if (e.outputs != nullptr && std::string(e.outputs) != "-") {
+      os << ' ' << e.outputs;
+    }
+    os << '\n';
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -66,18 +119,31 @@ int main(int argc, char** argv) {
   std::string benches_csv;
   try {
     const Flags flags(argc - 1, argv + 1);
-    for (const std::string& key : flags.UnknownKeys(
-             {"jobs", "duration", "cache-dir", "out-dir", "benches"})) {
+    for (const std::string& key :
+         flags.UnknownKeys({"jobs", "duration", "cache-dir", "out-dir",
+                            "benches", "only", "log-level", "list"})) {
       std::cerr << "error: unknown flag --" << key << "\nusage: " << argv[0]
                 << " [--jobs=N] [--duration=SECONDS] [--cache-dir=DIR]"
-                   " [--out-dir=DIR] [--benches=name,name,...]\n";
+                   " [--out-dir=DIR] [--only=name,name,...]"
+                   " [--log-level=LEVEL] [--list]\n";
       return 2;
+    }
+    if (flags.GetBool("list", false)) {
+      PrintBenchList(std::cout);
+      return 0;
     }
     jobs = static_cast<int>(flags.GetInt("jobs", 0));
     duration_s = flags.GetDouble("duration", 0.0);
     cache_dir = flags.GetString("cache-dir", "");
     out_dir = flags.GetString("out-dir", ".");
-    benches_csv = flags.GetString("benches", "");
+    // --only is the documented spelling; --benches kept as an alias.
+    benches_csv = flags.GetString("only", flags.GetString("benches", ""));
+    const std::string log_level = flags.GetString("log-level", "");
+    if (!log_level.empty() && !rave::SetLogLevelFromString(log_level)) {
+      std::cerr << "error: bad --log-level '" << log_level
+                << "' (want debug|info|warning|error)\n";
+      return 2;
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 2;
@@ -103,11 +169,8 @@ int main(int argc, char** argv) {
         }
       }
       if (!found) {
-        std::cerr << "error: unknown bench \"" << name << "\"; known:";
-        for (const bench::BenchEntry& e : bench::AllBenches()) {
-          std::cerr << ' ' << e.name;
-        }
-        std::cerr << '\n';
+        std::cerr << "error: unknown bench \"" << name << "\"\n";
+        PrintBenchList(std::cerr);
         return 2;
       }
     }
@@ -115,6 +178,21 @@ int main(int argc, char** argv) {
 
   std::error_code ec;
   std::filesystem::create_directories(out_dir, ec);
+  // Benches write their own artifacts (CSVs, fig11 trace captures) relative
+  // to the working directory; move into --out-dir so everything lands next
+  // to the BENCH_*.out captures and concurrent suites with distinct out-dirs
+  // never collide on a filename. The cache dir must be resolved first or it
+  // would silently re-anchor under out_dir.
+  if (!cache_dir.empty()) {
+    cache_dir = std::filesystem::absolute(cache_dir, ec).string();
+  }
+  std::filesystem::current_path(out_dir, ec);
+  if (ec) {
+    std::cerr << "error: cannot enter --out-dir " << out_dir << ": "
+              << ec.message() << '\n';
+    return 2;
+  }
+  out_dir = ".";
 
   // One cache for the whole suite. Even without a disk dir the in-memory
   // tier dedups sessions shared between benches within this run.
@@ -123,6 +201,8 @@ int main(int argc, char** argv) {
   cache_options.max_disk_bytes = runner::ResultCache::MaxDiskBytesFromEnv();
   runner::ResultCache cache(cache_options);
   bench::SetSuiteCache(&cache);
+  bench::ResetSuiteMetrics();
+  rave::obs::RuntimeStats::Instance().Reset();
 
   // Argv handed to every bench entry point: only flags ParseBenchOptions
   // knows, so no bench can bail out with exit(2).
@@ -226,7 +306,28 @@ int main(int argc, char** argv) {
        << ", \"corrupt\": " << total.corrupt
        << ", \"evictions\": " << total.evictions
        << ", \"saved_ms\": " << Num(total_saved_ms)
-       << ", \"estimated_speedup\": " << Num(est_speedup) << "}\n}\n";
+       << ", \"estimated_speedup\": " << Num(est_speedup) << "},\n";
+
+  // Deterministic merge of every session's metric registry: identical for
+  // cold vs warm cache passes and any --jobs value (sessions served from
+  // cache carry the same snapshot the original run produced).
+  json << "  \"metrics\": [\n";
+  WriteMetricsJson(json, "    ", bench::SuiteMetrics());
+  json << "  ],\n";
+
+  // Host-side roll-up (wall clock, allocations, cache hit rate). These
+  // values change run to run; determinism gates filter this section out.
+  const uint64_t lookups = total.computes + total.memory_hits + total.disk_hits;
+  const double hit_rate =
+      lookups > 0
+          ? static_cast<double>(total.memory_hits + total.disk_hits) /
+                static_cast<double>(lookups)
+          : 0.0;
+  json << "  \"runtime\": {\n    \"cache_hit_rate\": " << Num(hit_rate)
+       << ",\n    \"stats\": [\n";
+  WriteMetricsJson(json, "      ",
+                   rave::obs::RuntimeStats::Instance().Snapshot());
+  json << "    ]\n  }\n}\n";
 
   std::cerr << "[suite] total: " << Num(suite_wall_ms) << " ms, "
             << total.computes << " simulated, "

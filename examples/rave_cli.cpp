@@ -8,7 +8,15 @@
 //
 // Common flags: --content, --seconds, --seed, --rtt-ms, --queue-kb,
 // --loss, --cross-kbps, --initial-kbps, --fec, --no-rtx, --degradation,
-// --csv=<prefix>, --fault=<spec>.
+// --csv=<prefix>, --fault=<spec>, --log-level=<level>,
+// --trace-out=<path>[:sample_hz].
+//
+// --trace-out captures the session's control-plane timeline (encoder QP,
+// VBV fill, BWE, queue depths, breaker state, fault injections) as Chrome
+// trace_event JSON — open it in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. The optional :sample_hz suffix rate-limits counter
+// tracks, e.g. --trace-out=run.json:200. `run` traces the one session;
+// `compare`/`sweep` trace every session into one file in run order.
 //
 // --fault injects timed network faults, e.g.
 //   --fault=outage@10+2                    2 s link blackout at t=10 s
@@ -17,14 +25,17 @@
 //   --fault=dup@10+5:0.2,reorder@10+5:0.2:40   duplication + reordering
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
 #include "fault/fault_plan.h"
 #include "net/capacity_trace.h"
+#include "obs/trace.h"
 #include "rtc/session.h"
 #include "util/csv.h"
 #include "util/flags.h"
+#include "util/logging.h"
 #include "util/table.h"
 
 using namespace rave;
@@ -35,7 +46,31 @@ const std::vector<std::string> kKnownFlags = {
     "scheme",  "severity", "trace",        "content", "seconds",
     "seed",    "rtt-ms",   "queue-kb",     "loss",    "cross-kbps",
     "fec",     "no-rtx",   "degradation",  "csv",     "initial-kbps",
-    "seeds",   "fault"};
+    "seeds",   "fault",    "trace-out",    "log-level"};
+
+/// Builds the recorder requested by --trace-out (nullptr when absent).
+/// Sessions run inside a TraceScope pointing at it; WriteTrace() flushes
+/// the capture to disk once all sessions finished.
+std::unique_ptr<obs::TraceRecorder> MakeTraceRecorder(const Flags& flags,
+                                                      std::string* path) {
+  if (!flags.Has("trace-out")) return nullptr;
+  obs::TraceRecorder::Options options;
+  if (!obs::ParseTraceSpec(flags.GetString("trace-out", ""), path, &options)) {
+    throw std::invalid_argument("bad --trace-out spec (want PATH[:HZ]): " +
+                                flags.GetString("trace-out", ""));
+  }
+  return std::make_unique<obs::TraceRecorder>(options);
+}
+
+int WriteTrace(const obs::TraceRecorder& recorder, const std::string& path) {
+  if (!recorder.WriteJsonFile(path)) {
+    std::cerr << "error: cannot write trace file " << path << '\n';
+    return 1;
+  }
+  std::printf("wrote %s (%zu events; open in ui.perfetto.dev)\n", path.c_str(),
+              recorder.events().size());
+  return 0;
+}
 
 rtc::Scheme ParseScheme(const std::string& name) {
   for (rtc::Scheme scheme : rtc::kAllSchemes) {
@@ -201,14 +236,36 @@ int main(int argc, char** argv) {
       std::cerr << "error: unknown flag --" << key << '\n';
       return 2;
     }
+    const std::string log_level = flags.GetString("log-level", "");
+    if (!log_level.empty() && !SetLogLevelFromString(log_level)) {
+      std::cerr << "error: bad --log-level '" << log_level
+                << "' (want debug|info|warning|error)\n";
+      return 2;
+    }
+    std::string trace_path;
+    const std::unique_ptr<obs::TraceRecorder> recorder =
+        MakeTraceRecorder(flags, &trace_path);
+    const obs::TraceScope trace_scope(recorder.get());
+
     const std::string command =
         flags.positional().empty() ? "run" : flags.positional()[0];
-    if (command == "run") return Run(flags);
-    if (command == "compare") return Compare(flags);
-    if (command == "sweep") return Sweep(flags);
-    std::cerr << "usage: rave_cli [run|compare|sweep] [--flags]\n"
-                 "see the header of examples/rave_cli.cpp for the flag list\n";
-    return 2;
+    int exit_code;
+    if (command == "run") {
+      exit_code = Run(flags);
+    } else if (command == "compare") {
+      exit_code = Compare(flags);
+    } else if (command == "sweep") {
+      exit_code = Sweep(flags);
+    } else {
+      std::cerr << "usage: rave_cli [run|compare|sweep] [--flags]\n"
+                   "see the header of examples/rave_cli.cpp for the flag "
+                   "list\n";
+      return 2;
+    }
+    if (exit_code == 0 && recorder != nullptr) {
+      exit_code = WriteTrace(*recorder, trace_path);
+    }
+    return exit_code;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
 namespace rave::cc {
 
 AckedBitrateEstimator::AckedBitrateEstimator(TimeDelta window)
@@ -90,6 +93,17 @@ void GccEstimator::OnPacketResults(
 
   loss_.OnPacketResults(results, now);
   aimd_.Update(usage, acked_.rate(), rtt(), now);
+
+  RAVE_TRACE_COUNTER(kBweTargetKbps, now, target().kbps());
+  RAVE_TRACE_COUNTER(kTrendlineState, now,
+                     static_cast<double>(trendline_.state()));
+  RAVE_TRACE_COUNTER(kLossRate, now, loss_rate());
+  if (obs::MetricsRegistry* reg = obs::CurrentMetrics()) {
+    reg->GetCounter("cc.feedback_updates")->Add();
+    if (usage == BandwidthUsage::kOverusing) {
+      reg->GetCounter("cc.overuse_signals")->Add();
+    }
+  }
 }
 
 DataRate GccEstimator::target() const {

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace rave::codec {
 
 AbrRateControl::AbrRateControl(const AbrConfig& config)
@@ -70,6 +72,7 @@ FrameGuidance AbrRateControl::PlanFrame(const video::RawFrame& frame,
     const double overflow =
         std::clamp(1.0 + (total_bits_ - wanted_bits_) / abr_buffer, 0.5, 2.0);
     qscale *= overflow;
+    RAVE_TRACE_COUNTER(kAbrRateRatio, now, overflow);
   }
 
   if (type == FrameType::kKey) qscale /= config_.ip_factor;
@@ -132,6 +135,7 @@ void AbrRateControl::OnFrameEncoded(const FrameOutcome& outcome,
   pred.Update(outcome.complexity_term, outcome.qscale, outcome.size);
 
   vbv_.AddFrame(outcome.size);
+  RAVE_TRACE_COUNTER(kVbvFill, now, vbv_.fullness());
   last_qscale_ = outcome.qscale;
 }
 

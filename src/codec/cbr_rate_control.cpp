@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace rave::codec {
 
 CbrRateControl::CbrRateControl(const CbrConfig& config)
@@ -73,6 +75,7 @@ void CbrRateControl::OnFrameEncoded(const FrameOutcome& outcome,
       outcome.type == FrameType::kKey ? pred_key_ : pred_delta_;
   pred.Update(outcome.complexity_term, outcome.qscale, outcome.size);
   vbv_.AddFrame(outcome.size);
+  RAVE_TRACE_COUNTER(kVbvFill, now, vbv_.fullness());
   last_qscale_ = outcome.qscale;
 }
 

@@ -4,6 +4,9 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
 namespace rave::codec {
 
 Encoder::Encoder(const EncoderConfig& config, std::unique_ptr<RateControl> rc)
@@ -53,6 +56,9 @@ EncodedFrame Encoder::EncodeFrame(const video::RawFrame& frame,
 
   if (guidance.skip) {
     out.skipped = true;
+    if (obs::MetricsRegistry* reg = obs::CurrentMetrics()) {
+      reg->GetCounter("encoder.frames_skipped")->Add();
+    }
     FrameOutcome outcome;
     outcome.frame_id = frame.frame_id;
     outcome.type = type;
@@ -101,6 +107,24 @@ EncodedFrame Encoder::EncodeFrame(const video::RawFrame& frame,
     last_keyframe_time_ = now;
   } else {
     ++frames_since_key_;
+  }
+
+  RAVE_TRACE_COUNTER(kEncoderQp, now, qp);
+  RAVE_TRACE_COUNTER(kEncoderFrameKbits, now,
+                     static_cast<double>(size.bits()) / 1000.0);
+  if (type == FrameType::kKey) {
+    RAVE_TRACE_INSTANT(kEncoderKeyframe, now, "keyframe");
+  }
+  if (obs::MetricsRegistry* reg = obs::CurrentMetrics()) {
+    reg->GetCounter("encoder.frames_encoded")->Add();
+    if (type == FrameType::kKey) reg->GetCounter("encoder.keyframes")->Add();
+    if (reencodes > 0) {
+      reg->GetCounter("encoder.reencodes")
+          ->Add(static_cast<uint64_t>(reencodes));
+    }
+    reg->GetHistogram("encoder.qp",
+                      [] { return obs::LinearBounds(0.0, 52.0, 26); })
+        ->Record(qp);
   }
 
   FrameOutcome outcome;

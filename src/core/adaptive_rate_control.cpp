@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace rave::core {
 
 namespace {
@@ -54,9 +56,11 @@ void AdaptiveRateControl::SetTargetRate(DataRate target) {
 }
 
 codec::FrameGuidance AdaptiveRateControl::PlanFrame(
-    const video::RawFrame& frame, codec::FrameType type, Timestamp /*now*/) {
+    const video::RawFrame& frame, codec::FrameType type, Timestamp now) {
   FrameBudget budget =
       allocator_.Allocate(state_, drop_active_, type, consecutive_skips_);
+  RAVE_TRACE_COUNTER(kFrameBudgetKbits, now,
+                     static_cast<double>(budget.target.bits()) / 1000.0);
 
   codec::FrameGuidance guidance;
   if (budget.skip && config_.enable_skip) {

@@ -2,7 +2,38 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace rave::core {
+namespace {
+
+// Transition markers carry a static label for the trace's instant row plus
+// the numeric state for the counter row (0 closed / 1 open / 2 paused /
+// 3 recovering, matching Track::kBreakerState docs).
+[[maybe_unused]] const char* StateLabel(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kPaused:
+      return "paused";
+    case CircuitBreaker::State::kRecovering:
+      return "recovering";
+  }
+  return "unknown";
+}
+
+void TraceTransition(CircuitBreaker::State state, Timestamp now) {
+  RAVE_TRACE_COUNTER(kBreakerState, now, static_cast<double>(state));
+  RAVE_TRACE_INSTANT(kBreakerState, now, StateLabel(state));
+#ifdef RAVE_TRACING_DISABLED
+  (void)state;
+  (void)now;
+#endif
+}
+
+}  // namespace
 
 CircuitBreaker::CircuitBreaker(const Config& config) : config_(config) {}
 
@@ -25,6 +56,7 @@ void CircuitBreaker::OnTick(Timestamp now) {
         state_ = State::kPaused;
         ++stats_.pauses;
         cap_ = config_.floor;
+        TraceTransition(state_, now);
       }
       break;
     case State::kPaused:
@@ -34,9 +66,9 @@ void CircuitBreaker::OnTick(Timestamp now) {
 }
 
 void CircuitBreaker::Trip(Timestamp now) {
-  (void)now;
   state_ = State::kOpen;
   ++stats_.opens;
+  TraceTransition(state_, now);
   // First backoff step happens immediately; subsequent steps per tick.
   const DataRate base =
       cap_.IsFinite() ? std::min(cap_, last_healthy_target_)
@@ -57,6 +89,7 @@ void CircuitBreaker::OnFeedback(Timestamp now, DataRate estimator_target) {
       // Feedback resumed: keyframe recovery + bounded ramp instead of
       // resuming at the stale target.
       state_ = State::kRecovering;
+      TraceTransition(state_, now);
       keyframe_pending_ = true;
       const DataRate start = std::max(
           config_.floor,
@@ -72,6 +105,7 @@ void CircuitBreaker::OnFeedback(Timestamp now, DataRate estimator_target) {
         cap_ = DataRate::PlusInfinity();
         last_healthy_target_ = estimator_target;
         ++stats_.recoveries;
+        TraceTransition(state_, now);
       }
       return;
   }

@@ -3,7 +3,47 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
 namespace rave::fault {
+namespace {
+
+// Static labels for trace instants (ToString(FaultKind) returns an owning
+// std::string, which the recorder must not keep a pointer into).
+[[maybe_unused]] const char* ApplyLabel(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkOutage:
+      return "apply:link_outage";
+    case FaultKind::kFeedbackBlackhole:
+      return "apply:feedback_blackhole";
+    case FaultKind::kDelaySpike:
+      return "apply:delay_spike";
+    case FaultKind::kDuplication:
+      return "apply:duplication";
+    case FaultKind::kReorder:
+      return "apply:reorder";
+  }
+  return "apply:unknown";
+}
+
+[[maybe_unused]] const char* RevertLabel(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkOutage:
+      return "revert:link_outage";
+    case FaultKind::kFeedbackBlackhole:
+      return "revert:feedback_blackhole";
+    case FaultKind::kDelaySpike:
+      return "revert:delay_spike";
+    case FaultKind::kDuplication:
+      return "revert:duplication";
+    case FaultKind::kReorder:
+      return "revert:reorder";
+  }
+  return "revert:unknown";
+}
+
+}  // namespace
 
 FaultScheduler::FaultScheduler(EventLoop& loop, FaultPlan plan,
                                net::Link* link, net::DelayPipe* pipe)
@@ -18,6 +58,10 @@ FaultScheduler::FaultScheduler(EventLoop& loop, FaultPlan plan,
 
 void FaultScheduler::Apply(const FaultEvent& event) {
   ++stats_.faults_applied;
+  RAVE_TRACE_INSTANT(kFaultInjection, loop_.now(), ApplyLabel(event.kind));
+  if (obs::MetricsRegistry* reg = obs::CurrentMetrics()) {
+    reg->GetCounter("fault.applied")->Add();
+  }
   switch (event.kind) {
     case FaultKind::kLinkOutage:
       link_->SetOutage(true);
@@ -40,6 +84,7 @@ void FaultScheduler::Apply(const FaultEvent& event) {
 
 void FaultScheduler::Revert(const FaultEvent& event) {
   ++stats_.faults_reverted;
+  RAVE_TRACE_INSTANT(kFaultInjection, loop_.now(), RevertLabel(event.kind));
   switch (event.kind) {
     case FaultKind::kLinkOutage:
       link_->SetOutage(false);

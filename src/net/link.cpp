@@ -4,6 +4,9 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
 namespace rave::net {
 
 Link::Link(EventLoop& loop, Config config, DeliveryCallback on_delivery)
@@ -30,10 +33,14 @@ void Link::Send(Packet packet) {
   if (queued_ + packet.size > config_.queue_capacity) {
     ++stats_.packets_dropped;
     stats_.bytes_dropped += packet.size;
+    if (obs::MetricsRegistry* reg = obs::CurrentMetrics()) {
+      reg->GetCounter("net.tail_drops")->Add();
+    }
     return;
   }
   queued_ += packet.size;
   queue_.push_back(std::move(packet));
+  RAVE_TRACE_COUNTER(kLinkQueueMs, loop_.now(), QueueDelay().ms_float());
   if (!in_flight_) StartNext();
 }
 

@@ -1,0 +1,256 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace rave::obs {
+namespace {
+
+struct TrackInfo {
+  const char* name;
+  const char* subsystem;
+  int tid;
+};
+
+// Subsystem tids group tracks into Perfetto "thread" rows per subsystem.
+constexpr TrackInfo kTracks[kTrackCount] = {
+    {"encoder/qp", "encoder", 1},
+    {"encoder/frame_kbits", "encoder", 1},
+    {"encoder/keyframe", "encoder", 1},
+    {"codec/vbv_fill", "codec", 2},
+    {"codec/abr_rate_ratio", "codec", 2},
+    {"cc/bwe_kbps", "cc", 3},
+    {"cc/trendline_state", "cc", 3},
+    {"cc/loss_rate", "cc", 3},
+    {"transport/pacer_queue_ms", "transport", 4},
+    {"net/link_queue_ms", "net", 5},
+    {"core/breaker_state", "core", 6},
+    {"core/frame_budget_kbits", "core", 6},
+    {"fault/injection", "fault", 7},
+    {"session/capacity_kbps", "session", 8},
+};
+
+thread_local TraceRecorder* g_current_trace = nullptr;
+
+void AppendJsonEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    char c = *s;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+const char* TrackName(Track track) {
+  return kTracks[static_cast<size_t>(track)].name;
+}
+
+const char* TrackSubsystem(Track track) {
+  return kTracks[static_cast<size_t>(track)].subsystem;
+}
+
+TraceRecorder::TraceRecorder(Options options) : options_(options) {
+  if (options_.sample_hz > 0.0) {
+    min_interval_us_ = static_cast<int64_t>(1e6 / options_.sample_hz);
+  }
+  next_allowed_us_.fill(std::numeric_limits<int64_t>::min());
+  events_.reserve(options_.reserve);
+}
+
+void TraceRecorder::Counter(Track track, Timestamp at, double value) {
+  const int64_t at_us = at.us();
+  if (min_interval_us_ > 0) {
+    int64_t& next = next_allowed_us_[static_cast<size_t>(track)];
+    if (at_us < next) return;
+    next = at_us + min_interval_us_;
+  }
+  events_.push_back(TraceEvent{at_us, value, nullptr, track, false});
+}
+
+void TraceRecorder::Instant(Track track, Timestamp at, const char* label) {
+  events_.push_back(TraceEvent{at.us(), 0.0, label, track, true});
+}
+
+void TraceRecorder::WriteJson(std::ostream& os) const {
+  std::string line;
+  line.reserve(256);
+  os << "{\"traceEvents\": [\n";
+  // Metadata first: one process plus one named "thread" per subsystem, so
+  // Perfetto groups the tracks into labeled rows.
+  os << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
+        "\"args\": {\"name\": \"rave session\"}},\n";
+  bool seen_tid[16] = {};
+  std::string meta;
+  for (const TrackInfo& info : kTracks) {
+    if (seen_tid[info.tid]) continue;
+    seen_tid[info.tid] = true;
+    meta.clear();
+    meta += "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": ";
+    meta += std::to_string(info.tid);
+    meta += ", \"args\": {\"name\": \"";
+    AppendJsonEscaped(&meta, info.subsystem);
+    meta += "\"}},\n";
+    os << meta;
+  }
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& ev = events_[i];
+    const TrackInfo& info = kTracks[static_cast<size_t>(ev.track)];
+    line.clear();
+    line += "{\"name\": \"";
+    AppendJsonEscaped(&line, info.name);
+    line += "\", \"ph\": \"";
+    line += ev.instant ? 'i' : 'C';
+    line += "\", \"pid\": 1, \"tid\": ";
+    line += std::to_string(info.tid);
+    line += ", \"ts\": ";
+    line += std::to_string(ev.at_us);
+    if (ev.instant) {
+      line += ", \"s\": \"t\", \"args\": {\"label\": \"";
+      AppendJsonEscaped(&line, ev.label != nullptr ? ev.label : "");
+      line += "\"}}";
+    } else {
+      line += ", \"args\": {\"value\": ";
+      AppendDouble(&line, ev.value);
+      line += "}}";
+    }
+    if (i + 1 < events_.size()) line += ',';
+    line += '\n';
+    os << line;
+  }
+  os << "]}\n";
+}
+
+bool TraceRecorder::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return false;
+  WriteJson(out);
+  out.flush();
+  if (!out.good()) {
+    out.close();
+    std::remove(path.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool ParseTraceSpec(const std::string& spec, std::string* path,
+                    TraceRecorder::Options* options) {
+  std::string p = spec;
+  TraceRecorder::Options opts;
+  const size_t colon = spec.find_last_of(':');
+  // A ':' only splits off a sample rate when the suffix is numeric; this
+  // keeps Windows-style "C:/..." paths and plain paths working.
+  if (colon != std::string::npos && colon + 1 < spec.size()) {
+    const std::string suffix = spec.substr(colon + 1);
+    char* end = nullptr;
+    const double hz = std::strtod(suffix.c_str(), &end);
+    if (end != nullptr && *end == '\0' && end != suffix.c_str()) {
+      if (hz <= 0.0) return false;
+      opts.sample_hz = hz;
+      p = spec.substr(0, colon);
+    }
+  }
+  if (p.empty()) return false;
+  *path = p;
+  *options = opts;
+  return true;
+}
+
+namespace {
+
+// Pulls `"key": <...>` out of a single JSON-object line written by
+// WriteJson. Returns the raw value text (string values without quotes).
+bool ExtractField(const std::string& line, const std::string& key,
+                  std::string* out) {
+  const std::string needle = "\"" + key + "\":";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  pos += needle.size();
+  while (pos < line.size() && line[pos] == ' ') ++pos;
+  if (pos >= line.size()) return false;
+  if (line[pos] == '"') {
+    ++pos;
+    std::string value;
+    while (pos < line.size() && line[pos] != '"') {
+      if (line[pos] == '\\' && pos + 1 < line.size()) ++pos;
+      value.push_back(line[pos]);
+      ++pos;
+    }
+    *out = value;
+    return true;
+  }
+  size_t end = pos;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  *out = line.substr(pos, end - pos);
+  return true;
+}
+
+}  // namespace
+
+bool ReadTraceJson(std::istream& is, std::vector<ParsedTraceEvent>* out) {
+  std::string line;
+  size_t parsed = 0;
+  while (std::getline(is, line)) {
+    ParsedTraceEvent ev;
+    if (!ExtractField(line, "name", &ev.name)) continue;
+    if (!ExtractField(line, "ph", &ev.phase)) continue;
+    std::string field;
+    if (ExtractField(line, "ts", &field)) {
+      ev.ts_us = std::strtoll(field.c_str(), nullptr, 10);
+    }
+    if (ExtractField(line, "value", &field)) {
+      ev.value = std::strtod(field.c_str(), nullptr);
+    }
+    if (ev.phase == "M") {
+      // Metadata arg is the process/thread name.
+      ExtractField(line, "args", &field);  // ignored; name nested below
+      std::string nested;
+      const size_t args_pos = line.find("\"args\"");
+      if (args_pos != std::string::npos &&
+          ExtractField(line.substr(args_pos + 6), "name", &nested)) {
+        ev.arg = nested;
+      }
+    } else if (ev.phase == "i") {
+      const size_t args_pos = line.find("\"args\"");
+      if (args_pos != std::string::npos) {
+        std::string label;
+        if (ExtractField(line.substr(args_pos + 6), "label", &label)) {
+          ev.arg = label;
+        }
+      }
+    }
+    out->push_back(std::move(ev));
+    ++parsed;
+  }
+  return parsed > 0;
+}
+
+TraceRecorder* CurrentTrace() { return g_current_trace; }
+
+TraceScope::TraceScope(TraceRecorder* recorder) : previous_(g_current_trace) {
+  g_current_trace = recorder;
+}
+
+TraceScope::~TraceScope() { g_current_trace = previous_; }
+
+}  // namespace rave::obs

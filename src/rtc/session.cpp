@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <utility>
 
 #include "cc/oracle.h"
 #include "codec/abr_rate_control.h"
 #include "codec/cbr_rate_control.h"
+#include "obs/trace.h"
+#include "util/alloc_probe.h"
+#include "util/logging.h"
 
 namespace rave::rtc {
 
@@ -410,6 +414,7 @@ void Session::OnTimeseriesTick() {
   metrics::TimeseriesPoint p;
   p.at = loop_.now();
   p.capacity_kbps = trace_cursor_.RateAt(loop_.now()).kbps();
+  RAVE_TRACE_COUNTER(kCapacityKbps, p.at, p.capacity_kbps);
   p.bwe_target_kbps = bwe_->target().kbps();
   p.encoder_target_kbps = encoder_->rate_control().current_target().kbps();
   p.acked_kbps = bwe_->acked_rate().kbps();
@@ -421,7 +426,20 @@ void Session::OnTimeseriesTick() {
   metrics_.AddTimeseriesPoint(p);
 }
 
+namespace {
+int64_t SessionLogClock(const void* ctx) {
+  return static_cast<const EventLoop*>(ctx)->now().us();
+}
+}  // namespace
+
 SessionResult Session::Run() {
+  // Route the subsystems' metric updates into this session's registry and
+  // tag this thread's log lines with the session's sim-time for the
+  // duration of the run. Both are thread-local, so parallel runners stay
+  // isolated (one session runs entirely on one worker thread).
+  obs::MetricsScope metrics_scope(&registry_);
+  LogClockScope log_clock(&SessionLogClock, &loop_);
+
   if (cross_traffic_) cross_traffic_->Start();
   // First frame fires immediately; subsequent frames every interval.
   frame_task_->StartWithDelay(TimeDelta::Zero());
@@ -429,7 +447,15 @@ SessionResult Session::Run() {
   if (config_.breaker.enabled) {
     watchdog_task_->StartWithDelay(config_.feedback_interval);
   }
+
+  const AllocScope alloc_scope;
+  const auto wall_start = std::chrono::steady_clock::now();
   loop_.RunFor(config_.duration);
+  const auto wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - wall_start)
+                           .count();
+  const uint64_t run_allocs = alloc_scope.allocs();
+
   frame_task_->Stop();
   timeseries_task_->Stop();
   if (config_.breaker.enabled) watchdog_task_->Stop();
@@ -442,6 +468,29 @@ SessionResult Session::Run() {
   result.link_stats = forward_link_->stats();
   result.breaker_stats = breaker_.stats();
   result.events_executed = loop_.events_executed();
+
+  // Session-level roll-ups into the registry before snapshotting. Only
+  // sim-deterministic values may enter the snapshot — it is serialized into
+  // the result-cache blob, and reruns of the same config must stay
+  // bit-identical. Host-side measurements (wall clock, alloc counts) go to
+  // the process-wide RuntimeStats aggregate instead.
+  registry_.GetCounter("session.events")->Add(result.events_executed);
+  registry_.GetCounter("breaker.opens")
+      ->Add(static_cast<uint64_t>(result.breaker_stats.opens));
+  registry_.GetCounter("breaker.pauses")
+      ->Add(static_cast<uint64_t>(result.breaker_stats.pauses));
+  registry_.GetCounter("breaker.recoveries")
+      ->Add(static_cast<uint64_t>(result.breaker_stats.recoveries));
+  obs::Histogram* latency = registry_.GetHistogram("frame.latency_ms", [] {
+    return obs::ExponentialBounds(1.0, 10000.0, 24);
+  });
+  for (double ms : metrics_.DeliveredLatenciesMs()) latency->Record(ms);
+  result.metrics = registry_.Snapshot();
+
+  obs::RuntimeStats::Instance().RecordSession(
+      static_cast<double>(wall_ns) * 1e-6, result.events_executed,
+      AllocProbeEnabled() ? run_allocs : 0,
+      static_cast<uint64_t>(result.summary.frames_captured));
   return result;
 }
 

@@ -25,6 +25,7 @@
 #include "fault/fault_scheduler.h"
 #include "metrics/session_metrics.h"
 #include "net/cross_traffic.h"
+#include "obs/metrics_registry.h"
 #include "net/link.h"
 #include "rtc/scheme.h"
 #include "sim/event_loop.h"
@@ -111,6 +112,11 @@ struct SessionResult {
   core::CircuitBreaker::Stats breaker_stats;
   /// Simulation events executed by the session's loop (throughput metric).
   uint64_t events_executed = 0;
+  /// Registry snapshot: counters/gauges/histograms registered by the
+  /// subsystems plus session-level roll-ups (allocs/frame, wall timing).
+  /// Metrics named `wall.*` are wall-clock-derived and excluded from
+  /// determinism comparisons.
+  obs::RegistrySnapshot metrics;
 };
 
 /// Builds and runs one session. Single use: construct, Run(), discard.
@@ -150,6 +156,9 @@ class Session {
 
   SessionConfig config_;
   EventLoop loop_;
+  /// Session-local metrics registry, installed as the thread's registry for
+  /// the duration of Run() (see obs::MetricsScope).
+  obs::MetricsRegistry registry_;
   /// Timeseries capacity lookups (ticks are time-ordered, so amortized O(1)).
   net::CapacityTrace::Cursor trace_cursor_;
   video::VideoSource source_;

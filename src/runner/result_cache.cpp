@@ -19,7 +19,8 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr char kMagic[4] = {'R', 'A', 'V', 'C'};
-constexpr uint32_t kBlobVersion = 1;
+// 2: payload gained the obs::RegistrySnapshot tail after events_executed.
+constexpr uint32_t kBlobVersion = 2;
 constexpr char kBlobSuffix[] = ".rrc";
 
 void PutTime(ByteWriter& w, Timestamp t) { w.I64(t.us()); }
@@ -358,6 +359,7 @@ std::vector<uint8_t> ResultCache::EncodeResult(
   PutDelta(w, b.time_paused);
 
   w.U64(res.events_executed);
+  res.metrics.Encode(w);
   return w.Take();
 }
 
@@ -448,6 +450,7 @@ bool ResultCache::DecodeResult(const std::vector<uint8_t>& payload,
   b.time_paused = GetDelta(r);
 
   res.events_executed = r.U64();
+  res.metrics = obs::RegistrySnapshot::Decode(r);
 
   if (!r.ok() || !r.AtEnd()) return false;
   *out = std::move(res);

@@ -28,7 +28,8 @@
 namespace rave::runner {
 
 /// Version salt for ComputeSessionKey. See file comment for the bump rule.
-inline constexpr uint64_t kSimFingerprint = 1;
+/// 2: SessionResult gained the obs metrics snapshot (blob layout change).
+inline constexpr uint64_t kSimFingerprint = 2;
 
 /// 128-bit content hash of a SessionConfig.
 struct SessionKey {

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace rave::transport {
 
 Pacer::Pacer(EventLoop& loop, const Config& config, SendCallback send)
@@ -64,6 +66,8 @@ void Pacer::MaybeSend() {
     ++packets_sent_;
     send_(std::move(p));
   }
+
+  RAVE_TRACE_COUNTER(kPacerQueueMs, now, ExpectedQueueTime().ms_float());
 
   if (!queue_.empty()) {
     // Re-arm if no timer is pending, or the pending one fires too late for

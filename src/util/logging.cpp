@@ -1,10 +1,17 @@
 #include "util/logging.h"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace rave {
 namespace {
+
 LogLevel g_level = LogLevel::kWarning;
+bool g_env_checked = false;
+
+thread_local LogClockFn t_clock = nullptr;
+thread_local const void* t_clock_ctx = nullptr;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -19,20 +26,89 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+bool ParseLevel(std::string_view name, LogLevel* out) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn") {
+    *out = LogLevel::kWarning;
+  } else if (lower == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void InitLogLevelFromEnv() {
+  if (g_env_checked) return;
+  g_env_checked = true;
+  if (const char* env = std::getenv("RAVE_LOG_LEVEL")) {
+    LogLevel level;
+    if (ParseLevel(env, &level)) g_level = level;
+  }
+}
+
+void SetLogLevel(LogLevel level) {
+  InitLogLevelFromEnv();  // explicit settings override the env from here on
+  g_level = level;
+}
+
+LogLevel GetLogLevel() {
+  InitLogLevelFromEnv();
+  return g_level;
+}
+
+bool SetLogLevelFromString(std::string_view name) {
+  LogLevel level;
+  if (!ParseLevel(name, &level)) return false;
+  SetLogLevel(level);
+  return true;
+}
+
+LogClockScope::LogClockScope(LogClockFn clock, const void* ctx)
+    : previous_clock_(t_clock), previous_ctx_(t_clock_ctx) {
+  t_clock = clock;
+  t_clock_ctx = ctx;
+}
+
+LogClockScope::~LogClockScope() {
+  t_clock = previous_clock_;
+  t_clock_ctx = previous_ctx_;
+}
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* /*file*/, int /*line*/)
-    : enabled_(level >= g_level), level_(level) {}
+    : enabled_(level >= GetLogLevel()), level_(level) {}
 
 LogMessage::~LogMessage() {
-  if (enabled_) {
-    std::fprintf(stderr, "[%s] %s\n", LevelName(level_), stream_.str().c_str());
+  if (!enabled_) return;
+  // Assemble the full line first so the single fwrite below keeps lines
+  // from concurrent threads intact.
+  char prefix[64];
+  if (t_clock != nullptr) {
+    const double sim_s =
+        static_cast<double>(t_clock(t_clock_ctx)) * 1e-6;
+    std::snprintf(prefix, sizeof(prefix), "[%s @%.3fs] ", LevelName(level_),
+                  sim_s);
+  } else {
+    std::snprintf(prefix, sizeof(prefix), "[%s] ", LevelName(level_));
   }
+  std::string line = prefix;
+  line += stream_.str();
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace internal

@@ -1,10 +1,23 @@
-// Lightweight leveled logging. Disabled below the configured level at
-// runtime; the default level is kWarning so simulations stay quiet unless a
-// caller opts in (examples enable kInfo for narrative output).
+// Lightweight leveled structured logging. Disabled below the configured
+// level at runtime; the default level is kWarning so simulations stay quiet
+// unless a caller opts in (examples enable kInfo for narrative output).
+//
+// Configuration: SetLogLevel / SetLogLevelFromString, the RAVE_LOG_LEVEL
+// environment variable (read once, before any explicit SetLogLevel), and
+// the benches' / CLI's --log-level flag which forwards to
+// SetLogLevelFromString.
+//
+// Each emitted line is assembled in full and written with a single
+// fwrite(stderr), so lines from concurrent session threads never interleave
+// mid-line. When the emitting thread has a simulation clock installed
+// (LogClockScope, done by Session::Run), lines are tagged with the current
+// sim-time: `[WARN @12.345s] message`.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace rave {
 
@@ -13,6 +26,33 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// Sets the global minimum level that will be emitted.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Accepts "debug", "info", "warning"/"warn", "error" (case-insensitive).
+/// Returns false (level unchanged) on anything else.
+bool SetLogLevelFromString(std::string_view name);
+
+/// Reads RAVE_LOG_LEVEL from the environment and applies it if valid. Called
+/// automatically before the first level check; harmless to call again.
+void InitLogLevelFromEnv();
+
+/// Clock hook: returns the current simulation time in microseconds for the
+/// `ctx` it was installed with.
+using LogClockFn = int64_t (*)(const void* ctx);
+
+/// Tags this thread's log lines with sim-time from `clock(ctx)` for the
+/// scope's lifetime; nests/restores like obs::TraceScope.
+class LogClockScope {
+ public:
+  LogClockScope(LogClockFn clock, const void* ctx);
+  ~LogClockScope();
+
+  LogClockScope(const LogClockScope&) = delete;
+  LogClockScope& operator=(const LogClockScope&) = delete;
+
+ private:
+  LogClockFn previous_clock_;
+  const void* previous_ctx_;
+};
 
 namespace internal {
 

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <iostream>
 
+#include "obs/trace.h"
 #include "rtc/session.h"
 #include "sim/event_loop.h"
 #include "util/alloc_probe.h"
@@ -86,6 +87,11 @@ TEST(HotpathAllocTest, SessionSteadyStateStaysUnderAllocBudget) {
   if (!AllocProbeEnabled()) {
     GTEST_SKIP() << "built without RAVE_ALLOC_PROBE";
   }
+  // The budget must hold with tracing idle: macros compiled in (unless this
+  // is a RAVE_TRACING=OFF build) but no recorder installed — the production
+  // configuration of every bench and test. Sessions install their metrics
+  // registry themselves; its per-frame lookups are part of the budget.
+  ASSERT_EQ(obs::CurrentTrace(), nullptr);
   const uint64_t short_run = SessionAllocs(TimeDelta::Seconds(5));
   const uint64_t long_run = SessionAllocs(TimeDelta::Seconds(10));
   ASSERT_GE(long_run, short_run);

@@ -1,0 +1,216 @@
+// Metrics-registry unit tests: histogram bucket/percentile math, registry
+// lookup semantics (pointer stability, one-time bounds construction),
+// snapshot merging, and the serialization round trip through both the raw
+// byte codec and a full result-cache blob.
+#include "obs/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include "common.h"
+#include "runner/result_cache.h"
+#include "rtc/session.h"
+#include "util/byteio.h"
+
+namespace rave::obs {
+namespace {
+
+int g_bounds_calls = 0;
+std::vector<double> CountingBounds() {
+  ++g_bounds_calls;
+  return {1.0, 2.0, 5.0};
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h({1.0, 2.0, 5.0});
+  h.Record(1.0);   // exactly on bound 0 -> bucket 0
+  h.Record(1.5);   // bucket 1
+  h.Record(2.0);   // exactly on bound 1 -> bucket 1
+  h.Record(5.0);   // bucket 2
+  h.Record(5.01);  // overflow
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 1u);
+  EXPECT_EQ(h.bucket_counts()[1], 2u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.01);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.0 + 1.5 + 2.0 + 5.0 + 5.01);
+}
+
+TEST(HistogramTest, PercentileEdgeCases) {
+  Histogram empty({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(empty.Percentile(0.5), 0.0);
+
+  Histogram one({1.0, 10.0});
+  one.Record(3.0);
+  // A single sample answers every quantile with itself (clamped to max).
+  EXPECT_DOUBLE_EQ(one.Percentile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(one.Percentile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(one.Percentile(1.0), 3.0);
+
+  Histogram h({10.0, 20.0, 30.0});
+  for (double v : {5.0, 15.0, 25.0}) h.Record(v);
+  // Quantiles are clamped into [min, max] whatever the bucket bounds say.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 25.0);
+  const double p50 = h.Percentile(0.5);
+  EXPECT_GE(p50, 10.0);
+  EXPECT_LE(p50, 20.0);
+}
+
+TEST(HistogramTest, OverflowSamplesStayInsideMinMax) {
+  Histogram h({1.0, 2.0});
+  h.Record(100.0);
+  h.Record(200.0);
+  EXPECT_EQ(h.bucket_counts().back(), 2u);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 200.0);
+  EXPECT_GE(h.Percentile(0.5), 100.0);
+  EXPECT_LE(h.Percentile(0.5), 200.0);
+}
+
+TEST(HistogramTest, BoundsHelpers) {
+  const std::vector<double> exp = ExponentialBounds(1.0, 1000.0, 4);
+  ASSERT_EQ(exp.size(), 4u);
+  EXPECT_DOUBLE_EQ(exp.front(), 1.0);
+  EXPECT_DOUBLE_EQ(exp.back(), 1000.0);
+  for (size_t i = 1; i < exp.size(); ++i) EXPECT_GT(exp[i], exp[i - 1]);
+
+  const std::vector<double> lin = LinearBounds(0.0, 10.0, 5);
+  ASSERT_EQ(lin.size(), 5u);
+  EXPECT_DOUBLE_EQ(lin.front(), 2.0);
+  EXPECT_DOUBLE_EQ(lin.back(), 10.0);
+}
+
+TEST(MetricsRegistryTest, RepeatLookupsReturnTheSamePointer) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("a.count");
+  c->Add(3);
+  EXPECT_EQ(registry.GetCounter("a.count"), c);
+  EXPECT_EQ(registry.GetCounter("a.count")->value(), 3u);
+
+  Gauge* g = registry.GetGauge("a.gauge");
+  g->Set(1.5);
+  EXPECT_EQ(registry.GetGauge("a.gauge"), g);
+}
+
+TEST(MetricsRegistryTest, HistogramBoundsBuiltExactlyOnce) {
+  MetricsRegistry registry;
+  g_bounds_calls = 0;
+  Histogram* h = registry.GetHistogram("a.hist", &CountingBounds);
+  EXPECT_EQ(g_bounds_calls, 1);
+  EXPECT_EQ(registry.GetHistogram("a.hist", &CountingBounds), h);
+  EXPECT_EQ(registry.GetHistogram("a.hist", &CountingBounds), h);
+  EXPECT_EQ(g_bounds_calls, 1);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("z.last")->Add();
+  registry.GetGauge("m.middle")->Set(2.0);
+  registry.GetCounter("a.first")->Add(5);
+  const RegistrySnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.metrics.size(), 3u);
+  EXPECT_EQ(snap.metrics[0].name, "a.first");
+  EXPECT_EQ(snap.metrics[1].name, "m.middle");
+  EXPECT_EQ(snap.metrics[2].name, "z.last");
+  EXPECT_EQ(snap.Find("a.first")->counter, 5u);
+  EXPECT_EQ(snap.Find("missing"), nullptr);
+}
+
+TEST(RegistrySnapshotTest, MergeAddsCountersAndAveragesGauges) {
+  MetricsRegistry a;
+  a.GetCounter("n")->Add(2);
+  a.GetGauge("g")->Set(1.0);
+  MetricsRegistry b;
+  b.GetCounter("n")->Add(3);
+  b.GetGauge("g")->Set(3.0);
+  b.GetCounter("only_b")->Add(7);
+
+  RegistrySnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  EXPECT_EQ(merged.Find("n")->counter, 5u);
+  EXPECT_DOUBLE_EQ(merged.Find("g")->gauge, 2.0);  // mean of 1 and 3
+  EXPECT_EQ(merged.Find("only_b")->counter, 7u);
+}
+
+TEST(RegistrySnapshotTest, MergeAddsHistogramBucketsAndSkipsMismatches) {
+  MetricsRegistry a;
+  a.GetHistogram("h", [] { return std::vector<double>{1.0, 2.0}; })
+      ->Record(0.5);
+  MetricsRegistry b;
+  b.GetHistogram("h", [] { return std::vector<double>{1.0, 2.0}; })
+      ->Record(1.5);
+  RegistrySnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  const MetricSnapshot* h = merged.Find("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 2u);
+  EXPECT_EQ(h->bucket_counts[0], 1u);
+  EXPECT_EQ(h->bucket_counts[1], 1u);
+  EXPECT_DOUBLE_EQ(h->min, 0.5);
+  EXPECT_DOUBLE_EQ(h->max, 1.5);
+
+  // A histogram with different bounds cannot be merged meaningfully; the
+  // original stays untouched.
+  MetricsRegistry c;
+  c.GetHistogram("h", [] { return std::vector<double>{9.0}; })->Record(1.0);
+  RegistrySnapshot kept = a.Snapshot();
+  kept.Merge(c.Snapshot());
+  EXPECT_EQ(kept.Find("h")->count, 1u);
+  EXPECT_EQ(kept.Find("h")->bounds.size(), 2u);
+}
+
+TEST(RegistrySnapshotTest, ByteCodecRoundTrips) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Add(42);
+  registry.GetGauge("g")->Set(-2.25);
+  Histogram* h = registry.GetHistogram(
+      "h", [] { return ExponentialBounds(1.0, 100.0, 6); });
+  for (double v : {0.5, 3.0, 250.0}) h->Record(v);
+  const RegistrySnapshot snap = registry.Snapshot();
+
+  ByteWriter w;
+  snap.Encode(w);
+  const std::vector<uint8_t> bytes = w.Take();
+  ByteReader r(bytes.data(), bytes.size());
+  const RegistrySnapshot decoded = RegistrySnapshot::Decode(r);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(decoded, snap);
+}
+
+TEST(RegistrySnapshotTest, SurvivesAResultCacheBlobRoundTrip) {
+  rtc::SessionConfig config = bench::DefaultConfig(
+      rtc::Scheme::kAdaptive, bench::DropTrace(0.5),
+      video::ContentClass::kTalkingHead, TimeDelta::Seconds(12), /*seed=*/7);
+  const rtc::SessionResult result = rtc::RunSession(config);
+  ASSERT_FALSE(result.metrics.metrics.empty());
+  EXPECT_NE(result.metrics.Find("encoder.frames_encoded"), nullptr);
+  EXPECT_NE(result.metrics.Find("frame.latency_ms"), nullptr);
+  EXPECT_NE(result.metrics.Find("session.events"), nullptr);
+
+  const std::vector<uint8_t> blob = runner::ResultCache::EncodeResult(result);
+  rtc::SessionResult decoded;
+  ASSERT_TRUE(runner::ResultCache::DecodeResult(blob, &decoded));
+  EXPECT_EQ(decoded.metrics, result.metrics);
+}
+
+TEST(MetricsScopeTest, InstallsAndRestores) {
+  EXPECT_EQ(CurrentMetrics(), nullptr);
+  MetricsRegistry registry;
+  {
+    MetricsScope scope(&registry);
+    EXPECT_EQ(CurrentMetrics(), &registry);
+    MetricsRegistry inner;
+    {
+      MetricsScope nested(&inner);
+      EXPECT_EQ(CurrentMetrics(), &inner);
+    }
+    EXPECT_EQ(CurrentMetrics(), &registry);
+  }
+  EXPECT_EQ(CurrentMetrics(), nullptr);
+}
+
+}  // namespace
+}  // namespace rave::obs

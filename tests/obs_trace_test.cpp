@@ -1,0 +1,189 @@
+// Trace-recorder tests: spec parsing, sampling, JSON well-formedness (the
+// emitted file must parse back with every event and subsystem track
+// intact), and schedule-independence — a traced session must produce
+// byte-identical JSON whether its worker pool has 1 thread or 8.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "runner/parallel_runner.h"
+#include "rtc/session.h"
+
+namespace rave::obs {
+namespace {
+
+TEST(ParseTraceSpecTest, PlainPathAndSampledPath) {
+  std::string path;
+  TraceRecorder::Options options;
+  ASSERT_TRUE(ParseTraceSpec("out.json", &path, &options));
+  EXPECT_EQ(path, "out.json");
+  EXPECT_DOUBLE_EQ(options.sample_hz, 0.0);
+
+  ASSERT_TRUE(ParseTraceSpec("out.json:250", &path, &options));
+  EXPECT_EQ(path, "out.json");
+  EXPECT_DOUBLE_EQ(options.sample_hz, 250.0);
+
+  // Non-numeric suffix after ':' is part of the path, not a rate.
+  ASSERT_TRUE(ParseTraceSpec("odd:name.json", &path, &options));
+  EXPECT_EQ(path, "odd:name.json");
+  EXPECT_DOUBLE_EQ(options.sample_hz, 0.0);
+}
+
+TEST(ParseTraceSpecTest, RejectsBadSpecs) {
+  std::string path;
+  TraceRecorder::Options options;
+  EXPECT_FALSE(ParseTraceSpec("", &path, &options));
+  EXPECT_FALSE(ParseTraceSpec("out.json:0", &path, &options));
+  EXPECT_FALSE(ParseTraceSpec("out.json:-5", &path, &options));
+  EXPECT_FALSE(ParseTraceSpec(":100", &path, &options));
+}
+
+TEST(TraceRecorderTest, SamplingThrottlesCountersPerTrack) {
+  TraceRecorder::Options options;
+  options.sample_hz = 10.0;  // at most one sample per 100 ms per track
+  TraceRecorder recorder(options);
+  for (int ms = 0; ms < 1000; ms += 10) {
+    recorder.Counter(Track::kEncoderQp, Timestamp::Millis(ms), 25.0);
+    recorder.Counter(Track::kBweTargetKbps, Timestamp::Millis(ms), 2000.0);
+    // Instants are never sampled away.
+    recorder.Instant(Track::kFaultInjection, Timestamp::Millis(ms), "f");
+  }
+  size_t qp = 0, bwe = 0, inst = 0;
+  for (const TraceEvent& e : recorder.events()) {
+    if (e.track == Track::kEncoderQp) ++qp;
+    if (e.track == Track::kBweTargetKbps) ++bwe;
+    if (e.track == Track::kFaultInjection) ++inst;
+  }
+  EXPECT_EQ(qp, 10u);
+  EXPECT_EQ(bwe, 10u);
+  EXPECT_EQ(inst, 100u);
+}
+
+TEST(TraceRecorderTest, JsonRoundTripsEveryEvent) {
+  TraceRecorder recorder;
+  recorder.Counter(Track::kEncoderQp, Timestamp::Millis(33), 27.5);
+  recorder.Counter(Track::kBweTargetKbps, Timestamp::Millis(50), 2100.0);
+  recorder.Instant(Track::kEncoderKeyframe, Timestamp::Millis(66), "keyframe");
+  recorder.Instant(Track::kFaultInjection, Timestamp::Seconds(10),
+                   "apply:link_outage");
+
+  std::ostringstream os;
+  recorder.WriteJson(os);
+  std::istringstream is(os.str());
+  std::vector<ParsedTraceEvent> parsed;
+  ASSERT_TRUE(ReadTraceJson(is, &parsed));
+
+  std::vector<const ParsedTraceEvent*> counters, instants;
+  for (const ParsedTraceEvent& e : parsed) {
+    if (e.phase == "C") counters.push_back(&e);
+    if (e.phase == "i") instants.push_back(&e);
+  }
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0]->name, "encoder/qp");
+  EXPECT_EQ(counters[0]->ts_us, 33'000);
+  EXPECT_DOUBLE_EQ(counters[0]->value, 27.5);
+  EXPECT_EQ(counters[1]->name, "cc/bwe_kbps");
+  ASSERT_EQ(instants.size(), 2u);
+  EXPECT_EQ(instants[0]->name, "encoder/keyframe");
+  EXPECT_EQ(instants[0]->arg, "keyframe");
+  EXPECT_EQ(instants[1]->arg, "apply:link_outage");
+}
+
+TEST(TraceScopeTest, InstallsAndRestores) {
+  EXPECT_EQ(CurrentTrace(), nullptr);
+  TraceRecorder recorder;
+  {
+    TraceScope scope(&recorder);
+    EXPECT_EQ(CurrentTrace(), &recorder);
+  }
+  EXPECT_EQ(CurrentTrace(), nullptr);
+}
+
+#ifndef RAVE_TRACING_DISABLED
+
+/// Runs the canonical drop scenario with a recorder installed and returns
+/// the serialized trace.
+std::string TraceSession(rtc::Scheme scheme) {
+  const rtc::SessionConfig config = bench::DefaultConfig(
+      scheme, bench::DropTrace(0.6), video::ContentClass::kTalkingHead,
+      TimeDelta::Seconds(14), /*seed=*/42);
+  TraceRecorder recorder;
+  std::ostringstream os;
+  {
+    TraceScope scope(&recorder);
+    rtc::RunSession(config);
+  }
+  recorder.WriteJson(os);
+  return os.str();
+}
+
+std::set<std::string> Subsystems(const std::string& json) {
+  std::istringstream is(json);
+  std::vector<ParsedTraceEvent> parsed;
+  EXPECT_TRUE(ReadTraceJson(is, &parsed));
+  std::set<std::string> subsystems;
+  for (const ParsedTraceEvent& e : parsed) {
+    if (e.phase != "C" && e.phase != "i") continue;
+    subsystems.insert(e.name.substr(0, e.name.find('/')));
+  }
+  return subsystems;
+}
+
+TEST(TraceSessionTest, SessionTraceCoversSixSubsystems) {
+  // The acceptance bar: at least six distinct subsystem tracks per session.
+  // The adaptive scheme's codec path has no VBV; its sixth subsystem is the
+  // core controller's frame-budget track instead.
+  const std::set<std::string> adaptive =
+      Subsystems(TraceSession(rtc::Scheme::kAdaptive));
+  EXPECT_GE(adaptive.size(), 6u);
+  for (const char* want :
+       {"encoder", "cc", "transport", "net", "core", "session"}) {
+    EXPECT_TRUE(adaptive.count(want)) << "adaptive trace missing " << want;
+  }
+
+  const std::set<std::string> abr =
+      Subsystems(TraceSession(rtc::Scheme::kX264Abr));
+  EXPECT_GE(abr.size(), 6u);
+  for (const char* want :
+       {"encoder", "codec", "cc", "transport", "net", "session"}) {
+    EXPECT_TRUE(abr.count(want)) << "abr trace missing " << want;
+  }
+}
+
+TEST(TraceSessionTest, TracesAreByteIdenticalAcrossJobCounts) {
+  // Same sessions, worker pools of 1 and 8: the recorder rides the worker
+  // thread via the thread-local scope, so each session's trace must not
+  // depend on scheduling at all.
+  const std::vector<rtc::Scheme> schemes = {
+      rtc::Scheme::kX264Abr, rtc::Scheme::kAdaptive, rtc::Scheme::kX264Abr,
+      rtc::Scheme::kAdaptive};
+  auto run_with_jobs = [&](int jobs) {
+    std::vector<std::string> traces(schemes.size());
+    runner::ParallelRunner pool(jobs);
+    for (size_t i = 0; i < schemes.size(); ++i) {
+      pool.Post([&traces, &schemes, i] {
+        traces[i] = TraceSession(schemes[i]);
+      });
+    }
+    pool.WaitIdle();
+    return traces;
+  };
+  const std::vector<std::string> serial = run_with_jobs(1);
+  const std::vector<std::string> parallel = run_with_jobs(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "trace " << i << " diverged";
+    EXPECT_GT(serial[i].size(), 1000u);
+  }
+}
+
+#endif  // RAVE_TRACING_DISABLED
+
+}  // namespace
+}  // namespace rave::obs
