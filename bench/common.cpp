@@ -6,6 +6,7 @@
 
 #include "runner/parallel_runner.h"
 #include "runner/result_cache.h"
+#include "simd/dispatch.h"
 #include "util/flags.h"
 #include "util/logging.h"
 
@@ -23,11 +24,18 @@ std::unique_ptr<runner::ResultCache> owned_cache;
 /// calling thread only, so no locking is needed.
 obs::RegistrySnapshot g_suite_metrics;
 
+/// Process-wide lockstep batch size (see MatrixBatch).
+int g_matrix_batch = 1;
+
 }  // namespace
 
 runner::ResultCache* SuiteCache() { return g_suite_cache; }
 
 void SetSuiteCache(runner::ResultCache* cache) { g_suite_cache = cache; }
+
+int MatrixBatch() { return g_matrix_batch; }
+
+void SetMatrixBatch(int batch) { g_matrix_batch = batch > 1 ? batch : 1; }
 
 TimeDelta BenchOptions::DurationOr(TimeDelta fallback) const {
   return duration_s > 0.0 ? TimeDelta::SecondsF(duration_s) : fallback;
@@ -36,12 +44,13 @@ TimeDelta BenchOptions::DurationOr(TimeDelta fallback) const {
 BenchOptions ParseBenchOptions(int argc, char** argv) {
   try {
     const Flags flags(argc - 1, argv + 1);
-    for (const std::string& key :
-         flags.UnknownKeys({"jobs", "duration", "cache-dir", "log-level"})) {
+    for (const std::string& key : flags.UnknownKeys(
+             {"jobs", "duration", "cache-dir", "log-level", "batch", "simd"})) {
       std::cerr << "error: unknown flag --" << key
                 << "\nusage: " << argv[0]
                 << " [--jobs=N] [--duration=SECONDS] [--cache-dir=DIR]"
-                   " [--log-level=debug|info|warning|error]\n";
+                   " [--log-level=debug|info|warning|error]"
+                   " [--batch=B] [--simd=scalar|avx2|auto]\n";
       std::exit(2);
     }
     BenchOptions options;
@@ -53,6 +62,18 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
       std::cerr << "error: bad --log-level '" << log_level
                 << "' (want debug|info|warning|error)\n";
       std::exit(2);
+    }
+    options.batch = static_cast<int>(flags.GetInt("batch", 1));
+    SetMatrixBatch(options.batch);
+    const std::string simd_level = flags.GetString("simd", "");
+    if (!simd_level.empty()) {
+      simd::Level level;
+      if (!simd::ParseLevel(simd_level.c_str(), &level)) {
+        std::cerr << "error: bad --simd '" << simd_level
+                  << "' (want scalar|avx2|auto|off)\n";
+        std::exit(2);
+      }
+      simd::SetLevel(level);
     }
     if (options.cache_dir.empty()) {
       if (auto env = runner::ResultCache::DirFromEnv()) {
@@ -79,7 +100,7 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
 std::vector<rtc::SessionResult> RunMatrix(
     const std::vector<rtc::SessionConfig>& configs, int jobs) {
   std::vector<rtc::SessionResult> results =
-      runner::RunSessions(configs, jobs, SuiteCache());
+      runner::RunSessions(configs, jobs, SuiteCache(), MatrixBatch());
   // Results arrive in submission order whatever the job count, so the
   // suite-wide merge is deterministic too.
   for (const rtc::SessionResult& result : results) {

@@ -16,9 +16,16 @@
 // RAVE_ALLOC_PROBE option — the steady-state allocation counts per
 // event-loop cycle and per encoded frame, recorded in BENCH_hotpath.json.
 //
+// A lockstep batch sweep follows: the same session matrix and the distilled
+// per-frame control loop (runner/control_loop.h) each run at batch=1 vs
+// batch=B on one core, equality-checked, reporting sim-seconds simulated
+// per wall-second — the number the SoA/simd batching is meant to move.
+//
 // Flags: --jobs=N (parallel worker count, default hardware concurrency),
 //        --runner-sessions=N (matrix size, default 64),
 //        --runner-duration=S (simulated seconds per session, default 30),
+//        --batch=B (lockstep batch size for the sweep, default 16),
+//        --simd=scalar|avx2|auto (force the kernel dispatch level),
 //        --json=PATH (default BENCH_runner.json; "-" disables),
 //        --hotpath-json=PATH (default BENCH_hotpath.json; "-" disables),
 //        --smoke (skip the google-benchmark loop, shrink the matrix),
@@ -42,8 +49,10 @@
 #include "common.h"
 #include "core/adaptive_rate_control.h"
 #include "rtc/session.h"
+#include "runner/control_loop.h"
 #include "runner/parallel_runner.h"
 #include "sim/event_loop.h"
+#include "simd/dispatch.h"
 #include "util/alloc_probe.h"
 #include "util/flags.h"
 #include "util/table.h"
@@ -364,8 +373,52 @@ bool SameResults(const std::vector<rtc::SessionResult>& a,
   return true;
 }
 
+// --- lockstep batch sweep ---------------------------------------------
+
+/// The per-frame control-loop hot path (see runner/control_loop.h) over the
+/// fig2-style matrix: the drop-trace suite x every content class. This is
+/// the distilled math the SoA/simd batching targets — rate control, R-D
+/// model, trendline — without the event-loop/transport machinery around it.
+runner::ControlLoopConfig ControlSweepConfig(TimeDelta duration) {
+  runner::ControlLoopConfig config;
+  config.duration = duration;
+  uint64_t seed = 0;
+  for (const auto& [name, trace] : bench::TraceSuite(duration)) {
+    for (video::ContentClass content : video::kAllContentClasses) {
+      config.lanes.push_back({content, ++seed, trace});
+    }
+  }
+  return config;
+}
+
+struct ControlSweep {
+  size_t lanes = 0;
+  double sim_seconds = 0;
+  double scalar_wall_s = 0;
+  double batched_wall_s = 0;
+  bool identical = false;
+};
+
+ControlSweep MeasureControlSweep(TimeDelta duration, int batch) {
+  ControlSweep sweep;
+  const runner::ControlLoopConfig config = ControlSweepConfig(duration);
+  sweep.lanes = config.lanes.size();
+  sweep.sim_seconds = static_cast<double>(sweep.lanes) * duration.seconds();
+
+  auto scalar_start = std::chrono::steady_clock::now();
+  const auto scalar = runner::RunControlLoop(config, /*batch=*/1);
+  sweep.scalar_wall_s = WallSeconds(scalar_start);
+
+  auto batched_start = std::chrono::steady_clock::now();
+  const auto batched = runner::RunControlLoop(config, batch);
+  sweep.batched_wall_s = WallSeconds(batched_start);
+
+  sweep.identical = scalar == batched;
+  return sweep;
+}
+
 int RunThroughputSection(int sessions, TimeDelta duration, int jobs,
-                         const std::string& json_path) {
+                         int batch, const std::string& json_path) {
   const auto configs = ThroughputMatrix(sessions, duration);
 
   const auto serial_start = std::chrono::steady_clock::now();
@@ -376,6 +429,15 @@ int RunThroughputSection(int sessions, TimeDelta duration, int jobs,
   const auto parallel_start = std::chrono::steady_clock::now();
   const auto parallel = runner::RunSessions(configs, parallel_jobs);
   const double parallel_s = WallSeconds(parallel_start);
+
+  // Lockstep batched full sessions on one core, against the serial run.
+  const auto batched_start = std::chrono::steady_clock::now();
+  const auto batched =
+      runner::RunSessions(configs, /*jobs=*/1, /*cache=*/nullptr, batch);
+  const double batched_s = WallSeconds(batched_start);
+  const bool batch_identical = SameResults(serial, batched);
+
+  const ControlSweep control = MeasureControlSweep(duration, batch);
 
   const uint64_t events = std::accumulate(
       serial.begin(), serial.end(), uint64_t{0},
@@ -407,6 +469,42 @@ int RunThroughputSection(int sessions, TimeDelta duration, int jobs,
   std::cout << "parallel results bit-identical to serial: "
             << (identical ? "yes" : "NO — DETERMINISM VIOLATION") << "\n";
 
+  // Batch sweep: sim-seconds simulated per wall-second on ONE core, the
+  // number the SoA/simd batching moves. Full sessions batch the whole
+  // event-driven pipeline; the control-loop rows isolate the per-frame math
+  // the kernels vectorize.
+  const double session_sim_s = static_cast<double>(sessions) * duration.seconds();
+  std::cout << "\nLockstep batch sweep (batch=" << batch << ", jobs=1, simd="
+            << simd::ToString(simd::ActiveLevel()) << ")\n\n";
+  Table sweep_table({"workload", "wall(s)", "sim-s/s per core", "speedup"});
+  sweep_table.AddRow()
+      .Cell("sessions batch=1")
+      .Cell(serial_s, 3)
+      .Cell(session_sim_s / serial_s, 0)
+      .Cell(1.0, 2);
+  sweep_table.AddRow()
+      .Cell("sessions batch=" + std::to_string(batch))
+      .Cell(batched_s, 3)
+      .Cell(session_sim_s / batched_s, 0)
+      .Cell(serial_s / batched_s, 2);
+  sweep_table.AddRow()
+      .Cell("control-loop batch=1")
+      .Cell(control.scalar_wall_s, 3)
+      .Cell(control.sim_seconds / control.scalar_wall_s, 0)
+      .Cell(1.0, 2);
+  sweep_table.AddRow()
+      .Cell("control-loop batch=" + std::to_string(batch))
+      .Cell(control.batched_wall_s, 3)
+      .Cell(control.sim_seconds / control.batched_wall_s, 0)
+      .Cell(control.scalar_wall_s / control.batched_wall_s, 2);
+  sweep_table.Print(std::cout);
+  std::cout << "batched session results bit-identical to serial: "
+            << (batch_identical ? "yes" : "NO — DETERMINISM VIOLATION")
+            << "\n"
+            << "batched control-loop trajectories bit-identical to scalar: "
+            << (control.identical ? "yes" : "NO — DETERMINISM VIOLATION")
+            << "\n";
+
   if (json_path != "-") {
     std::ofstream json(json_path);
     json << "{\n"
@@ -422,10 +520,29 @@ int RunThroughputSection(int sessions, TimeDelta duration, int jobs,
          << "  \"serial_events_per_s\": "
          << static_cast<double>(events) / serial_s << ",\n"
          << "  \"parallel_identical\": " << (identical ? "true" : "false")
-         << "\n}\n";
+         << ",\n"
+         << "  \"batch\": " << batch << ",\n"
+         << "  \"simd\": \"" << simd::ToString(simd::ActiveLevel()) << "\",\n"
+         << "  \"session_batched_wall_s\": " << batched_s << ",\n"
+         << "  \"session_sim_s_per_s_batch1\": " << session_sim_s / serial_s
+         << ",\n"
+         << "  \"session_sim_s_per_s_batched\": " << session_sim_s / batched_s
+         << ",\n"
+         << "  \"session_batch_speedup\": " << serial_s / batched_s << ",\n"
+         << "  \"session_batch_identical\": "
+         << (batch_identical ? "true" : "false") << ",\n"
+         << "  \"control_lanes\": " << control.lanes << ",\n"
+         << "  \"control_sim_s_per_s_batch1\": "
+         << control.sim_seconds / control.scalar_wall_s << ",\n"
+         << "  \"control_sim_s_per_s_batched\": "
+         << control.sim_seconds / control.batched_wall_s << ",\n"
+         << "  \"control_batch_speedup\": "
+         << control.scalar_wall_s / control.batched_wall_s << ",\n"
+         << "  \"control_batch_identical\": "
+         << (control.identical ? "true" : "false") << "\n}\n";
     std::cout << "wrote " << json_path << "\n";
   }
-  return identical ? 0 : 1;
+  return identical && batch_identical && control.identical ? 0 : 1;
 }
 
 }  // namespace
@@ -437,7 +554,8 @@ int main(int argc, char** argv) {
     const rave::Flags flags(argc - 1, argv + 1);
     for (const std::string& key :
          flags.UnknownKeys({"jobs", "runner-sessions", "runner-duration",
-                            "json", "hotpath-json", "smoke"})) {
+                            "json", "hotpath-json", "smoke", "batch",
+                            "simd"})) {
       std::cerr << "error: unknown flag --" << key
                 << "\nsee the header of bench/tab4_microbench.cpp\n";
       return 2;
@@ -448,6 +566,17 @@ int main(int argc, char** argv) {
         static_cast<int>(flags.GetInt("runner-sessions", smoke ? 8 : 64));
     const rave::TimeDelta duration = rave::TimeDelta::SecondsF(
         flags.GetDouble("runner-duration", smoke ? 12.0 : 30.0));
+    const int batch = static_cast<int>(flags.GetInt("batch", 16));
+    const std::string simd_level = flags.GetString("simd", "");
+    if (!simd_level.empty()) {
+      rave::simd::Level level;
+      if (!rave::simd::ParseLevel(simd_level.c_str(), &level)) {
+        std::cerr << "error: bad --simd '" << simd_level
+                  << "' (want scalar|avx2|auto|off)\n";
+        return 2;
+      }
+      rave::simd::SetLevel(level);
+    }
     const std::string json_path =
         flags.GetString("json", "BENCH_runner.json");
     const std::string hotpath_json_path =
@@ -455,7 +584,8 @@ int main(int argc, char** argv) {
 
     if (!smoke) benchmark::RunSpecifiedBenchmarks();
     rave::RunHotpathSection(smoke, hotpath_json_path);
-    return rave::RunThroughputSection(sessions, duration, jobs, json_path);
+    return rave::RunThroughputSection(sessions, duration, jobs, batch,
+                                      json_path);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 2;

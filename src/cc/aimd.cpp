@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "simd/vmath.h"
+
 namespace rave::cc {
 
 void LinkCapacityEstimator::Update(double sample_kbps, double alpha) {
@@ -134,8 +136,8 @@ DataRate AimdRateControl::Update(BandwidthUsage usage, DataRate acked,
       if (near_capacity) {
         current_ = current_ + AdditiveIncrease(rtt, since_last);
       } else {
-        const double factor = std::pow(config_.increase_factor_per_second,
-                                       since_last.seconds());
+        const double factor = simd::PowS(config_.increase_factor_per_second,
+                                         since_last.seconds());
         current_ = current_ * factor;
       }
       // Do not run far beyond what the network demonstrably delivers.

@@ -1,14 +1,19 @@
 #include "cc/trendline.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+
+#include "simd/kernels.h"
 
 namespace rave::cc {
 
 TrendlineEstimator::TrendlineEstimator() : TrendlineEstimator(Config{}) {}
 
 TrendlineEstimator::TrendlineEstimator(const Config& config)
-    : config_(config), threshold_(config.initial_threshold_ms) {}
+    : config_(config), threshold_(config.initial_threshold_ms) {
+  assert(config_.window_size > 0 && config_.window_size <= kMaxWindow);
+}
 
 BandwidthUsage TrendlineEstimator::OnDelta(const InterArrivalDelta& delta) {
   const double delta_ms =
@@ -20,11 +25,23 @@ BandwidthUsage TrendlineEstimator::OnDelta(const InterArrivalDelta& delta) {
   smoothed_delay_ms_ = config_.smoothing * smoothed_delay_ms_ +
                        (1.0 - config_.smoothing) * accumulated_delay_ms_;
 
-  history_.emplace_back((delta.arrival - first_arrival_).ms_float(),
-                        smoothed_delay_ms_);
-  if (history_.size() > config_.window_size) history_.pop_front();
+  // Push (arrival since first, smoothed delay); a full ring overwrites the
+  // oldest sample in place (the deque's emplace_back + pop_front).
+  const size_t cap = config_.window_size;
+  size_t slot;
+  if (hist_size_ < cap) {
+    slot = hist_head_ + hist_size_;
+    if (slot >= cap) slot -= cap;
+    ++hist_size_;
+  } else {
+    slot = hist_head_;
+    ++hist_head_;
+    if (hist_head_ == cap) hist_head_ = 0;
+  }
+  hist_x_[slot] = (delta.arrival - first_arrival_).ms_float();
+  hist_y_[slot] = smoothed_delay_ms_;
 
-  if (history_.size() == config_.window_size) {
+  if (hist_size_ == cap) {
     const double trend = LinearFitSlope();
     Detect(trend, delta.arrival_delta, delta.arrival);
   }
@@ -32,23 +49,18 @@ BandwidthUsage TrendlineEstimator::OnDelta(const InterArrivalDelta& delta) {
 }
 
 double TrendlineEstimator::LinearFitSlope() const {
-  double sum_x = 0.0;
-  double sum_y = 0.0;
-  for (const auto& [x, y] : history_) {
-    sum_x += x;
-    sum_y += y;
+  // Linearize oldest -> newest and delegate to the shared regression kernel
+  // (the batched stepper runs the same kernel across lanes, bit-identically).
+  double xs[kMaxWindow];
+  double ys[kMaxWindow];
+  const size_t cap = config_.window_size;
+  for (size_t i = 0; i < hist_size_; ++i) {
+    size_t j = hist_head_ + i;
+    if (j >= cap) j -= cap;
+    xs[i] = hist_x_[j];
+    ys[i] = hist_y_[j];
   }
-  const double n = static_cast<double>(history_.size());
-  const double mean_x = sum_x / n;
-  const double mean_y = sum_y / n;
-  double numerator = 0.0;
-  double denominator = 0.0;
-  for (const auto& [x, y] : history_) {
-    numerator += (x - mean_x) * (y - mean_y);
-    denominator += (x - mean_x) * (x - mean_x);
-  }
-  if (denominator <= 0.0) return 0.0;
-  return numerator / denominator;
+  return simd::FitSlope(xs, ys, hist_size_);
 }
 
 void TrendlineEstimator::UpdateThreshold(double modified_trend,

@@ -4,8 +4,8 @@
 // normal / over-using / under-using signals for the AIMD controller.
 #pragma once
 
+#include <array>
 #include <cstddef>
-#include <deque>
 
 #include "cc/inter_arrival.h"
 #include "util/time.h"
@@ -26,6 +26,9 @@ class TrendlineEstimator {
     double initial_threshold_ms = 12.5;
     TimeDelta overuse_time_threshold = TimeDelta::Millis(10);
   };
+
+  /// Upper bound on Config::window_size (the history ring is inline).
+  static constexpr size_t kMaxWindow = 64;
 
   TrendlineEstimator();
   explicit TrendlineEstimator(const Config& config);
@@ -48,8 +51,14 @@ class TrendlineEstimator {
   double accumulated_delay_ms_ = 0.0;
   double smoothed_delay_ms_ = 0.0;
   Timestamp first_arrival_ = Timestamp::MinusInfinity();
-  /// (arrival time since first, smoothed delay) samples.
-  std::deque<std::pair<double, double>> history_;
+  /// (arrival time since first, smoothed delay) samples in a fixed-capacity
+  /// flat ring — this is a per-arrival hot container, so no deque chunks
+  /// (allocation-free) and a layout the SoA batch stepper can mirror.
+  /// Oldest sample at hist_head_, newest at (hist_head_ + hist_size_ - 1).
+  std::array<double, kMaxWindow> hist_x_;
+  std::array<double, kMaxWindow> hist_y_;
+  size_t hist_head_ = 0;
+  size_t hist_size_ = 0;
   int num_deltas_ = 0;
 
   double threshold_;

@@ -1,0 +1,144 @@
+#include "cc/trendline_soa.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+#include "simd/kernels.h"
+
+namespace rave::cc {
+
+TrendlineSoa::TrendlineSoa(const TrendlineEstimator::Config& config,
+                           size_t lanes)
+    : config_(config),
+      lanes_(lanes),
+      accumulated_delay_ms_(lanes, 0.0),
+      smoothed_delay_ms_(lanes, 0.0),
+      first_arrival_(lanes, Timestamp::MinusInfinity()),
+      num_deltas_(lanes, 0),
+      hist_x_(config.window_size * lanes, 0.0),
+      hist_y_(config.window_size * lanes, 0.0),
+      fit_x_(config.window_size * lanes, 0.0),
+      fit_y_(config.window_size * lanes, 0.0),
+      trend_(lanes, 0.0),
+      threshold_(lanes, config.initial_threshold_ms),
+      prev_trend_(lanes, 0.0),
+      modified_trend_(lanes, 0.0),
+      time_over_using_(lanes, TimeDelta::Millis(-1)),
+      overuse_counter_(lanes, 0),
+      last_threshold_update_(lanes, Timestamp::MinusInfinity()),
+      state_(lanes, BandwidthUsage::kNormal) {
+  assert(lanes > 0);
+  assert(config_.window_size > 0 &&
+         config_.window_size <= TrendlineEstimator::kMaxWindow);
+}
+
+void TrendlineSoa::OnDeltas(const InterArrivalDelta* deltas,
+                            BandwidthUsage* states_out) {
+  const size_t n = lanes_;
+  const size_t cap = config_.window_size;
+
+  // Push one sample per lane (TrendlineEstimator::OnDelta's ring update;
+  // head/size advance once for the whole batch).
+  size_t slot;
+  if (hist_size_ < cap) {
+    slot = hist_head_ + hist_size_;
+    if (slot >= cap) slot -= cap;
+    ++hist_size_;
+  } else {
+    slot = hist_head_;
+    ++hist_head_;
+    if (hist_head_ == cap) hist_head_ = 0;
+  }
+  double* row_x = hist_x_.data() + slot * n;
+  double* row_y = hist_y_.data() + slot * n;
+  for (size_t l = 0; l < n; ++l) {
+    const InterArrivalDelta& delta = deltas[l];
+    const double delta_ms =
+        delta.arrival_delta.ms_float() - delta.send_delta.ms_float();
+    ++num_deltas_[l];
+    if (first_arrival_[l].IsMinusInfinity()) first_arrival_[l] = delta.arrival;
+
+    accumulated_delay_ms_[l] += delta_ms;
+    smoothed_delay_ms_[l] = config_.smoothing * smoothed_delay_ms_[l] +
+                            (1.0 - config_.smoothing) *
+                                accumulated_delay_ms_[l];
+
+    row_x[l] = (delta.arrival - first_arrival_[l]).ms_float();
+    row_y[l] = smoothed_delay_ms_[l];
+  }
+
+  if (hist_size_ == cap) {
+    // Linearize oldest -> newest (same order the scalar fit sums in), then
+    // one batched regression across every lane.
+    for (size_t i = 0; i < cap; ++i) {
+      size_t j = hist_head_ + i;
+      if (j >= cap) j -= cap;
+      std::memcpy(fit_x_.data() + i * n, hist_x_.data() + j * n,
+                  n * sizeof(double));
+      std::memcpy(fit_y_.data() + i * n, hist_y_.data() + j * n,
+                  n * sizeof(double));
+    }
+    simd::FitSlopeLanes(fit_x_.data(), fit_y_.data(), cap, /*stride=*/n, n,
+                        trend_.data());
+    for (size_t l = 0; l < n; ++l) {
+      DetectLane(l, trend_[l], deltas[l].arrival_delta, deltas[l].arrival);
+    }
+  }
+  for (size_t l = 0; l < n; ++l) states_out[l] = state_[l];
+}
+
+void TrendlineSoa::UpdateThresholdLane(size_t lane, double modified_trend,
+                                       Timestamp now) {
+  if (last_threshold_update_[lane].IsMinusInfinity()) {
+    last_threshold_update_[lane] = now;
+  }
+  if (std::fabs(modified_trend) > threshold_[lane] + 15.0) {
+    last_threshold_update_[lane] = now;
+    return;
+  }
+  const double k = std::fabs(modified_trend) < threshold_[lane]
+                       ? config_.k_down
+                       : config_.k_up;
+  const double time_delta_ms =
+      std::min((now - last_threshold_update_[lane]).ms_float(), 100.0);
+  threshold_[lane] +=
+      k * (std::fabs(modified_trend) - threshold_[lane]) * time_delta_ms;
+  threshold_[lane] = std::clamp(threshold_[lane], 6.0, 600.0);
+  last_threshold_update_[lane] = now;
+}
+
+void TrendlineSoa::DetectLane(size_t lane, double trend, TimeDelta ts_delta,
+                              Timestamp now) {
+  const double modified_trend =
+      std::min(num_deltas_[lane], 60) * trend * config_.threshold_gain;
+  modified_trend_[lane] = modified_trend;
+
+  if (modified_trend > threshold_[lane]) {
+    if (time_over_using_[lane] < TimeDelta::Zero()) {
+      time_over_using_[lane] = ts_delta / 2;
+    } else {
+      time_over_using_[lane] += ts_delta;
+    }
+    ++overuse_counter_[lane];
+    if (time_over_using_[lane] > config_.overuse_time_threshold &&
+        overuse_counter_[lane] > 1 && trend >= prev_trend_[lane]) {
+      time_over_using_[lane] = TimeDelta::Zero();
+      overuse_counter_[lane] = 0;
+      state_[lane] = BandwidthUsage::kOverusing;
+    }
+  } else if (modified_trend < -threshold_[lane]) {
+    time_over_using_[lane] = TimeDelta::Millis(-1);
+    overuse_counter_[lane] = 0;
+    state_[lane] = BandwidthUsage::kUnderusing;
+  } else {
+    time_over_using_[lane] = TimeDelta::Millis(-1);
+    overuse_counter_[lane] = 0;
+    state_[lane] = BandwidthUsage::kNormal;
+  }
+  prev_trend_[lane] = trend;
+  UpdateThresholdLane(lane, modified_trend, now);
+}
+
+}  // namespace rave::cc

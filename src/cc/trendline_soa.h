@@ -1,0 +1,67 @@
+// Structure-of-arrays mirror of `TrendlineEstimator` for the batched session
+// stepper: N lanes advance through one inter-group delta per call, with the
+// per-lane linear regressions evaluated as one batched `FitSlopeLanes`
+// kernel over lane-interleaved history rings.
+//
+// Bit-identity contract: lane `l` produces exactly the state trajectory a
+// scalar `TrendlineEstimator` fed the same deltas produces (the regression
+// kernel is bit-identical across scalar/AVX2 backends, and every other
+// update mirrors the scalar class expression for expression). The batch
+// shares one ring head/size because every lane receives exactly one delta
+// per step — the uniform cadence the batched stepper runs at.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cc/trendline.h"
+
+namespace rave::cc {
+
+class TrendlineSoa {
+ public:
+  TrendlineSoa(const TrendlineEstimator::Config& config, size_t lanes);
+
+  /// Feeds one delta per lane and writes the per-lane usage signal.
+  void OnDeltas(const InterArrivalDelta* deltas, BandwidthUsage* states_out);
+
+  BandwidthUsage state(size_t lane) const { return state_[lane]; }
+  double threshold(size_t lane) const { return threshold_[lane]; }
+  double modified_trend(size_t lane) const { return modified_trend_[lane]; }
+
+ private:
+  void DetectLane(size_t lane, double trend, TimeDelta ts_delta,
+                  Timestamp now);
+  void UpdateThresholdLane(size_t lane, double modified_trend, Timestamp now);
+
+  TrendlineEstimator::Config config_;
+  size_t lanes_;
+
+  std::vector<double> accumulated_delay_ms_;
+  std::vector<double> smoothed_delay_ms_;
+  std::vector<Timestamp> first_arrival_;
+  std::vector<int> num_deltas_;
+
+  /// Lane-interleaved rings: sample slot `s` of lane `l` lives at
+  /// `hist_*_[s * lanes_ + l]`. Head/size are shared across the batch
+  /// (one delta per lane per step).
+  std::vector<double> hist_x_;
+  std::vector<double> hist_y_;
+  size_t hist_head_ = 0;
+  size_t hist_size_ = 0;
+
+  /// Linearized (oldest -> newest) window scratch for the batched fit.
+  std::vector<double> fit_x_;
+  std::vector<double> fit_y_;
+  std::vector<double> trend_;
+
+  std::vector<double> threshold_;
+  std::vector<double> prev_trend_;
+  std::vector<double> modified_trend_;
+  std::vector<TimeDelta> time_over_using_;
+  std::vector<int> overuse_counter_;
+  std::vector<Timestamp> last_threshold_update_;
+  std::vector<BandwidthUsage> state_;
+};
+
+}  // namespace rave::cc

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "obs/trace.h"
+#include "simd/vmath.h"
 
 namespace rave::codec {
 
@@ -16,7 +17,8 @@ AbrRateControl::AbrRateControl(const AbrConfig& config)
       vbv_(config.initial_target, config.vbv_window),
       pred_key_(/*gamma=*/0.9, /*initial_coef=*/1.0),
       pred_delta_(/*gamma=*/1.2, /*initial_coef=*/1.0),
-      window_decay_(1.0 - 1.0 / (config.window_seconds * config.fps)) {
+      window_decay_(1.0 - 1.0 / (config.window_seconds * config.fps)),
+      lstep_(simd::Exp2S(config.qp_step / 6.0)) {
   assert(config.fps > 0);
 }
 
@@ -36,7 +38,7 @@ double AbrRateControl::ComplexityTerm(const video::RawFrame& frame,
 }
 
 double AbrRateControl::Rceq(double complexity_term) const {
-  return std::pow(std::max(complexity_term, 1.0), 1.0 - config_.qcomp);
+  return simd::PowS(std::max(complexity_term, 1.0), 1.0 - config_.qcomp);
 }
 
 FrameGuidance AbrRateControl::PlanFrame(const video::RawFrame& frame,
@@ -77,10 +79,9 @@ FrameGuidance AbrRateControl::PlanFrame(const video::RawFrame& frame,
 
   if (type == FrameType::kKey) qscale /= config_.ip_factor;
 
-  // Per-frame step clamp (lstep).
+  // Per-frame step clamp (lstep, cached at construction).
   if (last_qscale_ > 0.0 && type == FrameType::kDelta) {
-    const double lstep = std::exp2(config_.qp_step / 6.0);
-    qscale = std::clamp(qscale, last_qscale_ / lstep, last_qscale_ * lstep);
+    qscale = std::clamp(qscale, last_qscale_ / lstep_, last_qscale_ * lstep_);
   }
 
   // VBV: if the predicted size does not fit in the remaining buffer space,

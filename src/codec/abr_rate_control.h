@@ -73,6 +73,8 @@ class AbrRateControl : public RateControl {
   double cplxr_sum_ = 0.0;
   double wanted_bits_window_ = 0.0;
   double window_decay_;
+  /// exp2(qp_step/6), cached: the per-frame qscale step clamp.
+  double lstep_;
 
   // Cumulative totals for overflow compensation.
   double total_bits_ = 0.0;

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "obs/trace.h"
+#include "simd/vmath.h"
 
 namespace rave::codec {
 
@@ -13,7 +14,8 @@ CbrRateControl::CbrRateControl(const CbrConfig& config)
       target_(config.initial_target),
       vbv_(config.initial_target, config.vbv_window),
       pred_key_(/*gamma=*/0.9),
-      pred_delta_(/*gamma=*/1.2) {
+      pred_delta_(/*gamma=*/1.2),
+      lstep_(simd::Exp2S(config.qp_step / 6.0)) {
   assert(config.fps > 0);
 }
 
@@ -52,8 +54,7 @@ FrameGuidance CbrRateControl::PlanFrame(const video::RawFrame& frame,
   if (type == FrameType::kKey) qscale /= config_.ip_factor;
 
   if (last_qscale_ > 0.0 && type == FrameType::kDelta) {
-    const double lstep = std::exp2(config_.qp_step / 6.0);
-    qscale = std::clamp(qscale, last_qscale_ / lstep, last_qscale_ * lstep);
+    qscale = std::clamp(qscale, last_qscale_ / lstep_, last_qscale_ * lstep_);
   }
   qscale = std::clamp(qscale, QpToQscale(kMinQp), QpToQscale(kMaxQp));
 

@@ -46,6 +46,8 @@ class CbrRateControl : public RateControl {
   VbvBuffer vbv_;
   BitPredictor pred_key_;
   BitPredictor pred_delta_;
+  /// exp2(qp_step/6), cached: the per-frame qscale step clamp.
+  double lstep_;
   double last_qscale_ = 0.0;
   std::optional<Timestamp> last_time_;
 };

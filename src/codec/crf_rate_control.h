@@ -50,6 +50,8 @@ class CrfRateControl : public RateControl {
   double short_term_cplx_sum_ = 0.0;
   double short_term_cplx_count_ = 0.0;
   double rate_factor_;
+  /// exp2(qp_step/6), cached: the per-frame qscale step clamp.
+  double lstep_;
   double last_qscale_ = 0.0;
   std::optional<Timestamp> last_time_;
 };

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "obs/metrics_registry.h"
+#include "simd/vmath.h"
 #include "obs/trace.h"
 
 namespace rave::codec {
@@ -87,7 +88,7 @@ EncodedFrame Encoder::EncodeFrame(const video::RawFrame& frame,
       const double gamma =
           type == FrameType::kKey ? config_.rd.gamma_i : config_.rd.gamma_p;
       const double overshoot = static_cast<double>(size.bits()) / cap;
-      qscale *= std::pow(overshoot * 1.1, 1.0 / gamma);
+      qscale *= simd::PowS(overshoot * 1.1, 1.0 / gamma);
       qscale = std::clamp(qscale, QpToQscale(kMinQp), QpToQscale(kMaxQp));
       qp = QscaleToQp(qscale);
       size = rd_.ActualBits(type, frame, qscale);

@@ -81,6 +81,9 @@ class RdModel {
 
   RdModelConfig config_;
   Rng rng_;
+  /// Cached reciprocal exponents for the QscaleForBits inversions.
+  double inv_gamma_i_;
+  double inv_gamma_p_;
 };
 
 /// Online-calibrated size predictor available to rate controls.
@@ -106,7 +109,11 @@ class BitPredictor {
   double coef() const { return coef_; }
 
  private:
+  friend class BitPredictorSoa;
+
   double gamma_;
+  /// Cached 1/gamma so QscaleForBits doesn't divide on every frame.
+  double inv_gamma_;
   double coef_;
   double weight_ = 0.0;
 };

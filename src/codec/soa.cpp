@@ -1,0 +1,322 @@
+#include "codec/soa.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "simd/vmath.h"
+
+namespace rave::codec {
+
+// Every expression in this file mirrors its scalar counterpart exactly (see
+// the header contract). Comments name the mirrored member function; read the
+// scalar class for the control-law rationale.
+
+void QpToQscaleLanes(const double* qp, double* qscale, size_t n) {
+  // QpToQscale: 0.85 * exp2((qp - 12) / 6).
+  for (size_t i = 0; i < n; ++i) qscale[i] = (qp[i] - 12.0) / 6.0;
+  simd::Exp2(qscale, qscale, n);
+  for (size_t i = 0; i < n; ++i) qscale[i] = 0.85 * qscale[i];
+}
+
+void QscaleToQpLanes(const double* qscale, double* qp, size_t n) {
+  // QscaleToQp: 12 + 6 * log2(qscale / 0.85).
+  for (size_t i = 0; i < n; ++i) qp[i] = qscale[i] / 0.85;
+  simd::Log2(qp, qp, n);
+  for (size_t i = 0; i < n; ++i) qp[i] = 12.0 + 6.0 * qp[i];
+}
+
+BitPredictorSoa::BitPredictorSoa(double gamma, double initial_coef,
+                                 size_t lanes)
+    : gamma_(gamma),
+      inv_gamma_(1.0 / gamma),
+      coef_(lanes, initial_coef),
+      weight_(lanes, 0.0) {
+  assert(gamma_ > 0.0);
+}
+
+DataSize BitPredictorSoa::PredictLane(size_t lane, double complexity_term,
+                                      double qscale) const {
+  assert(qscale > 0.0);
+  const double bits =
+      coef_[lane] * complexity_term / simd::PowS(qscale, gamma_);
+  return DataSize::Bits(static_cast<int64_t>(std::max(bits, 1.0)));
+}
+
+double BitPredictorSoa::QscaleForBitsLane(size_t lane, double complexity_term,
+                                          DataSize target) const {
+  const double bits = std::max<double>(static_cast<double>(target.bits()), 1.0);
+  const double qscale =
+      simd::PowS(coef_[lane] * complexity_term / bits, inv_gamma_);
+  return std::clamp(qscale, QpToQscale(kMinQp), QpToQscale(kMaxQp));
+}
+
+void BitPredictorSoa::UpdateLaneWithPow(size_t lane, double complexity_term,
+                                        double qscale, int64_t bits,
+                                        double qscale_pow_gamma) {
+  if (complexity_term <= 0.0 || qscale <= 0.0 || bits <= 0) return;
+  const double observed_coef =
+      static_cast<double>(bits) * qscale_pow_gamma / complexity_term;
+  constexpr double kDecay = 0.5;
+  weight_[lane] = weight_[lane] * kDecay + 1.0;
+  coef_[lane] += (observed_coef - coef_[lane]) / weight_[lane];
+}
+
+VbvSoa::VbvSoa(size_t lanes, DataRate max_rate, TimeDelta buffer_window)
+    : buffer_window_s_(buffer_window.seconds()),
+      max_rate_bps_(lanes, max_rate.bps()),
+      capacity_bits_(lanes, (max_rate * buffer_window).bits()),
+      fill_bits_(lanes, 0) {
+  assert(max_rate.bps() > 0);
+  assert(buffer_window > TimeDelta::Zero());
+}
+
+void VbvSoa::SetMaxRateLane(size_t lane, DataRate max_rate) {
+  assert(max_rate.bps() > 0);
+  max_rate_bps_[lane] = max_rate.bps();
+  // capacity = max_rate * buffer_window (DataRate * TimeDelta rounding).
+  capacity_bits_[lane] = static_cast<int64_t>(
+      static_cast<double>(max_rate_bps_[lane]) * buffer_window_s_ + 0.5);
+  fill_bits_[lane] = std::min(fill_bits_[lane], capacity_bits_[lane]);
+}
+
+void VbvSoa::DrainAll(TimeDelta dt) {
+  if (dt <= TimeDelta::Zero()) return;
+  const double dt_s = dt.seconds();
+  const size_t n = fill_bits_.size();
+  for (size_t l = 0; l < n; ++l) {
+    const int64_t drained = static_cast<int64_t>(
+        static_cast<double>(max_rate_bps_[l]) * dt_s + 0.5);
+    fill_bits_[l] = drained >= fill_bits_[l] ? 0 : fill_bits_[l] - drained;
+  }
+}
+
+void VbvSoa::AddFrameLane(size_t lane, int64_t size_bits) {
+  fill_bits_[lane] =
+      std::min(fill_bits_[lane] + size_bits, capacity_bits_[lane]);
+}
+
+int64_t VbvSoa::MaxFrameSizeLane(size_t lane, double headroom) const {
+  // reserved = capacity * headroom (DataSize * double rounding).
+  const int64_t reserved = static_cast<int64_t>(
+      static_cast<double>(capacity_bits_[lane]) * headroom + 0.5);
+  const int64_t space = capacity_bits_[lane] - fill_bits_[lane];
+  return space - std::min(reserved, space);
+}
+
+AbrSoa::AbrSoa(const AbrConfig& config, size_t lanes)
+    : config_(config),
+      lanes_(lanes),
+      qscale_min_(QpToQscale(kMinQp)),
+      qscale_max_(QpToQscale(kMaxQp)),
+      lstep_(simd::Exp2S(config.qp_step / 6.0)),
+      window_decay_(1.0 - 1.0 / (config.window_seconds * config.fps)),
+      target_bps_(lanes, config.initial_target.bps()),
+      target_bits_per_frame_(
+          lanes, static_cast<double>(config.initial_target.bps()) / config.fps),
+      vbv_(lanes, config.initial_target, config.vbv_window),
+      pred_key_(/*gamma=*/0.9, /*initial_coef=*/1.0, lanes),
+      pred_delta_(/*gamma=*/1.2, /*initial_coef=*/1.0, lanes),
+      cplxr_sum_(lanes, 0.0),
+      wanted_bits_window_(lanes, 0.0),
+      total_bits_(lanes, 0.0),
+      wanted_bits_(lanes, 0.0),
+      short_term_cplx_sum_(lanes, 0.0),
+      short_term_cplx_count_(lanes, 0.0),
+      last_qscale_(lanes, 0.0),
+      planned_rceq_(lanes, 0.0),
+      scratch_a_(lanes, 0.0),
+      scratch_b_(lanes, 0.0),
+      scratch_c_(lanes, 0.0),
+      scratch_gamma_(lanes, 0.0) {
+  assert(config.fps > 0);
+  assert(lanes > 0);
+}
+
+void AbrSoa::SetTargetRateLane(size_t lane, DataRate target) {
+  if (target.bps() <= 0) return;
+  target_bps_[lane] = target.bps();
+  target_bits_per_frame_[lane] =
+      static_cast<double>(target.bps()) / config_.fps;
+  vbv_.SetMaxRateLane(lane, target);
+}
+
+void AbrSoa::PlanFrames(const FrameType* types, const double* complexity_terms,
+                        Timestamp now, double* qp_out) {
+  const size_t n = lanes_;
+  if (has_last_time_) vbv_.DrainAll(now - last_time_);
+  has_last_time_ = true;
+  last_time_ = now;
+
+  // Rceq of the blurred complexity, one batched power (uniform exponent).
+  double* rceq = scratch_a_.data();
+  for (size_t l = 0; l < n; ++l) {
+    const double blurred =
+        (short_term_cplx_sum_[l] * 0.5 + complexity_terms[l]) /
+        (short_term_cplx_count_[l] * 0.5 + 1.0);
+    rceq[l] = std::max(blurred, 1.0);
+  }
+  simd::PowScalarExp(rceq, 1.0 - config_.qcomp, rceq, n);
+
+  double* qscale = scratch_b_.data();
+  for (size_t l = 0; l < n; ++l) {
+    planned_rceq_[l] = rceq[l];
+    double q = 0.0;
+    if (wanted_bits_window_[l] <= 0.0) {
+      // First frame on this lane: divergent branch, scalar fallback.
+      const bool key = types[l] == FrameType::kKey;
+      const BitPredictorSoa& pred = key ? pred_key_ : pred_delta_;
+      const double budget = target_bits_per_frame_[l] * (key ? 5.0 : 1.0);
+      q = pred.QscaleForBitsLane(
+          l, complexity_terms[l],
+          DataSize::Bits(static_cast<int64_t>(budget)));
+    } else {
+      const double rate_factor = wanted_bits_window_[l] / cplxr_sum_[l];
+      q = rceq[l] / rate_factor;
+      const double abr_buffer = 2.0 * config_.rate_tolerance *
+                                static_cast<double>(target_bps_[l]);
+      const double overflow = std::clamp(
+          1.0 + (total_bits_[l] - wanted_bits_[l]) / abr_buffer, 0.5, 2.0);
+      q *= overflow;
+    }
+    if (types[l] == FrameType::kKey) q /= config_.ip_factor;
+    if (last_qscale_[l] > 0.0 && types[l] == FrameType::kDelta) {
+      q = std::clamp(q, last_qscale_[l] / lstep_, last_qscale_[l] * lstep_);
+    }
+    qscale[l] = q;
+  }
+
+  // VBV admission: predicted sizes for every lane in one batched power over
+  // per-lane (type-dependent) exponents, scalar re-inversion only on the
+  // lanes that actually violate their buffer space.
+  double* powq = scratch_c_.data();
+  double* gamma = scratch_gamma_.data();
+  for (size_t l = 0; l < n; ++l) {
+    gamma[l] = types[l] == FrameType::kKey ? pred_key_.gamma_
+                                           : pred_delta_.gamma_;
+  }
+  simd::Pow(qscale, gamma, powq, n);
+  for (size_t l = 0; l < n; ++l) {
+    const bool key = types[l] == FrameType::kKey;
+    const BitPredictorSoa& pred = key ? pred_key_ : pred_delta_;
+    const int64_t space = vbv_.MaxFrameSizeLane(l, /*headroom=*/0.1);
+    if (space > 0) {
+      // BitPredictor::Predict via the shared batched power.
+      const double bits = pred.coef_[l] * complexity_terms[l] / powq[l];
+      const int64_t predicted = static_cast<int64_t>(std::max(bits, 1.0));
+      if (predicted > space) {
+        qscale[l] = std::max(
+            qscale[l],
+            pred.QscaleForBitsLane(l, complexity_terms[l],
+                                   DataSize::Bits(space)));
+      }
+    }
+    qscale[l] = std::clamp(qscale[l], qscale_min_, qscale_max_);
+  }
+
+  QscaleToQpLanes(qscale, qp_out, n);
+}
+
+void AbrSoa::OnFramesEncoded(const FrameType* types,
+                             const double* complexity_terms,
+                             const double* qscales, const int64_t* size_bits,
+                             Timestamp now) {
+  const size_t n = lanes_;
+  if (has_last_time_) vbv_.DrainAll(now - last_time_);
+  has_last_time_ = true;
+  last_time_ = now;
+
+  double* powq = scratch_a_.data();
+  double* gamma = scratch_gamma_.data();
+  for (size_t l = 0; l < n; ++l) {
+    gamma[l] = types[l] == FrameType::kKey ? pred_key_.gamma_
+                                           : pred_delta_.gamma_;
+  }
+  simd::Pow(qscales, gamma, powq, n);
+
+  for (size_t l = 0; l < n; ++l) {
+    const double bits = static_cast<double>(size_bits[l]);
+
+    short_term_cplx_sum_[l] =
+        short_term_cplx_sum_[l] * 0.5 + complexity_terms[l];
+    short_term_cplx_count_[l] = short_term_cplx_count_[l] * 0.5 + 1.0;
+
+    const double rceq =
+        planned_rceq_[l] > 0.0
+            ? planned_rceq_[l]
+            : simd::PowS(std::max(complexity_terms[l], 1.0),
+                         1.0 - config_.qcomp);
+    const double type_scale =
+        types[l] == FrameType::kKey ? 1.0 / config_.ip_factor : 1.0;
+    cplxr_sum_[l] = cplxr_sum_[l] * window_decay_ +
+                    bits * qscales[l] * type_scale / rceq;
+    wanted_bits_window_[l] =
+        wanted_bits_window_[l] * window_decay_ + target_bits_per_frame_[l];
+
+    total_bits_[l] += bits;
+    wanted_bits_[l] += target_bits_per_frame_[l];
+
+    BitPredictorSoa& pred =
+        types[l] == FrameType::kKey ? pred_key_ : pred_delta_;
+    pred.UpdateLaneWithPow(l, complexity_terms[l], qscales[l], size_bits[l],
+                           powq[l]);
+
+    vbv_.AddFrameLane(l, size_bits[l]);
+    last_qscale_[l] = qscales[l];
+  }
+}
+
+RdModelSoa::RdModelSoa(const RdModelConfig& config,
+                       const std::vector<Rng>& lane_rngs)
+    : config_(config),
+      rngs_(lane_rngs),
+      scratch_a_(lane_rngs.size(), 0.0),
+      scratch_b_(lane_rngs.size(), 0.0),
+      scratch_gamma_(lane_rngs.size(), 0.0) {}
+
+void RdModelSoa::ActualBitsLanes(const FrameType* types,
+                                 const video::RawFrame* frames,
+                                 const double* qscales, int64_t* bits_out) {
+  const size_t n = rngs_.size();
+  double* powq = scratch_a_.data();
+  double* noise = scratch_b_.data();
+  double* gamma = scratch_gamma_.data();
+  for (size_t l = 0; l < n; ++l) {
+    gamma[l] = types[l] == FrameType::kKey ? config_.gamma_i : config_.gamma_p;
+  }
+  simd::Pow(qscales, gamma, powq, n);
+  for (size_t l = 0; l < n; ++l) {
+    noise[l] = rngs_[l].Gaussian(0.0, config_.noise_sigma);
+  }
+  simd::Exp(noise, noise, n);
+  const double min_bits = static_cast<double>(config_.min_frame_bits);
+  for (size_t l = 0; l < n; ++l) {
+    // RdModel::RawExpected with the power hoisted into the batched call.
+    const double pixels =
+        static_cast<double>(frames[l].resolution.pixels());
+    const double cplx_term =
+        types[l] == FrameType::kKey ? pixels * frames[l].spatial_complexity
+                                    : pixels * frames[l].temporal_complexity;
+    const double coef =
+        types[l] == FrameType::kKey ? config_.coef_i : config_.coef_p;
+    const double expected = std::max(coef * cplx_term / powq[l], min_bits);
+    const double bits = std::max(expected * noise[l], min_bits);
+    bits_out[l] = static_cast<int64_t>(bits);
+  }
+}
+
+void RdModelSoa::SsimLanes(const video::RawFrame* frames,
+                           const double* qscales, double* ssim_out) {
+  const size_t n = rngs_.size();
+  double* powb = scratch_a_.data();
+  simd::PowScalarExp(qscales, config_.ssim_beta, powb, n);
+  for (size_t l = 0; l < n; ++l) {
+    const double complexity =
+        0.5 *
+        (frames[l].spatial_complexity + frames[l].temporal_complexity);
+    const double distortion =
+        config_.ssim_d0 * powb[l] * (0.5 + 0.5 * complexity);
+    ssim_out[l] = std::clamp(1.0 - distortion, 0.0, 1.0);
+  }
+}
+
+}  // namespace rave::codec

@@ -1,0 +1,177 @@
+// Structure-of-arrays mirrors of the per-frame rate-control state, for the
+// batched session stepper: `BitPredictorSoa`, `VbvSoa`, `AbrSoa` and
+// `RdModelSoa` hold N lanes of the state that `BitPredictor`, `VbvBuffer`,
+// `AbrRateControl` and `RdModel` keep per session, and step every lane
+// through one frame with one call.
+//
+// The contract is *bit identity*: stepping lane `l` through these classes
+// produces exactly the doubles and integer sizes the scalar classes produce
+// for the same inputs. That holds because
+//   * every transcendental goes through rave::simd, whose vector and scalar
+//     kernels are bit-identical per lane by construction, and per-lane
+//     parameters (the per-frame-type gamma/coef of the predictors) become
+//     per-lane exponent arrays to one batched call — which is elementwise
+//     equivalent to per-lane scalar calls;
+//   * all remaining arithmetic mirrors the scalar classes expression for
+//     expression (plain mul/add/div; the build never fuses or reassociates);
+//   * divergent lanes (first frame, VBV overflow) fall back to the scalar
+//     kernels per lane, which again produce the same bits.
+// `runner_control_loop_test` enforces the contract end to end.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "codec/abr_rate_control.h"
+#include "codec/rd_model.h"
+#include "util/rng.h"
+#include "util/time.h"
+#include "util/units.h"
+#include "video/frame.h"
+
+namespace rave::codec {
+
+/// Batched QP <-> qscale conversion (mirrors QpToQscale / QscaleToQp).
+void QpToQscaleLanes(const double* qp, double* qscale, size_t n);
+void QscaleToQpLanes(const double* qscale, double* qp, size_t n);
+
+/// N lanes of `BitPredictor` state for one frame type. The batched Predict /
+/// Update passes live in `AbrSoa`, which gathers per-lane gamma/coef across
+/// its two predictors; this class owns the state and the scalar-fallback
+/// per-lane operations.
+class BitPredictorSoa {
+ public:
+  BitPredictorSoa(double gamma, double initial_coef, size_t lanes);
+
+  double gamma() const { return gamma_; }
+  double inv_gamma() const { return inv_gamma_; }
+  double coef(size_t lane) const { return coef_[lane]; }
+
+  /// Mirrors BitPredictor::Predict for one lane (scalar kernel).
+  DataSize PredictLane(size_t lane, double complexity_term,
+                       double qscale) const;
+  /// Mirrors BitPredictor::QscaleForBits for one lane (scalar kernel).
+  double QscaleForBitsLane(size_t lane, double complexity_term,
+                           DataSize target) const;
+  /// Mirrors BitPredictor::Update for one lane given the already-computed
+  /// qscale^gamma (shared with the batched path).
+  void UpdateLaneWithPow(size_t lane, double complexity_term, double qscale,
+                         int64_t bits, double qscale_pow_gamma);
+
+ private:
+  friend class AbrSoa;
+
+  double gamma_;
+  double inv_gamma_;
+  std::vector<double> coef_;
+  std::vector<double> weight_;
+};
+
+/// N lanes of `VbvBuffer` state. All arithmetic is int64/double exactly as
+/// in VbvBuffer (including the +0.5 roundings of the unit types), so fills
+/// and frame-size caps match the scalar buffer bit for bit.
+class VbvSoa {
+ public:
+  VbvSoa(size_t lanes, DataRate max_rate, TimeDelta buffer_window);
+
+  /// Mirrors VbvBuffer::SetMaxRate for one lane.
+  void SetMaxRateLane(size_t lane, DataRate max_rate);
+  /// Mirrors VbvBuffer::Drain on every lane (the batch shares `dt`).
+  void DrainAll(TimeDelta dt);
+  /// Mirrors VbvBuffer::AddFrame for one lane.
+  void AddFrameLane(size_t lane, int64_t size_bits);
+  /// Mirrors VbvBuffer::MaxFrameSize for one lane.
+  int64_t MaxFrameSizeLane(size_t lane, double headroom) const;
+
+  int64_t fill_bits(size_t lane) const { return fill_bits_[lane]; }
+
+ private:
+  double buffer_window_s_;
+  std::vector<int64_t> max_rate_bps_;
+  std::vector<int64_t> capacity_bits_;
+  std::vector<int64_t> fill_bits_;
+};
+
+/// N lanes of `AbrRateControl`, stepped one frame at a time across every
+/// lane. `PlanFrames` / `OnFramesEncoded` mirror PlanFrame / OnFrameEncoded
+/// stage by stage, with the Rceq power, the VBV size prediction, the
+/// predictor updates and the qscale->QP conversion evaluated as batched
+/// kernels over per-lane exponent arrays.
+class AbrSoa {
+ public:
+  AbrSoa(const AbrConfig& config, size_t lanes);
+
+  size_t lanes() const { return lanes_; }
+
+  /// Mirrors AbrRateControl::SetTargetRate for one lane.
+  void SetTargetRateLane(size_t lane, DataRate target);
+
+  /// Plans one frame on every lane; writes the guidance QP per lane.
+  /// `complexity_terms[l]` must be pixels * complexity for the lane's type
+  /// (AbrRateControl::ComplexityTerm).
+  void PlanFrames(const FrameType* types, const double* complexity_terms,
+                  Timestamp now, double* qp_out);
+
+  /// Feeds every lane's encoded-frame outcome back.
+  void OnFramesEncoded(const FrameType* types, const double* complexity_terms,
+                       const double* qscales, const int64_t* size_bits,
+                       Timestamp now);
+
+  double last_qscale(size_t lane) const { return last_qscale_[lane]; }
+
+ private:
+  AbrConfig config_;
+  size_t lanes_;
+  double qscale_min_;
+  double qscale_max_;
+  double lstep_;
+  double window_decay_;
+
+  std::vector<int64_t> target_bps_;
+  std::vector<double> target_bits_per_frame_;
+  VbvSoa vbv_;
+  BitPredictorSoa pred_key_;
+  BitPredictorSoa pred_delta_;
+
+  std::vector<double> cplxr_sum_;
+  std::vector<double> wanted_bits_window_;
+  std::vector<double> total_bits_;
+  std::vector<double> wanted_bits_;
+  std::vector<double> short_term_cplx_sum_;
+  std::vector<double> short_term_cplx_count_;
+  std::vector<double> last_qscale_;
+  std::vector<double> planned_rceq_;
+  bool has_last_time_ = false;
+  Timestamp last_time_ = Timestamp::MinusInfinity();
+
+  // Per-frame scratch (preallocated: the batched step is allocation-free).
+  std::vector<double> scratch_a_;
+  std::vector<double> scratch_b_;
+  std::vector<double> scratch_c_;
+  std::vector<double> scratch_gamma_;
+};
+
+/// N lanes of `RdModel`: the ground-truth encode (noisy actual bits) and the
+/// SSIM proxy, evaluated with batched kernels. Each lane owns its noise Rng,
+/// exactly like per-session RdModel instances.
+class RdModelSoa {
+ public:
+  RdModelSoa(const RdModelConfig& config, const std::vector<Rng>& lane_rngs);
+
+  /// Mirrors RdModel::ActualBits on every lane.
+  void ActualBitsLanes(const FrameType* types, const video::RawFrame* frames,
+                       const double* qscales, int64_t* bits_out);
+  /// Mirrors RdModel::Ssim on every lane.
+  void SsimLanes(const video::RawFrame* frames, const double* qscales,
+                 double* ssim_out);
+
+ private:
+  RdModelConfig config_;
+  std::vector<Rng> rngs_;
+  std::vector<double> scratch_a_;
+  std::vector<double> scratch_b_;
+  std::vector<double> scratch_gamma_;
+};
+
+}  // namespace rave::codec

@@ -433,12 +433,21 @@ int64_t SessionLogClock(const void* ctx) {
 }  // namespace
 
 SessionResult Session::Run() {
+  Start();
+  AdvanceUntil(end_time_);
+  return Finish();
+}
+
+void Session::Start() {
   // Route the subsystems' metric updates into this session's registry and
-  // tag this thread's log lines with the session's sim-time for the
-  // duration of the run. Both are thread-local, so parallel runners stay
-  // isolated (one session runs entirely on one worker thread).
+  // tag this thread's log lines with the session's sim-time while events
+  // run. Both are thread-local, so parallel runners stay isolated; the
+  // batched runner interleaves sessions on one worker, so each phase call
+  // installs the scopes locally instead of holding them across phases.
   obs::MetricsScope metrics_scope(&registry_);
   LogClockScope log_clock(&SessionLogClock, &loop_);
+
+  end_time_ = loop_.now() + config_.duration;
 
   if (cross_traffic_) cross_traffic_->Start();
   // First frame fires immediately; subsequent frames every interval.
@@ -447,14 +456,27 @@ SessionResult Session::Run() {
   if (config_.breaker.enabled) {
     watchdog_task_->StartWithDelay(config_.feedback_interval);
   }
+}
+
+void Session::AdvanceUntil(Timestamp until) {
+  obs::MetricsScope metrics_scope(&registry_);
+  LogClockScope log_clock(&SessionLogClock, &loop_);
 
   const AllocScope alloc_scope;
   const auto wall_start = std::chrono::steady_clock::now();
-  loop_.RunFor(config_.duration);
-  const auto wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                           std::chrono::steady_clock::now() - wall_start)
-                           .count();
-  const uint64_t run_allocs = alloc_scope.allocs();
+  loop_.RunUntil(std::min(until, end_time_));
+  wall_ns_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - wall_start)
+                  .count();
+  run_allocs_ += alloc_scope.allocs();
+}
+
+SessionResult Session::Finish() {
+  obs::MetricsScope metrics_scope(&registry_);
+  LogClockScope log_clock(&SessionLogClock, &loop_);
+
+  const int64_t wall_ns = wall_ns_;
+  const uint64_t run_allocs = run_allocs_;
 
   frame_task_->Stop();
   timeseries_task_->Stop();

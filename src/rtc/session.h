@@ -128,8 +128,24 @@ class Session {
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
-  /// Runs the full session and returns its results.
+  /// Runs the full session and returns its results. Equivalent to
+  /// Start() + AdvanceUntil(end_time()) + Finish().
   SessionResult Run();
+
+  /// Phase API for the lockstep batched runner: Start() arms the pipeline
+  /// tasks, AdvanceUntil() executes events up to a boundary (clamped to the
+  /// session's end), Finish() tears down and collects the results. Because
+  /// the event loop runs events in (fire-time, seq) order and RunUntil is
+  /// inclusive, any monotonic sequence of boundaries ending at end_time()
+  /// executes exactly the event sequence one Run() call executes — batched
+  /// interleaving cannot change results.
+  void Start();
+  void AdvanceUntil(Timestamp until);
+  SessionResult Finish();
+  /// Simulation time at which the session ends (valid after Start()).
+  Timestamp end_time() const { return end_time_; }
+  /// True once the loop has reached end_time().
+  bool done() const { return loop_.now() >= end_time_; }
 
   /// Access for tests that step the session manually.
   EventLoop& loop() { return loop_; }
@@ -209,6 +225,11 @@ class Session {
   std::unique_ptr<RepeatingTask> timeseries_task_;
   /// Feedback-starvation watchdog on the feedback cadence (circuit breaker).
   std::unique_ptr<RepeatingTask> watchdog_task_;
+
+  // Phase-split state (see Start/AdvanceUntil/Finish).
+  Timestamp end_time_ = Timestamp::PlusInfinity();
+  int64_t wall_ns_ = 0;
+  uint64_t run_allocs_ = 0;
 
   // Latest values for observations/timeseries.
   bool overuse_decrease_seen_ = false;

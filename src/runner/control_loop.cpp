@@ -1,0 +1,270 @@
+#include "runner/control_loop.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "cc/trendline_soa.h"
+#include "codec/soa.h"
+#include "util/rng.h"
+#include "util/units.h"
+#include "video/video_source.h"
+
+namespace rave::runner {
+namespace {
+
+/// Seed salt separating the R-D noise stream from the content stream.
+constexpr uint64_t kRdSeedSalt = 0x9e3779b97f4a7c15ULL;
+
+/// Over-use back-off applied to the encoder target while the lane's
+/// estimator reports kOverusing (stand-in for the AIMD decrease).
+constexpr double kOveruseBackoff = 0.85;
+
+uint64_t FnvMix(uint64_t h, uint64_t v) {
+  // FNV-1a over the value's 8 bytes.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t FnvMix(uint64_t h, double v) {
+  return FnvMix(h, std::bit_cast<uint64_t>(v));
+}
+
+/// One-packet-per-frame bottleneck: the frame is ready at send + base_delay
+/// and serializes at link rate behind the previous frame.
+struct LaneLink {
+  Timestamp last_send = Timestamp::Zero();
+  Timestamp last_depart = Timestamp::Zero();
+
+  /// Records frame 0 without emitting a delta (no predecessor).
+  void Prime(Timestamp send, int64_t bits, DataRate capacity,
+             TimeDelta base_delay) {
+    last_send = send;
+    last_depart = send + base_delay + DataSize::Bits(bits) / capacity;
+  }
+
+  cc::InterArrivalDelta Step(Timestamp send, int64_t bits, DataRate capacity,
+                             TimeDelta base_delay) {
+    const Timestamp ready = send + base_delay;
+    const Timestamp start = std::max(last_depart, ready);
+    const Timestamp depart = start + DataSize::Bits(bits) / capacity;
+    cc::InterArrivalDelta delta;
+    delta.send_delta = send - last_send;
+    delta.arrival_delta = depart - last_depart;
+    delta.arrival = depart;
+    last_send = send;
+    last_depart = depart;
+    return delta;
+  }
+};
+
+struct PerFrameSample {
+  double qp;
+  double qscale;
+  int64_t bits;
+  double ssim;
+  cc::BandwidthUsage state;
+  double threshold;
+};
+
+void Accumulate(ControlLaneResult& r, const PerFrameSample& s) {
+  r.digest = FnvMix(r.digest, s.qp);
+  r.digest = FnvMix(r.digest, s.qscale);
+  r.digest = FnvMix(r.digest, static_cast<uint64_t>(s.bits));
+  r.digest = FnvMix(r.digest, s.ssim);
+  r.digest = FnvMix(r.digest, static_cast<uint64_t>(s.state));
+  r.digest = FnvMix(r.digest, s.threshold);
+  ++r.frames;
+  r.total_bits += s.bits;
+  r.qp_sum += s.qp;
+  r.ssim_sum += s.ssim;
+  if (s.state == cc::BandwidthUsage::kOverusing) ++r.overuse_frames;
+}
+
+ControlLaneResult RunLaneScalar(const ControlLoopConfig& config,
+                                const ControlLaneSpec& spec) {
+  codec::AbrConfig abr_config = config.abr;
+  abr_config.fps = config.fps;
+
+  video::VideoSourceConfig source_config;
+  source_config.fps = config.fps;
+  source_config.content = spec.content;
+  source_config.seed = spec.seed;
+  video::VideoSource source(source_config);
+
+  codec::AbrRateControl rc(abr_config);
+  codec::RdModel rd(config.rd, Rng(spec.seed ^ kRdSeedSalt));
+  cc::TrendlineEstimator trendline(config.trendline);
+  net::CapacityTrace::Cursor cursor(*spec.trace);
+  LaneLink link;
+  cc::BandwidthUsage state = cc::BandwidthUsage::kNormal;
+
+  const TimeDelta interval = source.frame_interval();
+  const int64_t frames = config.duration.us() / interval.us();
+  ControlLaneResult result;
+  result.digest = 0xcbf29ce484222325ULL;
+
+  for (int64_t f = 0; f < frames; ++f) {
+    const Timestamp now = Timestamp::Micros(f * interval.us());
+    const video::RawFrame frame = source.CaptureFrame(now);
+
+    const DataRate capacity = cursor.RateAt(now);
+    DataRate target = capacity;
+    if (state == cc::BandwidthUsage::kOverusing) {
+      target = target * kOveruseBackoff;
+    }
+    rc.SetTargetRate(target);
+
+    const codec::FrameType type = (f == 0 || frame.scene_change)
+                                      ? codec::FrameType::kKey
+                                      : codec::FrameType::kDelta;
+    const codec::FrameGuidance guidance = rc.PlanFrame(frame, type, now);
+    // The encoder's qp -> qscale round-trip (Encoder::EncodeFrame).
+    const double qp = std::clamp(guidance.qp, codec::kMinQp, codec::kMaxQp);
+    const double qscale = codec::QpToQscale(qp);
+
+    const int64_t bits = rd.ActualBits(type, frame, qscale).bits();
+    const double ssim = rd.Ssim(frame, qscale);
+
+    codec::FrameOutcome outcome;
+    outcome.frame_id = f;
+    outcome.type = type;
+    outcome.qp = qp;
+    outcome.qscale = qscale;
+    outcome.size = DataSize::Bits(bits);
+    const double pixels = static_cast<double>(frame.resolution.pixels());
+    outcome.complexity_term = type == codec::FrameType::kKey
+                                  ? pixels * frame.spatial_complexity
+                                  : pixels * frame.temporal_complexity;
+    outcome.capture_time = now;
+    rc.OnFrameEncoded(outcome, now);
+
+    if (f == 0) {
+      link.Prime(now, bits, capacity, config.base_delay);
+    } else {
+      state = trendline.OnDelta(
+          link.Step(now, bits, capacity, config.base_delay));
+    }
+    Accumulate(result, {qp, qscale, bits, ssim, state,
+                        trendline.threshold()});
+  }
+  return result;
+}
+
+void RunGroupBatched(const ControlLoopConfig& config,
+                     const ControlLaneSpec* specs, size_t n,
+                     ControlLaneResult* results) {
+  codec::AbrConfig abr_config = config.abr;
+  abr_config.fps = config.fps;
+
+  std::vector<video::VideoSource> sources;
+  std::vector<net::CapacityTrace::Cursor> cursors;
+  std::vector<Rng> rd_rngs;
+  sources.reserve(n);
+  cursors.reserve(n);
+  rd_rngs.reserve(n);
+  for (size_t l = 0; l < n; ++l) {
+    video::VideoSourceConfig source_config;
+    source_config.fps = config.fps;
+    source_config.content = specs[l].content;
+    source_config.seed = specs[l].seed;
+    sources.emplace_back(source_config);
+    cursors.emplace_back(*specs[l].trace);
+    rd_rngs.emplace_back(Rng(specs[l].seed ^ kRdSeedSalt));
+  }
+
+  codec::AbrSoa abr(abr_config, n);
+  codec::RdModelSoa rd(config.rd, rd_rngs);
+  cc::TrendlineSoa trendline(config.trendline, n);
+  std::vector<LaneLink> links(n);
+  std::vector<cc::BandwidthUsage> states(n, cc::BandwidthUsage::kNormal);
+
+  std::vector<video::RawFrame> frames(n);
+  std::vector<codec::FrameType> types(n);
+  std::vector<double> cplx(n), qp(n), qscale(n), ssim(n);
+  std::vector<int64_t> bits(n);
+  std::vector<DataRate> capacities(n);
+  std::vector<cc::InterArrivalDelta> deltas(n);
+
+  const TimeDelta interval = sources[0].frame_interval();
+  const int64_t frame_count = config.duration.us() / interval.us();
+  for (size_t l = 0; l < n; ++l) {
+    results[l] = ControlLaneResult{};
+    results[l].digest = 0xcbf29ce484222325ULL;
+  }
+
+  for (int64_t f = 0; f < frame_count; ++f) {
+    const Timestamp now = Timestamp::Micros(f * interval.us());
+    for (size_t l = 0; l < n; ++l) {
+      frames[l] = sources[l].CaptureFrame(now);
+      capacities[l] = cursors[l].RateAt(now);
+      DataRate target = capacities[l];
+      if (states[l] == cc::BandwidthUsage::kOverusing) {
+        target = target * kOveruseBackoff;
+      }
+      abr.SetTargetRateLane(l, target);
+      types[l] = (f == 0 || frames[l].scene_change)
+                     ? codec::FrameType::kKey
+                     : codec::FrameType::kDelta;
+      const double pixels =
+          static_cast<double>(frames[l].resolution.pixels());
+      cplx[l] = types[l] == codec::FrameType::kKey
+                    ? pixels * frames[l].spatial_complexity
+                    : pixels * frames[l].temporal_complexity;
+    }
+
+    abr.PlanFrames(types.data(), cplx.data(), now, qp.data());
+    for (size_t l = 0; l < n; ++l) {
+      qp[l] = std::clamp(qp[l], codec::kMinQp, codec::kMaxQp);
+    }
+    codec::QpToQscaleLanes(qp.data(), qscale.data(), n);
+
+    rd.ActualBitsLanes(types.data(), frames.data(), qscale.data(),
+                       bits.data());
+    rd.SsimLanes(frames.data(), qscale.data(), ssim.data());
+    abr.OnFramesEncoded(types.data(), cplx.data(), qscale.data(), bits.data(),
+                        now);
+
+    if (f == 0) {
+      for (size_t l = 0; l < n; ++l) {
+        links[l].Prime(now, bits[l], capacities[l], config.base_delay);
+      }
+    } else {
+      for (size_t l = 0; l < n; ++l) {
+        deltas[l] =
+            links[l].Step(now, bits[l], capacities[l], config.base_delay);
+      }
+      trendline.OnDeltas(deltas.data(), states.data());
+    }
+    for (size_t l = 0; l < n; ++l) {
+      Accumulate(results[l], {qp[l], qscale[l], bits[l], ssim[l], states[l],
+                              trendline.threshold(l)});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<ControlLaneResult> RunControlLoop(const ControlLoopConfig& config,
+                                              int batch) {
+  assert(config.fps > 0);
+  std::vector<ControlLaneResult> results(config.lanes.size());
+  if (batch <= 1) {
+    for (size_t l = 0; l < config.lanes.size(); ++l) {
+      results[l] = RunLaneScalar(config, config.lanes[l]);
+    }
+    return results;
+  }
+  const size_t stride = static_cast<size_t>(batch);
+  for (size_t begin = 0; begin < config.lanes.size(); begin += stride) {
+    const size_t n = std::min(stride, config.lanes.size() - begin);
+    RunGroupBatched(config, config.lanes.data() + begin, n,
+                    results.data() + begin);
+  }
+  return results;
+}
+
+}  // namespace rave::runner

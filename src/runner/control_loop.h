@@ -1,0 +1,75 @@
+// Per-frame control-loop stepper, scalar vs batched.
+//
+// One "lane" is the per-frame hot path of a session distilled to the parts
+// that dominate its math: capture (content model), x264-ABR rate control,
+// the ground-truth R-D encode, and the trendline over-use estimator fed by a
+// synthetic one-packet-per-frame bottleneck. The stepper runs N lanes for a
+// fixed duration in two interchangeable ways:
+//
+//   * batch == 1 — the per-session path: each lane runs to completion with
+//     the real components (`AbrRateControl`, `RdModel`,
+//     `TrendlineEstimator`), exactly as a `Session` steps them.
+//   * batch == B — lanes advance frame-by-frame in lockstep over the SoA
+//     state blocks (`AbrSoa`, `RdModelSoa`, `TrendlineSoa`), with the
+//     transcendental math evaluated as batched simd kernels across lanes.
+//
+// Both produce bit-identical per-lane trajectories (the digest covers every
+// per-frame QP, qscale, frame size, SSIM and estimator state), which
+// `runner_control_loop_test` asserts and the tab4 batch-sweep section
+// re-checks before reporting throughput.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cc/trendline.h"
+#include "codec/abr_rate_control.h"
+#include "codec/rd_model.h"
+#include "net/capacity_trace.h"
+#include "util/interned.h"
+#include "util/time.h"
+#include "video/content_model.h"
+
+namespace rave::runner {
+
+/// One lane of the control-loop matrix.
+struct ControlLaneSpec {
+  video::ContentClass content = video::ContentClass::kTalkingHead;
+  uint64_t seed = 1;
+  /// Link capacity over time; also the encoder target (modulated by the
+  /// lane's own over-use signal).
+  Interned<net::CapacityTrace> trace;
+};
+
+struct ControlLoopConfig {
+  double fps = 30.0;
+  TimeDelta duration = TimeDelta::Seconds(30);
+  /// One-way base delay of the synthetic bottleneck.
+  TimeDelta base_delay = TimeDelta::Millis(25);
+  codec::AbrConfig abr;
+  codec::RdModelConfig rd;
+  cc::TrendlineEstimator::Config trendline;
+  std::vector<ControlLaneSpec> lanes;
+};
+
+/// Per-lane trajectory summary. `digest` is an FNV-1a hash over every
+/// per-frame (qp, qscale, bits, ssim, estimator state, threshold) tuple, so
+/// equality means the full trajectory matched bit for bit.
+struct ControlLaneResult {
+  uint64_t digest = 0;
+  int64_t frames = 0;
+  int64_t total_bits = 0;
+  double qp_sum = 0.0;
+  double ssim_sum = 0.0;
+  int64_t overuse_frames = 0;
+
+  bool operator==(const ControlLaneResult&) const = default;
+};
+
+/// Runs every lane for the configured duration. `batch <= 1` selects the
+/// per-session scalar path; otherwise lanes run in lockstep groups of
+/// `batch` over the SoA blocks. Results are independent of `batch`.
+std::vector<ControlLaneResult> RunControlLoop(const ControlLoopConfig& config,
+                                              int batch);
+
+}  // namespace rave::runner

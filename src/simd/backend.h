@@ -1,0 +1,20 @@
+// Internal entry points of the AVX2 backend (vmath_avx2.cpp, compiled with
+// -mavx2). Only present when the build has RAVE_SIMD=ON; dispatchers guard
+// every call with the same preprocessor condition.
+#pragma once
+
+#include <cstddef>
+
+namespace rave::simd::internal {
+
+#if RAVE_SIMD_AVX2
+void Exp2Avx2(const double* x, double* out, size_t n);
+void Log2Avx2(const double* x, double* out, size_t n);
+void ExpAvx2(const double* x, double* out, size_t n);
+void PowAvx2(const double* x, const double* y, double* out, size_t n);
+void PowScalarExpAvx2(const double* x, double y, double* out, size_t n);
+void FitSlopeLanesAvx2(const double* xs, const double* ys, size_t window,
+                       size_t stride, size_t lanes, double* out);
+#endif
+
+}  // namespace rave::simd::internal

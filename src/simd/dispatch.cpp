@@ -1,0 +1,85 @@
+#include "simd/dispatch.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace rave::simd {
+namespace {
+
+Level Detect() {
+#if RAVE_SIMD_AVX2
+  // The backend needs 256-bit float ops plus AVX2 integer ops (exponent
+  // manipulation); AVX2 implies both. FMA is deliberately not used.
+  if (__builtin_cpu_supports("avx2")) {
+    return Level::kAvx2;
+  }
+#endif
+  return Level::kScalar;
+}
+
+Level InitialLevel() {
+  const Level detected = Detect();
+  if (const char* env = std::getenv("RAVE_SIMD")) {
+    Level parsed;
+    if (ParseLevel(env, &parsed) && parsed == Level::kScalar) {
+      return Level::kScalar;
+    }
+  }
+  return detected;
+}
+
+std::atomic<Level>& Slot() {
+  static std::atomic<Level> level{InitialLevel()};
+  return level;
+}
+
+}  // namespace
+
+bool Avx2CompiledIn() {
+#if RAVE_SIMD_AVX2
+  return true;
+#else
+  return false;
+#endif
+}
+
+Level DetectedLevel() { return Detect(); }
+
+Level ActiveLevel() { return Slot().load(std::memory_order_relaxed); }
+
+Level SetLevel(Level level) {
+  if (level == Level::kAvx2 && DetectedLevel() != Level::kAvx2) {
+    level = Level::kScalar;
+  }
+  Slot().store(level, std::memory_order_relaxed);
+  return level;
+}
+
+bool ParseLevel(const char* text, Level* out) {
+  if (text == nullptr) return false;
+  char lower[16];
+  size_t n = std::strlen(text);
+  if (n == 0 || n >= sizeof(lower)) return false;
+  for (size_t i = 0; i < n; ++i) {
+    lower[i] = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(text[i])));
+  }
+  lower[n] = '\0';
+  if (std::strcmp(lower, "off") == 0 || std::strcmp(lower, "scalar") == 0) {
+    *out = Level::kScalar;
+    return true;
+  }
+  if (std::strcmp(lower, "auto") == 0 || std::strcmp(lower, "avx2") == 0) {
+    *out = Level::kAvx2;
+    return true;
+  }
+  return false;
+}
+
+const char* ToString(Level level) {
+  return level == Level::kAvx2 ? "avx2" : "scalar";
+}
+
+}  // namespace rave::simd

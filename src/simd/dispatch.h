@@ -1,0 +1,36 @@
+// Runtime SIMD dispatch for the batched kernels in rave::simd.
+//
+// The level is resolved once on first use — CPUID probe, clamped by the
+// RAVE_SIMD environment variable ("off"/"scalar" force the reference
+// backend; "auto"/"avx2" accept the probe) — and cached. SetLevel() exists
+// for tools and tests (--simd=scalar) that flip the backend per process.
+//
+// Whatever the level, every kernel produces bit-identical results (see
+// vmath.h); dispatch is purely a speed choice, which is what makes it safe
+// to decide per process without perturbing a single simulation output.
+#pragma once
+
+namespace rave::simd {
+
+enum class Level { kScalar = 0, kAvx2 = 1 };
+
+/// True when the AVX2 backend was compiled in (cmake -DRAVE_SIMD=ON).
+bool Avx2CompiledIn();
+
+/// Best level supported by this build AND this CPU. Ignores overrides.
+Level DetectedLevel();
+
+/// Level the kernels currently dispatch to.
+Level ActiveLevel();
+
+/// Overrides the active level, clamped to DetectedLevel() (asking for AVX2
+/// on a scalar-only build/CPU installs scalar). Returns what was installed.
+Level SetLevel(Level level);
+
+/// Parses "off" / "scalar" (→ kScalar) or "auto" / "avx2" (→ kAvx2),
+/// case-insensitive. Returns false on anything else.
+bool ParseLevel(const char* text, Level* out);
+
+const char* ToString(Level level);
+
+}  // namespace rave::simd

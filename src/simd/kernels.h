@@ -1,0 +1,23 @@
+// Batched domain kernels for the SoA session stepper. Same bit-identity
+// contract as vmath.h: every kernel is element-wise per lane and every
+// backend runs the identical operation sequence, so results match the
+// scalar reference bit-for-bit at any SIMD level.
+#pragma once
+
+#include <cstddef>
+
+namespace rave::simd {
+
+/// Ordinary-least-squares slope of y over x: two passes (sums, then
+/// mean-centered products), plain mul/add, 0.0 when the denominator is
+/// degenerate — the exact operation sequence of
+/// TrendlineEstimator::LinearFitSlope, which delegates here.
+double FitSlope(const double* x, const double* y, size_t n);
+
+/// FitSlope across `lanes` independent series stored index-major: element
+/// (i, lane) lives at [i * stride + lane]. out[lane] is bit-identical to
+/// FitSlope over lane's series.
+void FitSlopeLanes(const double* xs, const double* ys, size_t window,
+                   size_t stride, size_t lanes, double* out);
+
+}  // namespace rave::simd

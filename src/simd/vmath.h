@@ -1,0 +1,43 @@
+// Batched transcendental kernels with a strict bit-identity contract.
+//
+// Every kernel is element-wise — out[i] depends only on the inputs at lane
+// i — and every backend executes the same IEEE-754 operation sequence per
+// lane, so scalar and AVX2 results are bit-identical (simd_vmath_test
+// verifies this exhaustively, denormals and specials included). That
+// contract is what lets the batched session stepper mix vector kernels with
+// per-lane scalar fallbacks (divergent branches, tail lanes, batch=1)
+// without perturbing a single session trajectory.
+//
+// Accuracy: within a few ulp of correctly rounded across the simulator's
+// domain. These are NOT libm — results may differ from std::pow/exp/log2 in
+// the last ulps, identically on every platform and at every SIMD level.
+// Pow(x, y) returns NaN for x < 0 (the simulator has no negative bases).
+//
+// The kernels assume the default FP environment (round-to-nearest-even,
+// no denormal flushing); nothing in the simulator changes it.
+#pragma once
+
+#include <cstddef>
+
+namespace rave::simd {
+
+/// out[i] = 2^x[i]
+void Exp2(const double* x, double* out, size_t n);
+/// out[i] = log2(x[i])
+void Log2(const double* x, double* out, size_t n);
+/// out[i] = e^x[i]
+void Exp(const double* x, double* out, size_t n);
+/// out[i] = x[i]^y[i] (NaN for negative bases)
+void Pow(const double* x, const double* y, double* out, size_t n);
+/// out[i] = x[i]^y — bitwise the same lanes as Pow with y broadcast.
+void PowScalarExp(const double* x, double y, double* out, size_t n);
+
+/// Single-value forms. Always the scalar reference kernel, out-of-line, so
+/// every call site in every TU (whatever its optimization or contraction
+/// flags) computes identical bits — and identical to the batched kernels.
+double Exp2S(double x);
+double Log2S(double x);
+double ExpS(double x);
+double PowS(double x, double y);
+
+}  // namespace rave::simd

@@ -1,0 +1,227 @@
+// AVX2 backend. Every vector body mirrors its scalar reference in
+// vmath_detail.h operation-for-operation (mul for mul, add for add, same
+// rounding trick, same polynomial order), so fast-path lanes are bitwise
+// equal to the scalar kernel; lanes that fail a fast-path predicate
+// (specials, overflow, denormals) are recomputed with the scalar reference
+// itself. No FMA anywhere — the scalar reference can't use it on baseline
+// x86-64, and bit-identity beats the last bit of throughput here.
+//
+// This TU is compiled with -mavx2 -ffp-contract=off and must contain no
+// code reachable before dispatch (see backend.h).
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "simd/backend.h"
+#include "simd/kernels_detail.h"
+#include "simd/vmath_detail.h"
+
+namespace rave::simd::internal {
+namespace {
+
+/// 2^x for four lanes. `ok` lanes hold the exact Exp2Ref fast-path value;
+/// other lanes are garbage the caller must replace with Exp2Ref.
+inline __m256d Exp2Body(__m256d x, __m256d* ok) {
+  const __m256d bias = _mm256_set1_pd(detail::kRoundBias);
+  const __m256d biased = _mm256_add_pd(x, bias);
+  const __m256d kd = _mm256_sub_pd(biased, bias);
+  const __m256d r = _mm256_sub_pd(x, kd);
+  __m256d p = _mm256_set1_pd(detail::kExp2C[12]);
+  for (int i = 11; i >= 0; --i) {
+    p = _mm256_add_pd(_mm256_mul_pd(p, r), _mm256_set1_pd(detail::kExp2C[i]));
+  }
+  // Fast lanes: k in [-1021, 1023], i.e. 2^k is a normal double and the
+  // round-bias bit trick below is valid. NaN/inf lanes fail both compares.
+  *ok = _mm256_and_pd(
+      _mm256_cmp_pd(kd, _mm256_set1_pd(-1021.0), _CMP_GE_OQ),
+      _mm256_cmp_pd(kd, _mm256_set1_pd(1023.0), _CMP_LE_OQ));
+  const __m256i k = _mm256_sub_epi64(_mm256_castpd_si256(biased),
+                                     _mm256_set1_epi64x(detail::kRoundBiasBits));
+  const __m256i ke = _mm256_add_epi64(k, _mm256_set1_epi64x(1023));
+  const __m256d scale = _mm256_castsi256_pd(_mm256_slli_epi64(ke, 52));
+  return _mm256_mul_pd(p, scale);
+}
+
+/// log2(x) for four lanes; `ok` lanes (positive, normal, finite x) hold the
+/// exact Log2Ref fast-path value.
+inline __m256d Log2Body(__m256d x, __m256d* ok) {
+  const __m256i bits = _mm256_castpd_si256(x);
+  const __m256i expf = _mm256_and_si256(_mm256_srli_epi64(bits, 52),
+                                        _mm256_set1_epi64x(0x7FF));
+  const __m256i special = _mm256_or_si256(
+      _mm256_cmpeq_epi64(expf, _mm256_setzero_si256()),
+      _mm256_cmpeq_epi64(expf, _mm256_set1_epi64x(0x7FF)));
+  *ok = _mm256_andnot_pd(_mm256_castsi256_pd(special),
+                         _mm256_cmp_pd(x, _mm256_setzero_pd(), _CMP_GT_OQ));
+  // e = expf - 1023 via the 2^52 magic bias (exact; matches the scalar
+  // integer cast bit-for-bit).
+  __m256d e = _mm256_sub_pd(
+      _mm256_castsi256_pd(
+          _mm256_or_si256(expf, _mm256_set1_epi64x(detail::kExpMagicBits))),
+      _mm256_set1_pd(detail::kExpMagicSub));
+  __m256d m = _mm256_castsi256_pd(_mm256_or_si256(
+      _mm256_and_si256(bits,
+                       _mm256_set1_epi64x(static_cast<int64_t>(
+                           detail::kMantissaMask))),
+      _mm256_set1_epi64x(static_cast<int64_t>(detail::kOneBits))));
+  const __m256d big =
+      _mm256_cmp_pd(m, _mm256_set1_pd(detail::kSqrt2), _CMP_GE_OQ);
+  m = _mm256_blendv_pd(m, _mm256_mul_pd(m, _mm256_set1_pd(0.5)), big);
+  e = _mm256_add_pd(e, _mm256_and_pd(big, _mm256_set1_pd(1.0)));
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d s =
+      _mm256_div_pd(_mm256_sub_pd(m, one), _mm256_add_pd(m, one));
+  const __m256d z = _mm256_mul_pd(s, s);
+  __m256d p = _mm256_set1_pd(detail::kLog2C[10]);
+  for (int i = 9; i >= 0; --i) {
+    p = _mm256_add_pd(_mm256_mul_pd(p, z), _mm256_set1_pd(detail::kLog2C[i]));
+  }
+  return _mm256_add_pd(_mm256_mul_pd(s, p), e);
+}
+
+inline unsigned SlowMask(__m256d ok) {
+  return static_cast<unsigned>(_mm256_movemask_pd(ok)) ^ 0xFu;
+}
+
+/// Finite-y mask: |y| ordered-and-not-inf (NaN and ±inf lanes fail).
+inline __m256d FiniteMask(__m256d y) {
+  const __m256d absmask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7FFFFFFFFFFFFFFFll));
+  return _mm256_cmp_pd(
+      _mm256_and_pd(y, absmask),
+      _mm256_set1_pd(std::numeric_limits<double>::infinity()), _CMP_NEQ_OQ);
+}
+
+/// Shared Pow loop body: fast lanes are exp2(log2(x)*y) exactly as PowRef
+/// computes them; y==0 / x==1 / x<0 / special lanes all fail a predicate
+/// (or produce the identical bits — see PowRef) and go scalar.
+inline void PowStore(__m256d vx, __m256d vy, const double* x, const double* y,
+                     double* out, size_t i, bool broadcast_y,
+                     double y_scalar) {
+  __m256d okl;
+  __m256d oke;
+  const __m256d l = Log2Body(vx, &okl);
+  const __m256d t = _mm256_mul_pd(l, vy);
+  const __m256d r = Exp2Body(t, &oke);
+  const __m256d ok =
+      _mm256_and_pd(_mm256_and_pd(okl, oke), FiniteMask(vy));
+  _mm256_storeu_pd(out + i, r);
+  const unsigned slow = SlowMask(ok);
+  if (slow) [[unlikely]] {
+    for (int lane = 0; lane < 4; ++lane) {
+      if (slow & (1u << lane)) {
+        out[i + lane] = detail::PowRef(
+            x[i + lane], broadcast_y ? y_scalar : y[i + lane]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void Exp2Avx2(const double* x, double* out, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d ok;
+    const __m256d r = Exp2Body(_mm256_loadu_pd(x + i), &ok);
+    _mm256_storeu_pd(out + i, r);
+    const unsigned slow = SlowMask(ok);
+    if (slow) [[unlikely]] {
+      for (int lane = 0; lane < 4; ++lane) {
+        if (slow & (1u << lane)) out[i + lane] = detail::Exp2Ref(x[i + lane]);
+      }
+    }
+  }
+  for (; i < n; ++i) out[i] = detail::Exp2Ref(x[i]);
+}
+
+void Log2Avx2(const double* x, double* out, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d ok;
+    const __m256d r = Log2Body(_mm256_loadu_pd(x + i), &ok);
+    _mm256_storeu_pd(out + i, r);
+    const unsigned slow = SlowMask(ok);
+    if (slow) [[unlikely]] {
+      for (int lane = 0; lane < 4; ++lane) {
+        if (slow & (1u << lane)) out[i + lane] = detail::Log2Ref(x[i + lane]);
+      }
+    }
+  }
+  for (; i < n; ++i) out[i] = detail::Log2Ref(x[i]);
+}
+
+void ExpAvx2(const double* x, double* out, size_t n) {
+  const __m256d log2e = _mm256_set1_pd(detail::kLog2E);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d ok;
+    const __m256d t = _mm256_mul_pd(_mm256_loadu_pd(x + i), log2e);
+    const __m256d r = Exp2Body(t, &ok);
+    _mm256_storeu_pd(out + i, r);
+    const unsigned slow = SlowMask(ok);
+    if (slow) [[unlikely]] {
+      for (int lane = 0; lane < 4; ++lane) {
+        if (slow & (1u << lane)) out[i + lane] = detail::ExpRef(x[i + lane]);
+      }
+    }
+  }
+  for (; i < n; ++i) out[i] = detail::ExpRef(x[i]);
+}
+
+void PowAvx2(const double* x, const double* y, double* out, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    PowStore(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i), x, y, out, i,
+             /*broadcast_y=*/false, 0.0);
+  }
+  for (; i < n; ++i) out[i] = detail::PowRef(x[i], y[i]);
+}
+
+void PowScalarExpAvx2(const double* x, double y, double* out, size_t n) {
+  const __m256d vy = _mm256_set1_pd(y);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    PowStore(_mm256_loadu_pd(x + i), vy, x, nullptr, out, i,
+             /*broadcast_y=*/true, y);
+  }
+  for (; i < n; ++i) out[i] = detail::PowRef(x[i], y);
+}
+
+void FitSlopeLanesAvx2(const double* xs, const double* ys, size_t window,
+                       size_t stride, size_t lanes, double* out) {
+  const __m256d count = _mm256_set1_pd(static_cast<double>(window));
+  size_t lane = 0;
+  for (; lane + 4 <= lanes; lane += 4) {
+    __m256d sum_x = _mm256_setzero_pd();
+    __m256d sum_y = _mm256_setzero_pd();
+    for (size_t i = 0; i < window; ++i) {
+      sum_x = _mm256_add_pd(sum_x, _mm256_loadu_pd(xs + i * stride + lane));
+      sum_y = _mm256_add_pd(sum_y, _mm256_loadu_pd(ys + i * stride + lane));
+    }
+    const __m256d mean_x = _mm256_div_pd(sum_x, count);
+    const __m256d mean_y = _mm256_div_pd(sum_y, count);
+    __m256d num = _mm256_setzero_pd();
+    __m256d den = _mm256_setzero_pd();
+    for (size_t i = 0; i < window; ++i) {
+      const __m256d dx =
+          _mm256_sub_pd(_mm256_loadu_pd(xs + i * stride + lane), mean_x);
+      const __m256d dy =
+          _mm256_sub_pd(_mm256_loadu_pd(ys + i * stride + lane), mean_y);
+      num = _mm256_add_pd(num, _mm256_mul_pd(dx, dy));
+      den = _mm256_add_pd(den, _mm256_mul_pd(dx, dx));
+    }
+    // slope = den > 0 ? num/den : 0 — masking the quotient zeroes the
+    // degenerate lanes exactly like the scalar branch.
+    const __m256d pos = _mm256_cmp_pd(den, _mm256_setzero_pd(), _CMP_GT_OQ);
+    _mm256_storeu_pd(out + lane,
+                     _mm256_and_pd(_mm256_div_pd(num, den), pos));
+  }
+  for (; lane < lanes; ++lane) {
+    out[lane] = detail::FitSlopeStrided(xs + lane, ys + lane, window, stride);
+  }
+}
+
+}  // namespace rave::simd::internal

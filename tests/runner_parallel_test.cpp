@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common.h"
@@ -236,6 +237,71 @@ TEST(ParallelRunnerTest, CacheBackedRunMatchesUncached) {
     ExpectSameSummary(uncached[i].summary, warm[i].summary);
     ExpectSameFrames(uncached[i].frames, warm[i].frames);
     ExpectSameLinkStats(uncached[i].link_stats, warm[i].link_stats);
+  }
+}
+
+// --- lockstep batched runs ---
+
+// Batched lockstep execution (Session Start/AdvanceUntil/Finish over shared
+// time quanta) must be invisible: any batch size, at any job count, must
+// reproduce the per-session path bit for bit.
+TEST(ParallelRunnerTest, BatchedMatchesPerSession) {
+  const TimeDelta duration = TimeDelta::Seconds(6);
+  std::vector<rtc::SessionConfig> configs;
+  for (const auto& [name, trace] : bench::TraceSuite(duration)) {
+    configs.push_back(bench::DefaultConfig(
+        rtc::Scheme::kAdaptive, trace, video::ContentClass::kTalkingHead,
+        duration, 7));
+  }
+
+  const auto serial = runner::RunSessions(configs, /*jobs=*/1);
+  for (const auto [jobs, batch] : {std::pair{1, 4}, {2, 4}, {1, 16}}) {
+    SCOPED_TRACE("jobs " + std::to_string(jobs) + " batch " +
+                 std::to_string(batch));
+    const auto batched =
+        runner::RunSessions(configs, jobs, /*cache=*/nullptr, batch);
+    ASSERT_EQ(batched.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      SCOPED_TRACE("config " + std::to_string(i));
+      EXPECT_EQ(serial[i].events_executed, batched[i].events_executed);
+      ExpectSameSummary(serial[i].summary, batched[i].summary);
+      ExpectSameFrames(serial[i].frames, batched[i].frames);
+      ExpectSameLinkStats(serial[i].link_stats, batched[i].link_stats);
+      ASSERT_EQ(serial[i].timeseries.size(), batched[i].timeseries.size());
+    }
+  }
+}
+
+// Batched runs share the cache with per-session runs: a batched cold pass
+// fills it, and both batched and per-session warm passes serve from it.
+TEST(ParallelRunnerTest, BatchedRunsShareTheCache) {
+  std::vector<rtc::SessionConfig> configs;
+  for (rtc::Scheme scheme : rtc::kHeadlineSchemes) {
+    for (uint64_t seed : {1, 2, 3}) {
+      configs.push_back(bench::DefaultConfig(
+          scheme, bench::DropTrace(0.5), video::ContentClass::kTalkingHead,
+          TimeDelta::Seconds(4), seed));
+    }
+  }
+
+  runner::ResultCache cache;
+  const auto cold =
+      runner::RunSessions(configs, /*jobs=*/2, &cache, /*batch=*/4);
+  EXPECT_EQ(cache.stats().computes, configs.size());
+  const auto warm_batched =
+      runner::RunSessions(configs, /*jobs=*/2, &cache, /*batch=*/4);
+  EXPECT_EQ(cache.stats().computes, configs.size());  // nothing recomputed
+  EXPECT_EQ(cache.stats().memory_hits, configs.size());
+  const auto warm_serial = runner::RunSessions(configs, /*jobs=*/1, &cache);
+  EXPECT_EQ(cache.stats().computes, configs.size());
+
+  for (size_t i = 0; i < configs.size(); ++i) {
+    SCOPED_TRACE("config " + std::to_string(i));
+    EXPECT_EQ(cold[i].events_executed, warm_batched[i].events_executed);
+    EXPECT_EQ(cold[i].events_executed, warm_serial[i].events_executed);
+    ExpectSameSummary(cold[i].summary, warm_batched[i].summary);
+    ExpectSameSummary(cold[i].summary, warm_serial[i].summary);
+    ExpectSameFrames(cold[i].frames, warm_batched[i].frames);
   }
 }
 

@@ -1,0 +1,40 @@
+# Scalar-only build gate: configures a nested Release build with the AVX2
+# backend compiled out entirely (-DRAVE_SIMD=OFF), builds the kernel and
+# control-loop bit-identity tests there and runs them — proving the
+# scalar-only configuration compiles, dispatches to the reference backend,
+# and still reproduces the batched trajectories exactly. Invoked by ctest
+# (see tests/CMakeLists.txt):
+#
+#   cmake -DSRC=<source-dir> -DOUT=<scratch-build-dir>
+#         -P simd_scalar_build.cmake
+if(NOT DEFINED SRC OR NOT DEFINED OUT)
+  message(FATAL_ERROR "simd_scalar_build.cmake needs -DSRC and -DOUT")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -B ${OUT} -S ${SRC}
+          -DCMAKE_BUILD_TYPE=Release
+          -DRAVE_SIMD=OFF
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "nested RAVE_SIMD=OFF configure failed (rc=${rc})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${OUT}
+          --target simd_vmath_test runner_control_loop_test
+          --parallel
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "nested RAVE_SIMD=OFF build failed (rc=${rc})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_CTEST_COMMAND} --test-dir ${OUT}
+          -R "^(simd_vmath_test|runner_control_loop_test)$"
+          --output-on-failure
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "bit-identity tests failed in the RAVE_SIMD=OFF build (rc=${rc})")
+endif()

@@ -1,0 +1,361 @@
+// Kernel-equivalence tests for src/simd (satellite of the batched-stepper
+// PR): each batched kernel must match its scalar reference bit-for-bit over
+// large randomized inputs — denormals, specials and fast/slow boundary
+// values included — at every compiled-in SIMD level, and the scalar
+// reference must stay within a few ulp of libm over the simulator's domain.
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "simd/dispatch.h"
+#include "simd/kernels.h"
+#include "simd/vmath.h"
+#include "util/rng.h"
+
+namespace rave::simd {
+namespace {
+
+constexpr size_t kRandomCount = 10000;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kDenormMin = std::numeric_limits<double>::denorm_min();
+
+/// Restores the dispatch level on scope exit so a failing test cannot
+/// poison the level for the rest of the suite.
+class ScopedLevel {
+ public:
+  explicit ScopedLevel(Level level) : saved_(ActiveLevel()) { SetLevel(level); }
+  ~ScopedLevel() { SetLevel(saved_); }
+
+ private:
+  Level saved_;
+};
+
+/// Edge inputs every unary kernel must handle: specials, denormals, and
+/// values straddling each fast-path boundary.
+std::vector<double> EdgeInputs() {
+  return {
+      0.0,      -0.0,      1.0,        -1.0,      kInf,     -kInf,
+      kNan,     kDenormMin, -kDenormMin, 2.2e-308, -2.2e-308,
+      1.5e-308,  // denormal-adjacent normal
+      0x1p-1022, 0x1p-1021, 0x1p-1074,
+      1023.0,   1023.5,    1024.0,     1024.5,    -1021.0,  -1021.5,
+      -1022.0,  -1074.0,   -1075.0,    -1075.5,   -1076.0,
+      std::sqrt(2.0), std::nextafter(std::sqrt(2.0), 0.0),
+      std::numeric_limits<double>::max(), std::numeric_limits<double>::min(),
+      0.5,      2.0,       1e-30,      1e30,      0.9999999999999999,
+      1.0000000000000002,
+  };
+}
+
+/// Random positive values log-uniform across the full normal range plus a
+/// slice of the denormals.
+std::vector<double> RandomPositive(uint64_t seed, size_t count) {
+  Rng rng(seed);
+  std::vector<double> v;
+  v.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (i % 97 == 0) {
+      // Random denormal.
+      v.push_back(std::bit_cast<double>(
+          static_cast<uint64_t>(rng.Next() & 0xFFFFFFFFFFFFFull)));
+    } else {
+      v.push_back(std::exp2(rng.NextDouble() * 2040.0 - 1020.0));
+    }
+  }
+  return v;
+}
+
+/// Random exponents spanning the interesting exp2 range (incl. overflow
+/// and underflow tails).
+std::vector<double> RandomExponents(uint64_t seed, size_t count) {
+  Rng rng(seed);
+  std::vector<double> v;
+  v.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    v.push_back(rng.NextDouble() * 2400.0 - 1200.0);
+  }
+  return v;
+}
+
+double UlpDiff(double a, double b) {
+  if (a == b) return 0.0;
+  const double ulp = std::ldexp(1.0, std::ilogb(b) - 52);
+  return std::fabs(a - b) / ulp;
+}
+
+void ExpectBitEqual(const std::vector<double>& scalar,
+                    const std::vector<double>& vec,
+                    const std::vector<double>& inputs, const char* kernel) {
+  ASSERT_EQ(scalar.size(), vec.size());
+  for (size_t i = 0; i < scalar.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<uint64_t>(scalar[i]), std::bit_cast<uint64_t>(vec[i]))
+        << kernel << " lane " << i << " input " << inputs[i] << ": scalar "
+        << scalar[i] << " vs vector " << vec[i];
+    if (std::bit_cast<uint64_t>(scalar[i]) != std::bit_cast<uint64_t>(vec[i]))
+      return;  // one detailed failure is enough
+  }
+}
+
+using Unary = void (*)(const double*, double*, size_t);
+
+void CheckUnaryBitIdentity(Unary kernel, const std::vector<double>& inputs,
+                           const char* name) {
+  std::vector<double> scalar(inputs.size());
+  std::vector<double> vec(inputs.size());
+  {
+    ScopedLevel force(Level::kScalar);
+    kernel(inputs.data(), scalar.data(), inputs.size());
+  }
+  {
+    ScopedLevel force(Level::kAvx2);
+    if (ActiveLevel() != Level::kAvx2) {
+      GTEST_SKIP() << "AVX2 unavailable; scalar-only build or CPU";
+    }
+    kernel(inputs.data(), vec.data(), inputs.size());
+  }
+  ExpectBitEqual(scalar, vec, inputs, name);
+}
+
+TEST(SimdDispatch, ParseLevel) {
+  Level level;
+  EXPECT_TRUE(ParseLevel("off", &level));
+  EXPECT_EQ(level, Level::kScalar);
+  EXPECT_TRUE(ParseLevel("Scalar", &level));
+  EXPECT_EQ(level, Level::kScalar);
+  EXPECT_TRUE(ParseLevel("AVX2", &level));
+  EXPECT_EQ(level, Level::kAvx2);
+  EXPECT_TRUE(ParseLevel("auto", &level));
+  EXPECT_EQ(level, Level::kAvx2);
+  EXPECT_FALSE(ParseLevel("", &level));
+  EXPECT_FALSE(ParseLevel("avx512", &level));
+  EXPECT_FALSE(ParseLevel(nullptr, &level));
+}
+
+TEST(SimdDispatch, SetLevelClampsToDetected) {
+  ScopedLevel restore(ActiveLevel());
+  EXPECT_EQ(SetLevel(Level::kScalar), Level::kScalar);
+  const Level granted = SetLevel(Level::kAvx2);
+  EXPECT_EQ(granted, DetectedLevel());
+  EXPECT_EQ(ActiveLevel(), granted);
+}
+
+TEST(SimdVmath, Exp2MatchesLibmWithinUlp) {
+  auto inputs = RandomExponents(0x5EED0001, kRandomCount);
+  for (double x : inputs) {
+    const double got = Exp2S(x);
+    const double want = std::exp2(x);
+    if (want == 0.0 || std::isinf(want) ||
+        std::fpclassify(want) == FP_SUBNORMAL) {
+      // Underflow/overflow/subnormal: same class is enough (the slow path
+      // rounds via ldexp, identically everywhere).
+      EXPECT_EQ(std::fpclassify(got), std::fpclassify(want)) << "x=" << x;
+    } else {
+      EXPECT_LE(UlpDiff(got, want), 4.0) << "x=" << x;
+    }
+  }
+}
+
+TEST(SimdVmath, Log2MatchesLibmWithinUlp) {
+  auto inputs = RandomPositive(0x5EED0002, kRandomCount);
+  for (double x : inputs) {
+    const double got = Log2S(x);
+    const double want = std::log2(x);
+    if (want == 0.0) {
+      EXPECT_EQ(got, want) << "x=" << x;
+    } else {
+      // log2 near 1 loses absolute precision in any non-fused scheme;
+      // bound the absolute error by ulp(e)+poly error there.
+      EXPECT_LE(std::fabs(got - want),
+                std::max(4.0 * std::fabs(want) * 1e-16, 1e-15))
+          << "x=" << x;
+    }
+  }
+}
+
+TEST(SimdVmath, ExpAndPowMatchLibm) {
+  Rng rng(0x5EED0003);
+  for (size_t i = 0; i < kRandomCount; ++i) {
+    const double x = rng.NextDouble() * 1400.0 - 700.0;
+    const double ew = std::exp(x);
+    const double eg = ExpS(x);
+    if (ew == 0.0 || std::isinf(ew) || std::fpclassify(ew) == FP_SUBNORMAL) {
+      EXPECT_EQ(std::fpclassify(eg), std::fpclassify(ew)) << "x=" << x;
+    } else {
+      // The single multiply in the x*log2e reduction (plus the rounded
+      // log2e constant itself) costs absolute argument error proportional
+      // to |x|, hence ~1.5*|x| ulp of relative result error. Tight for the
+      // simulator's O(1) exponents (covered below), linear at the extremes.
+      EXPECT_LE(UlpDiff(eg, ew), 8.0 + 1.5 * std::fabs(x)) << "x=" << x;
+    }
+
+    const double small = rng.NextDouble() * 8.0 - 4.0;  // lognormal-noise range
+    EXPECT_LE(UlpDiff(ExpS(small), std::exp(small)), 8.0) << "x=" << small;
+
+    // Simulator-domain pow: bases spanning qscale/complexity/ratio ranges,
+    // exponents like gamma, 1/gamma, ssim_beta, qcomp.
+    const double base = std::exp2(rng.NextDouble() * 60.0 - 30.0);
+    const double exponent = rng.NextDouble() * 6.0 - 3.0;
+    const double pw = std::pow(base, exponent);
+    const double pg = PowS(base, exponent);
+    // Same error model: ~1 ulp of log2(base) amplified by the exponent and
+    // the magnitude of t = exponent*log2(base).
+    const double t = std::fabs(exponent * std::log2(base));
+    EXPECT_LE(UlpDiff(pg, pw), 16.0 + 1.5 * t)
+        << "base=" << base << " exp=" << exponent;
+  }
+}
+
+TEST(SimdVmath, PowSpecialCases) {
+  EXPECT_EQ(PowS(2.0, 0.0), 1.0);
+  EXPECT_EQ(PowS(0.0, 0.0), 1.0);
+  EXPECT_EQ(PowS(kNan, 0.0), 1.0);
+  EXPECT_EQ(PowS(1.0, kNan), 1.0);
+  EXPECT_EQ(PowS(1.0, kInf), 1.0);
+  EXPECT_EQ(PowS(0.0, 2.0), 0.0);
+  EXPECT_EQ(PowS(0.0, -2.0), kInf);
+  EXPECT_EQ(PowS(kInf, 2.0), kInf);
+  EXPECT_EQ(PowS(kInf, -2.0), 0.0);
+  EXPECT_EQ(PowS(2.0, kInf), kInf);
+  EXPECT_EQ(PowS(2.0, -kInf), 0.0);
+  EXPECT_EQ(PowS(0.5, kInf), 0.0);
+  EXPECT_TRUE(std::isnan(PowS(-2.0, 0.5)));
+  EXPECT_TRUE(std::isnan(PowS(kNan, 1.0)));
+  EXPECT_TRUE(std::isnan(PowS(2.0, kNan)));
+}
+
+TEST(SimdVmath, Exp2BitIdenticalAcrossLevels) {
+  auto inputs = RandomExponents(0x5EED0004, kRandomCount);
+  auto edges = EdgeInputs();
+  inputs.insert(inputs.end(), edges.begin(), edges.end());
+  CheckUnaryBitIdentity(&Exp2, inputs, "Exp2");
+}
+
+TEST(SimdVmath, Log2BitIdenticalAcrossLevels) {
+  auto inputs = RandomPositive(0x5EED0005, kRandomCount);
+  auto edges = EdgeInputs();
+  inputs.insert(inputs.end(), edges.begin(), edges.end());
+  CheckUnaryBitIdentity(&Log2, inputs, "Log2");
+}
+
+TEST(SimdVmath, ExpBitIdenticalAcrossLevels) {
+  auto inputs = RandomExponents(0x5EED0006, kRandomCount);
+  auto edges = EdgeInputs();
+  inputs.insert(inputs.end(), edges.begin(), edges.end());
+  CheckUnaryBitIdentity(&Exp, inputs, "Exp");
+}
+
+TEST(SimdVmath, PowBitIdenticalAcrossLevels) {
+  auto bases = RandomPositive(0x5EED0007, kRandomCount);
+  auto edges = EdgeInputs();
+  bases.insert(bases.end(), edges.begin(), edges.end());
+  Rng rng(0x5EED0008);
+  std::vector<double> exps;
+  exps.reserve(bases.size());
+  for (size_t i = 0; i < bases.size(); ++i) {
+    switch (i % 7) {
+      case 0: exps.push_back(0.0); break;
+      case 1: exps.push_back(kInf); break;
+      case 2: exps.push_back(-kInf); break;
+      case 3: exps.push_back(kNan); break;
+      default: exps.push_back(rng.NextDouble() * 8.0 - 4.0); break;
+    }
+  }
+  std::vector<double> scalar(bases.size());
+  std::vector<double> vec(bases.size());
+  {
+    ScopedLevel force(Level::kScalar);
+    Pow(bases.data(), exps.data(), scalar.data(), bases.size());
+  }
+  {
+    ScopedLevel force(Level::kAvx2);
+    if (ActiveLevel() != Level::kAvx2) {
+      GTEST_SKIP() << "AVX2 unavailable; scalar-only build or CPU";
+    }
+    Pow(bases.data(), exps.data(), vec.data(), bases.size());
+  }
+  ExpectBitEqual(scalar, vec, bases, "Pow");
+}
+
+TEST(SimdVmath, PowScalarExpMatchesPow) {
+  auto bases = RandomPositive(0x5EED0009, 1000);
+  const double y = 1.0 / 1.2;  // the ABR predictor's 1/gamma
+  std::vector<double> broadcast(bases.size(), y);
+  std::vector<double> a(bases.size());
+  std::vector<double> b(bases.size());
+  for (Level level : {Level::kScalar, Level::kAvx2}) {
+    ScopedLevel force(level);
+    if (level == Level::kAvx2 && ActiveLevel() != Level::kAvx2) continue;
+    Pow(bases.data(), broadcast.data(), a.data(), bases.size());
+    PowScalarExp(bases.data(), y, b.data(), bases.size());
+    ExpectBitEqual(a, b, bases, "PowScalarExp");
+  }
+}
+
+TEST(SimdVmath, SingleValueFormsMatchBatched) {
+  auto inputs = RandomExponents(0x5EED000A, 1000);
+  std::vector<double> batched(inputs.size());
+  ScopedLevel force(Level::kScalar);
+  Exp2(inputs.data(), batched.data(), inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<uint64_t>(Exp2S(inputs[i])),
+              std::bit_cast<uint64_t>(batched[i]));
+  }
+}
+
+TEST(SimdKernels, FitSlopeMatchesDirectRegression) {
+  // A perfectly linear series recovers its slope almost exactly.
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(5.0 * i);
+    y.push_back(3.25 * x.back() + 7.0);
+  }
+  EXPECT_NEAR(FitSlope(x.data(), y.data(), x.size()), 3.25, 1e-12);
+  // Degenerate x (zero variance) yields 0.
+  std::fill(x.begin(), x.end(), 2.0);
+  EXPECT_EQ(FitSlope(x.data(), y.data(), x.size()), 0.0);
+}
+
+TEST(SimdKernels, FitSlopeLanesBitIdenticalAcrossLevels) {
+  constexpr size_t kWindow = 20;
+  constexpr size_t kLanes = 23;  // forces both vector groups and tail lanes
+  constexpr size_t kStride = 24;
+  Rng rng(0x5EED000B);
+  std::vector<double> xs(kWindow * kStride);
+  std::vector<double> ys(kWindow * kStride);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.NextDouble() * 100.0;
+    ys[i] = rng.NextDouble() * 10.0 - 5.0;
+  }
+  // Make one lane degenerate to cover the masked-zero branch.
+  for (size_t i = 0; i < kWindow; ++i) xs[i * kStride + 3] = 42.0;
+
+  std::vector<double> per_lane(kLanes);
+  for (size_t lane = 0; lane < kLanes; ++lane) {
+    std::vector<double> lx(kWindow);
+    std::vector<double> ly(kWindow);
+    for (size_t i = 0; i < kWindow; ++i) {
+      lx[i] = xs[i * kStride + lane];
+      ly[i] = ys[i * kStride + lane];
+    }
+    per_lane[lane] = FitSlope(lx.data(), ly.data(), kWindow);
+  }
+
+  for (Level level : {Level::kScalar, Level::kAvx2}) {
+    ScopedLevel force(level);
+    if (level == Level::kAvx2 && ActiveLevel() != Level::kAvx2) continue;
+    std::vector<double> out(kLanes, kNan);
+    FitSlopeLanes(xs.data(), ys.data(), kWindow, kStride, kLanes, out.data());
+    ExpectBitEqual(per_lane, out, per_lane, ToString(level));
+  }
+  EXPECT_EQ(per_lane[3], 0.0);
+}
+
+}  // namespace
+}  // namespace rave::simd
