@@ -45,12 +45,14 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
   try {
     const Flags flags(argc - 1, argv + 1);
     for (const std::string& key : flags.UnknownKeys(
-             {"jobs", "duration", "cache-dir", "log-level", "batch", "simd"})) {
+             {"jobs", "duration", "cache-dir", "log-level", "batch", "simd",
+              "wireless"})) {
       std::cerr << "error: unknown flag --" << key
                 << "\nusage: " << argv[0]
                 << " [--jobs=N] [--duration=SECONDS] [--cache-dir=DIR]"
                    " [--log-level=debug|info|warning|error]"
-                   " [--batch=B] [--simd=scalar|avx2|auto]\n";
+                   " [--batch=B] [--simd=scalar|avx2|auto]"
+                   " [--wireless=PROFILE]\n";
       std::exit(2);
     }
     BenchOptions options;
@@ -65,6 +67,7 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
     }
     options.batch = static_cast<int>(flags.GetInt("batch", 1));
     SetMatrixBatch(options.batch);
+    options.wireless = flags.GetString("wireless", "");
     const std::string simd_level = flags.GetString("simd", "");
     if (!simd_level.empty()) {
       simd::Level level;
@@ -184,6 +187,35 @@ std::vector<std::pair<std::string, Interned<net::CapacityTrace>>> TraceSuite(
             DataRate::KilobitsPerSec(4000)));
   }
   return suite;
+}
+
+std::vector<fault::WirelessProfile> WirelessSuite(TimeDelta duration,
+                                                  const std::string& filter) {
+  std::vector<fault::WirelessProfile> suite;
+  if (!filter.empty()) {
+    suite.push_back(fault::MakeWirelessProfile(filter, duration));
+    return suite;
+  }
+  for (const std::string& name : fault::WirelessProfileNames()) {
+    suite.push_back(fault::MakeWirelessProfile(name, duration));
+  }
+  return suite;
+}
+
+void ApplyWirelessProfile(rtc::SessionConfig& config,
+                          const fault::WirelessProfile& profile) {
+  config.link.trace = Interned<net::CapacityTrace>(profile.trace);
+  config.link.loss = profile.loss;
+  if (!profile.faults.empty()) {
+    // Merge profile events with any the config already carries (chaos
+    // combos stack a blackhole/outage on top of a wireless scenario);
+    // FaultPlan re-validates the union.
+    std::vector<fault::FaultEvent> events = config.faults->events();
+    const std::vector<fault::FaultEvent>& extra = profile.faults.events();
+    events.insert(events.end(), extra.begin(), extra.end());
+    config.faults = fault::FaultPlan(std::move(events));
+  }
+  config.wireless_profile = profile.name;
 }
 
 double ReductionPercent(double baseline, double treatment) {

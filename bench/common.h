@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/wireless_profiles.h"
 #include "net/capacity_trace.h"
 #include "obs/metrics_registry.h"
 #include "rtc/session.h"
@@ -39,6 +40,9 @@ struct BenchOptions {
   /// per-session path; > 1 groups sessions per worker. Never changes
   /// results, only throughput.
   int batch = 1;
+  /// Wireless-profile filter (--wireless=NAME): benches with a wireless
+  /// tier restrict their matrix to this profile. Empty = all profiles.
+  std::string wireless;
 
   /// The bench's default duration unless overridden on the command line.
   TimeDelta DurationOr(TimeDelta fallback) const;
@@ -102,6 +106,19 @@ net::CapacityTrace DropTrace(double severity);
 /// same step vector.
 std::vector<std::pair<std::string, Interned<net::CapacityTrace>>> TraceSuite(
     TimeDelta duration);
+
+/// The wireless tier for matrix builders: every registered profile built at
+/// `duration` (or just the one named by `filter` when non-empty — unknown
+/// names throw, listing the registry).
+std::vector<fault::WirelessProfile> WirelessSuite(TimeDelta duration,
+                                                  const std::string& filter =
+                                                      "");
+
+/// Installs a wireless profile into a session config: capacity trace
+/// (interned), base loss model, fault plan (profile events merged with any
+/// the config already carries), and the profile name for the session key.
+void ApplyWirelessProfile(rtc::SessionConfig& config,
+                          const fault::WirelessProfile& profile);
 
 /// Per-frame end-to-end latencies (ms) of the delivered frames, in capture
 /// order — the samples every latency CDF/percentile is computed from.

@@ -5,12 +5,14 @@
 // post-fault delivered quality, and the circuit-breaker engagement counts.
 #include <algorithm>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common.h"
 #include "registry.h"
 #include "fault/fault_plan.h"
+#include "fault/wireless_profiles.h"
 #include "util/table.h"
 
 using namespace rave;
@@ -20,9 +22,13 @@ namespace {
 struct Scenario {
   std::string name;
   fault::FaultPlan plan;
+  /// When set, the scenario is a wireless profile: its trace/loss/faults
+  /// replace the steady link (plan mirrors the profile's fault events).
+  std::optional<fault::WirelessProfile> wireless;
 };
 
-std::vector<Scenario> Scenarios() {
+std::vector<Scenario> Scenarios(TimeDelta duration,
+                                const std::string& wireless_filter) {
   std::vector<Scenario> scenarios(4);
   scenarios[0].name = "outage 2s";
   scenarios[0].plan.Outage(Timestamp::Seconds(10), TimeDelta::Seconds(2));
@@ -38,6 +44,14 @@ std::vector<Scenario> Scenarios() {
                              0.2)
       .ReorderBurst(Timestamp::Seconds(10), TimeDelta::Seconds(5), 0.2,
                     TimeDelta::Millis(40));
+  for (fault::WirelessProfile& profile :
+       bench::WirelessSuite(duration, wireless_filter)) {
+    Scenario scenario;
+    scenario.name = "wl:" + profile.name;
+    scenario.plan = profile.faults;
+    scenario.wireless = std::move(profile);
+    scenarios.push_back(std::move(scenario));
+  }
   return scenarios;
 }
 
@@ -48,7 +62,7 @@ int bench::Fig10OutageRecoveryMain(int argc, char** argv) {
   // Post-starvation estimator rebuild is additive (no probing), so the
   // slowest scheme needs ~45 s after the fault clears; see the chaos tests.
   const TimeDelta duration = options.DurationOr(TimeDelta::Seconds(60));
-  const auto scenarios = Scenarios();
+  const auto scenarios = Scenarios(duration, options.wireless);
 
   const Interned<net::CapacityTrace> steady_trace = net::CapacityTrace::Constant(
       DataRate::KilobitsPerSec(bench::kBaseRateKbps));
@@ -59,14 +73,19 @@ int bench::Fig10OutageRecoveryMain(int argc, char** argv) {
       rtc::SessionConfig config = bench::DefaultConfig(
           scheme, steady_trace, video::ContentClass::kTalkingHead, duration,
           17);
-      config.faults = scenario.plan;
+      if (scenario.wireless) {
+        bench::ApplyWirelessProfile(config, *scenario.wireless);
+      } else {
+        config.faults = scenario.plan;
+      }
       configs.push_back(std::move(config));
     }
   }
   const auto results = bench::RunMatrix(configs, options.jobs);
 
   std::cout << "Fig 10: fault recovery on a steady " << bench::kBaseRateKbps
-            << " kbps link (faults start at t=10s)\n\n";
+            << " kbps link (faults start at t=10s; wl:* rows run the named "
+               "wireless profile instead)\n\n";
   Table table({"scheme", "fault", "pre(kbps)", "recover(s)", "post-ssim",
                "opens", "pauses", "recoveries"});
   size_t i = 0;
@@ -86,9 +105,14 @@ int bench::Fig10OutageRecoveryMain(int argc, char** argv) {
           ++pre_n;
         }
       }
+      // Wireless scenarios replace the steady link, so the clamp follows
+      // their trace's mean rate (identical to kBaseRateKbps otherwise).
+      const double link_mean_kbps =
+          scenario.wireless
+              ? scenario.wireless->trace.AverageRate(duration).kbps()
+              : static_cast<double>(bench::kBaseRateKbps);
       const double pre_target =
-          std::min(pre_n > 0 ? pre_sum / pre_n : 0.0,
-                   static_cast<double>(bench::kBaseRateKbps));
+          std::min(pre_n > 0 ? pre_sum / pre_n : 0.0, link_mean_kbps);
 
       // First timeseries point after fault-clear back at >= 90% of that.
       Timestamp recovered_at = Timestamp::PlusInfinity();
@@ -115,9 +139,13 @@ int bench::Fig10OutageRecoveryMain(int argc, char** argv) {
 
       Table& row = table.AddRow();
       row.Cell(result.scheme_name).Cell(scenario.name).Cell(pre_target, 0);
-      // Short smoke runs end before the fault clears: report n/a rather
-      // than pretending the session never recovered.
-      if (clear >= Timestamp::Zero() + duration) {
+      // Pure fading/interference profiles have no fault windows — there is
+      // no clear time to recover from. Short smoke runs end before the
+      // fault clears: report n/a rather than pretending the session never
+      // recovered.
+      if (scenario.plan.empty()) {
+        row.Cell("n/a");
+      } else if (clear >= Timestamp::Zero() + duration) {
         row.Cell("n/a");
       } else if (recovered_at.IsFinite()) {
         row.Cell((recovered_at - clear).seconds(), 1);

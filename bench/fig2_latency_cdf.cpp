@@ -18,9 +18,12 @@ int bench::Fig2LatencyCdfMain(int argc, char** argv) {
   const bench::BenchOptions options = bench::ParseBenchOptions(argc, argv);
   const TimeDelta duration = options.DurationOr(TimeDelta::Seconds(40));
   const auto suite = bench::TraceSuite(duration);
+  const auto wireless = bench::WirelessSuite(duration, options.wireless);
 
   std::vector<rtc::SessionConfig> configs;
-  configs.reserve(suite.size() * std::size(video::kAllContentClasses) * 2);
+  configs.reserve((suite.size() * std::size(video::kAllContentClasses) +
+                   wireless.size()) *
+                  2);
   for (const auto& [name, trace] : suite) {
     for (video::ContentClass content : video::kAllContentClasses) {
       for (rtc::Scheme scheme :
@@ -28,6 +31,19 @@ int bench::Fig2LatencyCdfMain(int argc, char** argv) {
         configs.push_back(
             bench::DefaultConfig(scheme, trace, content, duration, 7));
       }
+    }
+  }
+  // Wireless tier: every profile rides the same matrix (talking-head
+  // content keeps the added cell count proportionate).
+  for (const fault::WirelessProfile& profile : wireless) {
+    for (rtc::Scheme scheme :
+         {rtc::Scheme::kX264Abr, rtc::Scheme::kAdaptive}) {
+      rtc::SessionConfig config = bench::DefaultConfig(
+          scheme, net::CapacityTrace::Constant(
+                      DataRate::KilobitsPerSec(bench::kBaseRateKbps)),
+          video::ContentClass::kTalkingHead, duration, 7);
+      bench::ApplyWirelessProfile(config, profile);
+      configs.push_back(std::move(config));
     }
   }
   const auto results = bench::RunMatrix(configs, options.jobs);
@@ -57,8 +73,27 @@ int bench::Fig2LatencyCdfMain(int argc, char** argv) {
           .Cell(bench::ReductionPercent(mean[0], mean[1]), 1);
     }
   }
+  for (const fault::WirelessProfile& profile : wireless) {
+    double mean[2] = {0, 0};
+    int i = 0;
+    for (rtc::Scheme scheme :
+         {rtc::Scheme::kX264Abr, rtc::Scheme::kAdaptive}) {
+      const rtc::SessionResult& result = results[next++];
+      for (double ms : bench::FrameLatenciesMs(result)) {
+        latencies[scheme].Add(ms);
+      }
+      mean[i++] = result.summary.latency_mean_ms;
+    }
+    per_trace.AddRow()
+        .Cell("wl:" + profile.name)
+        .Cell(ToString(video::ContentClass::kTalkingHead))
+        .Cell(mean[0], 1)
+        .Cell(mean[1], 1)
+        .Cell(bench::ReductionPercent(mean[0], mean[1]), 1);
+  }
 
-  std::cout << "Fig 2: per-frame latency CDF over the drop-trace suite\n\n";
+  std::cout << "Fig 2: per-frame latency CDF over the drop-trace suite"
+               " + wireless tier\n\n";
   Table cdf({"percentile", "x264-abr(ms)", "rave-adaptive(ms)"});
   for (double q : {0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999}) {
     cdf.AddRow()

@@ -27,6 +27,8 @@ const std::vector<BenchEntry>& AllBenches() {
       {"fig11_trace_timeline", Fig11TraceTimelineMain,
        "motivation timeline rendered from a Chrome trace capture",
        "fig11_trace_x264-abr.json fig11_trace_rave-adaptive.json"},
+      {"fig12_handover_recovery", Fig12HandoverRecoveryMain,
+       "handover/renegotiation recovery across the wireless tier", "-"},
       {"tab1_latency_reduction", Tab1LatencyReductionMain,
        "headline p95 latency reduction across drop severities", "-"},
       {"tab2_quality", Tab2QualityMain,

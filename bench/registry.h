@@ -26,6 +26,7 @@ int Tab1LatencyReductionMain(int argc, char** argv);
 int Tab2QualityMain(int argc, char** argv);
 int Tab3AblationMain(int argc, char** argv);
 int Fig11TraceTimelineMain(int argc, char** argv);
+int Fig12HandoverRecoveryMain(int argc, char** argv);
 int Tab5SchemesMain(int argc, char** argv);
 int Tab6FecMain(int argc, char** argv);
 

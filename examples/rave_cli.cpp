@@ -8,8 +8,14 @@
 //
 // Common flags: --content, --seconds, --seed, --rtt-ms, --queue-kb,
 // --loss, --cross-kbps, --initial-kbps, --fec, --no-rtx, --degradation,
-// --csv=<prefix>, --fault=<spec>, --log-level=<level>,
-// --trace-out=<path>[:sample_hz].
+// --csv=<prefix>, --fault=<spec>, --wireless=<profile>,
+// --log-level=<level>, --trace-out=<path>[:sample_hz].
+//
+// --wireless runs the session over a named wireless/mobility profile
+// (wifi-fade, lte-handover, fpv-radio, duty-cycle, train-commute): the
+// profile supplies the capacity trace, the loss model, and any handover /
+// renegotiation events, overriding --trace/--severity/--loss. Extra
+// --fault events are layered on top.
 //
 // --trace-out captures the session's control-plane timeline (encoder QP,
 // VBV fill, BWE, queue depths, breaker state, fault injections) as Chrome
@@ -23,6 +29,8 @@
 //   --fault=blackhole@10+3                 feedback blackhole
 //   --fault=spike@10+2:150                 +150 ms per direction RTT spike
 //   --fault=dup@10+5:0.2,reorder@10+5:0.2:40   duplication + reordering
+//   --fault=handover@15+0.2:900:60:0.01    move to a 900 kbps / 60 ms cell
+//   --fault=reneg@20+4:1200                renegotiate to 1200 kbps for 4 s
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -30,6 +38,7 @@
 #include <string>
 
 #include "fault/fault_plan.h"
+#include "fault/wireless_profiles.h"
 #include "net/capacity_trace.h"
 #include "obs/trace.h"
 #include "rtc/session.h"
@@ -46,7 +55,7 @@ const std::vector<std::string> kKnownFlags = {
     "scheme",  "severity", "trace",        "content", "seconds",
     "seed",    "rtt-ms",   "queue-kb",     "loss",    "cross-kbps",
     "fec",     "no-rtx",   "degradation",  "csv",     "initial-kbps",
-    "seeds",   "fault",    "trace-out",    "log-level"};
+    "seeds",   "fault",    "trace-out",    "log-level", "wireless"};
 
 /// Builds the recorder requested by --trace-out (nullptr when absent).
 /// Sessions run inside a TraceScope pointing at it; WriteTrace() flushes
@@ -124,6 +133,20 @@ rtc::SessionConfig ConfigFrom(const Flags& flags) {
   }
   if (flags.Has("fault")) {
     config.faults = fault::ParseFaultSpec(flags.GetString("fault", ""));
+  }
+  if (flags.Has("wireless")) {
+    const fault::WirelessProfile profile = fault::MakeWirelessProfile(
+        flags.GetString("wireless", ""), config.duration);
+    config.link.trace = profile.trace;
+    config.link.loss = profile.loss;
+    config.wireless_profile = profile.name;
+    // Profile events first, then any extra --fault events on top; the
+    // rebuilt plan re-validates the union (overlaps still rejected).
+    std::vector<fault::FaultEvent> events = profile.faults.events();
+    for (const fault::FaultEvent& e : config.faults->events()) {
+      events.push_back(e);
+    }
+    config.faults = fault::FaultPlan(std::move(events));
   }
   return config;
 }

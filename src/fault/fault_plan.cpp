@@ -18,6 +18,27 @@ bool NeedsDelay(FaultKind kind) {
   return kind == FaultKind::kDelaySpike || kind == FaultKind::kReorder;
 }
 
+bool NeedsRate(FaultKind kind) {
+  return kind == FaultKind::kHandover || kind == FaultKind::kRenegotiate;
+}
+
+void ValidateLossModel(const net::LossModel& loss) {
+  if (!std::isfinite(loss.random_loss) || loss.random_loss < 0.0 ||
+      loss.random_loss > 1.0) {
+    throw std::invalid_argument(
+        "FaultPlan: handover loss probability outside [0,1]");
+  }
+  if (!std::isfinite(loss.gilbert_bad_loss) || loss.gilbert_bad_loss < 0.0 ||
+      loss.gilbert_bad_loss > 1.0) {
+    throw std::invalid_argument(
+        "FaultPlan: handover Gilbert bad-state loss outside [0,1]");
+  }
+  if (loss.gilbert_enabled && loss.gilbert_step <= TimeDelta::Zero()) {
+    throw std::invalid_argument(
+        "FaultPlan: handover Gilbert step must be positive");
+  }
+}
+
 void ValidateEvent(const FaultEvent& event) {
   if (event.start < Timestamp::Zero()) {
     throw std::invalid_argument("FaultPlan: negative start time for " +
@@ -37,6 +58,17 @@ void ValidateEvent(const FaultEvent& event) {
     throw std::invalid_argument("FaultPlan: non-positive delay for " +
                                 ToString(event.kind));
   }
+  if (NeedsRate(event.kind) && event.rate <= DataRate::Zero()) {
+    throw std::invalid_argument("FaultPlan: non-positive rate for " +
+                                ToString(event.kind));
+  }
+  if (event.kind == FaultKind::kHandover) {
+    if (event.propagation < TimeDelta::Zero()) {
+      throw std::invalid_argument(
+          "FaultPlan: negative propagation for handover");
+    }
+    if (event.loss) ValidateLossModel(*event.loss);
+  }
 }
 
 }  // namespace
@@ -53,6 +85,10 @@ std::string ToString(FaultKind kind) {
       return "dup";
     case FaultKind::kReorder:
       return "reorder";
+    case FaultKind::kHandover:
+      return "handover";
+    case FaultKind::kRenegotiate:
+      return "reneg";
   }
   return "unknown";
 }
@@ -124,6 +160,28 @@ FaultPlan& FaultPlan::ReorderBurst(Timestamp start, TimeDelta duration,
   return *this;
 }
 
+FaultPlan& FaultPlan::Handover(Timestamp start, TimeDelta gap,
+                               DataRate new_rate, TimeDelta new_propagation,
+                               std::optional<net::LossModel> new_loss) {
+  FaultEvent event{.kind = FaultKind::kHandover,
+                   .start = start,
+                   .duration = gap,
+                   .rate = new_rate,
+                   .propagation = new_propagation};
+  event.loss = std::move(new_loss);
+  Append(std::move(event));
+  return *this;
+}
+
+FaultPlan& FaultPlan::Renegotiate(Timestamp start, TimeDelta duration,
+                                  DataRate rate) {
+  Append({.kind = FaultKind::kRenegotiate,
+          .start = start,
+          .duration = duration,
+          .rate = rate});
+  return *this;
+}
+
 std::string FaultPlan::ToString() const {
   std::ostringstream out;
   for (size_t i = 0; i < events_.size(); ++i) {
@@ -133,6 +191,11 @@ std::string FaultPlan::ToString() const {
         << e.duration.seconds() << 's';
     if (NeedsMagnitude(e.kind)) out << ':' << e.magnitude;
     if (NeedsDelay(e.kind)) out << ':' << e.delay.ms_float() << "ms";
+    if (NeedsRate(e.kind)) out << ':' << e.rate.kbps() << "kbps";
+    if (e.kind == FaultKind::kHandover) {
+      out << ':' << e.propagation.ms_float() << "ms";
+      if (e.loss) out << ":loss=" << e.loss->random_loss;
+    }
   }
   return out.str();
 }
@@ -209,6 +272,21 @@ FaultEvent ParseToken(const std::string& token) {
     event.kind = FaultKind::kReorder;
     event.magnitude = param(0);
     event.delay = TimeDelta::Micros(static_cast<int64_t>(param(1) * 1e3));
+  } else if (kind_name == "handover") {
+    // handover@T+GAP:RATE_KBPS:OWD_MS[:LOSS]
+    event.kind = FaultKind::kHandover;
+    event.rate = DataRate::KilobitsPerSec(static_cast<int64_t>(param(0)));
+    event.propagation =
+        TimeDelta::Micros(static_cast<int64_t>(param(1) * 1e3));
+    if (params.size() > 2) {
+      net::LossModel loss;
+      loss.random_loss = param(2);
+      event.loss = loss;
+    }
+  } else if (kind_name == "reneg") {
+    // reneg@T+DUR:RATE_KBPS
+    event.kind = FaultKind::kRenegotiate;
+    event.rate = DataRate::KilobitsPerSec(static_cast<int64_t>(param(0)));
   } else {
     throw std::invalid_argument("fault spec: unknown fault kind '" +
                                 kind_name + "' in token '" + token + "'");
@@ -219,20 +297,27 @@ FaultEvent ParseToken(const std::string& token) {
 }  // namespace
 
 FaultPlan ParseFaultSpec(const std::string& spec) {
-  std::vector<FaultEvent> events;
-  size_t pos = 0;
-  while (pos <= spec.size()) {
-    const auto comma = spec.find(',', pos);
-    const std::string token = spec.substr(pos, comma - pos);
-    if (!token.empty()) events.push_back(ParseToken(token));
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
+  // Every rejection — bad token, bad number, failed validation, overlapping
+  // windows — is rethrown echoing the full spec string, so a user with six
+  // comma-separated tokens sees which input produced the error.
+  try {
+    std::vector<FaultEvent> events;
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+      const auto comma = spec.find(',', pos);
+      const std::string token = spec.substr(pos, comma - pos);
+      if (!token.empty()) events.push_back(ParseToken(token));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    if (events.empty()) {
+      throw std::invalid_argument("fault spec: no fault tokens");
+    }
+    return FaultPlan(std::move(events));
+  } catch (const std::invalid_argument& error) {
+    throw std::invalid_argument(std::string(error.what()) + " (in spec '" +
+                                spec + "')");
   }
-  if (events.empty()) {
-    throw std::invalid_argument("fault spec: no fault tokens in '" + spec +
-                                "'");
-  }
-  return FaultPlan(std::move(events));
 }
 
 }  // namespace rave::fault

@@ -10,10 +10,13 @@
 // at any `--jobs` count.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "net/loss_model.h"
 #include "util/time.h"
+#include "util/units.h"
 
 namespace rave::fault {
 
@@ -32,6 +35,15 @@ enum class FaultKind {
   /// Each delivered packet is held back by up to `delay` with probability
   /// `magnitude`, letting later packets overtake it (bounded reordering).
   kReorder,
+  /// Mobility handover: at `start` the link atomically moves to a new cell —
+  /// capacity (`rate`), propagation (`propagation`), and loss model (`loss`)
+  /// change in ONE event-loop action — and the radio goes silent for
+  /// `duration` (forward outage + feedback blackhole). The revert only ends
+  /// the silence; the new cell's parameters persist.
+  kHandover,
+  /// Datarate renegotiation (FPV modulation step): the link serializes at
+  /// `rate` for the window, then falls back to the underlying rate.
+  kRenegotiate,
 };
 
 std::string ToString(FaultKind kind);
@@ -46,6 +58,12 @@ struct FaultEvent {
   double magnitude = 0.0;
   /// Extra delay for kDelaySpike (per direction) / kReorder (max holdback).
   TimeDelta delay = TimeDelta::Zero();
+  /// New link capacity for kHandover (persists) / kRenegotiate (windowed).
+  DataRate rate = DataRate::Zero();
+  /// New one-way propagation delay for kHandover (persists).
+  TimeDelta propagation = TimeDelta::Zero();
+  /// Replacement loss model for kHandover; nullopt keeps the old cell's.
+  std::optional<net::LossModel> loss;
 };
 
 /// Validated fault script. Construction throws std::invalid_argument on
@@ -70,6 +88,14 @@ class FaultPlan {
                               double probability);
   FaultPlan& ReorderBurst(Timestamp start, TimeDelta duration,
                           double probability, TimeDelta max_extra);
+  /// Handover at `start`: new cell parameters applied atomically, radio
+  /// silent for `gap` (typical 50–300 ms; keep below the circuit-breaker
+  /// threshold unless breaker behaviour is the thing under test).
+  FaultPlan& Handover(Timestamp start, TimeDelta gap, DataRate new_rate,
+                      TimeDelta new_propagation,
+                      std::optional<net::LossModel> new_loss = std::nullopt);
+  /// Datarate renegotiation window [start, start+duration) at `rate`.
+  FaultPlan& Renegotiate(Timestamp start, TimeDelta duration, DataRate rate);
 
   /// Human-readable one-line rendering ("outage@10s+2s, spike@20s+1s:150ms").
   std::string ToString() const;
@@ -82,12 +108,18 @@ class FaultPlan {
 
 /// Parses the CLI fault spec: comma-separated `kind@START+DUR[:P1[:P2]]`
 /// tokens with times in seconds —
-///   outage@10+2            link blackout, t = 10 s..12 s
-///   blackhole@20+3         feedback blackhole, 3 s
-///   spike@30+2:150         +150 ms per direction for 2 s
-///   dup@12+5:0.2           20% duplication for 5 s
-///   reorder@12+5:0.2:40    20% of packets held back up to 40 ms
-/// Throws std::invalid_argument naming the offending token.
+///   outage@10+2              link blackout, t = 10 s..12 s
+///   blackhole@20+3           feedback blackhole, 3 s
+///   spike@30+2:150           +150 ms per direction for 2 s
+///   dup@12+5:0.2             20% duplication for 5 s
+///   reorder@12+5:0.2:40      20% of packets held back up to 40 ms
+///   handover@15+0.2:900:60   at 15 s move to a 900 kbps / 60 ms-OWD cell
+///                            after a 200 ms radio-silence gap; an optional
+///                            fourth field (:LOSS) sets the new cell's
+///                            i.i.d. loss probability
+///   reneg@20+4:1200          link renegotiates to 1200 kbps for 4 s
+/// Throws std::invalid_argument naming the offending token and echoing the
+/// full spec string.
 FaultPlan ParseFaultSpec(const std::string& spec);
 
 }  // namespace rave::fault

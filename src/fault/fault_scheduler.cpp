@@ -23,6 +23,10 @@ namespace {
       return "apply:duplication";
     case FaultKind::kReorder:
       return "apply:reorder";
+    case FaultKind::kHandover:
+      return "apply:handover";
+    case FaultKind::kRenegotiate:
+      return "apply:renegotiate";
   }
   return "apply:unknown";
 }
@@ -39,6 +43,10 @@ namespace {
       return "revert:duplication";
     case FaultKind::kReorder:
       return "revert:reorder";
+    case FaultKind::kHandover:
+      return "revert:handover";
+    case FaultKind::kRenegotiate:
+      return "revert:renegotiate";
   }
   return "revert:unknown";
 }
@@ -49,10 +57,13 @@ FaultScheduler::FaultScheduler(EventLoop& loop, FaultPlan plan,
                                net::Link* link, net::DelayPipe* pipe)
     : loop_(loop), plan_(std::move(plan)), link_(link), pipe_(pipe) {
   assert(link_ != nullptr);
-  for (const FaultEvent& event : plan_.events()) {
-    loop_.ScheduleAt(event.start, [this, event] { Apply(event); });
+  // Capture the event INDEX, not the event: FaultEvent carries an optional
+  // LossModel and would not fit the event loop's inline closure storage.
+  for (size_t i = 0; i < plan_.events().size(); ++i) {
+    const FaultEvent& event = plan_.events()[i];
+    loop_.ScheduleAt(event.start, [this, i] { Apply(plan_.events()[i]); });
     loop_.ScheduleAt(event.start + event.duration,
-                     [this, event] { Revert(event); });
+                     [this, i] { Revert(plan_.events()[i]); });
   }
 }
 
@@ -79,6 +90,20 @@ void FaultScheduler::Apply(const FaultEvent& event) {
     case FaultKind::kReorder:
       link_->SetReordering(event.magnitude, event.delay);
       break;
+    case FaultKind::kHandover:
+      // One event-loop action: the new cell's capacity, propagation, and
+      // loss model land together, then the radio goes silent for the gap
+      // (forward outage + feedback blackhole, reverse delay moves too).
+      link_->Handover(event.rate, event.propagation, event.loss);
+      link_->SetOutage(true);
+      if (pipe_) {
+        pipe_->SetBaseDelay(event.propagation);
+        pipe_->SetBlackhole(true);
+      }
+      break;
+    case FaultKind::kRenegotiate:
+      link_->SetRateOverride(event.rate);
+      break;
   }
 }
 
@@ -101,6 +126,16 @@ void FaultScheduler::Revert(const FaultEvent& event) {
       break;
     case FaultKind::kReorder:
       link_->SetReordering(0.0, TimeDelta::Zero());
+      break;
+    case FaultKind::kHandover:
+      // Only the radio-silence gap ends; the new cell's rate, propagation,
+      // and loss model persist (they are properties of the cell, not the
+      // window).
+      link_->SetOutage(false);
+      if (pipe_) pipe_->SetBlackhole(false);
+      break;
+    case FaultKind::kRenegotiate:
+      link_->SetRateOverride(std::nullopt);
       break;
   }
 }

@@ -1,0 +1,149 @@
+#include "fault/wireless_profiles.h"
+
+#include <stdexcept>
+
+#include "net/wireless.h"
+
+namespace rave::fault {
+
+namespace {
+
+Timestamp Fraction(TimeDelta duration, double f) {
+  return Timestamp::Zero() + TimeDelta::SecondsF(duration.seconds() * f);
+}
+
+net::LossModel GilbertInterference(double bad_loss, uint64_t seed) {
+  net::LossModel loss;
+  loss.gilbert_enabled = true;
+  loss.gilbert = {/*p_good_to_bad=*/0.02, /*p_bad_to_good=*/0.20};
+  loss.gilbert_bad_loss = bad_loss;
+  loss.gilbert_step = TimeDelta::Millis(5);
+  loss.seed = seed;
+  return loss;
+}
+
+WirelessProfile WifiFade(TimeDelta duration) {
+  WirelessProfile profile;
+  profile.name = "wifi-fade";
+  net::GilbertFadingConfig fading;
+  fading.good_rate = DataRate::KilobitsPerSec(2500);
+  fading.bad_rate = DataRate::KilobitsPerSec(800);
+  fading.chain = {/*p_good_to_bad=*/0.05, /*p_bad_to_good=*/0.25};
+  fading.step = TimeDelta::Millis(100);
+  fading.seed = 0xF1F1;
+  profile.trace = net::GilbertFadingTrace(fading, duration);
+  profile.loss = GilbertInterference(/*bad_loss=*/0.3, /*seed=*/41);
+  return profile;
+}
+
+WirelessProfile LteHandover(TimeDelta duration) {
+  WirelessProfile profile;
+  profile.name = "lte-handover";
+  profile.trace =
+      net::CapacityTrace::Constant(DataRate::KilobitsPerSec(2500));
+  // Two cell changes: a degraded edge cell, then back to a good one. The
+  // radio-silence gaps (200/150 ms) stay below the circuit-breaker's 400 ms
+  // starvation threshold — a clean handover must NOT trip the breaker.
+  net::LossModel edge_cell;
+  edge_cell.random_loss = 0.01;
+  edge_cell.seed = 43;
+  profile.faults.Handover(Fraction(duration, 0.40), TimeDelta::Millis(200),
+                          DataRate::KilobitsPerSec(1500),
+                          TimeDelta::Millis(55), edge_cell);
+  net::LossModel good_cell;
+  good_cell.random_loss = 0.001;
+  good_cell.seed = 44;
+  profile.faults.Handover(Fraction(duration, 0.70), TimeDelta::Millis(150),
+                          DataRate::KilobitsPerSec(2400),
+                          TimeDelta::Millis(25), good_cell);
+  return profile;
+}
+
+WirelessProfile FpvRadio(TimeDelta duration) {
+  WirelessProfile profile;
+  profile.name = "fpv-radio";
+  net::FpvRadioConfig radio;
+  // Link capacity tracks the top modulation rung; the renegotiation events
+  // below are what actually cap the serialization rate, so the encoder is
+  // chasing the radio's decisions, not a congestion signal.
+  profile.trace = net::CapacityTrace::Constant(radio.ladder.back());
+  const std::vector<net::CapacityTrace::Step> schedule =
+      net::FpvModulationSchedule(radio, duration);
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    const Timestamp start = schedule[i].start;
+    const Timestamp end = i + 1 < schedule.size()
+                              ? schedule[i + 1].start
+                              : Timestamp::Zero() + duration +
+                                    TimeDelta::Seconds(5);
+    profile.faults.Renegotiate(start, end - start, schedule[i].rate);
+  }
+  return profile;
+}
+
+WirelessProfile DutyCycle(TimeDelta duration) {
+  WirelessProfile profile;
+  profile.name = "duty-cycle";
+  profile.trace = net::DutyCycleTrace(
+      DataRate::KilobitsPerSec(2500), DataRate::KilobitsPerSec(700),
+      /*period=*/TimeDelta::Seconds(2), /*duty=*/0.25, duration);
+  return profile;
+}
+
+WirelessProfile TrainCommute(TimeDelta duration) {
+  WirelessProfile profile;
+  profile.name = "train-commute";
+  net::GilbertFadingConfig fading;
+  fading.good_rate = DataRate::KilobitsPerSec(2200);
+  fading.bad_rate = DataRate::KilobitsPerSec(900);
+  fading.chain = {/*p_good_to_bad=*/0.03, /*p_bad_to_good=*/0.15};
+  fading.step = TimeDelta::Millis(200);
+  fading.seed = 0x7A41;
+  profile.trace = net::GilbertFadingTrace(fading, duration);
+  profile.loss.random_loss = 0.002;
+  profile.loss.seed = 47;
+  net::LossModel tunnel_cell = GilbertInterference(/*bad_loss=*/0.4,
+                                                   /*seed=*/48);
+  profile.faults.Handover(Fraction(duration, 0.30), TimeDelta::Millis(250),
+                          DataRate::KilobitsPerSec(1200),
+                          TimeDelta::Millis(70), tunnel_cell);
+  net::LossModel open_cell;
+  open_cell.random_loss = 0.001;
+  open_cell.seed = 49;
+  profile.faults.Handover(Fraction(duration, 0.60), TimeDelta::Millis(180),
+                          DataRate::KilobitsPerSec(2600),
+                          TimeDelta::Millis(22), open_cell);
+  net::LossModel edge_cell;
+  edge_cell.random_loss = 0.008;
+  edge_cell.seed = 50;
+  profile.faults.Handover(Fraction(duration, 0.85), TimeDelta::Millis(220),
+                          DataRate::KilobitsPerSec(1100),
+                          TimeDelta::Millis(60), edge_cell);
+  return profile;
+}
+
+}  // namespace
+
+const std::vector<std::string>& WirelessProfileNames() {
+  static const std::vector<std::string> kNames = {
+      "wifi-fade", "lte-handover", "fpv-radio", "duty-cycle",
+      "train-commute"};
+  return kNames;
+}
+
+WirelessProfile MakeWirelessProfile(const std::string& name,
+                                    TimeDelta duration) {
+  if (name == "wifi-fade") return WifiFade(duration);
+  if (name == "lte-handover") return LteHandover(duration);
+  if (name == "fpv-radio") return FpvRadio(duration);
+  if (name == "duty-cycle") return DutyCycle(duration);
+  if (name == "train-commute") return TrainCommute(duration);
+  std::string known;
+  for (const std::string& n : WirelessProfileNames()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  throw std::invalid_argument("unknown wireless profile '" + name +
+                              "' (known: " + known + ")");
+}
+
+}  // namespace rave::fault

@@ -1,0 +1,47 @@
+// Named wireless/mobility scenario registry (--wireless=NAME).
+//
+// A profile bundles everything a wireless link scenario needs — a capacity
+// schedule from the net/wireless generators, a base loss model, and a fault
+// plan carrying handover / renegotiation events — as a deterministic
+// function of (name, session duration). Profiles live in the fault layer
+// (which already depends on net); threading them into a SessionConfig is
+// bench/common's job, since fault cannot depend on rtc.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "net/capacity_trace.h"
+#include "net/loss_model.h"
+#include "util/time.h"
+
+namespace rave::fault {
+
+struct WirelessProfile {
+  std::string name;
+  /// Forward-link capacity schedule over the session duration.
+  net::CapacityTrace trace = net::CapacityTrace::Constant(
+      DataRate::KilobitsPerSec(2500));
+  /// Base (initial-cell) loss model.
+  net::LossModel loss;
+  /// Handover and renegotiation events; empty for pure fading profiles.
+  FaultPlan faults;
+};
+
+/// All registered profile names, in matrix order:
+///   wifi-fade     Gilbert-Elliott fading capacity + bursty Gilbert loss
+///   lte-handover  two cell handovers (rate+RTT+loss swap atomically)
+///   fpv-radio     FPV link renegotiating its datarate on a modulation ladder
+///   duty-cycle    deterministic periodic interference (microwave-oven bursts)
+///   train-commute fading + three handovers, the worst of both
+const std::vector<std::string>& WirelessProfileNames();
+
+/// Builds the named profile scaled to `duration` (handover times are
+/// placed at fixed fractions of the session, so smoke runs exercise them
+/// too). Throws std::invalid_argument for unknown names, listing the
+/// registry.
+WirelessProfile MakeWirelessProfile(const std::string& name,
+                                    TimeDelta duration);
+
+}  // namespace rave::fault

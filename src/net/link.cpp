@@ -17,8 +17,10 @@ Link::Link(EventLoop& loop, Config config, DeliveryCallback on_delivery)
       current_rate_(trace_cursor_.RateAt(Timestamp::Zero())),
       loss_rng_(config_.loss.seed),
       gilbert_(config_.loss.gilbert, Rng(config_.loss.seed ^ 0x5A5A)),
+      base_propagation_(config_.propagation),
       fault_rng_(config_.loss.seed ^ 0xFA17'FA17ULL) {
   assert(on_delivery_);
+  gilbert_next_step_ = Timestamp::Zero() + config_.loss.gilbert_step;
   // Register a callback at every capacity change point so the in-flight
   // packet's completion can be re-computed exactly.
   for (const CapacityTrace::Step& step : config_.trace->steps()) {
@@ -66,10 +68,17 @@ void Link::OnTransmitComplete() {
   // Non-congestive loss (corruption): the packet consumed link capacity but
   // never reaches the receiver.
   double loss_p = config_.loss.random_loss;
-  if (config_.loss.gilbert_enabled && gilbert_.Step()) {
-    loss_p = std::max(loss_p, config_.loss.gilbert_bad_loss);
+  if (config_.loss.gilbert_enabled) {
+    AdvanceGilbert(loop_.now());
+    if (gilbert_.bad()) {
+      loss_p = std::max(loss_p, config_.loss.gilbert_bad_loss);
+    }
   }
-  if (loss_p > 0.0 && loss_rng_.Bernoulli(loss_p)) {
+  // p=0 and p=1 are certainties: no RNG draw, so they are byte-identical
+  // to a disabled model / an outage respectively.
+  const bool lost =
+      loss_p >= 1.0 || (loss_p > 0.0 && loss_rng_.Bernoulli(loss_p));
+  if (lost) {
     ++stats_.packets_lost_random;
     StartNext();
     return;
@@ -83,8 +92,19 @@ void Link::OnTransmitComplete() {
   StartNext();
 }
 
+void Link::AdvanceGilbert(Timestamp now) {
+  const TimeDelta step = config_.loss.gilbert_step;
+  if (step <= TimeDelta::Zero()) return;
+  // One transition per elapsed `gilbert_step`, so bad-state dwell depends
+  // only on sim time — not on how many packets happened to be delivered.
+  while (gilbert_next_step_ <= now) {
+    gilbert_.Step();
+    gilbert_next_step_ += step;
+  }
+}
+
 void Link::Deliver(const Packet& packet) {
-  TimeDelta propagation = config_.propagation + extra_propagation_;
+  TimeDelta propagation = base_propagation_ + extra_propagation_;
   bool reordered = false;
   if (reorder_probability_ > 0.0 &&
       fault_rng_.Bernoulli(reorder_probability_)) {
@@ -153,8 +173,13 @@ void Link::SetReordering(double probability, TimeDelta max_extra) {
   reorder_max_extra_ = max_extra;
 }
 
-void Link::OnRateChange() {
-  const DataRate new_rate = trace_cursor_.RateAt(loop_.now());
+void Link::OnRateChange() { ApplyEffectiveRate(); }
+
+void Link::ApplyEffectiveRate() {
+  const DataRate new_rate =
+      reneg_rate_ ? *reneg_rate_
+                  : (handover_rate_ ? *handover_rate_
+                                    : trace_cursor_.RateAt(loop_.now()));
   // During an outage nothing is serializing: remaining_bits_ is frozen and
   // there is no completion event to re-schedule.
   if (in_flight_ && !outage_) {
@@ -169,6 +194,34 @@ void Link::OnRateChange() {
     completion_ = loop_.Schedule(tx_time, [this] { OnTransmitComplete(); });
   }
   current_rate_ = new_rate;
+}
+
+void Link::Handover(DataRate rate, TimeDelta propagation,
+                    const std::optional<LossModel>& loss) {
+  ++stats_.handovers;
+  handover_rate_ = rate;
+  base_propagation_ = propagation;
+  if (loss) {
+    // The new cell has its own radio environment: swap the loss model and
+    // reseed its RNGs deterministically from the model's seed. The fault
+    // RNG (dup/reorder) is untouched — those faults belong to the plan,
+    // not the cell.
+    config_.loss = *loss;
+    loss_rng_ = Rng(loss->seed);
+    gilbert_ = GilbertProcess(loss->gilbert, Rng(loss->seed ^ 0x5A5A));
+    gilbert_next_step_ = loop_.now() + loss->gilbert_step;
+  }
+  ApplyEffectiveRate();
+}
+
+void Link::SetRateOverride(std::optional<DataRate> rate) {
+  if (rate) ++stats_.renegotiations;
+  reneg_rate_ = rate;
+  ApplyEffectiveRate();
+}
+
+void Link::SetPropagation(TimeDelta propagation) {
+  base_propagation_ = propagation;
 }
 
 DataSize Link::backlog() const {

@@ -11,6 +11,7 @@
 #include <optional>
 
 #include "net/capacity_trace.h"
+#include "net/loss_model.h"
 #include "net/packet.h"
 #include "sim/event_loop.h"
 #include "sim/random_process.h"
@@ -34,20 +35,11 @@ struct LinkStats {
   int64_t packets_duplicated = 0;
   int64_t packets_reordered = 0;
   int64_t outages = 0;
+  /// Wireless-tier counters: atomic handovers and datarate renegotiations.
+  int64_t handovers = 0;
+  int64_t renegotiations = 0;
   DataSize bytes_delivered = DataSize::Zero();
   DataSize bytes_dropped = DataSize::Zero();
-};
-
-/// Non-congestive loss model: i.i.d. loss plus an optional Gilbert burst
-/// process (stepped per packet) whose bad state loses packets at a much
-/// higher rate — the Wi-Fi interference pattern.
-struct LossModel {
-  double random_loss = 0.0;
-  bool gilbert_enabled = false;
-  GilbertProcess::Config gilbert;
-  /// Loss probability while the Gilbert process is in the bad state.
-  double gilbert_bad_loss = 0.5;
-  uint64_t seed = 17;
 };
 
 /// One-directional bottleneck. Delivery callback fires at the receiver-side
@@ -99,6 +91,28 @@ class Link {
   /// probability `probability`, so later packets overtake it. 0 disables.
   void SetReordering(double probability, TimeDelta max_extra);
 
+  // --- wireless-tier hooks (handover / datarate renegotiation) ---
+
+  /// Atomic handover: in one event-loop action the link moves to a new
+  /// cell/AP — capacity, propagation delay, and loss model all change
+  /// together. The new rate persists (it is a property of the new cell,
+  /// not a temporary window); an in-flight packet is retimed at the new
+  /// rate exactly like a trace rate-change. `loss`, when set, replaces
+  /// the loss model and reseeds its RNGs deterministically from the new
+  /// model's seed.
+  void Handover(DataRate rate, TimeDelta propagation,
+                const std::optional<LossModel>& loss);
+
+  /// Temporary datarate renegotiation (FPV-style modulation step). While
+  /// set, the link serializes at `rate` regardless of trace or handover
+  /// rate; `std::nullopt` reverts to the underlying rate. In-flight
+  /// packets are retimed on every change.
+  void SetRateOverride(std::optional<DataRate> rate);
+
+  /// Replaces the base (pre-fault) propagation delay for subsequent
+  /// deliveries. In-order delivery is preserved when it shrinks.
+  void SetPropagation(TimeDelta propagation);
+
   /// Bits waiting in the queue plus the untransmitted remainder of the
   /// in-flight packet.
   DataSize backlog() const;
@@ -114,6 +128,13 @@ class Link {
   void StartNext();
   void OnTransmitComplete();
   void OnRateChange();
+  /// Recomputes the effective serialization rate (override > handover >
+  /// trace) and retimes any in-flight packet; shared by trace
+  /// rate-changes, handovers, and renegotiations.
+  void ApplyEffectiveRate();
+  /// Advances the Gilbert chain to sim-time `now` (one transition per
+  /// `gilbert_step`), so bad-state dwell is time-based, not per-packet.
+  void AdvanceGilbert(Timestamp now);
   /// Schedules receiver-side delivery (propagation + fault effects).
   void Deliver(const Packet& packet);
 
@@ -136,6 +157,14 @@ class Link {
   LinkStats stats_;
   Rng loss_rng_;
   GilbertProcess gilbert_;
+  /// Next sim time at which the Gilbert chain takes a transition.
+  Timestamp gilbert_next_step_ = Timestamp::Zero();
+
+  // Wireless-tier state. Effective rate = reneg override, else handover
+  // rate, else trace rate; base propagation may be replaced by a handover.
+  std::optional<DataRate> handover_rate_;
+  std::optional<DataRate> reneg_rate_;
+  TimeDelta base_propagation_;
 
   // Fault-injection state. The fault RNG is consumed only while a
   // duplication/reorder window is active, so fault-free runs are untouched.
@@ -171,6 +200,11 @@ class DelayPipe {
   /// Extra delay added to every subsequent delivery (reverse-path RTT
   /// spike). The in-order guarantee is preserved when it later shrinks.
   void SetExtraDelay(TimeDelta extra) { extra_delay_ = extra; }
+
+  /// Replaces the base pipe delay (handover moved the reverse path to a
+  /// new cell). In-order delivery is preserved when it shrinks.
+  void SetBaseDelay(TimeDelta delay) { delay_ = delay; }
+  TimeDelta base_delay() const { return delay_; }
 
   int64_t delivered() const { return delivered_; }
   int64_t lost() const { return lost_; }

@@ -1,0 +1,36 @@
+// Non-congestive (wireless-style) loss model, split out of link.h so the
+// fault subsystem can carry replacement loss models inside handover events
+// without pulling in the whole link/event-loop machinery.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/random_process.h"
+#include "util/time.h"
+
+namespace rave::net {
+
+/// Non-congestive loss: i.i.d. corruption loss plus an optional Gilbert
+/// burst process whose bad state loses packets at a much higher rate — the
+/// Wi-Fi interference pattern.
+///
+/// Exactness contract: probabilities of exactly 0 and exactly 1 are honoured
+/// without consuming a random draw (a p=0 model is byte-identical to a
+/// disabled one; p=1 is a certainty, not a 1-ulp-away coin flip).
+///
+/// The Gilbert chain is stepped on the wall of simulated time — once per
+/// `gilbert_step` — NOT once per delivered packet, so the bad-state dwell
+/// time is a property of the channel (mean `gilbert_step / p_bad_to_good`)
+/// and independent of how often the link happens to be queried.
+struct LossModel {
+  double random_loss = 0.0;
+  bool gilbert_enabled = false;
+  GilbertProcess::Config gilbert;
+  /// Loss probability while the Gilbert process is in the bad state.
+  double gilbert_bad_loss = 0.5;
+  /// Sim-time interval between Gilbert chain transitions.
+  TimeDelta gilbert_step = TimeDelta::Millis(10);
+  uint64_t seed = 17;
+};
+
+}  // namespace rave::net

@@ -1,0 +1,90 @@
+#include "net/wireless.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace rave::net {
+
+namespace {
+
+/// Appends a step only when the rate actually changes, keeping traces
+/// minimal so interning and fingerprinting stay cheap.
+void PushStep(std::vector<CapacityTrace::Step>& steps, Timestamp start,
+              DataRate rate) {
+  if (!steps.empty() && steps.back().rate == rate) return;
+  steps.push_back({start, rate});
+}
+
+}  // namespace
+
+CapacityTrace GilbertFadingTrace(const GilbertFadingConfig& config,
+                                 TimeDelta duration) {
+  if (config.step <= TimeDelta::Zero()) {
+    throw std::invalid_argument("GilbertFadingTrace: step must be positive");
+  }
+  GilbertProcess chain(config.chain, Rng(config.seed));
+  std::vector<CapacityTrace::Step> steps;
+  PushStep(steps, Timestamp::Zero(), config.good_rate);
+  for (Timestamp t = Timestamp::Zero() + config.step;
+       t <= Timestamp::Zero() + duration; t += config.step) {
+    const bool bad = chain.Step();
+    PushStep(steps, t, bad ? config.bad_rate : config.good_rate);
+  }
+  return CapacityTrace(std::move(steps));
+}
+
+CapacityTrace DutyCycleTrace(DataRate nominal, DataRate degraded,
+                             TimeDelta period, double duty,
+                             TimeDelta duration) {
+  if (period <= TimeDelta::Zero()) {
+    throw std::invalid_argument("DutyCycleTrace: period must be positive");
+  }
+  if (!(duty >= 0.0 && duty <= 1.0)) {
+    throw std::invalid_argument("DutyCycleTrace: duty must be in [0,1]");
+  }
+  const TimeDelta on = TimeDelta::SecondsF(period.seconds() * duty);
+  std::vector<CapacityTrace::Step> steps;
+  if (on <= TimeDelta::Zero()) {
+    PushStep(steps, Timestamp::Zero(), nominal);
+    return CapacityTrace(std::move(steps));
+  }
+  for (Timestamp t = Timestamp::Zero(); t <= Timestamp::Zero() + duration;
+       t += period) {
+    PushStep(steps, t, degraded);
+    if (on < period) PushStep(steps, t + on, nominal);
+  }
+  return CapacityTrace(std::move(steps));
+}
+
+std::vector<CapacityTrace::Step> FpvModulationSchedule(
+    const FpvRadioConfig& config, TimeDelta duration) {
+  if (config.ladder.empty()) {
+    throw std::invalid_argument("FpvModulationSchedule: empty ladder");
+  }
+  if (config.decision_interval <= TimeDelta::Zero()) {
+    throw std::invalid_argument(
+        "FpvModulationSchedule: decision_interval must be positive");
+  }
+  Ar1Process snr(config.snr, Rng(config.seed));
+  const auto rung = [&](double value) {
+    const auto max_index = static_cast<double>(config.ladder.size() - 1);
+    const double clamped = std::clamp(std::floor(value), 0.0, max_index);
+    return config.ladder[static_cast<size_t>(clamped)];
+  };
+  std::vector<CapacityTrace::Step> steps;
+  PushStep(steps, Timestamp::Zero(), rung(snr.value()));
+  for (Timestamp t = Timestamp::Zero() + config.decision_interval;
+       t <= Timestamp::Zero() + duration; t += config.decision_interval) {
+    PushStep(steps, t, rung(snr.Step()));
+  }
+  return steps;
+}
+
+CapacityTrace FpvRadioTrace(const FpvRadioConfig& config, TimeDelta duration) {
+  return CapacityTrace(FpvModulationSchedule(config, duration));
+}
+
+}  // namespace rave::net

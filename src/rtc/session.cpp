@@ -37,7 +37,6 @@ SessionConfig Normalize(SessionConfig c) {
 
 Session::Session(SessionConfig config)
     : config_(Normalize(std::move(config))),
-      trace_cursor_(*config_.link.trace),
       source_(config_.source),
       packetizer_(),
       protection_(config_.protection),
@@ -413,7 +412,12 @@ void Session::OnWatchdogTick() {
 void Session::OnTimeseriesTick() {
   metrics::TimeseriesPoint p;
   p.at = loop_.now();
-  p.capacity_kbps = trace_cursor_.RateAt(loop_.now()).kbps();
+  // The link's effective rate, not the raw trace: handovers and datarate
+  // renegotiations change capacity without touching the trace. (Trace
+  // rate-change events carry lower seq numbers than timeseries ticks, so at
+  // equal timestamps the link has already applied the step — byte-identical
+  // to the old cursor lookup for wired scenarios.)
+  p.capacity_kbps = forward_link_->current_rate().kbps();
   RAVE_TRACE_COUNTER(kCapacityKbps, p.at, p.capacity_kbps);
   p.bwe_target_kbps = bwe_->target().kbps();
   p.encoder_target_kbps = encoder_->rate_control().current_target().kbps();

@@ -98,6 +98,12 @@ struct SessionConfig {
   /// (fault-free) scenarios never produce.
   core::CircuitBreaker::Config breaker;
 
+  /// Name of the wireless/mobility profile this config was built from
+  /// (empty = wired). Informational for reports, but part of the session
+  /// cache key: two cells that differ only in profile name must not share
+  /// cached results.
+  std::string wireless_profile;
+
   TimeDelta timeseries_interval = TimeDelta::Millis(100);
 };
 
@@ -175,8 +181,6 @@ class Session {
   /// Session-local metrics registry, installed as the thread's registry for
   /// the duration of Run() (see obs::MetricsScope).
   obs::MetricsRegistry registry_;
-  /// Timeseries capacity lookups (ticks are time-ordered, so amortized O(1)).
-  net::CapacityTrace::Cursor trace_cursor_;
   video::VideoSource source_;
   metrics::SessionMetrics metrics_;
   transport::Packetizer packetizer_;

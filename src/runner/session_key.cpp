@@ -135,6 +135,16 @@ void PutTrace(ByteWriter& w, const net::CapacityTrace& trace) {
   }
 }
 
+void PutLossModel(ByteWriter& w, const net::LossModel& loss) {
+  w.F64(loss.random_loss);
+  w.Bool(loss.gilbert_enabled);
+  w.F64(loss.gilbert.p_good_to_bad);
+  w.F64(loss.gilbert.p_bad_to_good);
+  w.F64(loss.gilbert_bad_loss);
+  PutDelta(w, loss.gilbert_step);
+  w.U64(loss.seed);
+}
+
 void PutFaults(ByteWriter& w, const fault::FaultPlan& plan) {
   w.U64(plan.events().size());
   for (const fault::FaultEvent& e : plan.events()) {
@@ -143,6 +153,10 @@ void PutFaults(ByteWriter& w, const fault::FaultPlan& plan) {
     PutDelta(w, e.duration);
     w.F64(e.magnitude);
     PutDelta(w, e.delay);
+    PutRate(w, e.rate);
+    PutDelta(w, e.propagation);
+    w.Bool(e.loss.has_value());
+    if (e.loss) PutLossModel(w, *e.loss);
   }
 }
 
@@ -186,12 +200,7 @@ SessionKey ComputeSessionKey(const rtc::SessionConfig& c) {
   PutTrace(w, *c.link.trace);
   PutDelta(w, c.link.propagation);
   PutSize(w, c.link.queue_capacity);
-  w.F64(c.link.loss.random_loss);
-  w.Bool(c.link.loss.gilbert_enabled);
-  w.F64(c.link.loss.gilbert.p_good_to_bad);
-  w.F64(c.link.loss.gilbert.p_bad_to_good);
-  w.F64(c.link.loss.gilbert_bad_loss);
-  w.U64(c.link.loss.seed);
+  PutLossModel(w, c.link.loss);
 
   // Feedback path.
   PutDelta(w, c.feedback_delay);
@@ -291,6 +300,8 @@ SessionKey ComputeSessionKey(const rtc::SessionConfig& c) {
   PutDelta(w, c.breaker.pause_after);
   w.F64(c.breaker.recovery_start_fraction);
   w.F64(c.breaker.ramp_up_factor);
+
+  w.Str(c.wireless_profile);
 
   PutDelta(w, c.timeseries_interval);
 

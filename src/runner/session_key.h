@@ -29,7 +29,10 @@ namespace rave::runner {
 
 /// Version salt for ComputeSessionKey. See file comment for the bump rule.
 /// 2: SessionResult gained the obs metrics snapshot (blob layout change).
-inline constexpr uint64_t kSimFingerprint = 2;
+/// 3: Gilbert loss stepping moved from per-packet to sim-time cadence and
+///    p=0/p=1 loss probabilities became exact (no RNG draw) — both change
+///    results for existing Gilbert-loss configs without changing any field.
+inline constexpr uint64_t kSimFingerprint = 3;
 
 /// 128-bit content hash of a SessionConfig.
 struct SessionKey {

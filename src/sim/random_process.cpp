@@ -27,11 +27,15 @@ GilbertProcess::GilbertProcess(const Config& config, Rng rng)
     : config_(config), rng_(rng) {}
 
 bool GilbertProcess::Step() {
-  if (bad_) {
-    if (rng_.Bernoulli(config_.p_bad_to_good)) bad_ = false;
-  } else {
-    if (rng_.Bernoulli(config_.p_good_to_bad)) bad_ = true;
+  const double p = bad_ ? config_.p_bad_to_good : config_.p_good_to_bad;
+  // Degenerate probabilities are certainties, not coin flips: no RNG draw,
+  // so a never-transitioning chain leaves the generator untouched.
+  if (p <= 0.0) return bad_;
+  if (p >= 1.0) {
+    bad_ = !bad_;
+    return bad_;
   }
+  if (rng_.Bernoulli(p)) bad_ = !bad_;
   return bad_;
 }
 

@@ -5,12 +5,21 @@
 #
 #   cmake -DBINARY=<path> -DOUT=<output-prefix>
 #         "-DVARIANTS=--batch=1|--batch=16 --simd=scalar|..."
-#         [-DEXTRA_ARGS=...] -P bench_variants_determinism.cmake
+#         [-DEXTRA_ARGS=...] [-DCACHE_DIR=<dir>]
+#         -P bench_variants_determinism.cmake
 #
 # Variants are separated by "|"; arguments within one variant by spaces.
+# With CACHE_DIR set, the directory is removed first and every variant runs
+# with --cache-dir=<dir>: the first run is a cold cache pass and the rest
+# are warm, so the compare also gates cold-vs-warm byte-identity.
 if(NOT DEFINED BINARY OR NOT DEFINED OUT OR NOT DEFINED VARIANTS)
   message(FATAL_ERROR
           "bench_variants_determinism.cmake needs -DBINARY, -DOUT, -DVARIANTS")
+endif()
+
+if(DEFINED CACHE_DIR)
+  file(REMOVE_RECURSE "${CACHE_DIR}")
+  list(APPEND EXTRA_ARGS "--cache-dir=${CACHE_DIR}")
 endif()
 
 string(REPLACE "|" ";" variant_list "${VARIANTS}")

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace rave::fault {
 namespace {
@@ -117,6 +120,173 @@ TEST(FaultPlanTest, ParseSpecErrorsNameTheToken) {
   } catch (const std::invalid_argument& e) {
     EXPECT_NE(std::string(e.what()).find("bogus@1+1"), std::string::npos);
   }
+}
+
+TEST(FaultPlanTest, HandoverBuilderCarriesCellParameters) {
+  net::LossModel loss;
+  loss.random_loss = 0.05;
+  FaultPlan plan;
+  plan.Handover(Timestamp::Seconds(15), TimeDelta::Millis(200),
+                DataRate::KilobitsPerSec(900), TimeDelta::Millis(60), loss)
+      .Renegotiate(Timestamp::Seconds(20), TimeDelta::Seconds(4),
+                   DataRate::KilobitsPerSec(1200));
+  ASSERT_EQ(plan.events().size(), 2u);
+
+  const FaultEvent& h = plan.events()[0];
+  EXPECT_EQ(h.kind, FaultKind::kHandover);
+  EXPECT_EQ(h.duration, TimeDelta::Millis(200));
+  EXPECT_EQ(h.rate, DataRate::KilobitsPerSec(900));
+  EXPECT_EQ(h.propagation, TimeDelta::Millis(60));
+  ASSERT_TRUE(h.loss.has_value());
+  EXPECT_DOUBLE_EQ(h.loss->random_loss, 0.05);
+
+  const FaultEvent& r = plan.events()[1];
+  EXPECT_EQ(r.kind, FaultKind::kRenegotiate);
+  EXPECT_EQ(r.rate, DataRate::KilobitsPerSec(1200));
+  EXPECT_FALSE(r.loss.has_value());
+}
+
+TEST(FaultPlanTest, HandoverValidationRejectsBadCells) {
+  FaultPlan plan;
+  // Non-positive rate.
+  EXPECT_THROW(plan.Handover(Timestamp::Seconds(1), TimeDelta::Millis(100),
+                             DataRate::Zero(), TimeDelta::Millis(30)),
+               std::invalid_argument);
+  // Negative propagation.
+  EXPECT_THROW(plan.Handover(Timestamp::Seconds(1), TimeDelta::Millis(100),
+                             DataRate::KilobitsPerSec(900),
+                             TimeDelta::Millis(-1)),
+               std::invalid_argument);
+  // Loss probability outside [0,1] / non-finite.
+  net::LossModel bad_loss;
+  bad_loss.random_loss = 1.5;
+  EXPECT_THROW(plan.Handover(Timestamp::Seconds(1), TimeDelta::Millis(100),
+                             DataRate::KilobitsPerSec(900),
+                             TimeDelta::Millis(30), bad_loss),
+               std::invalid_argument);
+  bad_loss.random_loss = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(plan.Handover(Timestamp::Seconds(1), TimeDelta::Millis(100),
+                             DataRate::KilobitsPerSec(900),
+                             TimeDelta::Millis(30), bad_loss),
+               std::invalid_argument);
+  // Gilbert loss with a non-positive stepping cadence.
+  net::LossModel bad_gilbert;
+  bad_gilbert.gilbert_enabled = true;
+  bad_gilbert.gilbert_step = TimeDelta::Zero();
+  EXPECT_THROW(plan.Handover(Timestamp::Seconds(1), TimeDelta::Millis(100),
+                             DataRate::KilobitsPerSec(900),
+                             TimeDelta::Millis(30), bad_gilbert),
+               std::invalid_argument);
+  // Renegotiation with a non-positive rate.
+  EXPECT_THROW(plan.Renegotiate(Timestamp::Seconds(1), TimeDelta::Seconds(1),
+                                DataRate::Zero()),
+               std::invalid_argument);
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(FaultPlanTest, OverlapRulesApplyToWirelessKinds) {
+  FaultPlan plan;
+  plan.Handover(Timestamp::Seconds(10), TimeDelta::Millis(200),
+                DataRate::KilobitsPerSec(900), TimeDelta::Millis(30));
+  EXPECT_THROW(
+      plan.Handover(Timestamp::Millis(10'100), TimeDelta::Millis(200),
+                    DataRate::KilobitsPerSec(1200), TimeDelta::Millis(30)),
+      std::invalid_argument);
+  // Back-to-back renegotiation windows (end == start) are legal — the FPV
+  // profile chains them.
+  plan.Renegotiate(Timestamp::Seconds(12), TimeDelta::Seconds(2),
+                   DataRate::KilobitsPerSec(1800));
+  plan.Renegotiate(Timestamp::Seconds(14), TimeDelta::Seconds(2),
+                   DataRate::KilobitsPerSec(2700));
+  EXPECT_THROW(plan.Renegotiate(Timestamp::Seconds(15), TimeDelta::Seconds(2),
+                                DataRate::KilobitsPerSec(900)),
+               std::invalid_argument);
+  EXPECT_EQ(plan.events().size(), 3u);
+}
+
+TEST(FaultPlanTest, ParseSpecWirelessKinds) {
+  const FaultPlan plan =
+      ParseFaultSpec("handover@15+0.2:900:60,reneg@20+4:1200");
+  ASSERT_EQ(plan.events().size(), 2u);
+
+  const FaultEvent& h = plan.events()[0];
+  EXPECT_EQ(h.kind, FaultKind::kHandover);
+  EXPECT_EQ(h.start, Timestamp::Seconds(15));
+  EXPECT_EQ(h.duration, TimeDelta::Millis(200));
+  EXPECT_EQ(h.rate, DataRate::KilobitsPerSec(900));
+  EXPECT_EQ(h.propagation, TimeDelta::Millis(60));
+  EXPECT_FALSE(h.loss.has_value());
+
+  const FaultEvent& r = plan.events()[1];
+  EXPECT_EQ(r.kind, FaultKind::kRenegotiate);
+  EXPECT_EQ(r.rate, DataRate::KilobitsPerSec(1200));
+
+  // The optional fourth handover field sets the new cell's i.i.d. loss.
+  const FaultPlan lossy = ParseFaultSpec("handover@15+0.2:900:60:0.05");
+  ASSERT_TRUE(lossy.events()[0].loss.has_value());
+  EXPECT_DOUBLE_EQ(lossy.events()[0].loss->random_loss, 0.05);
+}
+
+TEST(FaultPlanTest, ParseSpecRejectsBadWirelessMagnitudes) {
+  // Missing required parameters.
+  EXPECT_THROW(ParseFaultSpec("handover@15+0.2"), std::invalid_argument);
+  EXPECT_THROW(ParseFaultSpec("handover@15+0.2:900"), std::invalid_argument);
+  EXPECT_THROW(ParseFaultSpec("reneg@20+4"), std::invalid_argument);
+  // Negative / NaN magnitudes are rejected, not silently clamped.
+  EXPECT_THROW(ParseFaultSpec("handover@15+0.2:-900:60"),
+               std::invalid_argument);
+  EXPECT_THROW(ParseFaultSpec("handover@15+0.2:900:-60"),
+               std::invalid_argument);
+  EXPECT_THROW(ParseFaultSpec("handover@15+0.2:900:60:-0.1"),
+               std::invalid_argument);
+  EXPECT_THROW(ParseFaultSpec("handover@15+0.2:nan:60"),
+               std::invalid_argument);
+  EXPECT_THROW(ParseFaultSpec("reneg@20+4:-1200"), std::invalid_argument);
+  EXPECT_THROW(ParseFaultSpec("reneg@20+4:nan"), std::invalid_argument);
+  // Negative / NaN durations and probabilities on the classic kinds too.
+  EXPECT_THROW(ParseFaultSpec("outage@10+-2"), std::invalid_argument);
+  EXPECT_THROW(ParseFaultSpec("dup@10+2:-0.2"), std::invalid_argument);
+  EXPECT_THROW(ParseFaultSpec("dup@10+2:nan"), std::invalid_argument);
+  EXPECT_THROW(ParseFaultSpec("spike@10+2:nan"), std::invalid_argument);
+}
+
+TEST(FaultPlanTest, ParseSpecErrorsEchoTheFullSpec) {
+  // Whatever goes wrong — unknown kind, bad number, structural validation,
+  // overlapping windows — the message must echo the complete spec string so
+  // a user with many comma-separated tokens can find the bad input.
+  const std::vector<std::string> bad_specs = {
+      "outage@10+2,meteor@1+1",
+      "outage@10+2,handover@15+0.2:nan:60",
+      "outage@10+2,outage@11+2",
+      "handover@10+0.2:900:60,handover@10.1+0.2:1200:30",
+      "outage@10+2,dup@1+1:1.7",
+  };
+  for (const std::string& spec : bad_specs) {
+    try {
+      ParseFaultSpec(spec);
+      FAIL() << "expected std::invalid_argument for '" << spec << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("(in spec '" + spec + "')"),
+                std::string::npos)
+          << "message '" << e.what() << "' does not echo the spec";
+    }
+  }
+}
+
+TEST(FaultPlanTest, ToStringRendersWirelessKinds) {
+  net::LossModel loss;
+  loss.random_loss = 0.05;
+  FaultPlan plan;
+  plan.Handover(Timestamp::Seconds(15), TimeDelta::Millis(200),
+                DataRate::KilobitsPerSec(900), TimeDelta::Millis(60), loss)
+      .Renegotiate(Timestamp::Seconds(20), TimeDelta::Seconds(4),
+                   DataRate::KilobitsPerSec(1200));
+  const std::string text = plan.ToString();
+  EXPECT_NE(text.find("handover@15s"), std::string::npos) << text;
+  EXPECT_NE(text.find("900kbps"), std::string::npos) << text;
+  EXPECT_NE(text.find("60ms"), std::string::npos) << text;
+  EXPECT_NE(text.find("loss=0.05"), std::string::npos) << text;
+  EXPECT_NE(text.find("reneg@20s+4s:1200kbps"), std::string::npos) << text;
 }
 
 TEST(FaultPlanTest, ToStringRoundTripsKinds) {

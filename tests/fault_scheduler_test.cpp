@@ -192,6 +192,146 @@ TEST(FaultSchedulerTest, AnyActiveTracksOpenWindows) {
   EXPECT_FALSE(fx.link->outage());
 }
 
+TEST(FaultSchedulerTest, HandoverSwapsRateRttAndLossAtomically) {
+  // The acceptance test for the wireless tier: sample the link on BOTH
+  // sides of the handover instant and observe capacity, propagation, and
+  // the loss model change together, in one event-loop action.
+  LinkFixture fx;
+  net::DelayPipe pipe(fx.loop, TimeDelta::Millis(25));
+
+  net::LossModel new_loss;
+  new_loss.random_loss = 1.0;  // exact: every post-handover packet dies
+  new_loss.seed = 99;
+  FaultPlan plan;
+  plan.Handover(Timestamp::Millis(100), TimeDelta::Millis(50),
+                DataRate::KilobitsPerSec(1'000), TimeDelta::Millis(40),
+                new_loss);
+  FaultScheduler scheduler(fx.loop, plan, fx.link.get(), &pipe);
+
+  // Probes 1 ms either side of the event.
+  struct Sample {
+    DataRate rate = DataRate::Zero();
+    bool outage = false;
+    bool blackhole = false;
+    int64_t handovers = 0;
+    TimeDelta pipe_delay = TimeDelta::Zero();
+  };
+  Sample before, during, after;
+  auto probe = [&](Sample& s) {
+    s.rate = fx.link->current_rate();
+    s.outage = fx.link->outage();
+    s.blackhole = pipe.blackhole();
+    s.handovers = fx.link->stats().handovers;
+    s.pipe_delay = pipe.base_delay();
+  };
+  fx.loop.ScheduleAt(Timestamp::Millis(99), [&] { probe(before); });
+  fx.loop.ScheduleAt(Timestamp::Millis(101), [&] { probe(during); });
+  fx.loop.ScheduleAt(Timestamp::Millis(200), [&] { probe(after); });
+
+  fx.SendAt(Timestamp::Millis(50), 0);   // old cell: delivered normally
+  fx.SendAt(Timestamp::Millis(200), 1);  // new cell: certain loss
+  fx.loop.RunFor(TimeDelta::Millis(500));
+
+  // Old cell on the left side of the event.
+  EXPECT_EQ(before.rate, DataRate::KilobitsPerSec(10'000));
+  EXPECT_FALSE(before.outage);
+  EXPECT_FALSE(before.blackhole);
+  EXPECT_EQ(before.handovers, 0);
+  EXPECT_EQ(before.pipe_delay, TimeDelta::Millis(25));
+
+  // One event-loop action later every parameter has moved: capacity,
+  // reverse-path delay, loss model, and the radio-silence gap are all on.
+  EXPECT_EQ(during.rate, DataRate::KilobitsPerSec(1'000));
+  EXPECT_TRUE(during.outage);
+  EXPECT_TRUE(during.blackhole);
+  EXPECT_EQ(during.handovers, 1);
+  EXPECT_EQ(during.pipe_delay, TimeDelta::Millis(40));
+
+  // The revert only ends the silence; the new cell persists.
+  EXPECT_FALSE(after.outage);
+  EXPECT_FALSE(after.blackhole);
+  EXPECT_EQ(after.rate, DataRate::KilobitsPerSec(1'000));
+  EXPECT_EQ(after.pipe_delay, TimeDelta::Millis(40));
+
+  // Packet 0 rode the old cell (10 ms propagation); packet 1 hit the new
+  // cell's certain loss without ever arriving.
+  ASSERT_EQ(fx.arrivals.size(), 1u);
+  EXPECT_EQ(fx.arrivals[0].first, 0);
+  EXPECT_LT(fx.arrivals[0].second, Timestamp::Millis(100));
+  EXPECT_EQ(fx.link->stats().packets_lost_random, 1);
+  EXPECT_EQ(scheduler.stats().faults_applied, 1);
+  EXPECT_EQ(scheduler.stats().faults_reverted, 1);
+}
+
+TEST(FaultSchedulerTest, HandoverPropagationGovernsArrivalTiming) {
+  LinkFixture fx;
+  FaultPlan plan;
+  plan.Handover(Timestamp::Millis(100), TimeDelta::Millis(50),
+                DataRate::KilobitsPerSec(1'000), TimeDelta::Millis(40));
+  FaultScheduler scheduler(fx.loop, plan, fx.link.get(), nullptr);
+
+  fx.SendAt(Timestamp::Millis(200), 0);
+  fx.loop.RunFor(TimeDelta::Millis(500));
+
+  // New cell: 1200 bytes at 1 Mbps = 9.6 ms serialization + 40 ms OWD.
+  ASSERT_EQ(fx.arrivals.size(), 1u);
+  EXPECT_GE(fx.arrivals[0].second, Timestamp::Micros(249'590));
+  EXPECT_LE(fx.arrivals[0].second, Timestamp::Micros(249'610));
+}
+
+TEST(FaultSchedulerTest, RenegotiationIsWindowedNotPersistent) {
+  LinkFixture fx;
+  FaultPlan plan;
+  plan.Renegotiate(Timestamp::Millis(100), TimeDelta::Millis(100),
+                   DataRate::KilobitsPerSec(1'000));
+  FaultScheduler scheduler(fx.loop, plan, fx.link.get(), nullptr);
+
+  DataRate rate_inside = DataRate::Zero();
+  DataRate rate_after = DataRate::Zero();
+  fx.loop.ScheduleAt(Timestamp::Millis(150),
+                     [&] { rate_inside = fx.link->current_rate(); });
+  fx.loop.ScheduleAt(Timestamp::Millis(250),
+                     [&] { rate_after = fx.link->current_rate(); });
+
+  fx.SendAt(Timestamp::Millis(120), 0);  // inside: 9.6 ms serialization
+  fx.SendAt(Timestamp::Millis(250), 1);  // after revert: ~1 ms again
+  fx.loop.RunFor(TimeDelta::Millis(500));
+
+  EXPECT_EQ(rate_inside, DataRate::KilobitsPerSec(1'000));
+  EXPECT_EQ(rate_after, DataRate::KilobitsPerSec(10'000));
+  EXPECT_EQ(fx.link->stats().renegotiations, 1);
+
+  ASSERT_EQ(fx.arrivals.size(), 2u);
+  // 120 ms + 9.6 ms + 10 ms propagation.
+  EXPECT_GE(fx.arrivals[0].second, Timestamp::Micros(139'590));
+  EXPECT_LE(fx.arrivals[0].second, Timestamp::Micros(139'610));
+  // 250 ms + 0.96 ms + 10 ms.
+  EXPECT_LE(fx.arrivals[1].second, Timestamp::Millis(262));
+}
+
+TEST(FaultSchedulerTest, RenegotiationOverridesHandoverRateWhileActive) {
+  // A renegotiation window spanning a handover serializes at the
+  // renegotiated rate, then falls back to the NEW cell's rate on revert.
+  LinkFixture fx;
+  FaultPlan plan;
+  plan.Renegotiate(Timestamp::Millis(50), TimeDelta::Millis(200),
+                   DataRate::KilobitsPerSec(500));
+  plan.Handover(Timestamp::Millis(100), TimeDelta::Millis(20),
+                DataRate::KilobitsPerSec(2'000), TimeDelta::Millis(10));
+  FaultScheduler scheduler(fx.loop, plan, fx.link.get(), nullptr);
+
+  DataRate rate_overlap = DataRate::Zero();
+  DataRate rate_after = DataRate::Zero();
+  fx.loop.ScheduleAt(Timestamp::Millis(150),
+                     [&] { rate_overlap = fx.link->current_rate(); });
+  fx.loop.ScheduleAt(Timestamp::Millis(300),
+                     [&] { rate_after = fx.link->current_rate(); });
+  fx.loop.RunFor(TimeDelta::Millis(400));
+
+  EXPECT_EQ(rate_overlap, DataRate::KilobitsPerSec(500));
+  EXPECT_EQ(rate_after, DataRate::KilobitsPerSec(2'000));
+}
+
 TEST(FaultSchedulerTest, FaultFreeLinkIsByteIdenticalWithHooksPresent) {
   // The fault RNG must not be consumed when no dup/reorder window is active:
   // a link with an (inactive) scheduler attached behaves identically to one

@@ -65,6 +65,9 @@ TEST(LossModelTest, GilbertBurstsLoseMoreThanIidAtSameMean) {
       config.loss.gilbert_enabled = true;
       config.loss.gilbert = {.p_good_to_bad = 0.005, .p_bad_to_good = 0.1};
       config.loss.gilbert_bad_loss = 0.7;
+      // The chain steps on sim time; 30k back-to-back packets only span
+      // ~2.9 s, so step every 1 ms to get enough transitions for bursts.
+      config.loss.gilbert_step = TimeDelta::Millis(1);
     } else {
       config.loss.random_loss = 0.033;  // similar long-run mean
     }
@@ -82,6 +85,82 @@ TEST(LossModelTest, GilbertBurstsLoseMoreThanIidAtSameMean) {
     return longest;
   };
   EXPECT_GT(longest_run(true), 2 * longest_run(false));
+}
+
+TEST(LossModelTest, ExtremeProbabilitiesAreExact) {
+  // p = 1 loses everything and p = 0 delivers everything — exactly, with no
+  // RNG draw involved (the contract the handover loss swap relies on).
+  auto delivered_of = [](double p) {
+    EventLoop loop;
+    int delivered = 0;
+    Link::Config config;
+    config.trace = CapacityTrace::Constant(DataRate::MegabitsPerSecF(50.0));
+    config.queue_capacity = DataSize::Bytes(10'000'000);
+    config.loss.random_loss = p;
+    Link link(loop, std::move(config),
+              [&](const Packet&, Timestamp) { ++delivered; });
+    for (int i = 0; i < 500; ++i) link.Send(MediaPacket(i));
+    loop.RunAll();
+    return delivered;
+  };
+  EXPECT_EQ(delivered_of(1.0), 0);
+  EXPECT_EQ(delivered_of(0.0), 500);
+}
+
+TEST(LossModelTest, GilbertDwellIsWallClockNotPacketCount) {
+  // A deterministic alternating chain (both transition probabilities 1.0,
+  // stepped every 10 ms) puts the link in the bad state during exactly the
+  // odd 10 ms windows: [10,20), [30,40), ... With gilbert_bad_loss = 1.0
+  // the lost packets are exactly those completing serialization inside a
+  // bad window — regardless of how often packets sample the chain. Under
+  // the old per-packet stepping this schedule would depend entirely on the
+  // send cadence.
+  auto run = [](int64_t cadence_us, int packets) {
+    EventLoop loop;
+    std::vector<bool> got(static_cast<size_t>(packets), false);
+    Link::Config config;
+    // 1200-byte packet at 100 Mbps: 96 us serialization, so completion time
+    // is send time + 96 us and never crosses a 10 ms boundary here.
+    config.trace = CapacityTrace::Constant(DataRate::MegabitsPerSecF(100.0));
+    config.queue_capacity = DataSize::Bytes(10'000'000);
+    config.loss.gilbert_enabled = true;
+    config.loss.gilbert = {.p_good_to_bad = 1.0, .p_bad_to_good = 1.0};
+    config.loss.gilbert_bad_loss = 1.0;
+    config.loss.gilbert_step = TimeDelta::Millis(10);
+    Link link(loop, std::move(config), [&](const Packet& p, Timestamp) {
+      got[static_cast<size_t>(p.seq)] = true;
+    });
+    for (int i = 0; i < packets; ++i) {
+      loop.ScheduleAt(Timestamp::Micros(i * cadence_us),
+                      [&link, i] { link.Send(MediaPacket(i)); });
+    }
+    loop.RunAll();
+    return got;
+  };
+
+  for (int64_t cadence_us : {1'000, 4'000}) {
+    const int packets = 100;
+    const auto got = run(cadence_us, packets);
+    for (int i = 0; i < packets; ++i) {
+      const int64_t complete_us = i * cadence_us + 96;
+      const bool bad_window = (complete_us / 10'000) % 2 == 1;
+      EXPECT_EQ(got[static_cast<size_t>(i)], !bad_window)
+          << "cadence " << cadence_us << " us, packet " << i;
+    }
+  }
+}
+
+TEST(LossModelTest, GilbertChainUnitProbabilitiesNeedNoRng) {
+  // GilbertProcess::Step short-circuits p <= 0 (stay) and p >= 1 (flip)
+  // without consuming randomness: the trajectory is seed-independent.
+  GilbertProcess a({.p_good_to_bad = 1.0, .p_bad_to_good = 1.0}, Rng(1));
+  GilbertProcess b({.p_good_to_bad = 1.0, .p_bad_to_good = 1.0}, Rng(999));
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.Step(), b.Step()) << "step " << i;
+    EXPECT_EQ(a.bad(), i % 2 == 0);  // good -> bad on the first step
+  }
+  GilbertProcess frozen({.p_good_to_bad = 0.0, .p_bad_to_good = 0.0}, Rng(1));
+  for (int i = 0; i < 20; ++i) EXPECT_FALSE(frozen.Step());
 }
 
 TEST(CrossTrafficTest, GeneratesConfiguredRateWhileOn) {

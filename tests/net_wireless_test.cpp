@@ -1,0 +1,185 @@
+// Wireless-tier generators (net/wireless.h) and the named profile registry
+// (fault/wireless_profiles.h): deterministic traces, coalesced steps,
+// ladder quantization, and validated construction.
+#include "net/wireless.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "fault/wireless_profiles.h"
+
+namespace rave::net {
+namespace {
+
+TEST(GilbertFadingTraceTest, DeterministicAndCoalesced) {
+  GilbertFadingConfig config;
+  const CapacityTrace a = GilbertFadingTrace(config, TimeDelta::Seconds(60));
+  const CapacityTrace b = GilbertFadingTrace(config, TimeDelta::Seconds(60));
+  ASSERT_EQ(a.steps().size(), b.steps().size());
+  for (size_t i = 0; i < a.steps().size(); ++i) {
+    EXPECT_EQ(a.steps()[i].start, b.steps()[i].start);
+    EXPECT_EQ(a.steps()[i].rate, b.steps()[i].rate);
+  }
+
+  // Every step is one of the two channel states, the trace starts at t=0,
+  // and consecutive same-rate steps are coalesced.
+  ASSERT_FALSE(a.steps().empty());
+  EXPECT_EQ(a.steps().front().start, Timestamp::Zero());
+  for (size_t i = 0; i < a.steps().size(); ++i) {
+    const DataRate rate = a.steps()[i].rate;
+    EXPECT_TRUE(rate == config.good_rate || rate == config.bad_rate);
+    if (i > 0) {
+      EXPECT_NE(rate, a.steps()[i - 1].rate) << "uncoalesced step";
+    }
+  }
+
+  // The chain actually fades: both states appear over a minute.
+  const bool any_bad = std::any_of(
+      a.steps().begin(), a.steps().end(),
+      [&](const CapacityTrace::Step& s) { return s.rate == config.bad_rate; });
+  EXPECT_TRUE(any_bad);
+
+  GilbertFadingConfig reseeded = config;
+  reseeded.seed ^= 0xDEAD;
+  const CapacityTrace c = GilbertFadingTrace(reseeded, TimeDelta::Seconds(60));
+  bool differs = a.steps().size() != c.steps().size();
+  for (size_t i = 0; !differs && i < a.steps().size(); ++i) {
+    differs = a.steps()[i].start != c.steps()[i].start ||
+              a.steps()[i].rate != c.steps()[i].rate;
+  }
+  EXPECT_TRUE(differs) << "reseeding produced an identical fading schedule";
+}
+
+TEST(GilbertFadingTraceTest, RejectsNonPositiveStep) {
+  GilbertFadingConfig config;
+  config.step = TimeDelta::Zero();
+  EXPECT_THROW(GilbertFadingTrace(config, TimeDelta::Seconds(10)),
+               std::invalid_argument);
+}
+
+TEST(DutyCycleTraceTest, DegradedWindowLeadsEveryPeriod) {
+  const DataRate nominal = DataRate::KilobitsPerSec(2500);
+  const DataRate degraded = DataRate::KilobitsPerSec(700);
+  const CapacityTrace trace = DutyCycleTrace(
+      nominal, degraded, TimeDelta::Seconds(2), 0.25, TimeDelta::Seconds(10));
+  // First duty * period of each period is degraded, the rest nominal.
+  EXPECT_EQ(trace.RateAt(Timestamp::Millis(100)), degraded);
+  EXPECT_EQ(trace.RateAt(Timestamp::Millis(499)), degraded);
+  EXPECT_EQ(trace.RateAt(Timestamp::Millis(500)), nominal);
+  EXPECT_EQ(trace.RateAt(Timestamp::Millis(1999)), nominal);
+  EXPECT_EQ(trace.RateAt(Timestamp::Millis(2100)), degraded);
+  EXPECT_EQ(trace.RateAt(Timestamp::Millis(2500)), nominal);
+  EXPECT_EQ(trace.RateAt(Timestamp::Seconds(9)), nominal);
+}
+
+TEST(DutyCycleTraceTest, RejectsBadPeriodsAndDuty) {
+  const DataRate r = DataRate::KilobitsPerSec(1000);
+  EXPECT_THROW(
+      DutyCycleTrace(r, r, TimeDelta::Zero(), 0.5, TimeDelta::Seconds(10)),
+      std::invalid_argument);
+  EXPECT_THROW(
+      DutyCycleTrace(r, r, TimeDelta::Seconds(2), -0.1, TimeDelta::Seconds(10)),
+      std::invalid_argument);
+  EXPECT_THROW(
+      DutyCycleTrace(r, r, TimeDelta::Seconds(2), 1.1, TimeDelta::Seconds(10)),
+      std::invalid_argument);
+}
+
+TEST(FpvRadioTest, ScheduleStaysOnLadderAndIsDeterministic) {
+  FpvRadioConfig config;
+  const auto schedule = FpvModulationSchedule(config, TimeDelta::Seconds(120));
+  ASSERT_FALSE(schedule.empty());
+  EXPECT_EQ(schedule.front().start, Timestamp::Zero());
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    const DataRate rate = schedule[i].rate;
+    EXPECT_NE(std::find(config.ladder.begin(), config.ladder.end(), rate),
+              config.ladder.end())
+        << "rate " << rate.kbps() << " kbps is not a ladder rung";
+    if (i > 0) {
+      EXPECT_NE(rate, schedule[i - 1].rate) << "duplicate rung at entry " << i;
+      EXPECT_GT(schedule[i].start, schedule[i - 1].start);
+      // Decisions fall on the decision cadence.
+      EXPECT_EQ(schedule[i].start.us() % config.decision_interval.us(), 0);
+    }
+  }
+  // Over two minutes the radio must actually renegotiate.
+  EXPECT_GT(schedule.size(), 1u);
+
+  const auto again = FpvModulationSchedule(config, TimeDelta::Seconds(120));
+  ASSERT_EQ(schedule.size(), again.size());
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    EXPECT_EQ(schedule[i].rate, again[i].rate);
+  }
+
+  // The trace view carries the same schedule.
+  const CapacityTrace trace = FpvRadioTrace(config, TimeDelta::Seconds(120));
+  ASSERT_EQ(trace.steps().size(), schedule.size());
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    EXPECT_EQ(trace.steps()[i].start, schedule[i].start);
+    EXPECT_EQ(trace.steps()[i].rate, schedule[i].rate);
+  }
+}
+
+TEST(WirelessProfilesTest, RegistryBuildsEveryProfileDeterministically) {
+  const auto& names = fault::WirelessProfileNames();
+  ASSERT_GE(names.size(), 4u) << "fig12 needs at least four named profiles";
+  for (const std::string& name : names) {
+    const fault::WirelessProfile a =
+        fault::MakeWirelessProfile(name, TimeDelta::Seconds(40));
+    const fault::WirelessProfile b =
+        fault::MakeWirelessProfile(name, TimeDelta::Seconds(40));
+    EXPECT_EQ(a.name, name);
+    ASSERT_EQ(a.trace.steps().size(), b.trace.steps().size()) << name;
+    for (size_t i = 0; i < a.trace.steps().size(); ++i) {
+      EXPECT_EQ(a.trace.steps()[i].start, b.trace.steps()[i].start);
+      EXPECT_EQ(a.trace.steps()[i].rate, b.trace.steps()[i].rate);
+    }
+    EXPECT_EQ(a.faults.ToString(), b.faults.ToString()) << name;
+  }
+}
+
+TEST(WirelessProfilesTest, HandoverProfilesCarryAtomicCellMoves) {
+  const auto profile =
+      fault::MakeWirelessProfile("lte-handover", TimeDelta::Seconds(40));
+  int handovers = 0;
+  for (const fault::FaultEvent& e : profile.faults.events()) {
+    if (e.kind == fault::FaultKind::kHandover) {
+      ++handovers;
+      EXPECT_GT(e.rate, DataRate::Zero());
+      EXPECT_GT(e.propagation, TimeDelta::Zero());
+      EXPECT_TRUE(e.loss.has_value());
+      // Gaps stay below the circuit-breaker starvation threshold (400 ms):
+      // a clean handover must not trip the breaker.
+      EXPECT_LT(e.duration, TimeDelta::Millis(400));
+    }
+  }
+  EXPECT_EQ(handovers, 2);
+
+  const auto fpv =
+      fault::MakeWirelessProfile("fpv-radio", TimeDelta::Seconds(40));
+  int renegs = 0;
+  for (const fault::FaultEvent& e : fpv.faults.events()) {
+    if (e.kind == fault::FaultKind::kRenegotiate) ++renegs;
+  }
+  EXPECT_GT(renegs, 0);
+}
+
+TEST(WirelessProfilesTest, UnknownNameThrowsListingRegistry) {
+  try {
+    fault::MakeWirelessProfile("marsnet", TimeDelta::Seconds(10));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("marsnet"), std::string::npos) << what;
+    for (const std::string& name : fault::WirelessProfileNames()) {
+      EXPECT_NE(what.find(name), std::string::npos)
+          << "registry listing is missing '" << name << "': " << what;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rave::net

@@ -121,6 +121,62 @@ TEST(SessionKeyTest, EveryVariedFieldChangesTheKey) {
         Timestamp::Seconds(5), TimeDelta::Seconds(1), TimeDelta::Millis(150));
     add(config);
   }
+
+  // --- wireless tier: every new field must reach the key ---
+  {
+    auto config = BaseConfig();
+    config.wireless_profile = "wifi-fade";
+    add(config);
+  }
+  {
+    auto config = BaseConfig();
+    config.wireless_profile = "lte-handover";
+    add(config);
+  }
+  {
+    auto config = BaseConfig();
+    config.link.loss.gilbert_step = TimeDelta::Millis(5);
+    add(config);
+  }
+  // A handover event and each of its cell parameters.
+  auto handover = [](DataRate rate, TimeDelta owd,
+                     std::optional<net::LossModel> loss = std::nullopt) {
+    auto config = BaseConfig();
+    config.faults = fault::FaultPlan().Handover(
+        Timestamp::Seconds(5), TimeDelta::Millis(200), rate, owd,
+        std::move(loss));
+    return config;
+  };
+  add(handover(DataRate::KilobitsPerSec(900), TimeDelta::Millis(60)));
+  add(handover(DataRate::KilobitsPerSec(901), TimeDelta::Millis(60)));
+  add(handover(DataRate::KilobitsPerSec(900), TimeDelta::Millis(61)));
+  {
+    net::LossModel loss;
+    loss.random_loss = 0.01;
+    add(handover(DataRate::KilobitsPerSec(900), TimeDelta::Millis(60), loss));
+    loss.random_loss = 0.02;
+    add(handover(DataRate::KilobitsPerSec(900), TimeDelta::Millis(60), loss));
+    loss.gilbert_enabled = true;
+    add(handover(DataRate::KilobitsPerSec(900), TimeDelta::Millis(60), loss));
+    loss.gilbert_step = TimeDelta::Millis(7);
+    add(handover(DataRate::KilobitsPerSec(900), TimeDelta::Millis(60), loss));
+    loss.seed = 12345;
+    add(handover(DataRate::KilobitsPerSec(900), TimeDelta::Millis(60), loss));
+  }
+  {
+    auto config = BaseConfig();
+    config.faults = fault::FaultPlan().Renegotiate(
+        Timestamp::Seconds(5), TimeDelta::Seconds(2),
+        DataRate::KilobitsPerSec(1200));
+    add(config);
+  }
+  {
+    auto config = BaseConfig();
+    config.faults = fault::FaultPlan().Renegotiate(
+        Timestamp::Seconds(5), TimeDelta::Seconds(2),
+        DataRate::KilobitsPerSec(1201));
+    add(config);
+  }
 }
 
 // The trace contributes through its full step list, not its address: two
