@@ -32,6 +32,7 @@
 //        plus any --benchmark_* flag google-benchmark accepts.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <fstream>
@@ -48,6 +49,7 @@
 #include "codec/encoder.h"
 #include "common.h"
 #include "core/adaptive_rate_control.h"
+#include "obs/stage_timer.h"
 #include "rtc/session.h"
 #include "runner/control_loop.h"
 #include "runner/parallel_runner.h"
@@ -417,6 +419,52 @@ ControlSweep MeasureControlSweep(TimeDelta duration, int batch) {
   return sweep;
 }
 
+// --- per-stage breakdown ----------------------------------------------
+
+/// Wall-clock attribution of a jobs=1 run of `configs` to the hot-path
+/// stages (obs/stage_timer.h): rate control, R-D math, trendline estimator,
+/// transport; the remainder is event-loop machinery and everything else.
+/// Runs as a dedicated instrumented pass so the Scope overhead never
+/// pollutes the speedup numbers.
+struct StageBreakdown {
+  double wall_s = 0;
+  double control_s = 0;
+  double rd_s = 0;
+  double trendline_s = 0;
+  double transport_s = 0;
+  double other_s() const {
+    return std::max(0.0,
+                    wall_s - control_s - rd_s - trendline_s - transport_s);
+  }
+};
+
+StageBreakdown MeasureStageBreakdown(
+    const std::vector<rtc::SessionConfig>& configs, int batch) {
+  obs::StageTimer::Enable(true);
+  obs::StageTimer::Reset();
+  const auto start = std::chrono::steady_clock::now();
+  runner::RunSessions(configs, /*jobs=*/1, /*cache=*/nullptr, batch);
+  StageBreakdown b;
+  b.wall_s = WallSeconds(start);
+  b.control_s = obs::StageTimer::Seconds(obs::StageTimer::kControl);
+  b.rd_s = obs::StageTimer::Seconds(obs::StageTimer::kRd);
+  b.trendline_s = obs::StageTimer::Seconds(obs::StageTimer::kTrendline);
+  b.transport_s = obs::StageTimer::Seconds(obs::StageTimer::kTransport);
+  obs::StageTimer::Enable(false);
+  return b;
+}
+
+void PrintBreakdownRow(Table& table, const char* stage, double serial_s,
+                       double serial_wall, double batched_s,
+                       double batched_wall) {
+  table.AddRow()
+      .Cell(stage)
+      .Cell(serial_s, 3)
+      .Cell(100.0 * serial_s / serial_wall, 1)
+      .Cell(batched_s, 3)
+      .Cell(100.0 * batched_s / batched_wall, 1);
+}
+
 int RunThroughputSection(int sessions, TimeDelta duration, int jobs,
                          int batch, const std::string& json_path) {
   const auto configs = ThroughputMatrix(sessions, duration);
@@ -438,6 +486,11 @@ int RunThroughputSection(int sessions, TimeDelta duration, int jobs,
   const bool batch_identical = SameResults(serial, batched);
 
   const ControlSweep control = MeasureControlSweep(duration, batch);
+
+  // Instrumented passes (separate from the timed runs above): where does a
+  // serial session's wall time go, and how does the batched path shift it?
+  const StageBreakdown stage_serial = MeasureStageBreakdown(configs, 1);
+  const StageBreakdown stage_batched = MeasureStageBreakdown(configs, batch);
 
   const uint64_t events = std::accumulate(
       serial.begin(), serial.end(), uint64_t{0},
@@ -505,6 +558,28 @@ int RunThroughputSection(int sessions, TimeDelta duration, int jobs,
             << (control.identical ? "yes" : "NO — DETERMINISM VIOLATION")
             << "\n";
 
+  // Per-stage attribution (instrumented pass; walls here include the Scope
+  // overhead and are not comparable to the speedup rows above).
+  std::cout << "\nPer-stage wall attribution (jobs=1, instrumented pass)\n\n";
+  Table stage_table({"stage", "batch=1 (s)", "%",
+                     "batch=" + std::to_string(batch) + " (s)", "%"});
+  PrintBreakdownRow(stage_table, "rate control", stage_serial.control_s,
+                    stage_serial.wall_s, stage_batched.control_s,
+                    stage_batched.wall_s);
+  PrintBreakdownRow(stage_table, "R-D math", stage_serial.rd_s,
+                    stage_serial.wall_s, stage_batched.rd_s,
+                    stage_batched.wall_s);
+  PrintBreakdownRow(stage_table, "trendline/GCC", stage_serial.trendline_s,
+                    stage_serial.wall_s, stage_batched.trendline_s,
+                    stage_batched.wall_s);
+  PrintBreakdownRow(stage_table, "transport", stage_serial.transport_s,
+                    stage_serial.wall_s, stage_batched.transport_s,
+                    stage_batched.wall_s);
+  PrintBreakdownRow(stage_table, "event loop + other", stage_serial.other_s(),
+                    stage_serial.wall_s, stage_batched.other_s(),
+                    stage_batched.wall_s);
+  stage_table.Print(std::cout);
+
   if (json_path != "-") {
     std::ofstream json(json_path);
     json << "{\n"
@@ -539,7 +614,25 @@ int RunThroughputSection(int sessions, TimeDelta duration, int jobs,
          << "  \"control_batch_speedup\": "
          << control.scalar_wall_s / control.batched_wall_s << ",\n"
          << "  \"control_batch_identical\": "
-         << (control.identical ? "true" : "false") << "\n}\n";
+         << (control.identical ? "true" : "false") << ",\n"
+         << "  \"stage_serial_wall_s\": " << stage_serial.wall_s << ",\n"
+         << "  \"stage_serial_control_s\": " << stage_serial.control_s << ",\n"
+         << "  \"stage_serial_rd_s\": " << stage_serial.rd_s << ",\n"
+         << "  \"stage_serial_trendline_s\": " << stage_serial.trendline_s
+         << ",\n"
+         << "  \"stage_serial_transport_s\": " << stage_serial.transport_s
+         << ",\n"
+         << "  \"stage_serial_other_s\": " << stage_serial.other_s() << ",\n"
+         << "  \"stage_batched_wall_s\": " << stage_batched.wall_s << ",\n"
+         << "  \"stage_batched_control_s\": " << stage_batched.control_s
+         << ",\n"
+         << "  \"stage_batched_rd_s\": " << stage_batched.rd_s << ",\n"
+         << "  \"stage_batched_trendline_s\": " << stage_batched.trendline_s
+         << ",\n"
+         << "  \"stage_batched_transport_s\": " << stage_batched.transport_s
+         << ",\n"
+         << "  \"stage_batched_other_s\": " << stage_batched.other_s()
+         << "\n}\n";
     std::cout << "wrote " << json_path << "\n";
   }
   return identical && batch_identical && control.identical ? 0 : 1;

@@ -1,0 +1,151 @@
+#include "codec/frame_staging.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "codec/soa.h"
+#include "obs/stage_timer.h"
+#include "simd/vmath.h"
+
+namespace rave::codec {
+
+FrameStagingHub::FrameStagingHub(size_t capacity)
+    : capacity_(capacity),
+      a_type_(capacity, FrameType::kDelta),
+      a_cplx_(capacity, 0.0),
+      a_now_(capacity, Timestamp::Zero()),
+      a_qp_(capacity, 0.0),
+      a_qscale_(capacity, 0.0),
+      a_size_(capacity, 0),
+      b_qp_(capacity, 0.0),
+      b_qscale_(capacity, 0.0),
+      b_exp_(capacity, 0.0),
+      b_pow_(capacity, 0.0),
+      b_noise_(capacity, 0.0),
+      b_log_(capacity, 0.0) {
+  assert(capacity > 0);
+  staged_.reserve(capacity);
+  deferred_.reserve(capacity);
+}
+
+FrameStagingHub::~FrameStagingHub() = default;
+
+bool FrameStagingHub::RegisterAbr(const AbrRateControl* abr) {
+  if (abr == nullptr) return false;
+  if (!has_abr_group_) {
+    has_abr_group_ = true;
+    abr_config_ = abr->config();
+    abr_soa_ = std::make_unique<AbrSoa>(abr_config_, capacity_);
+    return true;
+  }
+  return BatchCompatible(abr_config_, abr->config());
+}
+
+void FrameStagingHub::Stage(FrameControlStep* step) {
+  assert(step != nullptr && staged_.size() < capacity_);
+  staged_.push_back(step);
+  if (step->plan_deferred) deferred_.push_back(step);
+}
+
+void FrameStagingHub::Flush() {
+  const size_t n = staged_.size();
+  if (n == 0) return;
+  const size_t m = deferred_.size();
+
+  // Phase A: batched ABR plans on state gathered from the live controllers.
+  if (m > 0) {
+    const obs::StageTimer::Scope timer(obs::StageTimer::kControl);
+    for (size_t l = 0; l < m; ++l) {
+      FrameControlStep* s = deferred_[l];
+      abr_soa_->GatherLane(l, *s->abr);
+      a_type_[l] = s->type;
+      a_cplx_[l] = s->cplx_term;
+      a_now_[l] = s->now;
+    }
+    abr_soa_->PlanFramesStaged(m, a_type_.data(), a_cplx_.data(),
+                               a_now_.data(), a_qp_.data());
+    for (size_t l = 0; l < m; ++l) {
+      // Mirrors AbrRateControl::PlanFrame's guidance: qp from the batched
+      // plan, no skip, no hard cap (the key reason the baseline overshoots —
+      // and the reason deferred lanes can never hit the re-encode loop).
+      FrameGuidance g;
+      g.qp = a_qp_[l];
+      deferred_[l]->guidance = g;
+    }
+  }
+
+  // Phase B: encode-side math for every staged lane — mirrors
+  // Encoder::ComputeStepScalar (QP clamp, QpToQscale, RdModel::ActualBits /
+  // Ssim / Psnr) with the transcendentals batched. R-D parameters become
+  // per-lane arrays and each lane's noise draw comes from its own session
+  // rng, so nothing requires the sessions to share configs or streams.
+  {
+    const obs::StageTimer::Scope timer(obs::StageTimer::kRd);
+    for (size_t l = 0; l < n; ++l) {
+      b_qp_[l] = std::clamp(staged_[l]->guidance.qp, kMinQp, kMaxQp);
+    }
+    QpToQscaleLanes(b_qp_.data(), b_qscale_.data(), n);
+    for (size_t l = 0; l < n; ++l) {
+      const RdModelConfig& rd = staged_[l]->rd->config();
+      b_exp_[l] =
+          staged_[l]->type == FrameType::kKey ? rd.gamma_i : rd.gamma_p;
+    }
+    simd::Pow(b_qscale_.data(), b_exp_.data(), b_pow_.data(), n);
+    for (size_t l = 0; l < n; ++l) {
+      b_noise_[l] = staged_[l]->rd->DrawNoiseGaussian();
+    }
+    simd::Exp(b_noise_.data(), b_noise_.data(), n);
+    for (size_t l = 0; l < n; ++l) {
+      FrameControlStep* s = staged_[l];
+      const RdModelConfig& rd = s->rd->config();
+      // RdModel::RawExpected + ActualBits with the powers hoisted.
+      const double coef = s->type == FrameType::kKey ? rd.coef_i : rd.coef_p;
+      const double min_bits = static_cast<double>(rd.min_frame_bits);
+      const double expected =
+          std::max(coef * s->cplx_term / b_pow_[l], min_bits);
+      s->size_bits =
+          static_cast<int64_t>(std::max(expected * b_noise_[l], min_bits));
+      b_exp_[l] = rd.ssim_beta;
+      b_log_[l] = 1.0 + 0.5 * (s->frame.spatial_complexity +
+                               s->frame.temporal_complexity);
+    }
+    simd::Pow(b_qscale_.data(), b_exp_.data(), b_pow_.data(), n);
+    simd::Log2(b_log_.data(), b_log_.data(), n);
+    for (size_t l = 0; l < n; ++l) {
+      FrameControlStep* s = staged_[l];
+      const RdModelConfig& rd = s->rd->config();
+      const double complexity = 0.5 * (s->frame.spatial_complexity +
+                                       s->frame.temporal_complexity);
+      const double distortion =
+          rd.ssim_d0 * b_pow_[l] * (0.5 + 0.5 * complexity);
+      s->qp = b_qp_[l];
+      s->qscale = b_qscale_[l];
+      s->ssim = std::clamp(1.0 - distortion, 0.0, 1.0);
+      s->psnr = 52.0 - 0.6 * b_qp_[l] - 2.0 * b_log_[l];
+      s->math_done = true;
+    }
+  }
+
+  // Phase C: batched ABR updates against the still-gathered lane state
+  // (deferred lanes have no hard cap, so Phase B's outputs are final), then
+  // scatter the stepped state back into the live controllers before any
+  // session resumes.
+  if (m > 0) {
+    const obs::StageTimer::Scope timer(obs::StageTimer::kControl);
+    for (size_t l = 0; l < m; ++l) {
+      a_qscale_[l] = deferred_[l]->qscale;
+      a_size_[l] = deferred_[l]->size_bits;
+    }
+    abr_soa_->OnFramesEncodedStaged(m, a_type_.data(), a_cplx_.data(),
+                                    a_qscale_.data(), a_size_.data(),
+                                    a_now_.data());
+    for (size_t l = 0; l < m; ++l) {
+      abr_soa_->ScatterLane(l, *deferred_[l]->abr);
+    }
+  }
+
+  staged_.clear();
+  deferred_.clear();
+}
+
+}  // namespace rave::codec

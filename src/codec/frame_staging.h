@@ -1,0 +1,133 @@
+// Frame-boundary rendezvous for the lockstep batched runner.
+//
+// A batched worker owns one `FrameStagingHub` per block of sessions. Each
+// session's frame tick, instead of running its per-frame control math inline,
+// fills a `FrameControlStep` with the frame's inputs, stages it on the hub,
+// and pauses its event loop (EventLoop::RequestPause). Once every live
+// session in the block has either staged a frame or reached the lockstep
+// boundary, the runner calls `Flush()`: the hub executes all staged per-frame
+// math — ABR plan, QP→qscale, the R-D encode (size/SSIM/PSNR), ABR update —
+// as batched `simd::` kernels over SoA lanes, then each session completes its
+// frame from the step's outputs and resumes.
+//
+// Bit identity (the contract every batch/simd/jobs variant is gated on):
+//   * the SoA blocks mirror the scalar classes expression for expression and
+//     every transcendental goes through rave::simd, whose scalar and vector
+//     kernels are bit-identical per lane (codec/soa.h);
+//   * per-session rng streams are preserved — each lane's noise draw comes
+//     from that session's own RdModel rng, in the same call order as inline
+//     execution, and only the transcendental tail is batched;
+//   * deferral is invisible to the event sequence — the paused session's
+//     loop resumes the exact (fire-time, seq) order, and nothing between the
+//     stage and the flush reads the state the flush writes.
+//
+// Divergence fallback: lanes that cannot batch fall back to scalar at the
+// natural seam. Non-ABR controllers (adaptive, salsify, CBR) plan inline in
+// BeginFrame (their guidance may skip, cap sizes, or read network state);
+// ABR controllers whose config differs from the block's law constants
+// (BatchCompatible) plan inline too. All staged lanes still batch the
+// encode-side math (Phase B), which only needs per-lane R-D parameters.
+// Frames the session drops before encoding (breaker pause, pacer valve) and
+// frames a scalar plan skips never reach the hub at all.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "codec/abr_rate_control.h"
+#include "util/time.h"
+#include "video/frame.h"
+
+namespace rave::codec {
+
+class AbrSoa;
+class RdModel;
+
+/// Inputs and outputs of one frame's control math, staged between a
+/// session's frame tick and the hub flush. Owned by the session, reused
+/// across frames.
+struct FrameControlStep {
+  // --- inputs (BeginFrame) ---
+  video::RawFrame frame;
+  Timestamp now = Timestamp::Zero();
+  FrameType type = FrameType::kDelta;
+  /// pixels * complexity for `type` (shared by the ABR plan and the R-D
+  /// power law — both use the same expression).
+  double cplx_term = 0.0;
+  /// Non-null when this step's ABR plan *and* update run batched in the
+  /// hub's AbrSoa block; FinishFrame then skips the inline rc update.
+  AbrRateControl* abr = nullptr;
+  bool plan_deferred = false;
+  /// The session encoder's R-D model (per-lane config + noise rng).
+  RdModel* rd = nullptr;
+  /// Computed inline in BeginFrame unless plan_deferred (then written by the
+  /// hub's batched plan).
+  FrameGuidance guidance;
+
+  // --- outputs (hub Flush or Encoder::ComputeStepScalar) ---
+  double qp = 0.0;
+  double qscale = 0.0;
+  int64_t size_bits = 0;
+  double ssim = 0.0;
+  double psnr = 0.0;
+  bool math_done = false;
+};
+
+/// Worker-owned staging area for one batch of sessions. All scratch is sized
+/// for `capacity` lanes at construction; staging and flushing allocate
+/// nothing.
+class FrameStagingHub {
+ public:
+  explicit FrameStagingHub(size_t capacity);
+  ~FrameStagingHub();
+
+  FrameStagingHub(const FrameStagingHub&) = delete;
+  FrameStagingHub& operator=(const FrameStagingHub&) = delete;
+
+  /// Registers an ABR controller for batched planning. The first caller
+  /// fixes the block's law constants; later callers join iff their config is
+  /// BatchCompatible. Returns true when the controller's plans may defer to
+  /// the hub (callers keep planning scalar on false).
+  bool RegisterAbr(const AbrRateControl* abr);
+
+  /// Stages one frame's step for the next Flush. The step must outlive the
+  /// flush; at most `capacity` steps may be staged at once.
+  void Stage(FrameControlStep* step);
+
+  bool has_staged() const { return !staged_.empty(); }
+
+  /// Executes every staged step's control math in batched lanes and clears
+  /// the staging list. Deferred lanes get their ABR plan and update run
+  /// against state gathered from (and scattered back to) the live
+  /// controllers; every staged lane gets qp/qscale/size/ssim/psnr.
+  void Flush();
+
+ private:
+  size_t capacity_;
+  std::vector<FrameControlStep*> staged_;
+  /// Subset of staged_ whose ABR plan/update run batched, in lane order.
+  std::vector<FrameControlStep*> deferred_;
+
+  bool has_abr_group_ = false;
+  AbrConfig abr_config_;
+  std::unique_ptr<AbrSoa> abr_soa_;
+
+  // Phase A/C scratch (deferred lanes): ABR plan inputs and update feedback.
+  std::vector<FrameType> a_type_;
+  std::vector<double> a_cplx_;
+  std::vector<Timestamp> a_now_;
+  std::vector<double> a_qp_;
+  std::vector<double> a_qscale_;
+  std::vector<int64_t> a_size_;
+
+  // Phase B scratch (all staged lanes): the encode-side math.
+  std::vector<double> b_qp_;
+  std::vector<double> b_qscale_;
+  std::vector<double> b_exp_;
+  std::vector<double> b_pow_;
+  std::vector<double> b_noise_;
+  std::vector<double> b_log_;
+};
+
+}  // namespace rave::codec

@@ -34,6 +34,17 @@ BitPredictorSoa::BitPredictorSoa(double gamma, double initial_coef,
   assert(gamma_ > 0.0);
 }
 
+void BitPredictorSoa::LoadLane(size_t lane, const BitPredictor& pred) {
+  assert(pred.gamma_ == gamma_);
+  coef_[lane] = pred.coef_;
+  weight_[lane] = pred.weight_;
+}
+
+void BitPredictorSoa::StoreLane(size_t lane, BitPredictor& pred) const {
+  pred.coef_ = coef_[lane];
+  pred.weight_ = weight_[lane];
+}
+
 DataSize BitPredictorSoa::PredictLane(size_t lane, double complexity_term,
                                       double qscale) const {
   assert(qscale > 0.0);
@@ -79,6 +90,18 @@ void VbvSoa::SetMaxRateLane(size_t lane, DataRate max_rate) {
   fill_bits_[lane] = std::min(fill_bits_[lane], capacity_bits_[lane]);
 }
 
+void VbvSoa::LoadLane(size_t lane, const VbvBuffer& vbv) {
+  max_rate_bps_[lane] = vbv.max_rate_.bps();
+  capacity_bits_[lane] = vbv.capacity_.bits();
+  fill_bits_[lane] = vbv.fill_.bits();
+}
+
+void VbvSoa::StoreLane(size_t lane, VbvBuffer& vbv) const {
+  // Only the fill mutates between gather and scatter (max rate changes go
+  // through the live buffer's SetMaxRate outside the staged window).
+  vbv.fill_ = DataSize::Bits(fill_bits_[lane]);
+}
+
 void VbvSoa::DrainAll(TimeDelta dt) {
   if (dt <= TimeDelta::Zero()) return;
   const double dt_s = dt.seconds();
@@ -88,6 +111,13 @@ void VbvSoa::DrainAll(TimeDelta dt) {
         static_cast<double>(max_rate_bps_[l]) * dt_s + 0.5);
     fill_bits_[l] = drained >= fill_bits_[l] ? 0 : fill_bits_[l] - drained;
   }
+}
+
+void VbvSoa::DrainLane(size_t lane, TimeDelta dt) {
+  if (dt <= TimeDelta::Zero()) return;
+  const int64_t drained = static_cast<int64_t>(
+      static_cast<double>(max_rate_bps_[lane]) * dt.seconds() + 0.5);
+  fill_bits_[lane] = drained >= fill_bits_[lane] ? 0 : fill_bits_[lane] - drained;
 }
 
 void VbvSoa::AddFrameLane(size_t lane, int64_t size_bits) {
@@ -124,6 +154,8 @@ AbrSoa::AbrSoa(const AbrConfig& config, size_t lanes)
       short_term_cplx_count_(lanes, 0.0),
       last_qscale_(lanes, 0.0),
       planned_rceq_(lanes, 0.0),
+      has_last_time_lane_(lanes, 0),
+      last_time_lane_(lanes, Timestamp::MinusInfinity()),
       scratch_a_(lanes, 0.0),
       scratch_b_(lanes, 0.0),
       scratch_c_(lanes, 0.0),
@@ -142,11 +174,14 @@ void AbrSoa::SetTargetRateLane(size_t lane, DataRate target) {
 
 void AbrSoa::PlanFrames(const FrameType* types, const double* complexity_terms,
                         Timestamp now, double* qp_out) {
-  const size_t n = lanes_;
   if (has_last_time_) vbv_.DrainAll(now - last_time_);
   has_last_time_ = true;
   last_time_ = now;
+  PlanLanesCore(lanes_, types, complexity_terms, qp_out);
+}
 
+void AbrSoa::PlanLanesCore(size_t n, const FrameType* types,
+                           const double* complexity_terms, double* qp_out) {
   // Rceq of the blurred complexity, one batched power (uniform exponent).
   double* rceq = scratch_a_.data();
   for (size_t l = 0; l < n; ++l) {
@@ -220,11 +255,15 @@ void AbrSoa::OnFramesEncoded(const FrameType* types,
                              const double* complexity_terms,
                              const double* qscales, const int64_t* size_bits,
                              Timestamp now) {
-  const size_t n = lanes_;
   if (has_last_time_) vbv_.DrainAll(now - last_time_);
   has_last_time_ = true;
   last_time_ = now;
+  UpdateLanesCore(lanes_, types, complexity_terms, qscales, size_bits);
+}
 
+void AbrSoa::UpdateLanesCore(size_t n, const FrameType* types,
+                             const double* complexity_terms,
+                             const double* qscales, const int64_t* size_bits) {
   double* powq = scratch_a_.data();
   double* gamma = scratch_gamma_.data();
   for (size_t l = 0; l < n; ++l) {
@@ -263,6 +302,80 @@ void AbrSoa::OnFramesEncoded(const FrameType* types,
     vbv_.AddFrameLane(l, size_bits[l]);
     last_qscale_[l] = qscales[l];
   }
+}
+
+void AbrSoa::GatherLane(size_t lane, const AbrRateControl& rc) {
+  // Law constants (qcomp, ip_factor, lstep, window decay, rate tolerance)
+  // are per-block; BatchCompatible() gates membership so they match.
+  target_bps_[lane] = rc.target_.bps();
+  target_bits_per_frame_[lane] = rc.target_bits_per_frame_;
+  vbv_.LoadLane(lane, rc.vbv_);
+  pred_key_.LoadLane(lane, rc.pred_key_);
+  pred_delta_.LoadLane(lane, rc.pred_delta_);
+  cplxr_sum_[lane] = rc.cplxr_sum_;
+  wanted_bits_window_[lane] = rc.wanted_bits_window_;
+  total_bits_[lane] = rc.total_bits_;
+  wanted_bits_[lane] = rc.wanted_bits_;
+  short_term_cplx_sum_[lane] = rc.short_term_cplx_sum_;
+  short_term_cplx_count_[lane] = rc.short_term_cplx_count_;
+  last_qscale_[lane] = rc.last_qscale_;
+  planned_rceq_[lane] = rc.planned_rceq_;
+  has_last_time_lane_[lane] = rc.last_time_.has_value() ? 1 : 0;
+  last_time_lane_[lane] =
+      rc.last_time_ ? *rc.last_time_ : Timestamp::MinusInfinity();
+}
+
+void AbrSoa::ScatterLane(size_t lane, AbrRateControl& rc) const {
+  // target_* are read-only during a staged frame (SetTargetRate only runs
+  // between frames, on the live controller), so they are not written back.
+  vbv_.StoreLane(lane, rc.vbv_);
+  pred_key_.StoreLane(lane, rc.pred_key_);
+  pred_delta_.StoreLane(lane, rc.pred_delta_);
+  rc.cplxr_sum_ = cplxr_sum_[lane];
+  rc.wanted_bits_window_ = wanted_bits_window_[lane];
+  rc.total_bits_ = total_bits_[lane];
+  rc.wanted_bits_ = wanted_bits_[lane];
+  rc.short_term_cplx_sum_ = short_term_cplx_sum_[lane];
+  rc.short_term_cplx_count_ = short_term_cplx_count_[lane];
+  rc.last_qscale_ = last_qscale_[lane];
+  rc.planned_rceq_ = planned_rceq_[lane];
+  if (has_last_time_lane_[lane]) {
+    rc.last_time_ = last_time_lane_[lane];
+  } else {
+    rc.last_time_.reset();
+  }
+}
+
+void AbrSoa::PlanFramesStaged(size_t n, const FrameType* types,
+                              const double* complexity_terms,
+                              const Timestamp* nows, double* qp_out) {
+  assert(n <= lanes_);
+  for (size_t l = 0; l < n; ++l) {
+    if (has_last_time_lane_[l]) {
+      vbv_.DrainLane(l, nows[l] - last_time_lane_[l]);
+    }
+    has_last_time_lane_[l] = 1;
+    last_time_lane_[l] = nows[l];
+  }
+  PlanLanesCore(n, types, complexity_terms, qp_out);
+}
+
+void AbrSoa::OnFramesEncodedStaged(size_t n, const FrameType* types,
+                                   const double* complexity_terms,
+                                   const double* qscales,
+                                   const int64_t* size_bits,
+                                   const Timestamp* nows) {
+  assert(n <= lanes_);
+  for (size_t l = 0; l < n; ++l) {
+    // Within one staged frame this drain is dt == 0 (the plan set the lane
+    // clock to the same tick), mirroring the scalar plan→update pair.
+    if (has_last_time_lane_[l]) {
+      vbv_.DrainLane(l, nows[l] - last_time_lane_[l]);
+    }
+    has_last_time_lane_[l] = 1;
+    last_time_lane_[l] = nows[l];
+  }
+  UpdateLanesCore(n, types, complexity_terms, qscales, size_bits);
 }
 
 RdModelSoa::RdModelSoa(const RdModelConfig& config,

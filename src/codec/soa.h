@@ -48,6 +48,12 @@ class BitPredictorSoa {
   double inv_gamma() const { return inv_gamma_; }
   double coef(size_t lane) const { return coef_[lane]; }
 
+  /// Copies a live predictor's state into a lane / back out. `pred.gamma_`
+  /// must equal this block's gamma (asserted): gamma is a per-block
+  /// constant, only coef/weight are per-lane state.
+  void LoadLane(size_t lane, const BitPredictor& pred);
+  void StoreLane(size_t lane, BitPredictor& pred) const;
+
   /// Mirrors BitPredictor::Predict for one lane (scalar kernel).
   DataSize PredictLane(size_t lane, double complexity_term,
                        double qscale) const;
@@ -77,8 +83,16 @@ class VbvSoa {
 
   /// Mirrors VbvBuffer::SetMaxRate for one lane.
   void SetMaxRateLane(size_t lane, DataRate max_rate);
+  /// Copies a live buffer's state into a lane / back out. Capacity is copied
+  /// verbatim (not recomputed from the window), so a gather→scatter round
+  /// trip is exact; only the fill mutates between them.
+  void LoadLane(size_t lane, const VbvBuffer& vbv);
+  void StoreLane(size_t lane, VbvBuffer& vbv) const;
   /// Mirrors VbvBuffer::Drain on every lane (the batch shares `dt`).
   void DrainAll(TimeDelta dt);
+  /// Mirrors VbvBuffer::Drain for one lane (staged lanes carry their own
+  /// clocks, so drains are per-lane).
+  void DrainLane(size_t lane, TimeDelta dt);
   /// Mirrors VbvBuffer::AddFrame for one lane.
   void AddFrameLane(size_t lane, int64_t size_bits);
   /// Mirrors VbvBuffer::MaxFrameSize for one lane.
@@ -118,9 +132,36 @@ class AbrSoa {
                        const double* qscales, const int64_t* size_bits,
                        Timestamp now);
 
+  /// Staged full-session API: the frame-staging hub copies live
+  /// `AbrRateControl` state into lanes, plans/updates a batch of frames, and
+  /// copies the state back. Unlike the distilled-loop API above, each lane
+  /// carries its own clock (sessions in a batch may tick at different
+  /// times), so the VBV drains are per-lane; every other stage is the shared
+  /// batched core the distilled loop uses.
+  void GatherLane(size_t lane, const AbrRateControl& rc);
+  void ScatterLane(size_t lane, AbrRateControl& rc) const;
+  /// PlanFrames over lanes [0, n) with per-lane times.
+  void PlanFramesStaged(size_t n, const FrameType* types,
+                        const double* complexity_terms, const Timestamp* nows,
+                        double* qp_out);
+  /// OnFramesEncoded over lanes [0, n) with per-lane times.
+  void OnFramesEncodedStaged(size_t n, const FrameType* types,
+                             const double* complexity_terms,
+                             const double* qscales, const int64_t* size_bits,
+                             const Timestamp* nows);
+
   double last_qscale(size_t lane) const { return last_qscale_[lane]; }
 
  private:
+  /// Shared batched bodies of PlanFrames / OnFramesEncoded over lanes
+  /// [0, n): everything after the VBV drain, which is the only stage that
+  /// differs between the distilled (shared clock) and staged (per-lane
+  /// clocks) entry points.
+  void PlanLanesCore(size_t n, const FrameType* types,
+                     const double* complexity_terms, double* qp_out);
+  void UpdateLanesCore(size_t n, const FrameType* types,
+                       const double* complexity_terms, const double* qscales,
+                       const int64_t* size_bits);
   AbrConfig config_;
   size_t lanes_;
   double qscale_min_;
@@ -144,6 +185,10 @@ class AbrSoa {
   std::vector<double> planned_rceq_;
   bool has_last_time_ = false;
   Timestamp last_time_ = Timestamp::MinusInfinity();
+  // Per-lane clocks for the staged entry points (mirrors AbrRateControl's
+  // std::optional<Timestamp> last_time_ per lane).
+  std::vector<uint8_t> has_last_time_lane_;
+  std::vector<Timestamp> last_time_lane_;
 
   // Per-frame scratch (preallocated: the batched step is allocation-free).
   std::vector<double> scratch_a_;

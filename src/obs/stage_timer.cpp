@@ -1,0 +1,17 @@
+#include "obs/stage_timer.h"
+
+namespace rave::obs {
+
+bool StageTimer::enabled_ = false;
+std::atomic<int64_t> StageTimer::ns_[StageTimer::kStageCount] = {};
+
+void StageTimer::Reset() {
+  for (auto& counter : ns_) counter.store(0, std::memory_order_relaxed);
+}
+
+double StageTimer::Seconds(Stage stage) {
+  return static_cast<double>(ns_[stage].load(std::memory_order_relaxed)) *
+         1e-9;
+}
+
+}  // namespace rave::obs

@@ -8,6 +8,7 @@
 #include "cc/oracle.h"
 #include "codec/abr_rate_control.h"
 #include "codec/cbr_rate_control.h"
+#include "obs/stage_timer.h"
 #include "obs/trace.h"
 #include "util/alloc_probe.h"
 #include "util/logging.h"
@@ -231,8 +232,29 @@ void Session::OnFrameTick() {
     overuse_decrease_seen_ = false;
   }
 
-  const codec::EncodedFrame encoded = encoder_->EncodeFrame(frame, now);
+  if (staging_hub_ != nullptr && obs::CurrentTrace() == nullptr) {
+    // Frame-boundary rendezvous: stage the control math on the hub and
+    // pause; the runner flushes full lanes through the batched kernels and
+    // calls CompleteStagedFrame(). Tracing falls back to inline execution —
+    // the trace counters emitted inside the batched ABR plan/update would
+    // otherwise be lost.
+    encoder_->BeginFrame(frame, now, abr_plan_deferred_, &staged_step_);
+    if (!staged_step_.plan_deferred && staged_step_.guidance.skip) {
+      // A scalar plan skipped this frame: nothing to batch (skips run no
+      // R-D math), finish inline without a rendezvous.
+      FinishFrameTick(encoder_->FinishFrame(staged_step_));
+      return;
+    }
+    staging_hub_->Stage(&staged_step_);
+    frame_staged_ = true;
+    loop_.RequestPause();
+    return;
+  }
 
+  FinishFrameTick(encoder_->EncodeFrame(frame, now));
+}
+
+void Session::FinishFrameTick(const codec::EncodedFrame& encoded) {
   metrics::FrameRecord record;
   record.frame_id = encoded.frame_id;
   record.capture_time = encoded.capture_time;
@@ -250,7 +272,7 @@ void Session::OnFrameTick() {
   if (encoded.skipped) return;
   last_qp_ = encoded.qp;
 
-  if (degradation_ && degradation_->OnFrameQp(encoded.qp, now)) {
+  if (degradation_ && degradation_->OnFrameQp(encoded.qp, loop_.now())) {
     source_.SetResolution(degradation_->resolution());
   }
 
@@ -265,6 +287,7 @@ void Session::OnFrameTick() {
 }
 
 void Session::OnPacerSend(net::Packet&& packet) {
+  const obs::StageTimer::Scope timer(obs::StageTimer::kTransport);
   packet.seq = next_transport_seq_++;
   history_.OnPacketSent(packet);
   if (config_.enable_rtx && !packet.is_retransmission && !packet.is_fec) {
@@ -299,6 +322,7 @@ void Session::OnFecRecovered(const net::Packet& packet, Timestamp arrival) {
 }
 
 void Session::OnPacketArrival(const net::Packet& packet, Timestamp arrival) {
+  const obs::StageTimer::Scope timer(obs::StageTimer::kTransport);
   if (packet.is_fec) {
     // Recovery packet: acked for bandwidth estimation, then handed to the
     // FEC decoder with its group descriptors (sender-side bookkeeping; in a
@@ -348,7 +372,10 @@ void Session::OnFeedbackAtSender(const transport::FeedbackReport& report) {
   const Timestamp now = loop_.now();
   const std::vector<transport::PacketResult> results =
       history_.OnFeedback(report, now);
-  bwe_->OnPacketResults(results, now);
+  {
+    const obs::StageTimer::Scope timer(obs::StageTimer::kTrendline);
+    bwe_->OnPacketResults(results, now);
+  }
   if (gcc_ && gcc_->decreased_on_last_update()) overuse_decrease_seen_ = true;
 
   breaker_.OnFeedback(now, bwe_->target());
@@ -468,6 +495,33 @@ void Session::AdvanceUntil(Timestamp until) {
 
   const AllocScope alloc_scope;
   const auto wall_start = std::chrono::steady_clock::now();
+  loop_.RunUntil(std::min(until, end_time_));
+  wall_ns_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - wall_start)
+                  .count();
+  run_allocs_ += alloc_scope.allocs();
+}
+
+void Session::SetStagingHub(codec::FrameStagingHub* hub) {
+  staging_hub_ = hub;
+  abr_plan_deferred_ = false;
+  if (hub == nullptr) return;
+  if (codec::AbrRateControl* abr = encoder_->rate_control().AsAbr()) {
+    abr_plan_deferred_ = hub->RegisterAbr(abr);
+  }
+}
+
+void Session::CompleteStagedFrame(Timestamp until) {
+  assert(frame_staged_ && staged_step_.math_done);
+  obs::MetricsScope metrics_scope(&registry_);
+  LogClockScope log_clock(&SessionLogClock, &loop_);
+
+  const AllocScope alloc_scope;
+  const auto wall_start = std::chrono::steady_clock::now();
+  frame_staged_ = false;
+  FinishFrameTick(encoder_->FinishFrame(staged_step_));
+  // Resume toward the boundary immediately: same event order as a separate
+  // AdvanceUntil call, without re-touching the session's cache footprint.
   loop_.RunUntil(std::min(until, end_time_));
   wall_ns_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
                   std::chrono::steady_clock::now() - wall_start)

@@ -17,6 +17,7 @@
 #include "codec/abr_rate_control.h"
 #include "codec/cbr_rate_control.h"
 #include "codec/encoder.h"
+#include "codec/frame_staging.h"
 #include "core/adaptive_rate_control.h"
 #include "core/circuit_breaker.h"
 #include "core/degradation.h"
@@ -153,12 +154,31 @@ class Session {
   /// True once the loop has reached end_time().
   bool done() const { return loop_.now() >= end_time_; }
 
+  /// Frame-boundary rendezvous (codec/frame_staging.h): with a hub
+  /// installed, AdvanceUntil may return early with a frame's control math
+  /// staged on the hub and the loop paused mid-tick. The runner flushes the
+  /// hub, calls CompleteStagedFrame() on every staged session, and
+  /// re-advances them — any such interleaving executes the identical event
+  /// sequence. Call before Start(); pass nullptr to run inline.
+  void SetStagingHub(codec::FrameStagingHub* hub);
+  /// True when AdvanceUntil paused at a staged frame awaiting the hub flush.
+  bool has_staged_frame() const { return frame_staged_; }
+  /// Completes the staged frame from the flushed step's outputs (packetize,
+  /// pace, metrics), then resumes the event loop toward `until` in the same
+  /// scope — equivalent to completing and immediately re-calling
+  /// AdvanceUntil(until), but with one scope install and one contiguous
+  /// cache-warm pass per frame. May pause again at the next frame tick.
+  void CompleteStagedFrame(Timestamp until);
+
   /// Access for tests that step the session manually.
   EventLoop& loop() { return loop_; }
   const metrics::SessionMetrics& metrics() const { return metrics_; }
 
  private:
   void OnFrameTick();
+  /// Tail of the frame tick shared by the inline and staged paths: records
+  /// the encoded frame, then packetizes and paces it.
+  void FinishFrameTick(const codec::EncodedFrame& encoded);
   void OnPacerSend(net::Packet&& packet);
   void OnPacketArrival(const net::Packet& packet, Timestamp arrival);
   void OnFeedbackAtSender(const transport::FeedbackReport& report);
@@ -234,6 +254,14 @@ class Session {
   Timestamp end_time_ = Timestamp::PlusInfinity();
   int64_t wall_ns_ = 0;
   uint64_t run_allocs_ = 0;
+
+  // Frame-boundary rendezvous state (see SetStagingHub).
+  codec::FrameStagingHub* staging_hub_ = nullptr;
+  /// True when this session's ABR controller joined the hub's batched-plan
+  /// group (BatchCompatible law constants).
+  bool abr_plan_deferred_ = false;
+  codec::FrameControlStep staged_step_;
+  bool frame_staged_ = false;
 
   // Latest values for observations/timeseries.
   bool overuse_decrease_seen_ = false;

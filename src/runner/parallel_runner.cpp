@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <memory>
 #include <numeric>
 #include <utility>
 
+#include "codec/frame_staging.h"
 #include "runner/result_cache.h"
 #include "runner/session_key.h"
 
@@ -120,22 +122,54 @@ void RunBatchLockstep(const std::vector<rtc::SessionConfig>& configs,
   if (missing.empty()) return;
 
   const auto wall_start = std::chrono::steady_clock::now();
+  // The hub outlives the sessions (they hold a raw pointer to it).
+  codec::FrameStagingHub hub(missing.size());
   std::vector<std::unique_ptr<rtc::Session>> sessions;
   sessions.reserve(missing.size());
   for (size_t i : missing) {
     sessions.push_back(std::make_unique<rtc::Session>(configs[i]));
   }
+  // Staging only pays when there is something to batch with; singleton
+  // blocks run inline exactly like the per-session path.
+  if (sessions.size() >= 2 && ::getenv("RAVE_NO_STAGING") == nullptr) {
+    for (auto& session : sessions) session->SetStagingHub(&hub);
+  }
   for (auto& session : sessions) session->Start();
 
+  // Frame-boundary rendezvous: advance every live session toward the
+  // quantum boundary; sessions whose frame tick staged control math pause
+  // early, and once the whole wave has either staged or reached the
+  // boundary, the hub flushes all staged lanes through the batched kernels
+  // and the staged sessions complete their frames and resume.
+  std::vector<rtc::Session*> staged;
+  std::vector<rtc::Session*> next;
+  staged.reserve(sessions.size());
+  next.reserve(sessions.size());
   for (Timestamp boundary = Timestamp::Zero() + kBatchQuantum;; boundary =
                                                    boundary + kBatchQuantum) {
-    bool any_running = false;
+    staged.clear();
+    bool any_alive = false;
     for (auto& session : sessions) {
       if (session->done()) continue;
+      any_alive = true;
       session->AdvanceUntil(boundary);  // clamps to the session's end
-      any_running = any_running || !session->done();
+      if (session->has_staged_frame()) staged.push_back(session.get());
     }
-    if (!any_running) break;
+    if (!any_alive) break;
+    // Flush/complete waves: completing a frame resumes the session toward
+    // the boundary in the same call, which may stage its next frame. A
+    // staged session is completed even if done() — its loop still holds the
+    // events at exactly end_time that an uninterrupted RunUntil would have
+    // executed after the frame tick.
+    while (!staged.empty()) {
+      hub.Flush();
+      next.clear();
+      for (rtc::Session* session : staged) {
+        session->CompleteStagedFrame(boundary);
+        if (session->has_staged_frame()) next.push_back(session);
+      }
+      staged.swap(next);
+    }
   }
 
   for (size_t k = 0; k < missing.size(); ++k) {

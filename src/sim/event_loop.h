@@ -97,6 +97,17 @@ class EventLoop {
   /// (inclusive: events at exactly `until` run).
   void RunUntil(Timestamp until);
 
+  /// Requests that the enclosing RunUntil return right after the currently
+  /// executing callback, leaving now() at that callback's fire time and
+  /// every later event pending. Because events execute in strict
+  /// (fire-time, seq) order and nothing is popped early, a later RunUntil
+  /// resumes the identical event sequence an uninterrupted run would have
+  /// executed — pausing is invisible to results. The flag is consumed at
+  /// the next event boundary; callers invoke this from inside a callback
+  /// (the frame-boundary rendezvous: a frame tick stages its control math,
+  /// pauses, and the batched runner completes the frame before resuming).
+  void RequestPause() { pause_requested_ = true; }
+
   /// Runs for `duration` from the current time.
   void RunFor(TimeDelta duration) { RunUntil(now_ + duration); }
 
@@ -168,6 +179,7 @@ class EventLoop {
   void AdvanceWheel(Timestamp horizon);
 
   Timestamp now_ = Timestamp::Zero();
+  bool pause_requested_ = false;
   uint64_t next_seq_ = 1;
   uint64_t events_executed_ = 0;
   size_t live_count_ = 0;
