@@ -49,6 +49,7 @@
 #include "codec/encoder.h"
 #include "common.h"
 #include "core/adaptive_rate_control.h"
+#include "obs/metrics_registry.h"
 #include "obs/stage_timer.h"
 #include "rtc/session.h"
 #include "runner/control_loop.h"
@@ -423,18 +424,26 @@ ControlSweep MeasureControlSweep(TimeDelta duration, int batch) {
 
 /// Wall-clock attribution of a jobs=1 run of `configs` to the hot-path
 /// stages (obs/stage_timer.h): rate control, R-D math, trendline estimator,
-/// transport; the remainder is event-loop machinery and everything else.
-/// Runs as a dedicated instrumented pass so the Scope overhead never
-/// pollutes the speedup numbers.
+/// and the transport split per hop (pacer, link, feedback+NACK, assembler);
+/// the remainder is event-loop machinery and everything else. Runs as a
+/// dedicated instrumented pass so the Scope overhead never pollutes the
+/// speedup numbers.
 struct StageBreakdown {
   double wall_s = 0;
   double control_s = 0;
   double rd_s = 0;
   double trendline_s = 0;
-  double transport_s = 0;
+  double pacer_s = 0;
+  double link_s = 0;
+  double feedback_nack_s = 0;
+  double assembler_s = 0;
+  /// The former monolithic transport bucket, kept for trajectory continuity.
+  double transport_s() const {
+    return pacer_s + link_s + feedback_nack_s + assembler_s;
+  }
   double other_s() const {
     return std::max(0.0,
-                    wall_s - control_s - rd_s - trendline_s - transport_s);
+                    wall_s - control_s - rd_s - trendline_s - transport_s());
   }
 };
 
@@ -449,7 +458,10 @@ StageBreakdown MeasureStageBreakdown(
   b.control_s = obs::StageTimer::Seconds(obs::StageTimer::kControl);
   b.rd_s = obs::StageTimer::Seconds(obs::StageTimer::kRd);
   b.trendline_s = obs::StageTimer::Seconds(obs::StageTimer::kTrendline);
-  b.transport_s = obs::StageTimer::Seconds(obs::StageTimer::kTransport);
+  b.pacer_s = obs::StageTimer::Seconds(obs::StageTimer::kPacer);
+  b.link_s = obs::StageTimer::Seconds(obs::StageTimer::kLink);
+  b.feedback_nack_s = obs::StageTimer::Seconds(obs::StageTimer::kFeedbackNack);
+  b.assembler_s = obs::StageTimer::Seconds(obs::StageTimer::kAssembler);
   obs::StageTimer::Enable(false);
   return b;
 }
@@ -469,9 +481,15 @@ int RunThroughputSection(int sessions, TimeDelta duration, int jobs,
                          int batch, const std::string& json_path) {
   const auto configs = ThroughputMatrix(sessions, duration);
 
+  // Reset the process-wide runtime roll-up so the dispatched-event count
+  // (and the train-amortization factor derived from it) covers exactly the
+  // serial pass.
+  obs::RuntimeStats::Instance().Reset();
   const auto serial_start = std::chrono::steady_clock::now();
   const auto serial = runner::RunSessions(configs, /*jobs=*/1);
   const double serial_s = WallSeconds(serial_start);
+  const uint64_t dispatched =
+      obs::RuntimeStats::Instance().total_events_dispatched();
 
   const int parallel_jobs = jobs > 0 ? jobs : runner::DefaultJobs();
   const auto parallel_start = std::chrono::steady_clock::now();
@@ -521,6 +539,12 @@ int RunThroughputSection(int sessions, TimeDelta duration, int jobs,
   table.Print(std::cout);
   std::cout << "parallel results bit-identical to serial: "
             << (identical ? "yes" : "NO — DETERMINISM VIOLATION") << "\n";
+  if (dispatched > 0) {
+    std::cout << "event coalescing: " << events << " logical events in "
+              << dispatched << " dispatches ("
+              << static_cast<double>(events) / static_cast<double>(dispatched)
+              << "x train amortization)\n";
+  }
 
   // Batch sweep: sim-seconds simulated per wall-second on ONE core, the
   // number the SoA/simd batching moves. Full sessions batch the whole
@@ -572,8 +596,17 @@ int RunThroughputSection(int sessions, TimeDelta duration, int jobs,
   PrintBreakdownRow(stage_table, "trendline/GCC", stage_serial.trendline_s,
                     stage_serial.wall_s, stage_batched.trendline_s,
                     stage_batched.wall_s);
-  PrintBreakdownRow(stage_table, "transport", stage_serial.transport_s,
-                    stage_serial.wall_s, stage_batched.transport_s,
+  PrintBreakdownRow(stage_table, "pacer+send", stage_serial.pacer_s,
+                    stage_serial.wall_s, stage_batched.pacer_s,
+                    stage_batched.wall_s);
+  PrintBreakdownRow(stage_table, "link", stage_serial.link_s,
+                    stage_serial.wall_s, stage_batched.link_s,
+                    stage_batched.wall_s);
+  PrintBreakdownRow(stage_table, "feedback+nack", stage_serial.feedback_nack_s,
+                    stage_serial.wall_s, stage_batched.feedback_nack_s,
+                    stage_batched.wall_s);
+  PrintBreakdownRow(stage_table, "assembler", stage_serial.assembler_s,
+                    stage_serial.wall_s, stage_batched.assembler_s,
                     stage_batched.wall_s);
   PrintBreakdownRow(stage_table, "event loop + other", stage_serial.other_s(),
                     stage_serial.wall_s, stage_batched.other_s(),
@@ -592,6 +625,12 @@ int RunThroughputSection(int sessions, TimeDelta duration, int jobs,
          << "  \"parallel_sessions_per_s\": " << parallel_sps << ",\n"
          << "  \"speedup\": " << serial_s / parallel_s << ",\n"
          << "  \"events_executed\": " << events << ",\n"
+         << "  \"events_dispatched\": " << dispatched << ",\n"
+         << "  \"train_amortization\": "
+         << (dispatched > 0
+                 ? static_cast<double>(events) / static_cast<double>(dispatched)
+                 : 1.0)
+         << ",\n"
          << "  \"serial_events_per_s\": "
          << static_cast<double>(events) / serial_s << ",\n"
          << "  \"parallel_identical\": " << (identical ? "true" : "false")
@@ -620,7 +659,13 @@ int RunThroughputSection(int sessions, TimeDelta duration, int jobs,
          << "  \"stage_serial_rd_s\": " << stage_serial.rd_s << ",\n"
          << "  \"stage_serial_trendline_s\": " << stage_serial.trendline_s
          << ",\n"
-         << "  \"stage_serial_transport_s\": " << stage_serial.transport_s
+         << "  \"stage_serial_pacer_s\": " << stage_serial.pacer_s << ",\n"
+         << "  \"stage_serial_link_s\": " << stage_serial.link_s << ",\n"
+         << "  \"stage_serial_feedback_nack_s\": "
+         << stage_serial.feedback_nack_s << ",\n"
+         << "  \"stage_serial_assembler_s\": " << stage_serial.assembler_s
+         << ",\n"
+         << "  \"stage_serial_transport_s\": " << stage_serial.transport_s()
          << ",\n"
          << "  \"stage_serial_other_s\": " << stage_serial.other_s() << ",\n"
          << "  \"stage_batched_wall_s\": " << stage_batched.wall_s << ",\n"
@@ -629,7 +674,13 @@ int RunThroughputSection(int sessions, TimeDelta duration, int jobs,
          << "  \"stage_batched_rd_s\": " << stage_batched.rd_s << ",\n"
          << "  \"stage_batched_trendline_s\": " << stage_batched.trendline_s
          << ",\n"
-         << "  \"stage_batched_transport_s\": " << stage_batched.transport_s
+         << "  \"stage_batched_pacer_s\": " << stage_batched.pacer_s << ",\n"
+         << "  \"stage_batched_link_s\": " << stage_batched.link_s << ",\n"
+         << "  \"stage_batched_feedback_nack_s\": "
+         << stage_batched.feedback_nack_s << ",\n"
+         << "  \"stage_batched_assembler_s\": " << stage_batched.assembler_s
+         << ",\n"
+         << "  \"stage_batched_transport_s\": " << stage_batched.transport_s()
          << ",\n"
          << "  \"stage_batched_other_s\": " << stage_batched.other_s()
          << "\n}\n";

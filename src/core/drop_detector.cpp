@@ -8,23 +8,19 @@ DropDetector::DropDetector() : DropDetector(Config{}) {}
 
 DropDetector::DropDetector(const Config& config) : config_(config) {}
 
-double DropDetector::RecentMaxBps(Timestamp now) const {
-  double max_bps = 0.0;
-  for (const auto& [t, bps] : history_) {
-    if (now - t <= config_.window) max_bps = std::max(max_bps, bps);
-  }
-  return max_bps;
-}
-
 bool DropDetector::OnState(const NetworkState& state, bool overuse_decrease) {
   const Timestamp now = state.at;
   const double capacity_bps = static_cast<double>(state.capacity.bps());
+  // On ties, keeping the newer sample preserves the max (it expires later).
+  while (!history_.empty() && history_.back().second <= capacity_bps) {
+    history_.pop_back();
+  }
   history_.emplace_back(now, capacity_bps);
-  while (!history_.empty() && now - history_.front().first > config_.window) {
+  while (now - history_.front().first > config_.window) {
     history_.pop_front();
   }
 
-  const double recent_max = RecentMaxBps(now);
+  const double recent_max = history_.front().second;
   const double fall =
       recent_max > 0.0 ? 1.0 - capacity_bps / recent_max : 0.0;
 

@@ -53,10 +53,13 @@ class DropDetector {
   double severity() const { return active_ ? severity_ : 0.0; }
 
  private:
-  double RecentMaxBps(Timestamp now) const;
-
   Config config_;
-  std::deque<std::pair<Timestamp, double>> history_;  // (time, capacity bps)
+  /// Sliding-window maximum as a monotonic deque: entries are (time,
+  /// capacity bps) with strictly decreasing bps, so the front is always the
+  /// windowed max. Dominated samples (bps <= a newer sample) can never be
+  /// the max while the newer one is in window, so dropping them on push
+  /// keeps the answer exact at O(1) amortized per observation.
+  std::deque<std::pair<Timestamp, double>> history_;
   bool active_ = false;
   double severity_ = 0.0;
   Timestamp last_trigger_ = Timestamp::MinusInfinity();

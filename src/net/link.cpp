@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/metrics_registry.h"
+#include "obs/stage_timer.h"
 #include "obs/trace.h"
 
 namespace rave::net {
@@ -20,6 +21,7 @@ Link::Link(EventLoop& loop, Config config, DeliveryCallback on_delivery)
       base_propagation_(config_.propagation),
       fault_rng_(config_.loss.seed ^ 0xFA17'FA17ULL) {
   assert(on_delivery_);
+  arrivals_.reserve(64);
   gilbert_next_step_ = Timestamp::Zero() + config_.loss.gilbert_step;
   // Register a callback at every capacity change point so the in-flight
   // packet's completion can be re-computed exactly.
@@ -60,36 +62,58 @@ void Link::StartNext() {
 }
 
 void Link::OnTransmitComplete() {
-  assert(in_flight_);
-  const Packet packet = *in_flight_;
-  in_flight_.reset();
-  remaining_bits_ = 0.0;
+  const obs::StageTimer::Scope timer(obs::StageTimer::kLink);
+  // Tracing disables time stepping (staging-rendezvous precedent): counter
+  // emission stays on its per-event cadence, results are identical anyway.
+  const bool may_step = obs::CurrentTrace() == nullptr;
+  for (;;) {
+    assert(in_flight_);
+    const Packet packet = *in_flight_;
+    in_flight_.reset();
+    remaining_bits_ = 0.0;
 
-  // Non-congestive loss (corruption): the packet consumed link capacity but
-  // never reaches the receiver.
-  double loss_p = config_.loss.random_loss;
-  if (config_.loss.gilbert_enabled) {
-    AdvanceGilbert(loop_.now());
-    if (gilbert_.bad()) {
-      loss_p = std::max(loss_p, config_.loss.gilbert_bad_loss);
+    // Non-congestive loss (corruption): the packet consumed link capacity
+    // but never reaches the receiver.
+    double loss_p = config_.loss.random_loss;
+    if (config_.loss.gilbert_enabled) {
+      // Exact under stepped time: the chain advances as a pure function of
+      // sim-time, so a train never needs to split at a Gilbert transition.
+      AdvanceGilbert(loop_.now());
+      if (gilbert_.bad()) {
+        loss_p = std::max(loss_p, config_.loss.gilbert_bad_loss);
+      }
     }
+    // p=0 and p=1 are certainties: no RNG draw, so they are byte-identical
+    // to a disabled model / an outage respectively.
+    const bool lost =
+        loss_p >= 1.0 || (loss_p > 0.0 && loss_rng_.Bernoulli(loss_p));
+    if (lost) {
+      ++stats_.packets_lost_random;
+    } else {
+      ++stats_.packets_delivered;
+      stats_.bytes_delivered += packet.size;
+      Deliver(packet);
+    }
+
+    // Inline StartNext with the packet-train fast path: serialize the next
+    // queued packet without leaving the callback when the event loop grants
+    // the step. Any refusal re-arms `completion_` exactly where StartNext
+    // did, preserving the invariant the outage/handover hooks rely on.
+    if (outage_ || queue_.empty()) return;
+    in_flight_ = std::move(queue_.front());
+    queue_.pop_front();
+    queued_ -= in_flight_->size;
+    remaining_bits_ = static_cast<double>(in_flight_->size.bits());
+    segment_start_ = loop_.now();
+    const TimeDelta tx_time = TimeDelta::SecondsF(
+        remaining_bits_ / static_cast<double>(current_rate_.bps()));
+    const Timestamp done = loop_.now() + tx_time;
+    if (done > loop_.now() && (!may_step || !loop_.TryAdvanceTo(done))) {
+      completion_ = loop_.ScheduleAt(done, [this] { OnTransmitComplete(); });
+      return;
+    }
+    // Sub-µs serialization or granted step: complete inline.
   }
-  // p=0 and p=1 are certainties: no RNG draw, so they are byte-identical
-  // to a disabled model / an outage respectively.
-  const bool lost =
-      loss_p >= 1.0 || (loss_p > 0.0 && loss_rng_.Bernoulli(loss_p));
-  if (lost) {
-    ++stats_.packets_lost_random;
-    StartNext();
-    return;
-  }
-
-  ++stats_.packets_delivered;
-  stats_.bytes_delivered += packet.size;
-
-  Deliver(packet);
-
-  StartNext();
 }
 
 void Link::AdvanceGilbert(Timestamp now) {
@@ -124,9 +148,19 @@ void Link::Deliver(const Packet& packet) {
       arrival = last_inorder_arrival_ + TimeDelta::Micros(1);
     }
     last_inorder_arrival_ = arrival;
+    // In-order deliveries share one drain event: arrival times are strictly
+    // increasing, so the armed timer always covers the front entry and new
+    // entries queue behind it.
+    arrivals_.push_back({packet, arrival});
+    if (!arrival_armed_) {
+      arrival_armed_ = true;
+      loop_.ScheduleAt(arrival, [this] { OnArrivalTimer(); });
+    }
+  } else {
+    // Reordered: its own event, outside the in-order queue by design.
+    loop_.ScheduleAt(arrival,
+                     [this, packet] { on_delivery_(packet, loop_.now()); });
   }
-  loop_.ScheduleAt(arrival,
-                   [this, packet] { on_delivery_(packet, loop_.now()); });
 
   if (dup_probability_ > 0.0 && fault_rng_.Bernoulli(dup_probability_)) {
     ++stats_.packets_duplicated;
@@ -134,6 +168,27 @@ void Link::Deliver(const Packet& packet) {
         TimeDelta::SecondsF(fault_rng_.Uniform(0.0005, 0.005));
     loop_.ScheduleAt(arrival + dup_extra,
                      [this, packet] { on_delivery_(packet, loop_.now()); });
+  }
+}
+
+void Link::OnArrivalTimer() {
+  arrival_armed_ = false;
+  const bool may_step = obs::CurrentTrace() == nullptr;
+  for (;;) {
+    while (!arrivals_.empty() && arrivals_.front().at <= loop_.now()) {
+      // Pop before delivering: the callback may feed packets back into the
+      // session pipeline and must see a consistent queue.
+      PendingArrival a = std::move(arrivals_.front());
+      arrivals_.pop_front();
+      on_delivery_(a.packet, a.at);
+    }
+    if (arrivals_.empty()) return;
+    const Timestamp next = arrivals_.front().at;
+    if (!may_step || !loop_.TryAdvanceTo(next)) {
+      arrival_armed_ = true;
+      loop_.ScheduleAt(next, [this] { OnArrivalTimer(); });
+      return;
+    }
   }
 }
 

@@ -126,7 +126,19 @@ class Link {
 
  private:
   void StartNext();
+  /// Serializer-completion drain. Completes the in-flight packet, then keeps
+  /// serializing queued packets inline as long as the event loop grants
+  /// TryAdvanceTo — one event per packet train instead of one per packet.
+  /// Whenever the step is refused (RAVE_NO_COALESCE, an intervening event
+  /// such as a rate change / fault edge / tick, tracing, or the run bound)
+  /// it arms a completion event exactly where the per-packet scheduler did,
+  /// so the outage/handover hooks always find an armed `completion_`.
   void OnTransmitComplete();
+  /// In-order arrival drain: delivers queued receiver-side arrivals,
+  /// stepping time between them when granted. Reordered and duplicated
+  /// deliveries bypass the queue (their arrival order is the fault being
+  /// injected) and keep per-packet events.
+  void OnArrivalTimer();
   void OnRateChange();
   /// Recomputes the effective serialization rate (override > handover >
   /// trace) and retimes any in-flight packet; shared by trace
@@ -147,6 +159,16 @@ class Link {
 
   RingDeque<Packet> queue_;
   DataSize queued_ = DataSize::Zero();
+
+  /// Receiver-side in-order deliveries waiting for their arrival time.
+  /// Arrival times are strictly increasing (the in-order clamp), so the
+  /// drain timer is always armed for the front entry.
+  struct PendingArrival {
+    Packet packet;
+    Timestamp at;
+  };
+  RingDeque<PendingArrival> arrivals_;
+  bool arrival_armed_ = false;
 
   std::optional<Packet> in_flight_;
   double remaining_bits_ = 0.0;

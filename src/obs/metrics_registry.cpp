@@ -293,16 +293,28 @@ RuntimeStats::RuntimeStats()
       dispatch_ns_(ExponentialBounds(1.0, 1e6, 28)) {}
 
 void RuntimeStats::RecordSession(double wall_ms, uint64_t events,
-                                 uint64_t allocs, uint64_t frames) {
+                                 uint64_t dispatched, uint64_t allocs,
+                                 uint64_t frames) {
   const std::lock_guard<std::mutex> lock(mu_);
   session_wall_ms_.Record(wall_ms);
-  if (events > 0) {
-    dispatch_ns_.Record(wall_ms * 1e6 / static_cast<double>(events));
+  if (dispatched > 0) {
+    dispatch_ns_.Record(wall_ms * 1e6 / static_cast<double>(dispatched));
   }
   ++sessions_;
   events_ += events;
+  events_dispatched_ += dispatched;
   allocs_ += allocs;
   frames_ += frames;
+}
+
+uint64_t RuntimeStats::total_events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+uint64_t RuntimeStats::total_events_dispatched() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_dispatched_;
 }
 
 RegistrySnapshot RuntimeStats::Snapshot() const {
@@ -348,6 +360,13 @@ RegistrySnapshot RuntimeStats::Snapshot() const {
   }
   snap.metrics.push_back(counter("wall.sessions", sessions_));
   snap.metrics.push_back(counter("wall.events", events_));
+  snap.metrics.push_back(counter("wall.events_dispatched", events_dispatched_));
+  if (events_dispatched_ > 0) {
+    snap.metrics.push_back(
+        gauge("wall.train_amortization",
+              static_cast<double>(events_) /
+                  static_cast<double>(events_dispatched_)));
+  }
   snap.metrics.push_back(histogram("wall.event_dispatch_ns", dispatch_ns_));
   snap.metrics.push_back(histogram("wall.session_ms", session_wall_ms_));
   return snap;
@@ -359,6 +378,7 @@ void RuntimeStats::Reset() {
   dispatch_ns_ = Histogram(ExponentialBounds(1.0, 1e6, 28));
   sessions_ = 0;
   events_ = 0;
+  events_dispatched_ = 0;
   allocs_ = 0;
   frames_ = 0;
 }

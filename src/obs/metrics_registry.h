@@ -177,8 +177,16 @@ class RuntimeStats {
   static RuntimeStats& Instance();
 
   /// Called once per Session::Run with host-side measurements of that run.
-  void RecordSession(double wall_ms, uint64_t events, uint64_t allocs,
-                     uint64_t frames);
+  /// `events` is the logical event count (mode-invariant, the one in
+  /// SessionResult); `dispatched` is how many scheduler callbacks actually
+  /// fired — event coalescing shrinks it, and events/dispatched is the
+  /// train-amortization factor.
+  void RecordSession(double wall_ms, uint64_t events, uint64_t dispatched,
+                     uint64_t allocs, uint64_t frames);
+
+  /// Raw totals since the last Reset (tab4's amortization reporting).
+  uint64_t total_events() const;
+  uint64_t total_events_dispatched() const;
 
   /// Snapshot under the same MetricSnapshot schema as session registries:
   /// `wall.session_ms` / `wall.event_dispatch_ns` histograms plus
@@ -195,6 +203,7 @@ class RuntimeStats {
   Histogram dispatch_ns_;
   uint64_t sessions_ = 0;
   uint64_t events_ = 0;
+  uint64_t events_dispatched_ = 0;
   uint64_t allocs_ = 0;
   uint64_t frames_ = 0;
 };

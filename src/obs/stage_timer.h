@@ -26,8 +26,21 @@ class StageTimer {
     kRd,
     /// Congestion control: trendline/GCC feedback processing.
     kTrendline,
-    /// Transport: pacer sends and receiver-side packet processing.
-    kTransport,
+    // The former monolithic `transport` stage, split per hop so wins (and
+    // regressions) are attributable. Scopes never nest — each tags a leaf
+    // code path — so per-stage sums stay comparable against wall clock.
+    /// Sender-side per-send bookkeeping: seq/history/RTX-cache/FEC close,
+    /// plus the link enqueue it triggers.
+    kPacer,
+    /// Bottleneck serializer: completion drains (loss draw + delivery
+    /// scheduling). Receiver-side handlers are attributed to their own
+    /// stages, not here.
+    kLink,
+    /// Receiver feedback accounting + NACK gap scan, and the sender-side
+    /// report join.
+    kFeedbackNack,
+    /// Frame reassembly + jitter-buffer playout decisions.
+    kAssembler,
     kStageCount,
   };
 

@@ -116,10 +116,11 @@ Session::Session(SessionConfig config)
       loop_, config_.feedback_delay, config_.feedback_loss,
       TimeDelta::Zero(), config_.seed ^ 0xABCDEF);
 
+  feedback_results_.reserve(64);
   feedback_gen_ = std::make_unique<transport::FeedbackGenerator>(
       loop_, config_.feedback_interval,
       [this](transport::FeedbackReport&& report) {
-        reverse_pipe_->Send([this, report = std::move(report)] {
+        reverse_pipe_->Send([this, report = std::move(report)]() mutable {
           OnFeedbackAtSender(report);
         });
       });
@@ -217,12 +218,14 @@ void Session::OnFrameTick() {
   // feedback resumes (RFC 8083 media timeout).
   if (breaker_.encoder_paused()) {
     metrics_.OnFrameDroppedAtSender(frame.frame_id);
+    assembler_->MarkNeverArriving(frame.frame_id);
     return;
   }
 
   // Sender safety valve (applies to every scheme).
   if (pacer_->ExpectedQueueTime() > config_.max_pacer_queue) {
     metrics_.OnFrameDroppedAtSender(frame.frame_id);
+    assembler_->MarkNeverArriving(frame.frame_id);
     return;
   }
 
@@ -269,7 +272,12 @@ void Session::FinishFrameTick(const codec::EncodedFrame& encoded) {
                                 : metrics::FrameFate::kInFlight;
   metrics_.OnFrameEncoded(record);
 
-  if (encoded.skipped) return;
+  if (encoded.skipped) {
+    // The frame id is consumed but no packet will ever carry it; telling
+    // the assembler keeps its pending ring free of permanent holes.
+    assembler_->MarkNeverArriving(encoded.frame_id);
+    return;
+  }
   last_qp_ = encoded.qp;
 
   if (degradation_ && degradation_->OnFrameQp(encoded.qp, loop_.now())) {
@@ -287,7 +295,7 @@ void Session::FinishFrameTick(const codec::EncodedFrame& encoded) {
 }
 
 void Session::OnPacerSend(net::Packet&& packet) {
-  const obs::StageTimer::Scope timer(obs::StageTimer::kTransport);
+  const obs::StageTimer::Scope timer(obs::StageTimer::kPacer);
   packet.seq = next_transport_seq_++;
   history_.OnPacketSent(packet);
   if (config_.enable_rtx && !packet.is_retransmission && !packet.is_fec) {
@@ -322,8 +330,8 @@ void Session::OnFecRecovered(const net::Packet& packet, Timestamp arrival) {
 }
 
 void Session::OnPacketArrival(const net::Packet& packet, Timestamp arrival) {
-  const obs::StageTimer::Scope timer(obs::StageTimer::kTransport);
   if (packet.is_fec) {
+    const obs::StageTimer::Scope timer(obs::StageTimer::kFeedbackNack);
     // Recovery packet: acked for bandwidth estimation, then handed to the
     // FEC decoder with its group descriptors (sender-side bookkeeping; in a
     // real stack the descriptors ride in the FlexFEC header).
@@ -340,9 +348,13 @@ void Session::OnPacketArrival(const net::Packet& packet, Timestamp arrival) {
   // Cross traffic terminates at a different receiver; it only matters for
   // the queueing it caused upstream.
   if (packet.media_seq < 0) return;
-  feedback_gen_->OnPacketReceived(packet, arrival);
-  if (fec_decoder_) fec_decoder_->OnMediaPacket(packet, arrival);
-  if (nack_gen_) nack_gen_->OnPacketReceived(packet);
+  {
+    const obs::StageTimer::Scope timer(obs::StageTimer::kFeedbackNack);
+    feedback_gen_->OnPacketReceived(packet, arrival);
+    if (fec_decoder_) fec_decoder_->OnMediaPacket(packet, arrival);
+    if (nack_gen_) nack_gen_->OnPacketReceived(packet);
+  }
+  const obs::StageTimer::Scope timer(obs::StageTimer::kAssembler);
   assembler_->OnPacketReceived(packet, arrival);
 }
 
@@ -368,13 +380,18 @@ void Session::OnNackGiveUp(int64_t media_seq) {
   assembler_->AbandonFrame(frame_id);
 }
 
-void Session::OnFeedbackAtSender(const transport::FeedbackReport& report) {
+void Session::OnFeedbackAtSender(transport::FeedbackReport& report) {
   const Timestamp now = loop_.now();
-  const std::vector<transport::PacketResult> results =
-      history_.OnFeedback(report, now);
+  {
+    const obs::StageTimer::Scope timer(obs::StageTimer::kFeedbackNack);
+    history_.OnFeedback(report, now, feedback_results_);
+  }
+  // The report's packet buffer cycles back to the receiver-side generator,
+  // so the periodic feedback path stops allocating once both buffers exist.
+  feedback_gen_->Recycle(std::move(report.packets));
   {
     const obs::StageTimer::Scope timer(obs::StageTimer::kTrendline);
-    bwe_->OnPacketResults(results, now);
+    bwe_->OnPacketResults(feedback_results_, now);
   }
   if (gcc_ && gcc_->decreased_on_last_update()) overuse_decrease_seen_ = true;
 
@@ -569,7 +586,7 @@ SessionResult Session::Finish() {
 
   obs::RuntimeStats::Instance().RecordSession(
       static_cast<double>(wall_ns) * 1e-6, result.events_executed,
-      AllocProbeEnabled() ? run_allocs : 0,
+      loop_.events_dispatched(), AllocProbeEnabled() ? run_allocs : 0,
       static_cast<uint64_t>(result.summary.frames_captured));
   return result;
 }

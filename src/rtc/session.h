@@ -181,7 +181,9 @@ class Session {
   void FinishFrameTick(const codec::EncodedFrame& encoded);
   void OnPacerSend(net::Packet&& packet);
   void OnPacketArrival(const net::Packet& packet, Timestamp arrival);
-  void OnFeedbackAtSender(const transport::FeedbackReport& report);
+  /// Mutable: the report's packet buffer is recycled into the feedback
+  /// generator after the history join.
+  void OnFeedbackAtSender(transport::FeedbackReport& report);
   void OnNackAtSender(const transport::NackBatch& batch);
   void OnFecRecovered(const net::Packet& packet, Timestamp arrival);
   void OnNackGiveUp(int64_t media_seq);
@@ -244,6 +246,8 @@ class Session {
   /// Reused packetizer output; capacity persists across frames so the
   /// per-frame packetize -> enqueue path is allocation-free in steady state.
   std::vector<net::Packet> packet_scratch_;
+  /// Reused history-join output for the per-report feedback path.
+  std::vector<transport::PacketResult> feedback_results_;
 
   std::unique_ptr<RepeatingTask> frame_task_;
   std::unique_ptr<RepeatingTask> timeseries_task_;

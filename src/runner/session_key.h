@@ -32,7 +32,13 @@ namespace rave::runner {
 /// 3: Gilbert loss stepping moved from per-packet to sim-time cadence and
 ///    p=0/p=1 loss probabilities became exact (no RNG draw) — both change
 ///    results for existing Gilbert-loss configs without changing any field.
-inline constexpr uint64_t kSimFingerprint = 3;
+/// 4: Packet-train coalescing moved pacer sends, link completions, and
+///    in-order arrivals into shared drain loops: sub-microsecond link
+///    serializations now process inline and equal-microsecond ties resolve
+///    in drain order instead of per-event seq order, shifting results for
+///    some configs. (Both coalescing modes share the drains, so results do
+///    not depend on the RAVE_NO_COALESCE knob.)
+inline constexpr uint64_t kSimFingerprint = 4;
 
 /// 128-bit content hash of a SessionConfig.
 struct SessionKey {

@@ -2,9 +2,12 @@
 
 #include <bit>
 #include <cassert>
+#include <cstdlib>
 #include <utility>
 
 namespace rave {
+
+EventLoop::EventLoop() : coalescing_(std::getenv("RAVE_NO_COALESCE") == nullptr) {}
 
 void EventLoop::Reserve(size_t events) {
   heap_.reserve(events);
@@ -36,10 +39,16 @@ EventHandle EventLoop::ScheduleAt(Timestamp at, Callback fn) {
   s.fn = std::move(fn);
   s.id = id;
 
-  // Inside the window (at >= now_ >= wheel_base_us_) the event goes straight
-  // to its µs bucket; beyond it, to the overflow heap.
-  if (at.us() - wheel_base_us_ < kWheelSpanUs) {
-    BucketAppend(at.us() & (kWheelSpanUs - 1), slot);
+  s.at = at;
+
+  // Inside the L0 window (at >= now_ >= wheel_base_us_) the event goes
+  // straight to its µs bucket; inside the L1 horizon, to its kWheelSpanUs block;
+  // beyond that, to the overflow heap.
+  const int64_t at_us = at.us();
+  if (at_us - wheel_base_us_ < kWheelSpanUs) {
+    BucketAppend(at_us & (kWheelSpanUs - 1), slot);
+  } else if (at_us - l1_base_us_ < kL1SpanUs) {
+    L1Append((at_us >> kWheelShift) & (kL1Buckets - 1), slot);
   } else {
     HeapPush(Event{at, id});
   }
@@ -105,7 +114,9 @@ void EventLoop::BucketAppend(int64_t offset, uint32_t slot) {
   Bucket& b = wheel_[static_cast<size_t>(offset)];
   if (b.tail == kNilSlot) {
     b.head = slot;
-    occupied_[static_cast<size_t>(offset >> 6)] |= 1ull << (offset & 63);
+    const size_t word = static_cast<size_t>(offset >> 6);
+    occupied_[word] |= 1ull << (offset & 63);
+    if (word < scan_word_) scan_word_ = word;
   } else {
     slots_[b.tail].next = slot;
   }
@@ -121,33 +132,174 @@ void EventLoop::BucketPopHead(int64_t offset) {
   }
 }
 
+void EventLoop::L1Append(int64_t bucket, uint32_t slot) {
+  slots_[slot].next = kNilSlot;
+  Bucket& b = l1_wheel_[static_cast<size_t>(bucket)];
+  if (b.tail == kNilSlot) {
+    b.head = slot;
+    const size_t word = static_cast<size_t>(bucket >> 6);
+    l1_occupied_[word] |= 1ull << (bucket & 63);
+    if (word < l1_scan_word_) l1_scan_word_ = word;
+  } else {
+    slots_[b.tail].next = slot;
+  }
+  b.tail = slot;
+}
+
 int EventLoop::FindFirstOccupied() const {
-  for (size_t w = 0; w < kWheelWords; ++w) {
+  for (size_t w = scan_word_; w < kWheelWords; ++w) {
     if (occupied_[w] != 0) {
+      scan_word_ = w;
       return static_cast<int>(w * 64) + std::countr_zero(occupied_[w]);
     }
   }
+  scan_word_ = kWheelWords;
   return -1;
 }
 
-void EventLoop::AdvanceWheel(Timestamp horizon) {
-  wheel_base_us_ = horizon.us() & ~(kWheelSpanUs - 1);
-  while (!heap_.empty() && heap_.front().at.us() - wheel_base_us_ < kWheelSpanUs) {
+int EventLoop::FindFirstOccupiedL1() const {
+  for (size_t w = l1_scan_word_; w < kL1Words; ++w) {
+    if (l1_occupied_[w] != 0) {
+      l1_scan_word_ = w;
+      return static_cast<int>(w * 64) + std::countr_zero(l1_occupied_[w]);
+    }
+  }
+  l1_scan_word_ = kL1Words;
+  return -1;
+}
+
+void EventLoop::MigrateL1Bucket(int64_t bucket) {
+  Bucket& b = l1_wheel_[static_cast<size_t>(bucket)];
+  uint32_t slot = b.head;
+  b.head = kNilSlot;
+  b.tail = kNilSlot;
+  l1_occupied_[static_cast<size_t>(bucket >> 6)] &= ~(1ull << (bucket & 63));
+  while (slot != kNilSlot) {
+    const uint32_t next = slots_[slot].next;
+    if (slots_[slot].id == 0) {
+      free_slots_.push_back(slot);  // cancelled while parked in L1
+    } else {
+      BucketAppend(slots_[slot].at.us() & (kWheelSpanUs - 1), slot);
+    }
+    slot = next;
+  }
+}
+
+void EventLoop::AdvanceL1(Timestamp horizon) {
+  l1_base_us_ = horizon.us() & ~(kL1SpanUs - 1);
+  while (!heap_.empty() && heap_.front().at.us() - l1_base_us_ < kL1SpanUs) {
     const Event e = PopTop();
     const uint32_t slot = static_cast<uint32_t>(e.id & kSlotMask);
     if (slots_[slot].id != e.id) {
       free_slots_.push_back(slot);  // cancelled while in overflow
       continue;
     }
-    BucketAppend(e.at.us() & (kWheelSpanUs - 1), slot);
+    L1Append((e.at.us() >> kWheelShift) & (kL1Buckets - 1), slot);
   }
+}
+
+Timestamp EventLoop::NextEventTime() {
+  for (;;) {
+    const int offset = FindFirstOccupied();
+    if (offset >= 0) {
+      const uint32_t slot = wheel_[static_cast<size_t>(offset)].head;
+      if (slots_[slot].id == 0) {
+        BucketPopHead(offset);  // cancelled tombstone
+        free_slots_.push_back(slot);
+        continue;
+      }
+      return Timestamp::Micros(wheel_base_us_ + offset);
+    }
+    const int bucket = FindFirstOccupiedL1();
+    if (bucket >= 0) {
+      // An L1 bucket index only resolves time to kWheelSpanUs; walk the (short)
+      // FIFO list for the exact minimum, reclaiming head tombstones.
+      Bucket& b = l1_wheel_[static_cast<size_t>(bucket)];
+      while (b.head != kNilSlot && slots_[b.head].id == 0) {
+        const uint32_t dead = b.head;
+        b.head = slots_[dead].next;
+        free_slots_.push_back(dead);
+      }
+      if (b.head == kNilSlot) {
+        b.tail = kNilSlot;
+        l1_occupied_[static_cast<size_t>(bucket >> 6)] &=
+            ~(1ull << (bucket & 63));
+        continue;
+      }
+      Timestamp min = Timestamp::PlusInfinity();
+      for (uint32_t s = b.head; s != kNilSlot; s = slots_[s].next) {
+        if (slots_[s].id != 0 && slots_[s].at < min) min = slots_[s].at;
+      }
+      return min;
+    }
+    if (heap_.empty()) return Timestamp::PlusInfinity();
+    const Event& top = heap_.front();
+    const uint32_t tslot = static_cast<uint32_t>(top.id & kSlotMask);
+    if (slots_[tslot].id != top.id) {
+      PopTop();  // cancelled tombstone
+      free_slots_.push_back(tslot);
+      continue;
+    }
+    return top.at;
+  }
+}
+
+bool EventLoop::HasEventAtOrBefore(Timestamp t) {
+  for (;;) {
+    const int offset = FindFirstOccupied();
+    if (offset >= 0) {
+      const uint32_t slot = wheel_[static_cast<size_t>(offset)].head;
+      if (slots_[slot].id == 0) {
+        BucketPopHead(offset);  // cancelled tombstone
+        free_slots_.push_back(slot);
+        continue;
+      }
+      return Timestamp::Micros(wheel_base_us_ + offset) <= t;
+    }
+    const int bucket = FindFirstOccupiedL1();
+    if (bucket >= 0) {
+      // Conservative: test the bucket's start, not its exact minimum, so the
+      // hot path never walks a list. A refusal is always safe (the caller
+      // falls back to scheduling a real event) and the answer depends only
+      // on simulation state, so it is deterministic.
+      return Timestamp::Micros(l1_base_us_ + bucket * kWheelSpanUs) <= t;
+    }
+    if (heap_.empty()) return false;
+    const Event& top = heap_.front();
+    const uint32_t tslot = static_cast<uint32_t>(top.id & kSlotMask);
+    if (slots_[tslot].id != top.id) {
+      PopTop();  // cancelled tombstone
+      free_slots_.push_back(tslot);
+      continue;
+    }
+    return top.at <= t;
+  }
+}
+
+bool EventLoop::TryAdvanceTo(Timestamp t) {
+  assert(t >= now_);
+  if (!coalescing_ || t > run_bound_) return false;
+  if (HasEventAtOrBefore(t)) return false;
+  now_ = t;
+  ++events_executed_;
+  return true;
 }
 
 bool EventLoop::PopAndRunNext(Timestamp until) {
   for (;;) {
     const int offset = FindFirstOccupied();
     if (offset < 0) {
-      // Window exhausted: the next event (if any) lives in overflow.
+      // L0 window exhausted: refill it from the first occupied L1 bucket
+      // (whose span exactly matches the L0 window), else advance the
+      // L1 horizon to the earliest overflow-heap event and retry.
+      const int bucket = FindFirstOccupiedL1();
+      if (bucket >= 0) {
+        const int64_t block_start = l1_base_us_ + bucket * kWheelSpanUs;
+        if (Timestamp::Micros(block_start) > until) return false;
+        wheel_base_us_ = block_start;
+        MigrateL1Bucket(bucket);
+        continue;
+      }
       if (heap_.empty()) return false;
       const Event& top = heap_.front();
       const uint32_t tslot = static_cast<uint32_t>(top.id & kSlotMask);
@@ -157,7 +309,7 @@ bool EventLoop::PopAndRunNext(Timestamp until) {
         continue;
       }
       if (top.at > until) return false;
-      AdvanceWheel(top.at);
+      AdvanceL1(top.at);
       continue;
     }
     const uint32_t slot = wheel_[static_cast<size_t>(offset)].head;
@@ -178,20 +330,25 @@ bool EventLoop::PopAndRunNext(Timestamp until) {
     --live_count_;
     now_ = at;
     ++events_executed_;
+    ++events_dispatched_;
     fn();
     return true;
   }
 }
 
 void EventLoop::RunUntil(Timestamp until) {
+  const Timestamp prev_bound = run_bound_;
+  run_bound_ = until;
   while (PopAndRunNext(until)) {
     if (pause_requested_) {
       // Return without the trailing now_ advance: time must stay at the
       // paused event so the resuming RunUntil continues the exact sequence.
       pause_requested_ = false;
+      run_bound_ = prev_bound;
       return;
     }
   }
+  run_bound_ = prev_bound;
   if (until > now_ && until.IsFinite()) now_ = until;
 }
 

@@ -27,8 +27,17 @@ void FeedbackGenerator::Flush() {
   report.created = loop_.now();
   report.highest_seq = highest_seq_;
   report.packets = std::move(pending_);
+  // Hand the recycled buffer (empty, capacity retained) back into service.
+  pending_ = std::move(spare_);
   pending_.clear();
   send_(std::move(report));
+}
+
+void FeedbackGenerator::Recycle(std::vector<ReceivedPacket>&& buffer) {
+  if (buffer.capacity() > spare_.capacity()) {
+    spare_ = std::move(buffer);
+    spare_.clear();
+  }
 }
 
 SentPacketHistory::SentPacketHistory(TimeDelta window) : window_(window) {}
@@ -39,16 +48,25 @@ void SentPacketHistory::OnPacketSent(const net::Packet& packet) {
   in_flight_ += packet.size;
 }
 
-std::vector<PacketResult> SentPacketHistory::OnFeedback(
-    const FeedbackReport& report, Timestamp now) {
-  std::vector<PacketResult> results;
-  results.reserve(report.packets.size());
+void SentPacketHistory::OnFeedback(const FeedbackReport& report, Timestamp now,
+                                   std::vector<PacketResult>& out) {
+  out.clear();
+  out.reserve(report.packets.size());
 
   // The report's packets are in arrival order; the history is in seq order.
   // Every history entry with seq <= highest_seq is resolved by this report:
   // acked if present, lost otherwise (droptail produces no reordering across
   // reports, so a gap below the highest received seq is a genuine loss).
-  auto acked_of = [&report](int64_t seq) -> const ReceivedPacket* {
+  //
+  // Arrival order almost always equals seq order (RTX and reordering are the
+  // exceptions), so a merge cursor resolves the common case in O(1) per
+  // record; only mismatches fall back to the linear scan.
+  size_t cursor = 0;
+  auto acked_of = [&report, &cursor](int64_t seq) -> const ReceivedPacket* {
+    if (cursor < report.packets.size() &&
+        report.packets[cursor].seq == seq) {
+      return &report.packets[cursor++];
+    }
     for (const ReceivedPacket& r : report.packets) {
       if (r.seq == seq) return &r;
     }
@@ -65,7 +83,7 @@ std::vector<PacketResult> SentPacketHistory::OnFeedback(
       result.arrival = acked->arrival;
     }
     in_flight_ -= rec.size;
-    results.push_back(result);
+    out.push_back(result);
     sent_.pop_front();
   }
 
@@ -75,6 +93,12 @@ std::vector<PacketResult> SentPacketHistory::OnFeedback(
     in_flight_ -= sent_.front().size;
     sent_.pop_front();
   }
+}
+
+std::vector<PacketResult> SentPacketHistory::OnFeedback(
+    const FeedbackReport& report, Timestamp now) {
+  std::vector<PacketResult> results;
+  OnFeedback(report, now, results);
   return results;
 }
 

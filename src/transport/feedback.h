@@ -46,11 +46,19 @@ class FeedbackGenerator {
   /// Forces a flush now (used by tests).
   void Flush();
 
+  /// Returns a consumed report's packet buffer for reuse: the sender calls
+  /// this after the history join, and the next Flush() hands the buffer back
+  /// out as the new report's storage. Two buffers rotate through the
+  /// feedback loop, so steady-state reporting never allocates.
+  void Recycle(std::vector<ReceivedPacket>&& buffer);
+
  private:
   EventLoop& loop_;
   SendCallback send_;
   RepeatingTask task_;
   std::vector<ReceivedPacket> pending_;
+  /// Recycled report buffer awaiting the next Flush().
+  std::vector<ReceivedPacket> spare_;
   int64_t highest_seq_ = -1;
 };
 
@@ -72,9 +80,15 @@ class SentPacketHistory {
 
   void OnPacketSent(const net::Packet& packet);
 
-  /// Joins a feedback report against history. Packets with a sequence number
-  /// <= report.highest_seq that were sent but never acked by any report so
-  /// far are returned as lost exactly once.
+  /// Joins a feedback report against history into `out` (cleared first).
+  /// Packets with a sequence number <= report.highest_seq that were sent but
+  /// never acked by any report so far are reported as lost exactly once.
+  /// The caller owns `out` and reuses it across reports, keeping the
+  /// per-report path allocation-free in steady state.
+  void OnFeedback(const FeedbackReport& report, Timestamp now,
+                  std::vector<PacketResult>& out);
+
+  /// Allocating convenience wrapper (tests and one-shot callers).
   std::vector<PacketResult> OnFeedback(const FeedbackReport& report,
                                        Timestamp now);
 

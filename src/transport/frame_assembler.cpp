@@ -15,32 +15,66 @@ FrameAssembler::FrameAssembler(EventLoop& loop, const Config& config,
       sweep_task_(loop, config.sweep_interval, [this] { Sweep(); }) {
   assert(on_frame_);
   assert(on_frame_lost_);
+  slots_.reserve(64);
   sweep_task_.Start();
+}
+
+bool FrameAssembler::Slot::TestAndSetReceived(size_t index) {
+  if (packets_in_frame <= kInlineBitmapPackets) {
+    uint64_t& word = received_bits[index / 64];
+    const uint64_t bit = uint64_t{1} << (index % 64);
+    if (word & bit) return false;
+    word |= bit;
+    return true;
+  }
+  if (overflow_bits[index]) return false;
+  overflow_bits[index] = true;
+  return true;
+}
+
+size_t FrameAssembler::EnsureSlot(int64_t frame_id) {
+  assert(frame_id >= base_id_);
+  const auto index = static_cast<size_t>(frame_id - base_id_);
+  while (slots_.size() <= index) slots_.push_back(Slot{});
+  return index;
+}
+
+void FrameAssembler::Trim() {
+  while (!slots_.empty() && slots_.front().resolved()) {
+    slots_.pop_front();
+    ++base_id_;
+  }
 }
 
 void FrameAssembler::OnPacketReceived(const net::Packet& packet,
                                       Timestamp arrival) {
   if (packet.frame_id < 0) return;
-  if (completed_.count(packet.frame_id) || lost_.count(packet.frame_id)) {
-    return;  // duplicate RTX for an already-resolved frame
-  }
+  if (packet.frame_id < base_id_) return;  // resolved (duplicate RTX)
+  const size_t index = EnsureSlot(packet.frame_id);
+  Slot& frame = slots_[index];
+  if (frame.resolved()) return;  // duplicate RTX for an already-resolved frame
 
-  PendingFrame& frame = pending_[packet.frame_id];
-  if (frame.received.empty()) {
-    frame.received.assign(static_cast<size_t>(packet.packets_in_frame), false);
+  if (frame.state == SlotState::kEmpty) {
+    frame.state = SlotState::kPending;
+    frame.packets_in_frame = packet.packets_in_frame;
+    if (frame.packets_in_frame > kInlineBitmapPackets) {
+      frame.overflow_bits.assign(
+          static_cast<size_t>(frame.packets_in_frame), false);
+    }
     frame.capture_time = packet.capture_time;
     frame.first_arrival = arrival;
     frame.keyframe = packet.keyframe;
+    ++pending_count_;
   }
-  const auto index = static_cast<size_t>(packet.packet_index);
-  if (index >= frame.received.size() || frame.received[index]) {
+  const auto pkt_index = static_cast<size_t>(packet.packet_index);
+  if (pkt_index >= static_cast<size_t>(frame.packets_in_frame) ||
+      !frame.TestAndSetReceived(pkt_index)) {
     return;  // duplicate
   }
-  frame.received[index] = true;
   ++frame.received_count;
   frame.size += packet.size;
 
-  if (frame.received_count < static_cast<int>(frame.received.size())) return;
+  if (frame.received_count < frame.packets_in_frame) return;
 
   CompleteFrame complete;
   complete.frame_id = packet.frame_id;
@@ -49,34 +83,51 @@ void FrameAssembler::OnPacketReceived(const net::Packet& packet,
   complete.size = frame.size;
   complete.keyframe = frame.keyframe;
   complete.packets = frame.received_count;
-  pending_.erase(packet.frame_id);
-  completed_.insert(packet.frame_id);
+  frame.state = SlotState::kCompleted;
+  frame.overflow_bits = {};
+  --pending_count_;
+  Trim();
 
   ++frames_completed_;
   on_frame_(complete);
 }
 
 void FrameAssembler::AbandonFrame(int64_t frame_id) {
-  if (completed_.count(frame_id) || lost_.count(frame_id)) return;
-  DeclareLost(frame_id);
+  if (frame_id < base_id_) return;  // already resolved
+  const size_t index = EnsureSlot(frame_id);
+  if (slots_[index].resolved()) return;
+  DeclareLost(index);
+  Trim();
 }
 
-void FrameAssembler::DeclareLost(int64_t frame_id) {
-  pending_.erase(frame_id);
-  lost_.insert(frame_id);
+void FrameAssembler::MarkNeverArriving(int64_t frame_id) {
+  if (frame_id < base_id_) return;
+  const size_t index = EnsureSlot(frame_id);
+  Slot& frame = slots_[index];
+  if (frame.state != SlotState::kEmpty) return;
+  frame.state = SlotState::kVacant;
+  Trim();
+}
+
+void FrameAssembler::DeclareLost(size_t index) {
+  Slot& frame = slots_[index];
+  if (frame.state == SlotState::kPending) --pending_count_;
+  frame.state = SlotState::kLost;
+  frame.overflow_bits = {};
   ++frames_lost_;
-  on_frame_lost_(frame_id);
+  on_frame_lost_(base_id_ + static_cast<int64_t>(index));
 }
 
 void FrameAssembler::Sweep() {
   const Timestamp now = loop_.now();
-  std::vector<int64_t> expired;
-  for (const auto& [id, frame] : pending_) {
-    if (now - frame.first_arrival > config_.loss_timeout) {
-      expired.push_back(id);
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& frame = slots_[i];
+    if (frame.state == SlotState::kPending &&
+        now - frame.first_arrival > config_.loss_timeout) {
+      DeclareLost(i);
     }
   }
-  for (int64_t id : expired) DeclareLost(id);
+  Trim();
 }
 
 }  // namespace rave::transport

@@ -4,16 +4,26 @@
 // the end of its end-to-end latency — and declares frames lost when they
 // cannot complete (NACK retries exhausted, or an incompleteness timeout as
 // backstop). Loss triggers a PLI-style keyframe request upstream.
+//
+// Storage is a flat ring indexed by frame id (ids are dense from 0):
+// `slots_[i]` holds frame `base_id_ + i`. Anything below `base_id_` is
+// resolved. Resolving a frame marks its slot; the contiguous resolved prefix
+// is then trimmed off the front. An untouched (kEmpty) slot blocks the trim:
+// a frame whose packets are all in flight or awaiting RTX has no slot state
+// yet but may still complete, so the ring must keep its id addressable.
+// Received-packet presence is a fixed 256-bit inline bitmap (no per-frame
+// heap allocation); pathological frames with more packets fall back to a
+// heap bitmap.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <map>
-#include <set>
 #include <vector>
 
 #include "net/packet.h"
 #include "sim/event_loop.h"
 #include "util/inline_function.h"
+#include "util/ring_deque.h"
 #include "util/time.h"
 #include "util/units.h"
 
@@ -50,31 +60,68 @@ class FrameAssembler {
   /// loss callback exactly once per frame; no-op for completed frames.
   void AbandonFrame(int64_t frame_id);
 
+  /// Resolves a frame id that will never produce packets (dropped at the
+  /// sender before packetization, or skipped by the encoder). Fires no
+  /// callback and counts nothing — those frames never reached the transport —
+  /// but lets the ring trim past the id instead of holding it forever as a
+  /// possibly-still-arriving hole.
+  void MarkNeverArriving(int64_t frame_id);
+
   int64_t frames_completed() const { return frames_completed_; }
   int64_t frames_lost() const { return frames_lost_; }
-  size_t frames_pending() const { return pending_.size(); }
+  size_t frames_pending() const { return pending_count_; }
 
  private:
-  struct PendingFrame {
-    std::vector<bool> received;
+  /// Inline presence bitmap covers frames up to this many packets (a 4 Mbit
+  /// frame at 1200-byte packets is ~440 packets only in pathological
+  /// configs; typical frames are < 40).
+  static constexpr int kInlineBitmapPackets = 256;
+
+  enum class SlotState : uint8_t {
+    kEmpty = 0,   // id addressable, no packet seen yet — NOT resolved
+    kPending,     // some packets received, frame incomplete
+    kCompleted,   // resolved: completion callback fired
+    kLost,        // resolved: loss callback fired
+    kVacant,      // resolved: sender-side drop/skip, nothing ever sent
+  };
+
+  struct Slot {
+    SlotState state = SlotState::kEmpty;
+    bool keyframe = false;
+    int packets_in_frame = 0;
     int received_count = 0;
     DataSize size = DataSize::Zero();
     Timestamp capture_time = Timestamp::Zero();
     Timestamp first_arrival = Timestamp::Zero();
-    bool keyframe = false;
+    std::array<uint64_t, kInlineBitmapPackets / 64> received_bits{};
+    /// Fallback bitmap when packets_in_frame > kInlineBitmapPackets.
+    std::vector<bool> overflow_bits;
+
+    bool resolved() const {
+      return state == SlotState::kCompleted || state == SlotState::kLost ||
+             state == SlotState::kVacant;
+    }
+    bool TestAndSetReceived(size_t index);
   };
 
   void Sweep();
-  void DeclareLost(int64_t frame_id);
+  /// Marks slot (frame `base_id_ + index`) lost and fires the callback.
+  void DeclareLost(size_t index);
+  /// Grows the ring with kEmpty slots so `frame_id` is addressable; returns
+  /// its logical index. Pre: frame_id >= base_id_.
+  size_t EnsureSlot(int64_t frame_id);
+  /// Pops the contiguous resolved prefix, advancing base_id_.
+  void Trim();
 
   EventLoop& loop_;
   Config config_;
   FrameCallback on_frame_;
   LossCallback on_frame_lost_;
   RepeatingTask sweep_task_;
-  std::map<int64_t, PendingFrame> pending_;
-  std::set<int64_t> completed_;
-  std::set<int64_t> lost_;
+  /// slots_[i] is frame base_id_ + i; ids below base_id_ are resolved.
+  RingDeque<Slot> slots_;
+  int64_t base_id_ = 0;
+  size_t pending_count_ = 0;
   int64_t frames_completed_ = 0;
   int64_t frames_lost_ = 0;
 };

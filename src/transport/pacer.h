@@ -56,7 +56,15 @@ class Pacer {
   int64_t packets_sent() const { return packets_sent_; }
 
  private:
+  /// Synchronous re-evaluation after an enqueue or rate change: sends
+  /// whatever is already due at now() and (re-)arms the drain timer. Never
+  /// steps time — the caller's event is still executing.
   void MaybeSend();
+  /// Drain-timer callback: sends everything due, then either steps
+  /// simulation time to the next send (EventLoop::TryAdvanceTo — the
+  /// packet-train fast path) or re-arms for it. With coalescing refused the
+  /// arm/fire sequence is exactly the per-packet scheduler's.
+  void OnTimer();
 
   EventLoop& loop_;
   SendCallback send_;

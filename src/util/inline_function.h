@@ -46,7 +46,14 @@ class InlineFunction<R(Args...), Capacity> {
                   "InlineFunction capture exceeds the inline storage budget");
     ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
     invoke_ = &Invoke<D>;
-    manage_ = &Manage<D>;
+    // Trivially-copyable, trivially-destructible captures (the common case:
+    // `[this]`-style lambdas) need no manager at all — moves are a raw
+    // memcpy and destruction is a no-op, saving an indirect call per move
+    // and per reset on the event-loop hot path.
+    if constexpr (!(std::is_trivially_copyable_v<D> &&
+                    std::is_trivially_destructible_v<D>)) {
+      manage_ = &Manage<D>;
+    }
   }
 
   /// Oversized / over-aligned captures: compile-time rejection. Shrink the
@@ -74,7 +81,7 @@ class InlineFunction<R(Args...), Capacity> {
 
   ~InlineFunction() { Reset(); }
 
-  explicit operator bool() const { return manage_ != nullptr; }
+  explicit operator bool() const { return invoke_ != &AbortInvoke; }
 
   R operator()(Args... args) {
     return invoke_(storage_, std::forward<Args>(args)...);
@@ -95,18 +102,27 @@ class InlineFunction<R(Args...), Capacity> {
   template <typename D>
   static void Manage(void* self, void* dst, Op op) {
     D* f = static_cast<D*>(self);
-    if constexpr (std::is_trivially_copyable_v<D> &&
-                  std::is_trivially_destructible_v<D>) {
-      if (op == Op::kMoveTo) std::memcpy(dst, self, sizeof(D));
-    } else {
-      if (op == Op::kMoveTo) ::new (dst) D(std::move(*f));
-      f->~D();
-    }
+    if (op == Op::kMoveTo) ::new (dst) D(std::move(*f));
+    f->~D();
   }
 
   void MoveFrom(InlineFunction& other) noexcept {
-    if (other.manage_ == nullptr) return;
-    other.manage_(other.storage_, storage_, Op::kMoveTo);
+    if (!other) return;
+    if (other.manage_ != nullptr) {
+      other.manage_(other.storage_, storage_, Op::kMoveTo);
+    } else {
+      // Trivial capture: the whole buffer copies branchlessly. Copying the
+      // uninitialized tail of a smaller capture is well-defined for unsigned
+      // char; GCC's -Wmaybe-uninitialized cannot see that and warns.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+      std::memcpy(storage_, other.storage_, Capacity);
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+    }
     invoke_ = other.invoke_;
     manage_ = other.manage_;
     other.invoke_ = &AbortInvoke;
@@ -114,8 +130,7 @@ class InlineFunction<R(Args...), Capacity> {
   }
 
   void Reset() {
-    if (manage_ == nullptr) return;
-    manage_(storage_, nullptr, Op::kDestroy);
+    if (manage_ != nullptr) manage_(storage_, nullptr, Op::kDestroy);
     invoke_ = &AbortInvoke;
     manage_ = nullptr;
   }

@@ -75,7 +75,7 @@ TEST(HotpathAllocTest, RepeatingTaskIsAllocationFreeInSteadyState) {
 // reference build (the test prints the current value); the bound leaves ~2x
 // headroom for library variance while still catching any per-packet or
 // per-event regression (which would show up as thousands per second).
-constexpr uint64_t kMaxAllocsPerSimSecond = 450;
+constexpr uint64_t kMaxAllocsPerSimSecond = 300;
 
 uint64_t SessionAllocs(TimeDelta duration) {
   rtc::SessionConfig config;

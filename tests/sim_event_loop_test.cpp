@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -324,6 +325,144 @@ TEST(EventLoopSlotTableTest, CallbackResourcesReleasedOnCancel) {
   // Cancellation releases the captured state immediately, without waiting
   // for the tombstone to surface from the heap.
   EXPECT_TRUE(watch.expired());
+}
+
+// --- two-level wheel horizons ---
+//
+// Delays are chosen to land one event in each storage tier: the L0 per-µs
+// window (< ~4 ms), the L1 outer wheel (< ~16.8 s), and the overflow heap
+// (beyond). The tiers are an implementation detail; these tests pin the
+// observable contract — exact peek times and strict (fire time, seq) order —
+// across every tier boundary.
+
+TEST(EventLoopWheelTest, OrderPreservedAcrossAllHorizons) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.Schedule(TimeDelta::Seconds(20), [&] { order.push_back(5); });   // heap
+  loop.Schedule(TimeDelta::Micros(100), [&] { order.push_back(1); });  // L0
+  loop.Schedule(TimeDelta::Seconds(1), [&] { order.push_back(3); });   // L1
+  loop.Schedule(TimeDelta::Millis(5), [&] { order.push_back(2); });    // L1
+  loop.Schedule(TimeDelta::Seconds(2), [&] { order.push_back(4); });   // L1
+  loop.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(loop.now(), Timestamp::Seconds(20));
+}
+
+TEST(EventLoopWheelTest, SameTimeTiesRunInScheduleOrderAcrossTiers) {
+  EventLoop loop;
+  std::vector<int> order;
+  // All fire at the same instant, far enough out to start life in the heap,
+  // then migrate heap -> L1 -> L0 before dispatch. The migrations must keep
+  // scheduling order.
+  for (int i = 0; i < 8; ++i) {
+    loop.Schedule(TimeDelta::Seconds(18), [&order, i] { order.push_back(i); });
+  }
+  loop.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EventLoopWheelTest, NextEventTimeIsExactInEveryTier) {
+  EventLoop loop;
+  EXPECT_EQ(loop.NextEventTime(), Timestamp::PlusInfinity());
+
+  loop.Schedule(TimeDelta::Seconds(19) + TimeDelta::Micros(7), [] {});
+  EXPECT_EQ(loop.NextEventTime(),
+            Timestamp::Seconds(19) + TimeDelta::Micros(7));  // heap
+
+  loop.Schedule(TimeDelta::Millis(900) + TimeDelta::Micros(3), [] {});
+  EXPECT_EQ(loop.NextEventTime(),
+            Timestamp::Millis(900) + TimeDelta::Micros(3));  // L1, exact µs
+
+  loop.Schedule(TimeDelta::Micros(250), [] {});
+  EXPECT_EQ(loop.NextEventTime(), Timestamp::Micros(250));  // L0
+  loop.RunAll();
+  EXPECT_EQ(loop.NextEventTime(), Timestamp::PlusInfinity());
+}
+
+TEST(EventLoopWheelTest, CancelledEventsNeverFireFromL1OrHeap) {
+  EventLoop loop;
+  int fired = 0;
+  EventHandle in_l1 = loop.Schedule(TimeDelta::Millis(500), [&] { ++fired; });
+  EventHandle in_heap = loop.Schedule(TimeDelta::Seconds(19), [&] { ++fired; });
+  loop.Schedule(TimeDelta::Seconds(19), [&] { ++fired; });  // survivor
+  loop.Cancel(in_l1);
+  loop.Cancel(in_heap);
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.RunAll();
+  EXPECT_EQ(fired, 1);
+}
+
+// --- TryAdvanceTo gating ---
+
+TEST(EventLoopCoalesceTest, StepGrantedOnlyWhenStrictlyBeforeEveryEvent) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.coalescing());  // default on (RAVE_NO_COALESCE unset)
+  bool granted_past_pending = true;
+  bool granted_free_gap = false;
+  loop.Schedule(TimeDelta::Millis(12), [] {});
+  loop.Schedule(TimeDelta::Millis(10), [&] {
+    // An event pends at 12 ms <= 15 ms: the step must be refused.
+    granted_past_pending = loop.TryAdvanceTo(Timestamp::Millis(15));
+    // 11 ms is strictly before every pending event: granted, time moves.
+    granted_free_gap = loop.TryAdvanceTo(Timestamp::Millis(11));
+  });
+  loop.RunAll();
+  EXPECT_FALSE(granted_past_pending);
+  EXPECT_TRUE(granted_free_gap);
+}
+
+TEST(EventLoopCoalesceTest, StepRefusedBeyondRunBoundAndWhenDisabled) {
+  EventLoop loop;
+  bool past_bound = true;
+  bool within_bound = false;
+  loop.Schedule(TimeDelta::Millis(5), [&] {
+    past_bound = loop.TryAdvanceTo(Timestamp::Millis(25));   // bound is 20 ms
+    within_bound = loop.TryAdvanceTo(Timestamp::Millis(18));
+  });
+  loop.RunUntil(Timestamp::Millis(20));
+  EXPECT_FALSE(past_bound);
+  EXPECT_TRUE(within_bound);
+
+  EventLoop off;
+  off.set_coalescing(false);
+  bool granted = true;
+  off.Schedule(TimeDelta::Millis(5),
+               [&] { granted = off.TryAdvanceTo(Timestamp::Millis(8)); });
+  off.RunAll();
+  EXPECT_FALSE(granted);
+}
+
+TEST(EventLoopCoalesceTest, LogicalEventCountInvariantAcrossModes) {
+  // A self-rescheduling worker that prefers stepping: with coalescing it
+  // advances through its cadence inside one dispatch; without, every tick is
+  // its own event. events_executed must come out identical.
+  auto run = [](bool coalesce) {
+    EventLoop loop;
+    loop.set_coalescing(coalesce);
+    int ticks = 0;
+    std::function<void()> tick = [&] {
+      ++ticks;
+      while (ticks < 50) {
+        const Timestamp next = loop.now() + TimeDelta::Micros(700);
+        if (loop.TryAdvanceTo(next)) {
+          ++ticks;
+        } else {
+          loop.ScheduleAt(next, [&] { tick(); });
+          return;
+        }
+      }
+    };
+    loop.Schedule(TimeDelta::Micros(700), [&] { tick(); });
+    // A cross-cutting periodic event forces refusals mid-train.
+    RepeatingTask other(loop, TimeDelta::Millis(3), [] {});
+    other.Start();
+    loop.RunUntil(Timestamp::Millis(60));
+    return std::pair<int, uint64_t>(ticks, loop.events_executed());
+  };
+  const auto with = run(true);
+  const auto without = run(false);
+  EXPECT_EQ(with.first, without.first);
+  EXPECT_EQ(with.second, without.second);
 }
 
 }  // namespace
