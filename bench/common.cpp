@@ -24,6 +24,10 @@ std::unique_ptr<runner::ResultCache> owned_cache;
 /// calling thread only, so no locking is needed.
 obs::RegistrySnapshot g_suite_metrics;
 
+/// Per-bench aggregate (see BenchMetrics): run_suite resets it before each
+/// entry point so history records carry per-bench quality metrics.
+obs::RegistrySnapshot g_bench_metrics;
+
 /// Process-wide lockstep batch size (see MatrixBatch).
 int g_matrix_batch = 1;
 
@@ -56,7 +60,7 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
       std::exit(2);
     }
     BenchOptions options;
-    options.jobs = static_cast<int>(flags.GetInt("jobs", 0));
+    options.jobs = static_cast<int>(flags.GetInt("jobs", 0, 0, 1 << 16));
     options.duration_s = flags.GetDouble("duration", 0.0);
     options.cache_dir = flags.GetString("cache-dir", "");
     const std::string log_level = flags.GetString("log-level", "");
@@ -65,7 +69,7 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
                 << "' (want debug|info|warning|error)\n";
       std::exit(2);
     }
-    options.batch = static_cast<int>(flags.GetInt("batch", 1));
+    options.batch = static_cast<int>(flags.GetInt("batch", 1, 1, 1 << 16));
     SetMatrixBatch(options.batch);
     options.wireless = flags.GetString("wireless", "");
     const std::string simd_level = flags.GetString("simd", "");
@@ -108,6 +112,7 @@ std::vector<rtc::SessionResult> RunMatrix(
   // suite-wide merge is deterministic too.
   for (const rtc::SessionResult& result : results) {
     g_suite_metrics.Merge(result.metrics);
+    g_bench_metrics.Merge(result.metrics);
   }
   return results;
 }
@@ -115,6 +120,16 @@ std::vector<rtc::SessionResult> RunMatrix(
 const obs::RegistrySnapshot& SuiteMetrics() { return g_suite_metrics; }
 
 void ResetSuiteMetrics() { g_suite_metrics = obs::RegistrySnapshot{}; }
+
+const obs::RegistrySnapshot& BenchMetrics() { return g_bench_metrics; }
+
+void ResetBenchMetrics() { g_bench_metrics = obs::RegistrySnapshot{}; }
+
+const obs::QuantileSketch* LatencySketch(const rtc::SessionResult& result) {
+  const obs::MetricSnapshot* m = result.metrics.Find("frame.latency_ms");
+  if (m == nullptr || m->kind != obs::MetricKind::kSketch) return nullptr;
+  return &m->sketch;
+}
 
 std::vector<double> FrameLatenciesMs(const rtc::SessionResult& result) {
   std::vector<double> ms;

@@ -87,6 +87,17 @@ std::vector<rtc::SessionResult> RunMatrix(
 const obs::RegistrySnapshot& SuiteMetrics();
 void ResetSuiteMetrics();
 
+/// Like SuiteMetrics but scoped to one bench: run_suite resets this before
+/// invoking each entry point and harvests it after, so the history ledger
+/// records per-bench quality metrics. Standalone binaries can ignore it.
+const obs::RegistrySnapshot& BenchMetrics();
+void ResetBenchMetrics();
+
+/// The session's merged per-frame latency sketch (`frame.latency_ms` in
+/// result.metrics) — the O(sketch)-memory source for every cross-session
+/// latency percentile. nullptr only for results predating the sketch.
+const obs::QuantileSketch* LatencySketch(const rtc::SessionResult& result);
+
 /// Builds the default session configuration used across experiments:
 /// 720p30, 2.5 Mbps initial estimate, 50 ms RTT (25 ms each way), 50 ms
 /// feedback interval, deep (~3 s at 1 Mbps) bottleneck buffer. The trace
@@ -121,7 +132,9 @@ void ApplyWirelessProfile(rtc::SessionConfig& config,
                           const fault::WirelessProfile& profile);
 
 /// Per-frame end-to-end latencies (ms) of the delivered frames, in capture
-/// order — the samples every latency CDF/percentile is computed from.
+/// order. The exact-vector reference path: benches use LatencySketch for
+/// percentiles; this remains for per-frame analyses and for tests/tab4 to
+/// validate sketch accuracy against exact order statistics.
 std::vector<double> FrameLatenciesMs(const rtc::SessionResult& result);
 
 /// Mean latency reduction of `treatment` vs `baseline` in percent.

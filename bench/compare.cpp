@@ -1,0 +1,83 @@
+// bench_compare: the cross-run regression sentinel as a standalone tool.
+//
+// Diffs two records of a `run_suite --history=FILE` ledger (by default the
+// last two) with the same policy `run_suite --baseline` applies in-process:
+// deterministic quality fields are compared byte-exact and gate the exit
+// code; wall-clock fields are noise-banded and only ever warn.
+//
+// Usage:
+//   bench_compare --history=FILE [--from=I] [--to=J] [--wall-band=FACTOR]
+//
+// `--from`/`--to` index the ledger; negative values count from the end
+// (--from=-2 --to=-1, the default, compares the previous run against the
+// latest). Exit codes: 0 clean, 1 quality regression, 2 usage error.
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "history.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  using rave::Flags;
+  namespace bench = rave::bench;
+
+  std::string history_path;
+  int64_t from = -2;
+  int64_t to = -1;
+  double wall_band = 1.5;
+  try {
+    const Flags flags(argc - 1, argv + 1);
+    for (const std::string& key :
+         flags.UnknownKeys({"history", "from", "to", "wall-band"})) {
+      std::cerr << "error: unknown flag --" << key << "\nusage: " << argv[0]
+                << " --history=FILE [--from=I] [--to=J]"
+                   " [--wall-band=FACTOR]\n";
+      return 2;
+    }
+    history_path = flags.GetString("history", "");
+    from = flags.GetInt("from", -2);
+    to = flags.GetInt("to", -1);
+    wall_band = flags.GetDouble("wall-band", 1.5);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+  if (history_path.empty()) {
+    std::cerr << "error: --history=FILE is required\n";
+    return 2;
+  }
+
+  const std::vector<bench::HistoryRecord> ledger =
+      bench::LoadHistory(history_path);
+  if (ledger.size() < 2) {
+    std::cerr << "error: " << history_path << " holds " << ledger.size()
+              << " parseable record(s); need at least 2 to compare\n";
+    return 2;
+  }
+  auto resolve = [&](int64_t index, const char* flag) -> const
+      bench::HistoryRecord* {
+    const int64_t n = static_cast<int64_t>(ledger.size());
+    const int64_t i = index < 0 ? n + index : index;
+    if (i < 0 || i >= n) {
+      std::cerr << "error: --" << flag << "=" << index
+                << " is outside the ledger (" << n << " records)\n";
+      return nullptr;
+    }
+    return &ledger[static_cast<size_t>(i)];
+  };
+  const bench::HistoryRecord* baseline = resolve(from, "from");
+  const bench::HistoryRecord* current = resolve(to, "to");
+  if (baseline == nullptr || current == nullptr) return 2;
+
+  if (bench::CompatKey(*baseline) != bench::CompatKey(*current)) {
+    std::cerr << "warning: records are not compatible (fingerprint/blob/"
+                 "options/duration/selection differ) — quality bytes are not"
+                 " expected to match:\n  baseline: "
+              << bench::CompatKey(*baseline)
+              << "\n  current:  " << bench::CompatKey(*current) << '\n';
+  }
+  return bench::CompareRecords(*baseline, *current, wall_band, std::cout) ? 1
+                                                                          : 0;
+}

@@ -20,7 +20,7 @@
 #include "registry.h"
 #include "fault/fault_plan.h"
 #include "fault/wireless_profiles.h"
-#include "util/stats.h"
+#include "obs/sketch.h"
 #include "util/table.h"
 
 using namespace rave;
@@ -118,8 +118,8 @@ int bench::Fig12HandoverRecoveryMain(int argc, char** argv) {
         }
       }
 
-      SampleSet latency;
-      for (double ms : bench::FrameLatenciesMs(result)) latency.Add(ms);
+      const obs::QuantileSketch* latency = bench::LatencySketch(result);
+      const double p95 = latency != nullptr ? latency->Quantile(0.95) : 0.0;
 
       Table& row = table.AddRow();
       row.Cell(result.scheme_name)
@@ -140,7 +140,7 @@ int bench::Fig12HandoverRecoveryMain(int argc, char** argv) {
       } else {
         row.Cell("n/a");
       }
-      row.Cell(latency.Quantile(0.95), 1)
+      row.Cell(p95, 1)
           .Cell(static_cast<int64_t>(result.breaker_stats.opens))
           .Cell(static_cast<int64_t>(result.breaker_stats.pauses));
     }

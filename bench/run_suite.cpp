@@ -10,31 +10,53 @@
 // once per suite run even without a disk cache — and with `--cache-dir`
 // (or RAVE_CACHE_DIR) a warm rerun skips simulation entirely.
 //
-// BENCH_suite.json additionally carries two metric sections:
+// BENCH_suite.json carries three metric sections:
 //   "metrics"  — the deterministic merge of every session's metric registry
-//                (counters, gauges, histogram percentiles); identical
+//                (counters, gauges, sketch/histogram percentiles); identical
 //                between cold and warm passes and across job counts.
+//   "sketches" — one line per merged quantile sketch: exact count/sum/
+//                min/max, the standard percentile ladder, and the encoded
+//                sketch blob as hex. Byte-identical across --jobs, --batch,
+//                cache temperature, and merge order (the sketch's core
+//                contract); determinism gates compare this section directly.
 //   "runtime"  — host-side wall-clock / allocation roll-ups from
 //                obs::RuntimeStats plus cache hit rates; excluded from
 //                determinism comparisons by construction.
 //
+// The regression sentinel rides on top: `--history=FILE` appends one JSONL
+// record per run (git rev, fingerprint, per-bench quality metrics,
+// quarantined runtime stats); `--baseline=FILE` diffs the current run
+// against the last compatible record and exits non-zero on a quality
+// regression (wall-clock drift alone never gates). `--progress` emits a
+// stderr-only heartbeat while the suite runs.
+//
 // Usage:
-//   run_suite [--jobs=N] [--duration=SECONDS] [--cache-dir=DIR]
+//   run_suite [--jobs=N] [--batch=B] [--duration=SECONDS] [--cache-dir=DIR]
 //             [--out-dir=DIR] [--only=fig1_timeline,tab5_schemes,...]
-//             [--log-level=LEVEL] [--list]
+//             [--history=FILE] [--baseline=FILE] [--wall-band=FACTOR]
+//             [--progress] [--log-level=LEVEL] [--list] [--version]
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common.h"
+#include "history.h"
 #include "obs/metrics_registry.h"
+#include "obs/sketch.h"
 #include "registry.h"
 #include "runner/result_cache.h"
+#include "runner/session_key.h"
+#include "runner/version.h"
+#include "util/byteio.h"
 #include "util/flags.h"
 #include "util/logging.h"
 
@@ -63,8 +85,16 @@ std::string Num(double v) {
   return os.str();
 }
 
+/// max_digits10 formatting for the determinism-gated "sketches" section:
+/// equal strings mean equal double bits.
+std::string NumExact(double v) {
+  std::ostringstream os;
+  os << std::setprecision(17) << v;
+  return os.str();
+}
+
 /// One JSON line per metric, mirroring the MetricSnapshot schema.
-/// Histograms come with interpolated p50/p95/p99, so the suite report is
+/// Distributions come with interpolated p50/p95/p99, so the suite report is
 /// directly plottable without re-deriving percentiles from buckets.
 void WriteMetricsJson(std::ostream& json, const char* indent,
                       const rave::obs::RegistrySnapshot& snapshot) {
@@ -87,8 +117,51 @@ void WriteMetricsJson(std::ostream& json, const char* indent,
              << ", \"p95\": " << Num(m.Percentile(0.95))
              << ", \"p99\": " << Num(m.Percentile(0.99));
         break;
+      case MetricKind::kSketch:
+        json << "\"kind\": \"sketch\", \"count\": " << m.sketch.count()
+             << ", \"sum\": " << Num(m.sketch.sum())
+             << ", \"min\": " << Num(m.sketch.min())
+             << ", \"max\": " << Num(m.sketch.max())
+             << ", \"p50\": " << Num(m.Percentile(0.50))
+             << ", \"p95\": " << Num(m.Percentile(0.95))
+             << ", \"p99\": " << Num(m.Percentile(0.99));
+        break;
     }
     json << "}" << (i + 1 < snapshot.metrics.size() ? "," : "") << '\n';
+  }
+}
+
+/// The determinism-gated "sketches" section: one single-line JSON object per
+/// merged quantile sketch, values formatted bit-exactly, plus the encoded
+/// sketch as hex. Gates byte-compare these lines across --jobs/--batch/
+/// cache-temperature variants — the hex blob makes any internal divergence
+/// (not just percentile drift) visible.
+void WriteSketchesJson(std::ostream& json, const char* indent,
+                       const rave::obs::RegistrySnapshot& snapshot) {
+  using rave::obs::MetricKind;
+  std::vector<const rave::obs::MetricSnapshot*> sketches;
+  for (const rave::obs::MetricSnapshot& m : snapshot.metrics) {
+    if (m.kind == MetricKind::kSketch) sketches.push_back(&m);
+  }
+  for (size_t i = 0; i < sketches.size(); ++i) {
+    const rave::obs::MetricSnapshot& m = *sketches[i];
+    rave::ByteWriter w;
+    m.sketch.Encode(w);
+    const std::vector<uint8_t>& bytes = w.bytes();
+    json << indent << "{\"name\": \"" << m.name
+         << "\", \"count\": " << m.sketch.count()
+         << ", \"sum\": " << NumExact(m.sketch.sum())
+         << ", \"min\": " << NumExact(m.sketch.min())
+         << ", \"max\": " << NumExact(m.sketch.max())
+         << ", \"p50\": " << NumExact(m.sketch.Quantile(0.50))
+         << ", \"p90\": " << NumExact(m.sketch.Quantile(0.90))
+         << ", \"p95\": " << NumExact(m.sketch.Quantile(0.95))
+         << ", \"p99\": " << NumExact(m.sketch.Quantile(0.99))
+         << ", \"p999\": " << NumExact(m.sketch.Quantile(0.999))
+         << ", \"bytes\": " << bytes.size() << ", \"blob\": \"";
+    static const char kHex[] = "0123456789abcdef";
+    for (uint8_t b : bytes) json << kHex[b >> 4] << kHex[b & 0xf];
+    json << "\"}" << (i + 1 < sketches.size() ? "," : "") << '\n';
   }
 }
 
@@ -105,6 +178,81 @@ void PrintBenchList(std::ostream& os) {
   }
 }
 
+/// Stderr-only heartbeat for long suite runs (--progress): which bench is
+/// in flight, sessions simulated/cached so far, hit rate, sessions/sec.
+/// Never touches stdout, so tee'd bench captures stay byte-identical.
+class ProgressReporter {
+ public:
+  ProgressReporter(bool enabled, const rave::runner::ResultCache& cache,
+                   size_t total_benches)
+      : enabled_(enabled), cache_(cache), total_benches_(total_benches) {
+    if (!enabled_) return;
+    start_ = Clock::now();
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  ~ProgressReporter() {
+    if (!enabled_) return;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  void BeginBench(const std::string& name, size_t index) {
+    if (!enabled_) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_ = name;
+    index_ = index;
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!cv_.wait_for(lock, std::chrono::seconds(2),
+                         [this] { return done_; })) {
+      const std::string current = current_;
+      const size_t index = index_;
+      lock.unlock();
+      const rave::runner::ResultCache::Stats s = cache_.stats();
+      const uint64_t hits = s.memory_hits + s.disk_hits;
+      const uint64_t lookups = s.computes + hits;
+      const double elapsed_s =
+          std::chrono::duration<double>(Clock::now() - start_).count();
+      std::ostringstream os;
+      os << "[progress] bench " << index << "/" << total_benches_;
+      if (!current.empty()) os << " " << current;
+      os << ": " << s.computes << " simulated, " << hits << " cached";
+      if (lookups > 0) {
+        os << " (hit " << std::fixed << std::setprecision(0)
+           << 100.0 * static_cast<double>(hits) /
+                  static_cast<double>(lookups)
+           << "%)";
+      }
+      if (elapsed_s > 0.0) {
+        os << ", " << std::fixed << std::setprecision(1)
+           << static_cast<double>(s.computes) / elapsed_s << " sessions/s";
+      }
+      os << '\n';
+      std::cerr << os.str();
+      lock.lock();
+    }
+  }
+
+  const bool enabled_;
+  const rave::runner::ResultCache& cache_;
+  const size_t total_benches_;
+  Clock::time_point start_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::string current_;
+  size_t index_ = 0;
+  bool done_ = false;
+  std::thread thread_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -113,29 +261,45 @@ int main(int argc, char** argv) {
   namespace runner = rave::runner;
 
   int jobs = 0;
+  int batch = 1;
   double duration_s = 0.0;
+  double wall_band = 1.5;
+  bool progress = false;
   std::string cache_dir;
   std::string out_dir = ".";
   std::string benches_csv;
+  std::string history_path;
+  std::string baseline_path;
   try {
     const Flags flags(argc - 1, argv + 1);
-    for (const std::string& key :
-         flags.UnknownKeys({"jobs", "duration", "cache-dir", "out-dir",
-                            "benches", "only", "log-level", "list"})) {
+    for (const std::string& key : flags.UnknownKeys(
+             {"jobs", "batch", "duration", "cache-dir", "out-dir", "benches",
+              "only", "log-level", "list", "version", "history", "baseline",
+              "wall-band", "progress"})) {
       std::cerr << "error: unknown flag --" << key << "\nusage: " << argv[0]
-                << " [--jobs=N] [--duration=SECONDS] [--cache-dir=DIR]"
-                   " [--out-dir=DIR] [--only=name,name,...]"
-                   " [--log-level=LEVEL] [--list]\n";
+                << " [--jobs=N] [--batch=B] [--duration=SECONDS]"
+                   " [--cache-dir=DIR] [--out-dir=DIR] [--only=name,name,...]"
+                   " [--history=FILE] [--baseline=FILE] [--wall-band=FACTOR]"
+                   " [--progress] [--log-level=LEVEL] [--list] [--version]\n";
       return 2;
+    }
+    if (flags.GetBool("version", false)) {
+      std::cout << runner::VersionString();
+      return 0;
     }
     if (flags.GetBool("list", false)) {
       PrintBenchList(std::cout);
       return 0;
     }
-    jobs = static_cast<int>(flags.GetInt("jobs", 0));
+    jobs = static_cast<int>(flags.GetInt("jobs", 0, 0, 1 << 16));
+    batch = static_cast<int>(flags.GetInt("batch", 1, 1, 1 << 16));
     duration_s = flags.GetDouble("duration", 0.0);
+    wall_band = flags.GetDouble("wall-band", 1.5);
+    progress = flags.GetBool("progress", false);
     cache_dir = flags.GetString("cache-dir", "");
     out_dir = flags.GetString("out-dir", ".");
+    history_path = flags.GetString("history", "");
+    baseline_path = flags.GetString("baseline", "");
     // --only is the documented spelling; --benches kept as an alias.
     benches_csv = flags.GetString("only", flags.GetString("benches", ""));
     const std::string log_level = flags.GetString("log-level", "");
@@ -176,15 +340,26 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The git revision must resolve from the launch directory — after the
+  // chdir below, .git/HEAD may no longer be reachable upward from cwd.
+  const std::string git_rev = bench::GitRevOrUnknown(".");
+
   std::error_code ec;
   std::filesystem::create_directories(out_dir, ec);
   // Benches write their own artifacts (CSVs, fig11 trace captures) relative
   // to the working directory; move into --out-dir so everything lands next
   // to the BENCH_*.out captures and concurrent suites with distinct out-dirs
-  // never collide on a filename. The cache dir must be resolved first or it
-  // would silently re-anchor under out_dir.
+  // never collide on a filename. The cache dir (and the history/baseline
+  // ledger paths) must be resolved first or they would silently re-anchor
+  // under out_dir.
   if (!cache_dir.empty()) {
     cache_dir = std::filesystem::absolute(cache_dir, ec).string();
+  }
+  if (!history_path.empty()) {
+    history_path = std::filesystem::absolute(history_path, ec).string();
+  }
+  if (!baseline_path.empty()) {
+    baseline_path = std::filesystem::absolute(baseline_path, ec).string();
   }
   std::filesystem::current_path(out_dir, ec);
   if (ec) {
@@ -209,20 +384,35 @@ int main(int argc, char** argv) {
   std::vector<std::string> bench_args;
   bench_args.push_back("run_suite");
   bench_args.push_back("--jobs=" + std::to_string(jobs));
+  bench_args.push_back("--batch=" + std::to_string(batch));
   if (duration_s > 0.0) {
     std::ostringstream d;
     d << "--duration=" << duration_s;
     bench_args.push_back(d.str());
   }
 
+  // The sentinel's history record, filled in as benches run.
+  bench::HistoryRecord record;
+  record.git_rev = git_rev;
+  record.fingerprint = runner::kSimFingerprint;
+  record.blob_version = runner::kBlobVersion;
+  record.options = runner::BuildOptionsString();
+  record.jobs = jobs;
+  record.duration_s = duration_s;
+  record.only = benches_csv;
+
   std::vector<BenchReport> reports;
   reports.reserve(selected.size());
   const Clock::time_point suite_start = Clock::now();
   int suite_exit = 0;
 
-  for (const bench::BenchEntry& entry : selected) {
+  ProgressReporter progress_reporter(progress, cache, selected.size());
+
+  for (size_t bench_index = 0; bench_index < selected.size(); ++bench_index) {
+    const bench::BenchEntry& entry = selected[bench_index];
     BenchReport report;
     report.name = entry.name;
+    progress_reporter.BeginBench(entry.name, bench_index + 1);
 
     std::vector<std::string> args = bench_args;
     args[0] = std::string("run_suite/") + entry.name;
@@ -231,6 +421,7 @@ int main(int argc, char** argv) {
     for (std::string& a : args) argv_ptrs.push_back(a.data());
 
     const runner::ResultCache::Stats before = cache.stats();
+    bench::ResetBenchMetrics();
 
     // Capture the bench's stdout; benches print their figures/tables there.
     std::ostringstream captured;
@@ -256,6 +447,16 @@ int main(int argc, char** argv) {
         static_cast<double>(after.saved_compute_us - before.saved_compute_us) /
         1000.0;
     if (report.exit_code != 0) suite_exit = 1;
+
+    // Per-bench sentinel entry: deterministic quality metrics only (wall.*
+    // and alloc.* are filtered inside QualityPairs); wall clock rides along
+    // as a quarantined, noise-banded field.
+    bench::HistoryBench hb;
+    hb.name = entry.name;
+    hb.exit_code = report.exit_code;
+    hb.wall_ms = report.wall_ms;
+    hb.quality = bench::QualityPairs(bench::BenchMetrics());
+    record.benches.push_back(std::move(hb));
 
     // Tee: the bench's normal output still reaches the console, and a
     // byte-identical copy lands next to the suite report for diffing.
@@ -315,6 +516,13 @@ int main(int argc, char** argv) {
   WriteMetricsJson(json, "    ", bench::SuiteMetrics());
   json << "  ],\n";
 
+  // The merged quantile sketches, bit-exact values plus the encoded blob as
+  // hex. Determinism gates byte-compare these lines across jobs/batch/cache
+  // variants; any divergence in the merge shows up here first.
+  json << "  \"sketches\": [\n";
+  WriteSketchesJson(json, "    ", bench::SuiteMetrics());
+  json << "  ],\n";
+
   // Host-side roll-up (wall clock, allocations, cache hit rate). These
   // values change run to run; determinism gates filter this section out.
   const uint64_t lookups = total.computes + total.memory_hits + total.disk_hits;
@@ -333,6 +541,49 @@ int main(int argc, char** argv) {
             << total.computes << " simulated, "
             << total.memory_hits + total.disk_hits << " cache hits, est. "
             << Num(est_speedup) << "x vs uncached\n";
+
+  // Quarantined runtime stats on the sentinel record.
+  record.wall_ms = suite_wall_ms;
+  record.sessions_per_s =
+      suite_wall_ms > 0.0
+          ? static_cast<double>(total.computes) / (suite_wall_ms / 1000.0)
+          : 0.0;
+  record.cache_hit_rate = hit_rate;
+
+  // --baseline: diff this run against the last compatible ledger record.
+  // Quality drift gates (non-zero exit); wall-clock drift only warns.
+  if (!baseline_path.empty()) {
+    const std::vector<bench::HistoryRecord> ledger =
+        bench::LoadHistory(baseline_path);
+    const bench::HistoryRecord* baseline = nullptr;
+    const std::string key = bench::CompatKey(record);
+    for (const bench::HistoryRecord& r : ledger) {
+      if (bench::CompatKey(r) == key) baseline = &r;
+    }
+    if (baseline == nullptr) {
+      std::cerr << "[sentinel] no compatible baseline in " << baseline_path
+                << " (need fingerprint/blob/options/duration/selection match;"
+                   " " << ledger.size() << " records scanned) — not gating\n";
+    } else {
+      std::cout << '\n';
+      if (bench::CompareRecords(*baseline, record, wall_band, std::cout)) {
+        suite_exit = 1;
+      }
+    }
+  }
+
+  // --history: append this run to the ledger (after the baseline diff, so a
+  // run never compares against itself).
+  if (!history_path.empty()) {
+    if (!bench::AppendHistory(history_path, record)) {
+      std::cerr << "error: cannot append history record to " << history_path
+                << '\n';
+      if (suite_exit == 0) suite_exit = 1;
+    } else {
+      std::cerr << "[sentinel] history record appended to " << history_path
+                << '\n';
+    }
+  }
 
   bench::SetSuiteCache(nullptr);
   return suite_exit;

@@ -11,6 +11,9 @@
 // --csv=<prefix>, --fault=<spec>, --wireless=<profile>,
 // --log-level=<level>, --trace-out=<path>[:sample_hz].
 //
+// --version prints the build identity (simulator fingerprint, result-cache
+// blob version, compiled option set) and exits.
+//
 // --wireless runs the session over a named wireless/mobility profile
 // (wifi-fade, lte-handover, fpv-radio, duty-cycle, train-commute): the
 // profile supplies the capacity trace, the loss model, and any handover /
@@ -42,6 +45,7 @@
 #include "net/capacity_trace.h"
 #include "obs/trace.h"
 #include "rtc/session.h"
+#include "runner/version.h"
 #include "util/csv.h"
 #include "util/flags.h"
 #include "util/logging.h"
@@ -55,7 +59,8 @@ const std::vector<std::string> kKnownFlags = {
     "scheme",  "severity", "trace",        "content", "seconds",
     "seed",    "rtt-ms",   "queue-kb",     "loss",    "cross-kbps",
     "fec",     "no-rtx",   "degradation",  "csv",     "initial-kbps",
-    "seeds",   "fault",    "trace-out",    "log-level", "wireless"};
+    "seeds",   "fault",    "trace-out",    "log-level", "wireless",
+    "version"};
 
 /// Builds the recorder requested by --trace-out (nullptr when absent).
 /// Sessions run inside a TraceScope pointing at it; WriteTrace() flushes
@@ -258,6 +263,10 @@ int main(int argc, char** argv) {
     for (const std::string& key : flags.UnknownKeys(kKnownFlags)) {
       std::cerr << "error: unknown flag --" << key << '\n';
       return 2;
+    }
+    if (flags.GetBool("version", false)) {
+      std::cout << runner::VersionString();
+      return 0;
     }
     const std::string log_level = flags.GetString("log-level", "");
     if (!log_level.empty() && !SetLogLevelFromString(log_level)) {

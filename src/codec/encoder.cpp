@@ -175,9 +175,7 @@ EncodedFrame Encoder::FinishFrame(FrameControlStep& step) {
       reg->GetCounter("encoder.reencodes")
           ->Add(static_cast<uint64_t>(reencodes));
     }
-    reg->GetHistogram("encoder.qp",
-                      [] { return obs::LinearBounds(0.0, 52.0, 26); })
-        ->Record(qp);
+    reg->GetSketch("encoder.qp")->Record(qp);
   }
 
   FrameOutcome outcome;

@@ -91,6 +91,7 @@ std::vector<double> LinearBounds(double lo, double hi, size_t count) {
 }
 
 double MetricSnapshot::Percentile(double q) const {
+  if (kind == MetricKind::kSketch) return sketch.Quantile(q);
   return BucketPercentile(bounds, bucket_counts, count, min, max, q);
 }
 
@@ -153,6 +154,9 @@ void RegistrySnapshot::Merge(const RegistrySnapshot& other) {
         mine->sum += theirs.sum;
         break;
       }
+      case MetricKind::kSketch:
+        mine->sketch.Merge(theirs.sketch);
+        break;
     }
   }
   std::sort(metrics.begin(), metrics.end(),
@@ -176,6 +180,7 @@ void RegistrySnapshot::Encode(ByteWriter& w) const {
     w.F64(m.sum);
     w.F64(m.min);
     w.F64(m.max);
+    if (m.kind == MetricKind::kSketch) m.sketch.Encode(w);
   }
 }
 
@@ -186,7 +191,14 @@ RegistrySnapshot RegistrySnapshot::Decode(ByteReader& r) {
   for (uint64_t i = 0; i < n && r.ok(); ++i) {
     MetricSnapshot m;
     m.name = r.Str();
-    m.kind = static_cast<MetricKind>(r.U8());
+    const uint8_t kind_byte = r.U8();
+    if (kind_byte > static_cast<uint8_t>(MetricKind::kSketch)) {
+      // An unknown kind desynchronizes the stream (the sketch payload is
+      // conditional on it); fail closed instead of misparsing.
+      r.Invalidate();
+      return snap;
+    }
+    m.kind = static_cast<MetricKind>(kind_byte);
     m.counter = r.U64();
     m.gauge = r.F64();
     const uint64_t nb = r.U64();
@@ -199,6 +211,7 @@ RegistrySnapshot RegistrySnapshot::Decode(ByteReader& r) {
     m.sum = r.F64();
     m.min = r.F64();
     m.max = r.F64();
+    if (m.kind == MetricKind::kSketch) m.sketch = QuantileSketch::Decode(r);
     snap.metrics.push_back(std::move(m));
   }
   return snap;
@@ -248,6 +261,13 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
   return e->histogram.get();
 }
 
+QuantileSketch* MetricsRegistry::GetSketch(std::string_view name) {
+  if (Entry* e = FindOrNull(name, MetricKind::kSketch)) return e->sketch.get();
+  Entry* e = AddEntry(name, MetricKind::kSketch);
+  e->sketch = std::make_unique<QuantileSketch>();
+  return e->sketch.get();
+}
+
 RegistrySnapshot MetricsRegistry::Snapshot() const {
   RegistrySnapshot snap;
   snap.metrics.reserve(entries_.size());
@@ -273,6 +293,9 @@ RegistrySnapshot MetricsRegistry::Snapshot() const {
         m.max = h.max();
         break;
       }
+      case MetricKind::kSketch:
+        m.sketch = *entry->sketch;
+        break;
     }
     snap.metrics.push_back(std::move(m));
   }
@@ -287,10 +310,6 @@ RuntimeStats& RuntimeStats::Instance() {
   static RuntimeStats stats;
   return stats;
 }
-
-RuntimeStats::RuntimeStats()
-    : session_wall_ms_(ExponentialBounds(0.1, 1e5, 28)),
-      dispatch_ns_(ExponentialBounds(1.0, 1e6, 28)) {}
 
 void RuntimeStats::RecordSession(double wall_ms, uint64_t events,
                                  uint64_t dispatched, uint64_t allocs,
@@ -320,16 +339,11 @@ uint64_t RuntimeStats::total_events_dispatched() const {
 RegistrySnapshot RuntimeStats::Snapshot() const {
   const std::lock_guard<std::mutex> lock(mu_);
   RegistrySnapshot snap;
-  auto histogram = [](const char* name, const Histogram& h) {
+  auto sketch = [](const char* name, const QuantileSketch& s) {
     MetricSnapshot m;
     m.name = name;
-    m.kind = MetricKind::kHistogram;
-    m.bounds = h.bounds();
-    m.bucket_counts = h.bucket_counts();
-    m.count = h.count();
-    m.sum = h.sum();
-    m.min = h.min();
-    m.max = h.max();
+    m.kind = MetricKind::kSketch;
+    m.sketch = s;
     return m;
   };
   auto counter = [](const char* name, uint64_t v) {
@@ -367,15 +381,15 @@ RegistrySnapshot RuntimeStats::Snapshot() const {
               static_cast<double>(events_) /
                   static_cast<double>(events_dispatched_)));
   }
-  snap.metrics.push_back(histogram("wall.event_dispatch_ns", dispatch_ns_));
-  snap.metrics.push_back(histogram("wall.session_ms", session_wall_ms_));
+  snap.metrics.push_back(sketch("wall.event_dispatch_ns", dispatch_ns_));
+  snap.metrics.push_back(sketch("wall.session_ms", session_wall_ms_));
   return snap;
 }
 
 void RuntimeStats::Reset() {
   const std::lock_guard<std::mutex> lock(mu_);
-  session_wall_ms_ = Histogram(ExponentialBounds(0.1, 1e5, 28));
-  dispatch_ns_ = Histogram(ExponentialBounds(1.0, 1e6, 28));
+  session_wall_ms_ = QuantileSketch{};
+  dispatch_ns_ = QuantileSketch{};
   sessions_ = 0;
   events_ = 0;
   events_dispatched_ = 0;

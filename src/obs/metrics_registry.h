@@ -11,12 +11,14 @@
 // therefore differ run-to-run) must use the `wall.` prefix; determinism
 // gates exclude that prefix by name.
 //
-// Histograms are HdrHistogram-lite: a fixed, monotonically increasing list
-// of upper bucket bounds plus an overflow bucket. `Record(v)` increments
-// the first bucket with bound >= v. Percentiles are reconstructed with
-// linear interpolation inside the winning bucket, so accuracy is bounded
-// by bucket width — pick bounds with ExponentialBounds for latency-style
-// long-tailed data.
+// Distribution metrics are QuantileSketches (obs/sketch.h): fixed-layout
+// log-bucket histograms with exact count/min/max and a fixed-point sum,
+// whose merge is commutative/associative and bit-identical under any shard
+// order — the property the suite-wide "sketches" aggregation and the
+// cross-run regression sentinel rely on. The older fixed-bound Histogram
+// (inclusive upper bounds + overflow bucket, linear-interpolated
+// percentiles) is kept for callers that want hand-picked bucket layouts,
+// but registry call sites have been upgraded to sketches.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +29,8 @@
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "obs/sketch.h"
 
 namespace rave {
 class ByteReader;
@@ -89,7 +93,12 @@ std::vector<double> ExponentialBounds(double lo, double hi, size_t count);
 /// `count` upper bounds spaced evenly from `lo + step` to `hi`.
 std::vector<double> LinearBounds(double lo, double hi, size_t count);
 
-enum class MetricKind : uint8_t { kCounter = 0, kGauge = 1, kHistogram = 2 };
+enum class MetricKind : uint8_t {
+  kCounter = 0,
+  kGauge = 1,
+  kHistogram = 2,
+  kSketch = 3
+};
 
 /// Serializable copy of one metric at snapshot time.
 struct MetricSnapshot {
@@ -104,8 +113,12 @@ struct MetricSnapshot {
   double sum = 0.0;
   double min = 0.0;
   double max = 0.0;
+  // Sketch payload (kind == kSketch only); the generic count/sum/min/max
+  // fields above stay at their defaults — read the sketch's accessors.
+  QuantileSketch sketch;
 
-  /// Percentile over the snapshotted buckets (same math as Histogram).
+  /// Percentile over the snapshotted distribution (histogram buckets or
+  /// the sketch, by kind).
   double Percentile(double q) const;
 
   bool operator==(const MetricSnapshot&) const = default;
@@ -142,6 +155,10 @@ class MetricsRegistry {
   /// the same name return the existing histogram and never build bounds.
   Histogram* GetHistogram(std::string_view name,
                           std::vector<double> (*make_bounds)());
+  /// Mergeable log-bucket quantile sketch (obs/sketch.h) — the default
+  /// choice for distribution metrics; no bounds to pick, and suite-wide
+  /// merges stay bit-identical under any shard order.
+  QuantileSketch* GetSketch(std::string_view name);
 
   RegistrySnapshot Snapshot() const;
 
@@ -152,6 +169,7 @@ class MetricsRegistry {
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<QuantileSketch> sketch;
   };
   struct SvHash {
     using is_transparent = void;
@@ -189,18 +207,16 @@ class RuntimeStats {
   uint64_t total_events_dispatched() const;
 
   /// Snapshot under the same MetricSnapshot schema as session registries:
-  /// `wall.session_ms` / `wall.event_dispatch_ns` histograms plus
+  /// `wall.session_ms` / `wall.event_dispatch_ns` sketches plus
   /// `alloc.per_event` / `alloc.per_frame` gauges and raw totals.
   RegistrySnapshot Snapshot() const;
 
   void Reset();
 
  private:
-  RuntimeStats();
-
   mutable std::mutex mu_;
-  Histogram session_wall_ms_;
-  Histogram dispatch_ns_;
+  QuantileSketch session_wall_ms_;
+  QuantileSketch dispatch_ns_;
   uint64_t sessions_ = 0;
   uint64_t events_ = 0;
   uint64_t events_dispatched_ = 0;

@@ -578,9 +578,9 @@ SessionResult Session::Finish() {
       ->Add(static_cast<uint64_t>(result.breaker_stats.pauses));
   registry_.GetCounter("breaker.recoveries")
       ->Add(static_cast<uint64_t>(result.breaker_stats.recoveries));
-  obs::Histogram* latency = registry_.GetHistogram("frame.latency_ms", [] {
-    return obs::ExponentialBounds(1.0, 10000.0, 24);
-  });
+  // The per-session latency sketch is what benches and run_suite merge for
+  // every cross-session percentile — no per-frame vectors leave the session.
+  obs::QuantileSketch* latency = registry_.GetSketch("frame.latency_ms");
   for (double ms : metrics_.DeliveredLatenciesMs()) latency->Record(ms);
   result.metrics = registry_.Snapshot();
 

@@ -19,8 +19,7 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr char kMagic[4] = {'R', 'A', 'V', 'C'};
-// 2: payload gained the obs::RegistrySnapshot tail after events_executed.
-constexpr uint32_t kBlobVersion = 2;
+// kBlobVersion lives in result_cache.h (tools print it via --version).
 constexpr char kBlobSuffix[] = ".rrc";
 
 void PutTime(ByteWriter& w, Timestamp t) { w.I64(t.us()); }

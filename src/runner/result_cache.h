@@ -34,6 +34,14 @@
 
 namespace rave::runner {
 
+/// On-disk blob layout version. BUMP whenever EncodeResult's payload layout
+/// (or the header around it) changes, so older blobs are rejected as
+/// corrupt and recomputed instead of misparsed.
+/// 2: payload gained the obs::RegistrySnapshot tail after events_executed.
+/// 3: registry distribution metrics became QuantileSketches — MetricSnapshot
+///    carries a conditional sketch payload (kind == kSketch).
+inline constexpr uint32_t kBlobVersion = 3;
+
 class ResultCache {
  public:
   struct Options {

@@ -84,6 +84,11 @@ class ByteReader {
   bool AtEnd() const { return ok_ && pos_ == size_; }
   size_t pos() const { return pos_; }
 
+  /// Marks the stream bad. Decoders call this when the bytes parse but the
+  /// decoded structure is invalid (e.g. a sketch whose bucket counts do not
+  /// sum to its total), so structural corruption fails like truncation.
+  void Invalidate() { ok_ = false; }
+
  private:
   bool Need(uint64_t n) {
     if (!ok_ || n > size_ - pos_) {

@@ -48,10 +48,25 @@ int64_t Flags::GetInt(const std::string& key, int64_t fallback) const {
     const int64_t value = std::stoll(it->second, &used);
     if (used != it->second.size()) throw std::invalid_argument(it->second);
     return value;
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument("Flags: --" + key + "=" + it->second +
+                                " overflows a 64-bit integer");
   } catch (const std::exception&) {
     throw std::invalid_argument("Flags: --" + key + "=" + it->second +
                                 " is not an integer");
   }
+}
+
+int64_t Flags::GetInt(const std::string& key, int64_t fallback, int64_t min,
+                      int64_t max) const {
+  const int64_t value = GetInt(key, fallback);
+  if (value < min || value > max) {
+    throw std::invalid_argument("Flags: --" + key + "=" +
+                                std::to_string(value) + " is out of range [" +
+                                std::to_string(min) + ", " +
+                                std::to_string(max) + "]");
+  }
+  return value;
 }
 
 double Flags::GetDouble(const std::string& key, double fallback) const {

@@ -1,0 +1,100 @@
+# Regression sentinel gate, end to end:
+#   1. seed a history ledger with `run_suite --history=ledger.jsonl`;
+#   2. rerun with `--baseline=ledger.jsonl` — deterministic quality fields
+#      must match byte-for-byte, so the clean rerun must exit 0;
+#   3. doctor one quality value in the ledger (frame.latency_ms.p99) and
+#      assert the rerun now exits non-zero with a verdict naming the
+#      regressed metric;
+#   4. seed a second ledger record and check the standalone bench_compare
+#      agrees (clean diff of the last two records exits 0).
+#
+#   cmake -DBINARY=<run_suite> -DCOMPARE=<bench_compare> -DOUT=<scratch-dir>
+#         -P bench_regression_sentinel.cmake
+if(NOT DEFINED BINARY OR NOT DEFINED COMPARE OR NOT DEFINED OUT)
+  message(FATAL_ERROR
+          "bench_regression_sentinel.cmake needs -DBINARY/-DCOMPARE/-DOUT")
+endif()
+
+file(REMOVE_RECURSE ${OUT})
+file(MAKE_DIRECTORY ${OUT}/cache)
+set(LEDGER ${OUT}/ledger.jsonl)
+set(ARGS --cache-dir=${OUT}/cache --only=fig1_timeline --duration=12 --jobs=2)
+
+# 1. Seed the ledger.
+file(MAKE_DIRECTORY ${OUT}/seed)
+execute_process(
+  COMMAND ${BINARY} ${ARGS} --out-dir=${OUT}/seed --history=${LEDGER}
+  OUTPUT_QUIET
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "seed run failed (rc=${rc})")
+endif()
+if(NOT EXISTS ${LEDGER})
+  message(FATAL_ERROR "--history did not create ${LEDGER}")
+endif()
+
+# 2. Clean rerun against the baseline must exit 0 and print a clean verdict.
+file(MAKE_DIRECTORY ${OUT}/clean)
+execute_process(
+  COMMAND ${BINARY} ${ARGS} --out-dir=${OUT}/clean --baseline=${LEDGER}
+  OUTPUT_VARIABLE clean_out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "clean rerun regressed against its own baseline (rc=${rc}):\n"
+          "${clean_out}")
+endif()
+if(NOT clean_out MATCHES "verdict: clean")
+  message(FATAL_ERROR "clean rerun printed no clean verdict:\n${clean_out}")
+endif()
+
+# 3. Doctor a quality value in the ledger: any byte-level drift in a
+# deterministic field must trip the sentinel.
+file(READ ${LEDGER} ledger_text)
+string(REGEX REPLACE "\"frame.latency_ms.p99\": \"[^\"]*\""
+       "\"frame.latency_ms.p99\": \"999999\"" doctored "${ledger_text}")
+if(doctored STREQUAL "${ledger_text}")
+  message(FATAL_ERROR "ledger holds no frame.latency_ms.p99 field to doctor")
+endif()
+file(WRITE ${LEDGER} "${doctored}")
+
+file(MAKE_DIRECTORY ${OUT}/regressed)
+execute_process(
+  COMMAND ${BINARY} ${ARGS} --out-dir=${OUT}/regressed --baseline=${LEDGER}
+  OUTPUT_VARIABLE regressed_out
+  RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR
+          "doctored baseline did NOT trip the sentinel:\n${regressed_out}")
+endif()
+if(NOT regressed_out MATCHES "REGRESSED")
+  message(FATAL_ERROR "no REGRESSED verdict in output:\n${regressed_out}")
+endif()
+if(NOT regressed_out MATCHES "frame.latency_ms.p99")
+  message(FATAL_ERROR
+          "verdict does not name the regressed metric:\n${regressed_out}")
+endif()
+
+# 4. Standalone bench_compare over a healthy two-record ledger: clean diff
+# of the last two records must exit 0.
+file(WRITE ${LEDGER} "${ledger_text}")
+file(MAKE_DIRECTORY ${OUT}/second)
+execute_process(
+  COMMAND ${BINARY} ${ARGS} --out-dir=${OUT}/second --history=${LEDGER}
+  OUTPUT_QUIET
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "second ledger run failed (rc=${rc})")
+endif()
+execute_process(
+  COMMAND ${COMPARE} --history=${LEDGER}
+  OUTPUT_VARIABLE compare_out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "bench_compare flagged a regression between identical runs "
+          "(rc=${rc}):\n${compare_out}")
+endif()
+if(NOT compare_out MATCHES "verdict: clean")
+  message(FATAL_ERROR "bench_compare printed no clean verdict:\n${compare_out}")
+endif()
